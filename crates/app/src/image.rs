@@ -1,0 +1,255 @@
+//! Satellite images: dimensions, synthetic pixel data, size sampling.
+//!
+//! The workload mirrors the paper's: "we downloaded over 1000 images from
+//! 15 web sites that provide hurricane images. We found that the image
+//! sizes fit a normal distribution with a mean close to 128KB and a
+//! variance of 25%." We read "variance of 25%" as a relative standard
+//! deviation of 25% of the mean (a variance of 25% of a byte count is not
+//! dimensionally meaningful), i.e. sizes ~ Normal(128 KB, σ = 32 KB),
+//! truncated to a sane range.
+//!
+//! Images are single-channel (one byte per pixel), matching AVHRR-style
+//! satellite products, so `pixels == bytes`.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Width and height of an image, pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImageDims {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl ImageDims {
+    /// Creates dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        ImageDims { width, height }
+    }
+
+    /// Total pixel count (== byte count for single-channel images).
+    pub fn pixels(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Byte size of the image (one byte per pixel).
+    pub fn bytes(self) -> u64 {
+        self.pixels()
+    }
+
+    /// Returns whichever of `self` and `other` has more pixels, i.e. the
+    /// dimensions of a composition result. Equal pixel counts tie-break on
+    /// width then height, keeping composition commutative even for images
+    /// of equal area but different shape.
+    pub fn larger(self, other: ImageDims) -> ImageDims {
+        if (other.pixels(), other.width, other.height) > (self.pixels(), self.width, self.height)
+        {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Parameters of the image-size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeDistribution {
+    /// Mean image size, bytes (paper: 128 KB).
+    pub mean_bytes: f64,
+    /// Standard deviation as a fraction of the mean (paper: 0.25).
+    pub rel_std_dev: f64,
+    /// Aspect ratio width/height of generated images.
+    pub aspect: f64,
+}
+
+impl SizeDistribution {
+    /// The paper's distribution: Normal(128 KB, 25%), 4:3 aspect.
+    pub fn paper_defaults() -> Self {
+        SizeDistribution {
+            mean_bytes: 128.0 * 1024.0,
+            rel_std_dev: 0.25,
+            aspect: 4.0 / 3.0,
+        }
+    }
+
+    /// Samples image dimensions whose byte size follows the distribution,
+    /// truncated to `[mean/8, mean*4]` to avoid degenerate draws.
+    pub fn sample(&self, rng: &mut impl Rng) -> ImageDims {
+        let normal = Normal::new(self.mean_bytes, self.mean_bytes * self.rel_std_dev)
+            .expect("finite size distribution");
+        let bytes = normal
+            .sample(rng)
+            .clamp(self.mean_bytes / 8.0, self.mean_bytes * 4.0);
+        // bytes = w * h, w = aspect * h  →  h = sqrt(bytes / aspect)
+        let h = (bytes / self.aspect).sqrt().round().max(1.0) as u32;
+        let w = ((bytes / h as f64).round().max(1.0)) as u32;
+        ImageDims::new(w, h)
+    }
+}
+
+impl Default for SizeDistribution {
+    fn default() -> Self {
+        SizeDistribution::paper_defaults()
+    }
+}
+
+/// An in-memory single-channel image.
+///
+/// The simulation only tracks [`ImageDims`]; full images are materialised
+/// by the examples and the composition tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    dims: ImageDims,
+    pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image from dimensions and pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != dims.pixels()`.
+    pub fn from_pixels(dims: ImageDims, pixels: Vec<u8>) -> Self {
+        assert_eq!(
+            pixels.len() as u64,
+            dims.pixels(),
+            "pixel buffer does not match dimensions"
+        );
+        Image { dims, pixels }
+    }
+
+    /// Generates a deterministic synthetic image: a smooth field (as cloud
+    /// tops would produce) plus seeded noise, so two images of the same
+    /// scene differ per "satellite pass".
+    pub fn synthetic(dims: ImageDims, seed: u64) -> Self {
+        let (w, h) = (dims.width as u64, dims.height as u64);
+        let mut pixels = Vec::with_capacity(dims.pixels() as usize);
+        for y in 0..h {
+            for x in 0..w {
+                let fx = x as f64 / w as f64;
+                let fy = y as f64 / h as f64;
+                let field = 128.0
+                    + 60.0 * (fx * 6.3 + seed as f64 % 7.0).sin()
+                    + 50.0 * (fy * 4.7 + (seed / 7) as f64 % 5.0).cos();
+                // Cheap per-pixel hash noise.
+                let n = x
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(y.wrapping_mul(0xC2B2AE3D27D4EB4F))
+                    .wrapping_add(seed)
+                    .wrapping_mul(0xD6E8FEB86659FD93);
+                let noise = ((n >> 56) as i64 - 128) / 8;
+                pixels.push((field as i64 + noise).clamp(0, 255) as u8);
+            }
+        }
+        Image { dims, pixels }
+    }
+
+    /// The image's dimensions.
+    pub fn dims(&self) -> ImageDims {
+        self.dims
+    }
+
+    /// The pixel data, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn pixel(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.dims.width && y < self.dims.height, "out of bounds");
+        self.pixels[(y as usize) * self.dims.width as usize + x as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dims_arithmetic() {
+        let d = ImageDims::new(400, 300);
+        assert_eq!(d.pixels(), 120_000);
+        assert_eq!(d.bytes(), 120_000);
+        let bigger = ImageDims::new(500, 300);
+        assert_eq!(d.larger(bigger), bigger);
+        assert_eq!(bigger.larger(d), bigger);
+        // Equal areas tie-break on width: the wider shape wins from
+        // either side (commutativity of composition).
+        let same_area = ImageDims::new(300, 400);
+        assert_eq!(d.larger(same_area), d);
+        assert_eq!(same_area.larger(d), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        ImageDims::new(0, 5);
+    }
+
+    #[test]
+    fn size_distribution_matches_paper_statistics() {
+        let dist = SizeDistribution::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sizes: Vec<f64> = (0..4000).map(|_| dist.sample(&mut rng).bytes() as f64).collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        let sd = (sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / sizes.len() as f64)
+            .sqrt();
+        assert!(
+            (mean / (128.0 * 1024.0) - 1.0).abs() < 0.03,
+            "mean {mean} should be near 128 KB"
+        );
+        assert!(
+            (sd / mean - 0.25).abs() < 0.05,
+            "relative std dev {} should be near 25%",
+            sd / mean
+        );
+    }
+
+    #[test]
+    fn samples_are_truncated() {
+        let dist = SizeDistribution::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let b = dist.sample(&mut rng).bytes() as f64;
+            assert!(b >= dist.mean_bytes / 8.0 - dist.mean_bytes * 0.01);
+            assert!(b <= dist.mean_bytes * 4.0 + dist.mean_bytes * 0.01);
+        }
+    }
+
+    #[test]
+    fn synthetic_image_is_deterministic() {
+        let d = ImageDims::new(32, 24);
+        assert_eq!(Image::synthetic(d, 5), Image::synthetic(d, 5));
+        assert_ne!(Image::synthetic(d, 5), Image::synthetic(d, 6));
+    }
+
+    #[test]
+    fn pixel_indexing() {
+        let d = ImageDims::new(4, 2);
+        let img = Image::from_pixels(d, (0..8).collect());
+        assert_eq!(img.pixel(0, 0), 0);
+        assert_eq!(img.pixel(3, 0), 3);
+        assert_eq!(img.pixel(0, 1), 4);
+        assert_eq!(img.pixel(3, 1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_pixels_validates_length() {
+        Image::from_pixels(ImageDims::new(2, 2), vec![0; 3]);
+    }
+}

@@ -1,0 +1,143 @@
+//! PGM (portable graymap) output for composites.
+//!
+//! The single-channel images this crate works with map directly onto
+//! binary PGM (`P5`), the simplest format any image viewer opens — handy
+//! for eyeballing what the composition operator produced in the examples.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::image::Image;
+
+/// Serialises `img` as binary PGM (`P5`) into `out`.
+///
+/// # Errors
+///
+/// Propagates any error from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_app::image::{Image, ImageDims};
+/// use wadc_app::pgm::write_pgm;
+///
+/// let img = Image::synthetic(ImageDims::new(4, 4), 1);
+/// let mut buf = Vec::new();
+/// write_pgm(&img, &mut buf)?;
+/// assert!(buf.starts_with(b"P5\n4 4\n255\n"));
+/// assert_eq!(buf.len(), 11 + 16); // header + pixels
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_pgm<W: Write>(img: &Image, mut out: W) -> io::Result<()> {
+    write!(out, "P5\n{} {}\n255\n", img.dims().width, img.dims().height)?;
+    out.write_all(img.pixels())
+}
+
+/// Writes `img` as a PGM file at `path`.
+///
+/// # Errors
+///
+/// Returns any filesystem error.
+pub fn save_pgm(img: &Image, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_pgm(img, io::BufWriter::new(file))
+}
+
+/// Reads a binary PGM (`P5`, maxval 255) produced by [`write_pgm`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for anything that is not a `P5` graymap with
+/// maxval 255, or if the pixel payload is short.
+pub fn parse_pgm(data: &[u8]) -> io::Result<Image> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    // Header: three whitespace-separated tokens after the magic.
+    let mut pos = 0;
+    let mut token = |data: &[u8]| -> io::Result<(usize, usize)> {
+        while pos < data.len() && data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(bad("truncated PGM header"));
+        }
+        Ok((start, pos))
+    };
+    let (s, e) = token(data)?;
+    if &data[s..e] != b"P5" {
+        return Err(bad("not a binary PGM (P5)"));
+    }
+    let parse_num = |range: (usize, usize)| -> io::Result<u32> {
+        std::str::from_utf8(&data[range.0..range.1])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("malformed PGM dimension"))
+    };
+    let width = parse_num(token(data)?)?;
+    let height = parse_num(token(data)?)?;
+    let maxval = parse_num(token(data)?)?;
+    if maxval != 255 {
+        return Err(bad("only maxval 255 is supported"));
+    }
+    if width == 0 || height == 0 {
+        return Err(bad("degenerate dimensions"));
+    }
+    let pixel_start = pos + 1; // single whitespace after maxval
+    let count = width as usize * height as usize;
+    let pixels = data
+        .get(pixel_start..pixel_start + count)
+        .ok_or_else(|| bad("truncated pixel data"))?;
+    Ok(Image::from_pixels(
+        crate::image::ImageDims::new(width, height),
+        pixels.to_vec(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageDims;
+
+    #[test]
+    fn round_trip() {
+        let img = Image::synthetic(ImageDims::new(17, 9), 42);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = parse_pgm(&buf).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let img = Image::synthetic(ImageDims::new(8, 8), 7);
+        let path = std::env::temp_dir().join(format!("wadc-pgm-{}.pgm", std::process::id()));
+        save_pgm(&img, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert_eq!(parse_pgm(&data).unwrap(), img);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert!(parse_pgm(b"P6\n1 1\n255\nx").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_pixels() {
+        assert!(parse_pgm(b"P5\n4 4\n255\nxx").is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_maxval() {
+        assert!(parse_pgm(b"P5\n1 1\n65535\nxx").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert!(parse_pgm(b"P5\nab cd\n255\n").is_err());
+        assert!(parse_pgm(b"").is_err());
+    }
+}

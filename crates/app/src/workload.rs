@@ -1,0 +1,172 @@
+//! The experiment workload: per-server image sequences.
+//!
+//! "Each site delivers a sequence of 180 images. Corresponding images from
+//! all participating servers are composed and a sequence of 180 images is
+//! delivered to the client." The simulation tracks only sizes; the
+//! examples materialise full images with [`crate::image::Image::synthetic`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wadc_sim::rng::derive_seed2;
+
+use crate::image::{ImageDims, SizeDistribution};
+
+/// Workload parameters, defaulting to the paper's experiment setup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Images served by each server (paper: 180).
+    pub images_per_server: usize,
+    /// The image-size distribution.
+    pub sizes: SizeDistribution,
+}
+
+impl WorkloadParams {
+    /// The paper's workload: 180 images/server, Normal(128 KB, 25%).
+    pub fn paper_defaults() -> Self {
+        WorkloadParams {
+            images_per_server: 180,
+            sizes: SizeDistribution::paper_defaults(),
+        }
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams::paper_defaults()
+    }
+}
+
+/// One server's image sequence (sizes only — the simulation's view).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerWorkload {
+    dims: Vec<ImageDims>,
+}
+
+impl ServerWorkload {
+    /// Generates server `server_index`'s sequence deterministically from
+    /// the workload seed.
+    pub fn generate(params: &WorkloadParams, server_index: usize, seed: u64) -> Self {
+        const WORKLOAD_STREAM: u64 = 0x774F_524B; // ASCII "wORK"
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed2(seed, WORKLOAD_STREAM, server_index as u64));
+        ServerWorkload {
+            dims: (0..params.images_per_server)
+                .map(|_| params.sizes.sample(&mut rng))
+                .collect(),
+        }
+    }
+
+    /// Number of images in the sequence.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns `true` if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Dimensions of the image for iteration `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn image_dims(&self, i: usize) -> ImageDims {
+        self.dims[i]
+    }
+
+    /// All image dimensions in sequence order.
+    pub fn dims(&self) -> &[ImageDims] {
+        &self.dims
+    }
+
+    /// Total bytes across the sequence.
+    pub fn total_bytes(&self) -> u64 {
+        self.dims.iter().map(|d| d.bytes()).sum()
+    }
+}
+
+/// The full experiment workload: one sequence per server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    servers: Vec<ServerWorkload>,
+}
+
+impl Workload {
+    /// Generates the workload for `n_servers` servers.
+    pub fn generate(params: &WorkloadParams, n_servers: usize, seed: u64) -> Self {
+        Workload {
+            servers: (0..n_servers)
+                .map(|s| ServerWorkload::generate(params, s, seed))
+                .collect(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// A server's sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn server(&self, server: usize) -> &ServerWorkload {
+        &self.servers[server]
+    }
+
+    /// Number of iterations (partitions) — the common sequence length.
+    pub fn iterations(&self) -> usize {
+        self.servers.first().map_or(0, ServerWorkload::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_180_images() {
+        let w = Workload::generate(&WorkloadParams::paper_defaults(), 8, 42);
+        assert_eq!(w.server_count(), 8);
+        assert_eq!(w.iterations(), 180);
+        for s in 0..8 {
+            assert_eq!(w.server(s).len(), 180);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = WorkloadParams::paper_defaults();
+        assert_eq!(Workload::generate(&p, 4, 1), Workload::generate(&p, 4, 1));
+        assert_ne!(Workload::generate(&p, 4, 1), Workload::generate(&p, 4, 2));
+    }
+
+    #[test]
+    fn servers_have_distinct_streams() {
+        let w = Workload::generate(&WorkloadParams::paper_defaults(), 2, 9);
+        assert_ne!(w.server(0), w.server(1));
+    }
+
+    #[test]
+    fn adding_servers_preserves_existing_streams() {
+        // Server s's stream depends only on (seed, s) — so scaling the
+        // number of servers does not reshuffle the workload.
+        let p = WorkloadParams::paper_defaults();
+        let small = Workload::generate(&p, 4, 5);
+        let large = Workload::generate(&p, 8, 5);
+        for s in 0..4 {
+            assert_eq!(small.server(s), large.server(s));
+        }
+    }
+
+    #[test]
+    fn total_bytes_near_mean_times_count() {
+        let w = Workload::generate(&WorkloadParams::paper_defaults(), 1, 11);
+        let total = w.server(0).total_bytes() as f64;
+        let expect = 180.0 * 128.0 * 1024.0;
+        assert!((total / expect - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the composition operator.
+
+use proptest::prelude::*;
+use wadc_app::compose::{compose, expand, SelectRule};
+use wadc_app::image::{Image, ImageDims, SizeDistribution};
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (1u32..40, 1u32..40, any::<u64>())
+        .prop_map(|(w, h, seed)| Image::synthetic(ImageDims::new(w, h), seed))
+}
+
+proptest! {
+    /// The composite has the larger input's dimensions and every pixel is
+    /// the max (resp. min) of the corresponding expanded inputs.
+    #[test]
+    fn compose_selects_pixelwise(a in arb_image(), b in arb_image()) {
+        let out = compose(&a, &b, SelectRule::Max);
+        let dims = a.dims().larger(b.dims());
+        prop_assert_eq!(out.dims(), dims);
+        let ea = expand(&a, dims);
+        let eb = expand(&b, dims);
+        for ((o, x), y) in out.pixels().iter().zip(ea.pixels()).zip(eb.pixels()) {
+            prop_assert_eq!(*o, (*x).max(*y));
+        }
+        let out_min = compose(&a, &b, SelectRule::Min);
+        for ((o, x), y) in out_min.pixels().iter().zip(ea.pixels()).zip(eb.pixels()) {
+            prop_assert_eq!(*o, (*x).min(*y));
+        }
+    }
+
+    /// Composition is commutative and idempotent.
+    #[test]
+    fn compose_algebra(a in arb_image(), b in arb_image()) {
+        prop_assert_eq!(
+            compose(&a, &b, SelectRule::Max),
+            compose(&b, &a, SelectRule::Max)
+        );
+        prop_assert_eq!(compose(&a, &a, SelectRule::Max), a.clone());
+    }
+
+    /// Max-compositing never darkens: the composite dominates both
+    /// expanded inputs pixelwise (the cloud-removal property).
+    #[test]
+    fn max_compose_brightens(a in arb_image(), b in arb_image()) {
+        let out = compose(&a, &b, SelectRule::Max);
+        let ea = expand(&a, out.dims());
+        for (o, x) in out.pixels().iter().zip(ea.pixels()) {
+            prop_assert!(o >= x);
+        }
+    }
+
+    /// Expansion preserves the pixel value set (nearest neighbour invents
+    /// no new values) and hits the requested dimensions.
+    #[test]
+    fn expand_no_new_values(img in arb_image(), fx in 1u32..4, fy in 1u32..4) {
+        let target = ImageDims::new(img.dims().width * fx, img.dims().height * fy);
+        let big = expand(&img, target);
+        prop_assert_eq!(big.dims(), target);
+        let original: std::collections::HashSet<u8> = img.pixels().iter().copied().collect();
+        for p in big.pixels() {
+            prop_assert!(original.contains(p));
+        }
+    }
+
+    /// Sampled sizes always land in the truncation range and build valid
+    /// dimensions.
+    #[test]
+    fn size_samples_in_range(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let dist = SizeDistribution::paper_defaults();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let dims = dist.sample(&mut rng);
+            let bytes = dims.bytes() as f64;
+            prop_assert!(bytes >= dist.mean_bytes / 8.0 * 0.9);
+            prop_assert!(bytes <= dist.mean_bytes * 4.0 * 1.1);
+            // Aspect stays near the requested 4:3.
+            let aspect = dims.width as f64 / dims.height as f64;
+            prop_assert!((0.8..2.2).contains(&aspect), "aspect {aspect}");
+        }
+    }
+}

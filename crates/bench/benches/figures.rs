@@ -1,0 +1,57 @@
+//! Meso-benchmarks: full engine runs along the code paths each paper
+//! figure exercises, at reduced scale (the figure binaries in `src/bin`
+//! run the full 300-configuration studies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wadc_core::engine::Algorithm;
+use wadc_core::experiment::Experiment;
+use wadc_plan::tree::TreeShape;
+use wadc_sim::time::SimDuration;
+
+fn bench_engine_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_run");
+    g.sample_size(20);
+    let exp = Experiment::quick(8, 5);
+    for alg in [
+        Algorithm::DownloadAll,
+        Algorithm::OneShot,
+        Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        },
+        Algorithm::Local {
+            period: SimDuration::from_secs(30),
+            extra_candidates: 2,
+        },
+    ] {
+        g.bench_function(alg.name(), |b| b.iter(|| black_box(exp.run(alg))));
+    }
+    g.finish();
+}
+
+fn bench_tree_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_run_shape");
+    g.sample_size(20);
+    for shape in [TreeShape::CompleteBinary, TreeShape::LeftDeep] {
+        let exp = Experiment::quick(8, 6).with_tree_shape(shape);
+        g.bench_function(format!("{shape:?}"), |b| {
+            b.iter(|| black_box(exp.run(Algorithm::global_default())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_run_scaling");
+    g.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let exp = Experiment::quick(n, 7);
+        g.bench_function(format!("{n}_servers_global"), |b| {
+            b.iter(|| black_box(exp.run(Algorithm::global_default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_runs, bench_tree_shapes, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks of the placement machinery: critical-path evaluation and the
+//! one-shot search, across tree sizes and shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wadc_core::algorithms::local_step::{best_local_site, LocalContext};
+use wadc_core::algorithms::one_shot::one_shot_placement;
+use wadc_plan::bandwidth::BwMatrix;
+use wadc_plan::cost::CostModel;
+use wadc_plan::critical_path::placement_cost;
+use wadc_plan::ids::HostId;
+use wadc_plan::placement::{HostRoster, Placement};
+use wadc_plan::tree::CombinationTree;
+
+fn varied_bw(n_hosts: usize) -> BwMatrix {
+    BwMatrix::from_fn(n_hosts, |a, b| {
+        2_000.0 + ((a.index() * 31 + b.index() * 17) % 97) as f64 * 3_000.0
+    })
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("critical_path");
+    for n in [8usize, 16, 32] {
+        let tree = CombinationTree::complete_binary(n).unwrap();
+        let roster = HostRoster::one_host_per_server(n);
+        let bw = varied_bw(n + 1);
+        let model = CostModel::paper_defaults();
+        let p = Placement::download_all(&tree, &roster);
+        g.bench_function(format!("evaluate_{n}_servers"), |b| {
+            b.iter(|| black_box(placement_cost(&tree, &roster, &p, &bw, &model)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_one_shot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("one_shot_search");
+    g.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let tree = CombinationTree::complete_binary(n).unwrap();
+        let roster = HostRoster::one_host_per_server(n);
+        let bw = varied_bw(n + 1);
+        let model = CostModel::paper_defaults();
+        g.bench_function(format!("binary_{n}_servers"), |b| {
+            b.iter(|| black_box(one_shot_placement(&tree, &roster, &bw, &model)))
+        });
+    }
+    let tree = CombinationTree::left_deep(16).unwrap();
+    let roster = HostRoster::one_host_per_server(16);
+    let bw = varied_bw(17);
+    let model = CostModel::paper_defaults();
+    g.bench_function("left_deep_16_servers", |b| {
+        b.iter(|| black_box(one_shot_placement(&tree, &roster, &bw, &model)))
+    });
+    g.finish();
+}
+
+fn bench_local_step(c: &mut Criterion) {
+    let bw = varied_bw(33);
+    let model = CostModel::paper_defaults();
+    let ctx = LocalContext {
+        producers: vec![HostId::new(0), HostId::new(1)],
+        consumer: HostId::new(2),
+        current: HostId::new(3),
+        extra_candidates: (4..10).map(HostId::new).collect(),
+    };
+    c.bench_function("local_step_decision_k6", |b| {
+        b.iter(|| black_box(best_local_site(&ctx, &bw, &model)))
+    });
+}
+
+criterion_group!(benches, bench_critical_path, bench_one_shot, bench_local_step);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! # wadc-bench — figure regeneration and performance benches
+//!
+//! One binary per figure of the paper's evaluation:
+//!
+//! | binary | paper figure | content |
+//! |---|---|---|
+//! | `fig2` | Figure 2 | bandwidth variation of one host pair (10 min / 2 days) |
+//! | `fig6` | Figure 6 | sorted speedup curves, 300 configs, 8 servers |
+//! | `fig7` | Figure 7 | local algorithm with k = 0..6 extra candidate sites |
+//! | `fig8` | Figure 8 | scaling: 4 → 32 servers |
+//! | `fig9` | Figure 9 | relocation period 2 min → 1 hour |
+//! | `fig10` | Figure 10 | complete-binary vs left-deep ordering |
+//!
+//! Run with `cargo run --release -p wadc-bench --bin figN`. Every binary
+//! accepts `--configs N` (default: the paper's 300), `--seed S`,
+//! `--threads T` and `--json PATH` (machine-readable series archive).
+//!
+//! The `benches/` directory holds criterion micro/meso benchmarks of the
+//! kernel, the placement search and the end-to-end engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Command-line arguments shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigArgs {
+    /// Number of network configurations to evaluate.
+    pub configs: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional path for a JSON archive of the series.
+    pub json: Option<PathBuf>,
+}
+
+impl FigArgs {
+    /// Parses `std::env::args`, with the paper's 300 configurations as the
+    /// default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut args = FigArgs {
+            configs: 300,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            seed: 1998,
+            json: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--configs" => args.configs = value("--configs").parse().expect("integer"),
+                "--threads" => args.threads = value("--threads").parse().expect("integer"),
+                "--seed" => args.seed = value("--seed").parse().expect("integer"),
+                "--json" => args.json = Some(PathBuf::from(value("--json"))),
+                other => panic!("unknown flag {other}; known: --configs --threads --seed --json"),
+            }
+        }
+        args
+    }
+
+    /// Writes the JSON archive if `--json` was given.
+    pub fn maybe_write_json(&self, value: &serde_json::Value) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, serde_json::to_string_pretty(value).expect("serializable"))
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("series archived to {}", path.display());
+        }
+    }
+}
+
+/// Prints a named series as one row per element, `index value`.
+pub fn print_series(name: &str, values: &[f64]) {
+    println!("# {name}");
+    for (i, v) in values.iter().enumerate() {
+        println!("{i} {v:.4}");
+    }
+    println!();
+}
+
+/// Prints a compact summary line for a series.
+pub fn print_summary(name: &str, values: &[f64]) {
+    let n = values.len().max(1) as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let median = wadc_sim::stats::median(values).unwrap_or(0.0);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!("{name}: mean {mean:.2}  median {median:.2}  min {min:.2}  max {max:.2}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn summary_of_constant_series() {
+        // print_summary only prints; sanity-check it does not panic on
+        // edge inputs.
+        super::print_summary("empty", &[]);
+        super::print_summary("one", &[1.0]);
+        super::print_series("s", &[1.0, 2.0]);
+    }
+}

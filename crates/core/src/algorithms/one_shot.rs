@@ -1,0 +1,284 @@
+//! The one-shot placement algorithm (paper §2.1).
+//!
+//! "Initialization: all operators are placed at the client. Iterative step:
+//! compute the critical path ... for each operator in K consider all
+//! alternative locations ... if the cheapest alternative is at most the
+//! best found, keep it; if the best found improves on the current
+//! placement, adopt it" — repeated until no improvement. The same
+//! procedure seeded with the *current* placement instead of
+//! all-at-the-client is the re-planning step of the global algorithm
+//! (paper §2.2).
+
+use wadc_plan::bandwidth::BandwidthView;
+use wadc_plan::cost::CostModel;
+use wadc_plan::critical_path::{contended_placement_cost, critical_path, placement_cost};
+use wadc_plan::placement::{HostRoster, Placement};
+use wadc_plan::tree::CombinationTree;
+
+/// The objective a placement search minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// The paper's objective: the critical-path length.
+    #[default]
+    CriticalPath,
+    /// Extension: max(critical path, busiest NIC occupancy), which also
+    /// sees end-point congestion (see
+    /// [`wadc_plan::critical_path::contended_placement_cost`]).
+    Contended,
+}
+
+impl Objective {
+    /// Evaluates a placement under this objective (seconds per partition).
+    pub fn evaluate(
+        self,
+        tree: &CombinationTree,
+        roster: &HostRoster,
+        placement: &Placement,
+        view: impl BandwidthView + Copy,
+        model: &CostModel,
+    ) -> f64 {
+        match self {
+            Objective::CriticalPath => placement_cost(tree, roster, placement, view, model),
+            Objective::Contended => {
+                contended_placement_cost(tree, roster, placement, view, model)
+            }
+        }
+    }
+}
+
+/// Minimum relative improvement for a move to be adopted; guards against
+/// floating-point churn producing endless equal-cost oscillation.
+const MIN_IMPROVEMENT: f64 = 1e-9;
+
+/// Outcome of a placement search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The placement found.
+    pub placement: Placement,
+    /// Its estimated critical-path cost, seconds per partition.
+    pub cost: f64,
+    /// Number of improvement iterations performed.
+    pub iterations: usize,
+}
+
+/// Improves `initial` by iteratively relocating operators on the critical
+/// path, until a local optimum. This is the paper's iterative step; with
+/// `initial = Placement::download_all(..)` it is the one-shot algorithm,
+/// with the running placement it is the global algorithm's re-planning
+/// procedure.
+pub fn improve_placement(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    initial: Placement,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+) -> SearchResult {
+    improve_placement_by(tree, roster, initial, view, model, Objective::CriticalPath)
+}
+
+/// [`improve_placement`] with an explicit [`Objective`]. The search still
+/// scans the operators on the critical path (that is where the candidate
+/// moves come from in the paper's algorithm) but scores candidates by the
+/// chosen objective.
+pub fn improve_placement_by(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    initial: Placement,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+    objective: Objective,
+) -> SearchResult {
+    let mut current = initial;
+    let mut cost = objective.evaluate(tree, roster, &current, view, model);
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let cp = critical_path(tree, roster, &current, view, model);
+        // Scan every (operator on K) × (alternative host) pair; remember
+        // the cheapest alternative placement found this round.
+        let mut best_cost = cost;
+        let mut best: Option<Placement> = None;
+        for op in cp.operators(tree) {
+            let original = current.site(op);
+            for host in roster.hosts() {
+                if host == original {
+                    continue;
+                }
+                current.set_site(op, host);
+                let c = objective.evaluate(tree, roster, &current, view, model);
+                if c < best_cost * (1.0 - MIN_IMPROVEMENT) {
+                    best_cost = c;
+                    best = Some(current.clone());
+                }
+            }
+            current.set_site(op, original);
+        }
+        match best {
+            Some(p) => {
+                current = p;
+                cost = best_cost;
+            }
+            None => {
+                return SearchResult {
+                    placement: current,
+                    cost,
+                    iterations,
+                };
+            }
+        }
+    }
+}
+
+/// The one-shot algorithm: run once at the beginning of the computation,
+/// starting from the download-all placement.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_core::algorithms::one_shot::one_shot_placement;
+/// use wadc_plan::bandwidth::BwMatrix;
+/// use wadc_plan::cost::CostModel;
+/// use wadc_plan::placement::HostRoster;
+/// use wadc_plan::tree::CombinationTree;
+///
+/// let tree = CombinationTree::complete_binary(4)?;
+/// let roster = HostRoster::one_host_per_server(4);
+/// let bw = BwMatrix::from_fn(5, |_, _| 64_000.0);
+/// let result = one_shot_placement(&tree, &roster, &bw, &CostModel::paper_defaults());
+/// assert!(result.cost > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn one_shot_placement(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+) -> SearchResult {
+    improve_placement(tree, roster, Placement::download_all(tree, roster), view, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wadc_plan::bandwidth::BwMatrix;
+    use wadc_plan::ids::HostId;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn setup(n: usize) -> (CombinationTree, HostRoster, CostModel) {
+        (
+            CombinationTree::complete_binary(n).unwrap(),
+            HostRoster::one_host_per_server(n),
+            CostModel::paper_defaults(),
+        )
+    }
+
+    #[test]
+    fn never_worse_than_download_all() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |a, b| 5_000.0 + ((a.index() * 31 + b.index() * 17) % 97) as f64 * 2_000.0);
+        let da = placement_cost(
+            &tree,
+            &roster,
+            &Placement::download_all(&tree, &roster),
+            &bw,
+            &model,
+        );
+        let result = one_shot_placement(&tree, &roster, &bw, &model);
+        assert!(result.cost <= da + 1e-9);
+    }
+
+    #[test]
+    fn result_cost_is_consistent() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |a, b| 10_000.0 * (1 + (a.index() + b.index()) % 5) as f64);
+        let r = one_shot_placement(&tree, &roster, &bw, &model);
+        let recomputed = placement_cost(&tree, &roster, &r.placement, &bw, &model);
+        assert!((r.cost - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_point_is_locally_optimal_on_critical_path() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |a, b| 3_000.0 + ((a.index() * 13 + b.index() * 7) % 53) as f64 * 4_000.0);
+        let r = one_shot_placement(&tree, &roster, &bw, &model);
+        let cp = critical_path(&tree, &roster, &r.placement, &bw, &model);
+        // No single move of a critical-path operator improves the cost.
+        let mut p = r.placement.clone();
+        for op in cp.operators(&tree) {
+            let original = p.site(op);
+            for host in roster.hosts() {
+                p.set_site(op, host);
+                let c = placement_cost(&tree, &roster, &p, &bw, &model);
+                assert!(
+                    c >= r.cost * (1.0 - 1e-9),
+                    "move of {op} to {host} improves a supposed fixed point"
+                );
+            }
+            p.set_site(op, original);
+        }
+    }
+
+    #[test]
+    fn routes_around_a_slow_client_link() {
+        // Server 1 can only reach the client slowly, but reaches host 0
+        // quickly; the operator combining servers 0 and 1 should leave the
+        // client.
+        let (tree, roster, model) = setup(2);
+        let mut bw = BwMatrix::new(3);
+        bw.set(h(0), h(2), 80_000.0);
+        bw.set(h(1), h(2), 1_000.0);
+        bw.set(h(0), h(1), 800_000.0);
+        let r = one_shot_placement(&tree, &roster, &bw, &model);
+        let op = wadc_plan::ids::OperatorId::new(0);
+        assert_ne!(r.placement.site(op), roster.client());
+        assert_eq!(r.placement.site(op), h(0), "host 0 minimises the path");
+    }
+
+    #[test]
+    fn uniform_fast_network_keeps_placement_cheap() {
+        // With uniform bandwidth, download-all is already near-optimal in
+        // the critical-path metric; the search must terminate quickly and
+        // not thrash.
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |_, _| 1_000_000.0);
+        let r = one_shot_placement(&tree, &roster, &bw, &model);
+        assert!(r.iterations <= 10, "search should converge fast");
+    }
+
+    #[test]
+    fn improve_from_current_never_regresses() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |a, b| 2_000.0 + ((a.index() * 41 + b.index() * 3) % 29) as f64 * 9_000.0);
+        // Start from an arbitrary placement (as the global algorithm does).
+        let mut start = Placement::download_all(&tree, &roster);
+        for i in 0..tree.operator_count() {
+            start.set_site(
+                wadc_plan::ids::OperatorId::new(i),
+                h(i % roster.host_count()),
+            );
+        }
+        let before = placement_cost(&tree, &roster, &start, &bw, &model);
+        let r = improve_placement(&tree, &roster, start, &bw, &model);
+        assert!(r.cost <= before + 1e-9);
+    }
+
+    #[test]
+    fn left_deep_trees_are_searchable_too() {
+        let tree = CombinationTree::left_deep(6).unwrap();
+        let roster = HostRoster::one_host_per_server(6);
+        let model = CostModel::paper_defaults();
+        let bw = BwMatrix::from_fn(7, |a, b| 4_000.0 + ((a.index() + 2 * b.index()) % 11) as f64 * 11_000.0);
+        let da = placement_cost(
+            &tree,
+            &roster,
+            &Placement::download_all(&tree, &roster),
+            &bw,
+            &model,
+        );
+        let r = one_shot_placement(&tree, &roster, &bw, &model);
+        assert!(r.cost <= da + 1e-9);
+    }
+}

@@ -1,0 +1,247 @@
+//! Post-run analysis of adaptation behaviour.
+//!
+//! The paper's discussion section is built on exactly this kind of
+//! analysis: "we studied the relocation traces we obtained from the
+//! simulations" to explain *why* the local algorithm trails the global
+//! one (greedy local moves, slow convergence). This module computes those
+//! diagnostics from a run's [`AuditLog`] and arrival series.
+
+use serde::{Deserialize, Serialize};
+use wadc_sim::time::{SimDuration, SimTime};
+
+use crate::engine::audit::{AuditEvent, AuditLog};
+use crate::engine::RunResult;
+
+/// Summary of a run's adaptation behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationSummary {
+    /// Placement searches executed.
+    pub planner_runs: usize,
+    /// Searches whose result differed from the current placement.
+    pub planner_changes: usize,
+    /// Mean relative improvement the searches predicted
+    /// (`1 - cost_after / cost_before`), over runs that changed something.
+    pub mean_predicted_improvement: f64,
+    /// Operator moves that actually shipped state.
+    pub relocations: usize,
+    /// Mean time an operator spent in transit (frozen) per relocation.
+    pub mean_transit_secs: f64,
+    /// Total operator-seconds spent in transit.
+    pub total_transit_secs: f64,
+    /// Committed barrier change-overs.
+    pub changeovers: usize,
+    /// Mean time from a change-over proposal to its commit (the barrier
+    /// round-trip the paper worried "might take a long time").
+    pub mean_barrier_secs: f64,
+    /// Local-algorithm decisions that chose to move.
+    pub local_decisions: usize,
+}
+
+/// Computes the adaptation summary of a run.
+pub fn summarize_adaptation(result: &RunResult) -> AdaptationSummary {
+    summarize_audit(&result.audit)
+}
+
+/// Computes the adaptation summary from a raw audit log.
+pub fn summarize_audit(audit: &AuditLog) -> AdaptationSummary {
+    let mut planner_runs = 0;
+    let mut planner_changes = 0;
+    let mut improvement_sum = 0.0;
+    let mut reloc_started: Vec<(usize, SimTime)> = Vec::new();
+    let mut transit: Vec<f64> = Vec::new();
+    let mut proposals: Vec<(u32, SimTime)> = Vec::new();
+    let mut barrier_secs: Vec<f64> = Vec::new();
+    let mut local_decisions = 0;
+    let mut changeovers = 0;
+
+    for e in audit.events() {
+        match e {
+            AuditEvent::PlannerRan {
+                cost_before,
+                cost_after,
+                changed,
+                ..
+            } => {
+                planner_runs += 1;
+                if *changed {
+                    planner_changes += 1;
+                    if *cost_before > 0.0 {
+                        improvement_sum += 1.0 - cost_after / cost_before;
+                    }
+                }
+            }
+            AuditEvent::ChangeoverProposed { at, version, .. } => {
+                proposals.push((*version, *at));
+            }
+            AuditEvent::ChangeoverCommitted { at, version, .. } => {
+                changeovers += 1;
+                if let Some(&(_, proposed_at)) =
+                    proposals.iter().find(|(v, _)| v == version)
+                {
+                    barrier_secs.push(at.saturating_since(proposed_at).as_secs_f64());
+                }
+            }
+            AuditEvent::LocalDecision { .. } => local_decisions += 1,
+            AuditEvent::RelocationStarted { at, op, .. } => {
+                reloc_started.push((op.index(), *at));
+            }
+            AuditEvent::RelocationFinished { at, op, .. } => {
+                if let Some(pos) = reloc_started.iter().position(|(o, _)| *o == op.index()) {
+                    let (_, started) = reloc_started.swap_remove(pos);
+                    transit.push(at.saturating_since(started).as_secs_f64());
+                }
+            }
+            AuditEvent::ServerSuspended { .. } => {}
+        }
+    }
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    AdaptationSummary {
+        planner_runs,
+        planner_changes,
+        mean_predicted_improvement: if planner_changes > 0 {
+            improvement_sum / planner_changes as f64
+        } else {
+            0.0
+        },
+        relocations: transit.len() + reloc_started.len(),
+        mean_transit_secs: mean(&transit),
+        total_transit_secs: transit.iter().sum(),
+        changeovers,
+        mean_barrier_secs: mean(&barrier_secs),
+        local_decisions,
+    }
+}
+
+/// The delivery-pacing profile of a run: inter-arrival times bucketed
+/// into equal spans of the sequence, exposing warm-up and adaptation
+/// effects over the run ("is the second half faster than the first?").
+pub fn pacing_profile(result: &RunResult, buckets: usize) -> Vec<f64> {
+    assert!(buckets > 0, "at least one bucket");
+    let arrivals = &result.arrivals;
+    if arrivals.is_empty() {
+        return vec![0.0; buckets];
+    }
+    let mut gaps: Vec<f64> = Vec::with_capacity(arrivals.len());
+    let mut prev = SimTime::ZERO;
+    for &a in arrivals {
+        gaps.push((a.saturating_since(prev)).as_secs_f64());
+        prev = a;
+    }
+    let mut out = Vec::with_capacity(buckets);
+    let per = gaps.len().div_ceil(buckets);
+    for chunk in gaps.chunks(per.max(1)) {
+        out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+    }
+    out.resize(buckets, *out.last().unwrap_or(&0.0));
+    out
+}
+
+/// Fraction of the run's wall-clock spent after the final relocation —
+/// i.e. in the "converged" placement. Low values mean the algorithm was
+/// still chasing the network when the run ended.
+pub fn converged_fraction(result: &RunResult) -> f64 {
+    let total = result.completion_time;
+    if total == SimDuration::ZERO {
+        return 1.0;
+    }
+    let last_move = result
+        .audit
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            AuditEvent::RelocationFinished { at, .. } => Some(*at),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    1.0 - (last_move.saturating_since(SimTime::ZERO)).as_secs_f64() / total.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Algorithm;
+    use crate::experiment::Experiment;
+    use wadc_sim::time::SimDuration;
+
+    fn global_run() -> RunResult {
+        Experiment::quick(6, 4).run(Algorithm::Global {
+            period: SimDuration::from_secs(15),
+        })
+    }
+
+    #[test]
+    fn summary_is_consistent_with_counters() {
+        let r = global_run();
+        let s = summarize_adaptation(&r);
+        assert_eq!(s.relocations, r.relocations as usize);
+        assert_eq!(s.changeovers, r.changeovers as usize);
+        assert_eq!(s.planner_runs, r.planner_runs as usize);
+        assert!(s.planner_changes <= s.planner_runs);
+        assert!(s.mean_predicted_improvement >= 0.0);
+        if s.relocations > 0 {
+            assert!(s.mean_transit_secs > 0.0);
+            assert!(s.total_transit_secs >= s.mean_transit_secs);
+        }
+        if s.changeovers > 0 {
+            assert!(s.mean_barrier_secs > 0.0, "barriers take time");
+        }
+    }
+
+    #[test]
+    fn local_summary_counts_decisions() {
+        let r = Experiment::quick(6, 4).run(Algorithm::Local {
+            period: SimDuration::from_secs(15),
+            extra_candidates: 1,
+        });
+        let s = summarize_adaptation(&r);
+        assert_eq!(s.changeovers, 0);
+        assert!(
+            s.local_decisions >= s.relocations,
+            "every move stems from a decision"
+        );
+    }
+
+    #[test]
+    fn download_all_summary_is_empty() {
+        let r = Experiment::quick(4, 1).run(Algorithm::DownloadAll);
+        let s = summarize_adaptation(&r);
+        assert_eq!(s.planner_runs, 0);
+        assert_eq!(s.relocations, 0);
+        assert_eq!(s.changeovers, 0);
+        assert_eq!(converged_fraction(&r), 1.0, "never moved → converged all along");
+    }
+
+    #[test]
+    fn pacing_profile_shapes() {
+        let r = global_run();
+        let p = pacing_profile(&r, 4);
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|&g| g >= 0.0));
+        // The mean of the bucket means should be near the overall mean
+        // (equal-sized buckets, 8 arrivals / 4 buckets).
+        let overall = r.mean_interarrival_secs();
+        let bucket_mean = p.iter().sum::<f64>() / 4.0;
+        assert!((bucket_mean - overall).abs() < overall + 1e-9);
+    }
+
+    #[test]
+    fn converged_fraction_in_unit_range() {
+        let r = global_run();
+        let f = converged_fraction(&r);
+        assert!((0.0..=1.0).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn pacing_rejects_zero_buckets() {
+        pacing_profile(&global_run(), 0);
+    }
+}

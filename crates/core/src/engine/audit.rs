@@ -1,0 +1,213 @@
+//! The engine's audit log: a timestamped record of every adaptation
+//! event in a run.
+//!
+//! The paper's analysis sections ("we studied the relocation traces we
+//! obtained from the simulations...") rely on exactly this kind of trace;
+//! the log also lets tests verify protocol properties — light-move timing,
+//! barrier ordering, wavefront staggering — from the *outside*, without
+//! reaching into engine internals.
+
+use serde::{Deserialize, Serialize};
+use wadc_plan::ids::{HostId, OperatorId};
+use wadc_sim::time::SimTime;
+
+/// One adaptation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AuditEvent {
+    /// A placement search ran (one-shot at startup, or a global re-plan).
+    PlannerRan {
+        /// When it ran.
+        at: SimTime,
+        /// Estimated critical-path cost of the placement it started from.
+        cost_before: f64,
+        /// Estimated cost of the placement it found.
+        cost_after: f64,
+        /// Whether the result differed from the current placement.
+        changed: bool,
+    },
+    /// The client initiated a barrier change-over (global algorithm).
+    ChangeoverProposed {
+        /// When it was proposed.
+        at: SimTime,
+        /// Proposal version.
+        version: u32,
+        /// Operators whose sites differ from the committed placement.
+        moves: usize,
+    },
+    /// A server first saw a proposal, reported its iteration and suspended.
+    ServerSuspended {
+        /// When it suspended.
+        at: SimTime,
+        /// The server.
+        server: usize,
+        /// The iteration number it reported.
+        reported_iteration: u32,
+        /// The proposal version.
+        version: u32,
+    },
+    /// The client committed a change-over and broadcast the switch.
+    ChangeoverCommitted {
+        /// When it committed.
+        at: SimTime,
+        /// The committed version.
+        version: u32,
+        /// First iteration to run under the new placement.
+        switch_iteration: u32,
+    },
+    /// The local algorithm decided to move an operator at its epoch tick.
+    LocalDecision {
+        /// When the decision was made.
+        at: SimTime,
+        /// The operator.
+        op: OperatorId,
+        /// Its tree level (wavefront position).
+        level: usize,
+        /// Current host.
+        from: HostId,
+        /// Chosen host.
+        to: HostId,
+    },
+    /// An operator's state left its old host (light-move point).
+    RelocationStarted {
+        /// When the state transfer was submitted.
+        at: SimTime,
+        /// The operator.
+        op: OperatorId,
+        /// Old host.
+        from: HostId,
+        /// New host.
+        to: HostId,
+        /// The iteration after which it moved.
+        after_iteration: u32,
+    },
+    /// An operator's state arrived and it resumed at the new host.
+    RelocationFinished {
+        /// When the operator resumed.
+        at: SimTime,
+        /// The operator.
+        op: OperatorId,
+        /// Its new host.
+        host: HostId,
+    },
+}
+
+impl AuditEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            AuditEvent::PlannerRan { at, .. }
+            | AuditEvent::ChangeoverProposed { at, .. }
+            | AuditEvent::ServerSuspended { at, .. }
+            | AuditEvent::ChangeoverCommitted { at, .. }
+            | AuditEvent::LocalDecision { at, .. }
+            | AuditEvent::RelocationStarted { at, .. }
+            | AuditEvent::RelocationFinished { at, .. } => at,
+        }
+    }
+}
+
+/// The chronological audit log of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditLog {
+    events: Vec<AuditEvent>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the event is older than the last one
+    /// (the engine emits in simulation order).
+    pub fn record(&mut self, event: AuditEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            "audit events must be recorded in time order"
+        );
+        self.events.push(event);
+    }
+
+    /// All events, in time order.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All relocation start events.
+    pub fn relocations(&self) -> impl Iterator<Item = &AuditEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, AuditEvent::RelocationStarted { .. }))
+    }
+
+    /// All committed change-overs.
+    pub fn changeovers(&self) -> impl Iterator<Item = &AuditEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, AuditEvent::ChangeoverCommitted { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reloc(at_secs: u64, op: usize) -> AuditEvent {
+        AuditEvent::RelocationStarted {
+            at: SimTime::from_secs(at_secs),
+            op: OperatorId::new(op),
+            from: HostId::new(0),
+            to: HostId::new(1),
+            after_iteration: 1,
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_filters() {
+        let mut log = AuditLog::new();
+        assert!(log.is_empty());
+        log.record(AuditEvent::PlannerRan {
+            at: SimTime::ZERO,
+            cost_before: 2.0,
+            cost_after: 1.0,
+            changed: true,
+        });
+        log.record(reloc(5, 0));
+        log.record(AuditEvent::ChangeoverCommitted {
+            at: SimTime::from_secs(9),
+            version: 1,
+            switch_iteration: 4,
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.relocations().count(), 1);
+        assert_eq!(log.changeovers().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order_in_debug() {
+        let mut log = AuditLog::new();
+        log.record(reloc(10, 0));
+        log.record(reloc(5, 1));
+    }
+
+    #[test]
+    fn event_timestamps_accessible() {
+        let e = reloc(7, 2);
+        assert_eq!(e.at(), SimTime::from_secs(7));
+    }
+}

@@ -1,0 +1,287 @@
+//! Engine configuration and run results.
+
+use wadc_app::workload::WorkloadParams;
+use wadc_mobile::registry::MobilityMode;
+use wadc_monitor::cache::MonitorConfig;
+use wadc_net::disk::DiskModel;
+use wadc_net::network::{NetStats, NetworkParams};
+use wadc_plan::cost::CostModel;
+use wadc_plan::tree::TreeShape;
+use wadc_sim::stats::Tally;
+use wadc_sim::time::{SimDuration, SimTime};
+
+use crate::algorithms::one_shot::Objective;
+use crate::engine::audit::AuditLog;
+use crate::knowledge::KnowledgeMode;
+
+/// Which placement algorithm drives a run — the four strategies of the
+/// paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// All operators at the client, never moved (the paper's base case).
+    DownloadAll,
+    /// One-shot placement computed at startup, fixed thereafter.
+    OneShot,
+    /// One-shot at startup, then periodic global re-planning with
+    /// barrier-coordinated change-over.
+    Global {
+        /// Re-planning period (paper default: 10 minutes).
+        period: SimDuration,
+    },
+    /// One-shot at startup, then per-operator local decisions on a
+    /// staggered epoch wavefront.
+    Local {
+        /// Per-operator relocation period (paper default: 10 minutes).
+        /// The epoch length is `period / tree depth`, so each operator
+        /// acts once per period.
+        period: SimDuration,
+        /// Extra randomly drawn candidate sites per decision (the paper's
+        /// `k`, 0 in the base algorithm, 1–6 in Figure 7).
+        extra_candidates: usize,
+    },
+}
+
+impl Algorithm {
+    /// The paper's default on-line relocation period.
+    pub const DEFAULT_PERIOD: SimDuration = SimDuration::from_mins(10);
+
+    /// `Global` with the paper's default period.
+    pub fn global_default() -> Self {
+        Algorithm::Global {
+            period: Self::DEFAULT_PERIOD,
+        }
+    }
+
+    /// `Local` with the paper's default period and no extra candidates.
+    pub fn local_default() -> Self {
+        Algorithm::Local {
+            period: Self::DEFAULT_PERIOD,
+            extra_candidates: 0,
+        }
+    }
+
+    /// Short name used in reports and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::DownloadAll => "download-all",
+            Algorithm::OneShot => "one-shot",
+            Algorithm::Global { .. } => "global",
+            Algorithm::Local { .. } => "local",
+        }
+    }
+}
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Number of data servers (the paper varies 4–32; default 8).
+    pub n_servers: usize,
+    /// Combination ordering (default: complete binary).
+    pub tree_shape: TreeShape,
+    /// The placement algorithm.
+    pub algorithm: Algorithm,
+    /// What planners know about bandwidth (default: monitored).
+    pub knowledge: KnowledgeMode,
+    /// What the placement search minimises (default: the paper's
+    /// critical-path objective; `Contended` additionally models NIC
+    /// congestion — an extension evaluated by the ablation bench).
+    pub objective: Objective,
+    /// The image workload (default: 180 × Normal(128 KB, 25%)).
+    pub workload: WorkloadParams,
+    /// Monitoring constants (default: S=16 KB, T=40 s, 1 KB piggyback).
+    pub monitor: MonitorConfig,
+    /// Network constants (default: 50 ms startup).
+    pub net: NetworkParams,
+    /// Disk model (default: 3 MB/s).
+    pub disk: DiskModel,
+    /// Planning cost model (default: the paper's constants).
+    pub cost_model: CostModel,
+    /// Application-level bytes of state shipped when an operator
+    /// relocates (buffers, configuration — on top of the mobility
+    /// substrate's framed packet).
+    pub operator_state_bytes: u64,
+    /// The mobility substrate: code pre-installed everywhere (the paper's
+    /// recommendation for frequently used servers) or mobile objects that
+    /// ship code on a host's first visit.
+    pub mobility: MobilityMode,
+    /// Size of the operator code package under
+    /// [`MobilityMode::MobileObjects`].
+    pub code_package_bytes: u64,
+    /// Active Komodo/NWS-style monitoring: when set, every host pair is
+    /// probed once per this interval (staggered), keeping caches fresh at
+    /// a constant background cost — instead of (and in addition to) the
+    /// paper's purely on-demand probing at planning time. `None` is the
+    /// paper's model.
+    pub active_monitoring: Option<SimDuration>,
+    /// Model the planner's on-demand monitoring as real probe traffic: at
+    /// every planning round, each host pair without a fresh cache entry is
+    /// probed with a transfer of this many bytes (the paper's 16 KB
+    /// probes). Zero disables probe traffic (free measurements). This is
+    /// what makes very frequent re-planning pay a cost (Figure 9).
+    pub probe_bytes: u64,
+    /// Master seed for the run's randomness (workload sizes, extra
+    /// candidate draws).
+    pub seed: u64,
+    /// Safety cap on simulated time; runs exceeding it abort with
+    /// `completed = false`.
+    pub max_sim_time: SimDuration,
+}
+
+impl EngineConfig {
+    /// A configuration with the paper's defaults for the given server
+    /// count and algorithm.
+    pub fn new(n_servers: usize, algorithm: Algorithm) -> Self {
+        EngineConfig {
+            n_servers,
+            tree_shape: TreeShape::CompleteBinary,
+            algorithm,
+            knowledge: KnowledgeMode::Monitored,
+            objective: Objective::CriticalPath,
+            workload: WorkloadParams::paper_defaults(),
+            monitor: MonitorConfig::paper_defaults(),
+            net: NetworkParams::paper_defaults(),
+            disk: DiskModel::paper_defaults(),
+            cost_model: CostModel::paper_defaults(),
+            operator_state_bytes: 4096,
+            mobility: MobilityMode::PreInstalled,
+            code_package_bytes: 24 * 1024,
+            active_monitoring: None,
+            probe_bytes: 16 * 1024,
+            seed: 0,
+            max_sim_time: SimDuration::from_hours(24 * 7),
+        }
+    }
+
+    /// Sets the master seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the tree shape (builder-style).
+    pub fn with_tree_shape(mut self, shape: TreeShape) -> Self {
+        self.tree_shape = shape;
+        self
+    }
+
+    /// Sets the knowledge mode (builder-style).
+    pub fn with_knowledge(mut self, knowledge: KnowledgeMode) -> Self {
+        self.knowledge = knowledge;
+        self
+    }
+
+    /// Sets the placement-search objective (builder-style).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the workload (builder-style) and rescales the planning cost
+    /// model's size estimates to match its mean image size.
+    pub fn with_workload(mut self, workload: WorkloadParams) -> Self {
+        self.workload = workload;
+        self.cost_model = CostModel::for_image_bytes(workload.sizes.mean_bytes);
+        self
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Whether the client received the full image sequence.
+    pub completed: bool,
+    /// End-to-end completion time (time of the last image's arrival).
+    pub completion_time: SimDuration,
+    /// Images delivered to the client.
+    pub images_delivered: usize,
+    /// Inter-arrival times of composed images at the client, seconds.
+    pub interarrival: Tally,
+    /// Arrival time of every image at the client.
+    pub arrivals: Vec<SimTime>,
+    /// Operator relocations that actually moved state between hosts.
+    pub relocations: u32,
+    /// Committed global change-overs (barrier rounds).
+    pub changeovers: u32,
+    /// Times a placement search ran (one-shot at startup counts once).
+    pub planner_runs: u32,
+    /// Network-level statistics.
+    pub net_stats: NetStats,
+    /// Chronological log of every adaptation event.
+    pub audit: AuditLog,
+}
+
+impl RunResult {
+    /// Mean inter-arrival time in seconds (the paper reports 101.2 s for
+    /// download-all vs 17.1 s for global on 8 servers).
+    pub fn mean_interarrival_secs(&self) -> f64 {
+        self.interarrival.mean()
+    }
+
+    /// Speedup of this run over a baseline run (baseline time / this
+    /// time), the paper's headline metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run's completion time is zero.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        assert!(
+            self.completion_time > SimDuration::ZERO,
+            "run completed in zero time"
+        );
+        baseline.completion_time.as_secs_f64() / self.completion_time.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::DownloadAll.name(), "download-all");
+        assert_eq!(Algorithm::OneShot.name(), "one-shot");
+        assert_eq!(Algorithm::global_default().name(), "global");
+        assert_eq!(Algorithm::local_default().name(), "local");
+    }
+
+    #[test]
+    fn default_period_is_ten_minutes() {
+        assert_eq!(Algorithm::DEFAULT_PERIOD, SimDuration::from_mins(10));
+        match Algorithm::global_default() {
+            Algorithm::Global { period } => assert_eq!(period, SimDuration::from_mins(10)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn config_builders_chain() {
+        let cfg = EngineConfig::new(8, Algorithm::OneShot)
+            .with_seed(9)
+            .with_tree_shape(TreeShape::LeftDeep)
+            .with_knowledge(KnowledgeMode::Oracle);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.tree_shape, TreeShape::LeftDeep);
+        assert_eq!(cfg.knowledge, KnowledgeMode::Oracle);
+        assert_eq!(cfg.n_servers, 8);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_completion_times() {
+        let mk = |secs: u64| RunResult {
+            completed: true,
+            completion_time: SimDuration::from_secs(secs),
+            images_delivered: 180,
+            interarrival: Tally::new(),
+            arrivals: Vec::new(),
+            relocations: 0,
+            changeovers: 0,
+            planner_runs: 0,
+            net_stats: NetStats::default(),
+            audit: AuditLog::new(),
+        };
+        let base = mk(100);
+        let fast = mk(25);
+        assert_eq!(fast.speedup_over(&base), 4.0);
+        assert_eq!(base.speedup_over(&base), 1.0);
+    }
+}

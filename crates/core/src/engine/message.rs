@@ -1,0 +1,251 @@
+//! Messages exchanged by the demand-driven data-flow computation.
+//!
+//! Four kinds of traffic cross the simulated network:
+//!
+//! - **demands** — requests for the next data partition, flowing down the
+//!   tree (client → servers). Demands piggyback the local algorithm's
+//!   later-producer marks and critical-path flags, and the global
+//!   algorithm's proposed placements,
+//! - **data** — composed images flowing up the tree,
+//! - **barrier control** — the global algorithm's iteration reports and
+//!   switch-iteration commits, sent at high priority,
+//! - **operator state** — the (small) state of a relocating operator.
+//!
+//! Every message additionally carries the sender host's piggybacked
+//! bandwidth values and (in local mode) its operator-location vector; both
+//! are charged to the message's wire size.
+
+use wadc_app::image::ImageDims;
+use wadc_mobile::protocol::MovePlan;
+use wadc_monitor::piggyback::Piggyback;
+use wadc_monitor::vector::LocationVector;
+use wadc_plan::ids::{HostId, NodeId, OperatorId};
+use wadc_plan::placement::Placement;
+
+/// Fixed per-message header bytes (addressing, type, iteration fields).
+pub const HEADER_BYTES: u64 = 256;
+
+/// Wire bytes of one location-vector entry (host + timestamp).
+pub const LOCATION_ENTRY_BYTES: u64 = 12;
+
+/// Wire bytes of one placement entry inside a proposal/commit.
+pub const PLACEMENT_ENTRY_BYTES: u64 = 8;
+
+/// A placement proposal propagating down the tree with demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementUpdate {
+    /// Proposal version (monotonically increasing per run).
+    pub version: u32,
+    /// The proposed placement.
+    pub placement: Placement,
+}
+
+/// A request for a data partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Demand {
+    /// The requesting node (the producer's consumer).
+    pub consumer: NodeId,
+    /// The node being asked for data.
+    pub producer: NodeId,
+    /// The 1-based iteration (partition) requested.
+    pub iteration: u32,
+    /// Local algorithm: "you were the later producer" mark for the
+    /// previous gather, "propagated to the producers on the next request
+    /// for data".
+    pub marked_later: bool,
+    /// Local algorithm: whether the consumer currently believes itself on
+    /// the critical path (grounds the recursion; the client always does).
+    pub consumer_on_cp: bool,
+    /// Global algorithm: a placement proposal riding this demand.
+    pub placement_update: Option<PlacementUpdate>,
+}
+
+/// A data partition (one composed or raw image).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataMsg {
+    /// Producing node.
+    pub producer: NodeId,
+    /// Consuming node it was demanded by.
+    pub consumer: NodeId,
+    /// The 1-based iteration this image belongs to.
+    pub iteration: u32,
+    /// Image dimensions (size drives the transfer and compute costs).
+    pub dims: ImageDims,
+}
+
+/// Message payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A demand flowing down the tree.
+    Demand(Demand),
+    /// A data partition flowing up the tree.
+    Data(DataMsg),
+    /// Barrier: a server reporting its current iteration to the client
+    /// after first seeing a placement proposal (sent at high priority).
+    BarrierReport {
+        /// Reporting server index.
+        server: usize,
+        /// The server's current iteration number.
+        iteration: u32,
+        /// The proposal being acknowledged.
+        version: u32,
+    },
+    /// Barrier: the client's switch-iteration broadcast (high priority).
+    BarrierCommit {
+        /// The committed proposal version.
+        version: u32,
+        /// First iteration to execute under the new placement.
+        switch_iteration: u32,
+        /// The committed placement.
+        placement: Placement,
+    },
+    /// A relocating operator's state arriving at its new host.
+    OperatorState {
+        /// The operator in transit.
+        op: OperatorId,
+        /// Iteration after which it moved (its light point).
+        after_iteration: u32,
+        /// The validated, priced move from the mobility substrate
+        /// (state packet + any code package for a first visit).
+        plan: MovePlan,
+    },
+    /// An on-demand monitoring probe (content-free; its completion is the
+    /// measurement, captured by passive monitoring at both endpoints).
+    Probe,
+}
+
+/// A complete message as it crosses the network (or a host's loopback).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Host the message was sent from.
+    pub src_host: HostId,
+    /// Host the message was sent to (where it is physically delivered —
+    /// for an operator-state transfer, the operator's *new* host).
+    pub dst_host: HostId,
+    /// Node the message is addressed to.
+    pub dst_node: NodeId,
+    /// If set, the engine notifies this node (at the source) when the
+    /// transfer completes — used for data dispatches (the light-move
+    /// point) and operator-state arrivals.
+    pub notify_sender: Option<NodeId>,
+    /// The payload.
+    pub payload: Payload,
+    /// Piggybacked bandwidth values from the sender's cache.
+    pub piggyback: Piggyback,
+    /// Local mode: the sender host's operator-location vector.
+    pub locations: Option<LocationVector>,
+}
+
+impl Message {
+    /// Total wire size: header + payload body + piggyback + location
+    /// vector.
+    pub fn wire_bytes(&self, operator_state_bytes: u64) -> u64 {
+        let body = match &self.payload {
+            Payload::Demand(d) => {
+                d.placement_update
+                    .as_ref()
+                    .map_or(0, |u| u.placement.operator_count() as u64 * PLACEMENT_ENTRY_BYTES)
+            }
+            Payload::Data(d) => d.dims.bytes(),
+            Payload::BarrierReport { .. } => 0,
+            Payload::BarrierCommit { placement, .. } => {
+                placement.operator_count() as u64 * PLACEMENT_ENTRY_BYTES
+            }
+            Payload::OperatorState { plan, .. } => operator_state_bytes + plan.wire_bytes(),
+            // The probe's size is carried in the transfer spec directly;
+            // the payload body adds nothing beyond the header.
+            Payload::Probe => 0,
+        };
+        let locations = self
+            .locations
+            .as_ref()
+            .map_or(0, |v| v.len() as u64 * LOCATION_ENTRY_BYTES);
+        HEADER_BYTES + body + self.piggyback.wire_bytes() as u64 + locations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(payload: Payload) -> Message {
+        Message {
+            src_host: HostId::new(0),
+            dst_host: HostId::new(1),
+            dst_node: NodeId::new(1),
+            notify_sender: None,
+            payload,
+            piggyback: Piggyback::empty(),
+            locations: None,
+        }
+    }
+
+    #[test]
+    fn data_wire_size_includes_image() {
+        let m = base(Payload::Data(DataMsg {
+            producer: NodeId::new(0),
+            consumer: NodeId::new(1),
+            iteration: 3,
+            dims: ImageDims::new(100, 100),
+        }));
+        assert_eq!(m.wire_bytes(4096), HEADER_BYTES + 10_000);
+    }
+
+    #[test]
+    fn demand_wire_size_is_small_without_update() {
+        let m = base(Payload::Demand(Demand {
+            consumer: NodeId::new(1),
+            producer: NodeId::new(0),
+            iteration: 1,
+            marked_later: false,
+            consumer_on_cp: true,
+            placement_update: None,
+        }));
+        assert_eq!(m.wire_bytes(4096), HEADER_BYTES);
+    }
+
+    #[test]
+    fn operator_state_size_includes_plan_payload() {
+        use wadc_mobile::protocol::{LightPointWitness, MoveProtocol};
+        use wadc_mobile::registry::{CodeRegistry, MobilityMode};
+        use wadc_mobile::state::OperatorState as MobileState;
+
+        let protocol =
+            MoveProtocol::new(CodeRegistry::new(MobilityMode::MobileObjects, 10_000));
+        let plan = protocol
+            .plan_move(
+                &MobileState::initial(OperatorId::new(0)),
+                HostId::new(0),
+                HostId::new(1),
+                LightPointWitness::clean(),
+            )
+            .expect("clean move");
+        let plan_bytes = plan.wire_bytes();
+        assert_eq!(plan_bytes, wadc_mobile::state::ENCODED_LEN as u64 + 10_000);
+        let m = base(Payload::OperatorState {
+            op: OperatorId::new(0),
+            after_iteration: 7,
+            plan,
+        });
+        assert_eq!(m.wire_bytes(4096), HEADER_BYTES + 4096 + plan_bytes);
+        assert_eq!(m.wire_bytes(1024), HEADER_BYTES + 1024 + plan_bytes);
+    }
+
+    #[test]
+    fn piggyback_and_locations_are_charged() {
+        use wadc_monitor::cache::{BandwidthCache, MonitorConfig};
+        use wadc_monitor::piggyback::collect;
+        use wadc_sim::time::SimTime;
+
+        let mut cache = BandwidthCache::new(MonitorConfig::paper_defaults());
+        cache.observe(HostId::new(0), HostId::new(1), 1.0, SimTime::ZERO);
+        let mut m = base(Payload::BarrierReport {
+            server: 0,
+            iteration: 1,
+            version: 1,
+        });
+        m.piggyback = collect(&cache, SimTime::ZERO);
+        m.locations = Some(LocationVector::new(vec![HostId::new(0); 3]));
+        assert_eq!(m.wire_bytes(0), HEADER_BYTES + 24 + 36);
+    }
+}

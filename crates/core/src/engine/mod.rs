@@ -1,0 +1,1434 @@
+//! The adaptive demand-driven execution engine.
+//!
+//! Runs the paper's computation end to end on the simulated network: a
+//! demand-driven data-flow tree (servers → operators → client) processing
+//! 180 image partitions, with operators relocating according to the
+//! selected algorithm. The structure enforces the paper's three on-line
+//! requirements:
+//!
+//! - **light-move**: an operator may relocate only after dispatching its
+//!   output and before demanding new data,
+//! - **concurrency**: placement searches are pure computations outside the
+//!   simulated timeline (the paper runs them concurrently on a lightly
+//!   loaded node; their network *effects* — probes, barriers, state moves —
+//!   are fully modelled),
+//! - **coordination**: global change-overs use the barrier protocol
+//!   (placement proposals ride demands; servers report their iteration and
+//!   suspend; the client broadcasts a switch iteration at high priority);
+//!   local relocations are staggered by tree level so the wavefront never
+//!   routes data over links absent from both the old and new placements.
+
+pub mod audit;
+pub mod config;
+pub mod message;
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wadc_app::compose::{compose_secs, PAPER_SECS_PER_PIXEL};
+use wadc_app::image::ImageDims;
+use wadc_app::workload::Workload;
+use wadc_mobile::protocol::{LightPointWitness, MoveProtocol};
+use wadc_mobile::registry::CodeRegistry;
+use wadc_mobile::state::OperatorState as MobileState;
+use wadc_monitor::cache::BandwidthCache;
+use wadc_monitor::daemon::ProbeScheduler;
+use wadc_monitor::forecast::Forecaster;
+use wadc_monitor::piggyback;
+use wadc_monitor::vector::LocationVector;
+use wadc_net::link::LinkTable;
+use wadc_net::network::{Network, TransferId, TransferSpec};
+use wadc_plan::ids::{HostId, NodeId, OperatorId};
+use wadc_plan::placement::{HostRoster, Placement};
+use wadc_plan::tree::{CombinationTree, NodeKind};
+use wadc_sim::event::EventQueue;
+use wadc_sim::resource::{Priority, Resource};
+use wadc_sim::rng::derive_seed;
+use wadc_sim::stats::Tally;
+use wadc_sim::time::{SimDuration, SimTime};
+
+use crate::algorithms::local_step::{best_local_site, LocalContext};
+use crate::algorithms::one_shot::improve_placement_by;
+use crate::knowledge::PlannerView;
+
+pub use audit::{AuditEvent, AuditLog};
+pub use config::{Algorithm, EngineConfig, RunResult};
+pub use message::{DataMsg, Demand, Message, Payload, PlacementUpdate};
+
+/// Events driving the engine.
+#[derive(Debug)]
+enum Ev {
+    /// A network transfer completed.
+    Deliver(TransferId),
+    /// A co-located (same-host) message delivery.
+    Local(Box<Message>),
+    /// A disk read finished at the host.
+    DiskDone { host: usize },
+    /// A composition finished at the host.
+    ComputeDone { host: usize },
+    /// The global algorithm's periodic re-planning tick.
+    GlobalTimer,
+    /// The local algorithm's epoch tick.
+    EpochTick,
+    /// The active monitoring daemon's next probe slot.
+    MonitorTick,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutputItem {
+    iteration: u32,
+    dims: ImageDims,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InputSlot {
+    dims: ImageDims,
+    arrived: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ComputeJob {
+    node: NodeId,
+    iteration: u32,
+    dims: ImageDims,
+    duration: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DiskJob {
+    node: NodeId,
+    iteration: u32,
+    dims: ImageDims,
+}
+
+/// Per-node runtime state.
+#[derive(Debug)]
+struct NodeRt {
+    host: HostId,
+    /// `true` while the operator's state is in transit between hosts.
+    frozen: bool,
+    /// Messages that arrived during a relocation, replayed on arrival.
+    buffered: Vec<Message>,
+    output: Option<OutputItem>,
+    pending_demand: Option<u32>,
+    gather_iter: u32,
+    inputs: Vec<Option<InputSlot>>,
+    last_dispatched: u32,
+    /// Which child delivered later in the last completed gather.
+    later_child: Option<usize>,
+    /// Local algorithm: times this node was marked the later producer
+    /// during the current epoch.
+    later_marks: u32,
+    /// Local algorithm: data dispatches during the current epoch.
+    dispatches_this_epoch: u32,
+    consumer_on_cp: bool,
+    on_cp: bool,
+    /// Local algorithm: relocation decided, applied at the next light point.
+    pending_move: Option<HostId>,
+    /// Global algorithm: committed `(switch_iteration, new_site)`.
+    next_placement: Option<(u32, HostId)>,
+    seen_proposal_version: u32,
+    /// Server: suspended between reporting a barrier and its commit.
+    suspended: bool,
+    /// Server: highest iteration whose disk read has been requested.
+    disk_requested: u32,
+}
+
+impl NodeRt {
+    fn new(host: HostId, n_children: usize) -> Self {
+        NodeRt {
+            host,
+            frozen: false,
+            buffered: Vec::new(),
+            output: None,
+            pending_demand: None,
+            gather_iter: 0,
+            inputs: vec![None; n_children],
+            last_dispatched: 0,
+            later_child: None,
+            later_marks: 0,
+            dispatches_this_epoch: 0,
+            consumer_on_cp: false,
+            on_cp: false,
+            pending_move: None,
+            next_placement: None,
+            seen_proposal_version: 0,
+            suspended: false,
+            disk_requested: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Proposal {
+    version: u32,
+    placement: Placement,
+    reports: BTreeMap<usize, u32>,
+}
+
+/// The simulation engine for one run.
+///
+/// Construct with [`Engine::new`] and execute with [`Engine::run`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use wadc_core::engine::{Algorithm, Engine, EngineConfig};
+/// use wadc_net::link::LinkTable;
+/// use wadc_trace::model::BandwidthTrace;
+///
+/// let pool = vec![Arc::new(BandwidthTrace::constant(256_000.0))];
+/// let links = LinkTable::random_from_pool(5, &pool, 1);
+/// let mut cfg = EngineConfig::new(4, Algorithm::DownloadAll);
+/// cfg.workload.images_per_server = 5; // keep the doctest fast
+/// let result = Engine::new(cfg, links).run();
+/// assert!(result.completed);
+/// assert_eq!(result.images_delivered, 5);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    tree: CombinationTree,
+    roster: HostRoster,
+    workload: Workload,
+    n_iterations: u32,
+    queue: EventQueue<Ev>,
+    net: Network<Message>,
+    nodes: Vec<NodeRt>,
+    caches: Vec<BandwidthCache>,
+    forecasters: Vec<Forecaster>,
+    vectors: Vec<LocationVector>,
+    cpus: Vec<Resource<ComputeJob>>,
+    cpu_current: Vec<Option<ComputeJob>>,
+    disks: Vec<Resource<DiskJob>>,
+    disk_current: Vec<Option<DiskJob>>,
+    committed_placement: Placement,
+    committed_version: u32,
+    proposal: Option<Proposal>,
+    local_mode: bool,
+    epoch_len: SimDuration,
+    epoch_index: u64,
+    extra_candidates: usize,
+    rng: StdRng,
+    arrivals: Vec<SimTime>,
+    relocations: u32,
+    changeovers: u32,
+    planner_runs: u32,
+    audit: AuditLog,
+    mobility: MoveProtocol,
+    probe_scheduler: Option<ProbeScheduler>,
+}
+
+impl Engine {
+    /// Builds an engine for `cfg` over the given links. The roster is the
+    /// paper's canonical one: one host per server plus a client host, so
+    /// `links` must cover `cfg.n_servers + 1` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_servers < 2`, the workload is empty, or the link
+    /// table's host count does not match the roster.
+    pub fn new(cfg: EngineConfig, links: LinkTable) -> Self {
+        let tree = CombinationTree::build(cfg.tree_shape, cfg.n_servers)
+            .expect("engine shapes are buildable and n_servers >= 2");
+        Engine::new_with_tree(cfg, links, tree)
+    }
+
+    /// Like [`Engine::new`], but with an explicitly constructed combination
+    /// tree — e.g. the bandwidth-aware ordering from
+    /// [`wadc_plan::ordering::bandwidth_aware_binary`]. `cfg.tree_shape`
+    /// is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Engine::new`], or if the
+    /// tree's server count disagrees with `cfg.n_servers`.
+    pub fn new_with_tree(cfg: EngineConfig, links: LinkTable, tree: CombinationTree) -> Self {
+        let roster = HostRoster::one_host_per_server(cfg.n_servers);
+        Engine::new_with_parts(cfg, links, tree, roster)
+    }
+
+    /// The fully general constructor: explicit tree *and* roster. The
+    /// roster may place several servers on one host or bind servers to
+    /// replica hosts chosen by [`crate::replication`]; the link table must
+    /// cover exactly the roster's hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Engine::new`], or if the
+    /// tree/roster/links disagree about server and host counts.
+    pub fn new_with_parts(
+        cfg: EngineConfig,
+        links: LinkTable,
+        tree: CombinationTree,
+        roster: HostRoster,
+    ) -> Self {
+        assert!(cfg.n_servers >= 2, "need at least two servers");
+        assert!(
+            cfg.workload.images_per_server > 0,
+            "workload must contain at least one image"
+        );
+        assert_eq!(
+            tree.server_count(),
+            cfg.n_servers,
+            "tree must cover exactly the configured servers"
+        );
+        assert_eq!(
+            roster.server_count(),
+            cfg.n_servers,
+            "roster must cover exactly the configured servers"
+        );
+        assert_eq!(
+            links.host_count(),
+            roster.host_count(),
+            "link table must cover one host per server plus the client"
+        );
+        assert!(links.is_complete(), "every link needs a bandwidth trace");
+
+        let workload = Workload::generate(&cfg.workload, cfg.n_servers, derive_seed(cfg.seed, 1));
+        let n_iterations = cfg.workload.images_per_server as u32;
+        let n_hosts = roster.host_count();
+
+        // Initial placement per algorithm.
+        let queue: EventQueue<Ev> = EventQueue::new();
+        let mut planner_runs = 0;
+        let mut caches: Vec<BandwidthCache> =
+            (0..n_hosts).map(|_| BandwidthCache::new(cfg.monitor)).collect();
+        let forecasters: Vec<Forecaster> = (0..n_hosts).map(|_| Forecaster::new(16)).collect();
+        let mut audit = AuditLog::new();
+        let initial = match cfg.algorithm {
+            Algorithm::DownloadAll => Placement::download_all(&tree, &roster),
+            _ => {
+                planner_runs += 1;
+                let view = PlannerView::for_mode(
+                    cfg.knowledge,
+                    &caches[roster.client().index()],
+                    &forecasters[roster.client().index()],
+                    &links,
+                    SimTime::ZERO,
+                );
+                let download_all_cost = cfg.objective.evaluate(
+                    &tree,
+                    &roster,
+                    &Placement::download_all(&tree, &roster),
+                    view,
+                    &cfg.cost_model,
+                );
+                let result = improve_placement_by(
+                    &tree,
+                    &roster,
+                    Placement::download_all(&tree, &roster),
+                    view,
+                    &cfg.cost_model,
+                    cfg.objective,
+                );
+                audit.record(AuditEvent::PlannerRan {
+                    at: SimTime::ZERO,
+                    cost_before: download_all_cost,
+                    cost_after: result.cost,
+                    changed: result.placement != Placement::download_all(&tree, &roster),
+                });
+                // An on-demand probe leaves the measured values in the
+                // prober's cache.
+                seed_cache_from_probes(
+                    &mut caches[roster.client().index()],
+                    &links,
+                    &roster,
+                    SimTime::ZERO,
+                );
+                result.placement
+            }
+        };
+
+        let mut nodes = Vec::with_capacity(tree.nodes().len());
+        for (i, node) in tree.nodes().iter().enumerate() {
+            let host = initial.node_host(&tree, &roster, NodeId::new(i));
+            nodes.push(NodeRt::new(host, node.children.len()));
+        }
+
+        let (local_mode, epoch_len, extra_candidates) = match cfg.algorithm {
+            Algorithm::Local {
+                period,
+                extra_candidates,
+            } => {
+                let depth = tree.depth().max(1) as u64;
+                (
+                    true,
+                    (period / depth).max(SimDuration::from_secs(1)),
+                    extra_candidates,
+                )
+            }
+            _ => (false, SimDuration::ZERO, 0),
+        };
+        let vectors = if local_mode {
+            vec![LocationVector::new(initial.sites().to_vec()); n_hosts]
+        } else {
+            Vec::new()
+        };
+
+        let rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 2));
+        Engine {
+            net: Network::new(cfg.net, links),
+            cpus: (0..n_hosts).map(|_| Resource::new()).collect(),
+            cpu_current: vec![None; n_hosts],
+            disks: (0..n_hosts).map(|_| Resource::new()).collect(),
+            disk_current: vec![None; n_hosts],
+            committed_placement: initial,
+            committed_version: 0,
+            proposal: None,
+            local_mode,
+            epoch_len,
+            epoch_index: 0,
+            extra_candidates,
+            rng,
+            arrivals: Vec::new(),
+            relocations: 0,
+            changeovers: 0,
+            planner_runs,
+            audit,
+            mobility: MoveProtocol::new(CodeRegistry::new(
+                cfg.mobility,
+                cfg.code_package_bytes,
+            )),
+            probe_scheduler: cfg.active_monitoring.map(|interval| {
+                ProbeScheduler::all_pairs(n_hosts, interval, derive_seed(cfg.seed, 3))
+            }),
+            cfg,
+            tree,
+            roster,
+            workload,
+            n_iterations,
+            queue,
+            nodes,
+            caches,
+            forecasters,
+            vectors,
+        }
+    }
+
+    /// Runs the simulation to completion (or the safety cap) and returns
+    /// the results.
+    pub fn run(mut self) -> RunResult {
+        // Kick off: the client demands the first partition; on-line
+        // algorithms arm their timers.
+        match self.cfg.algorithm {
+            Algorithm::Global { period } => {
+                self.queue.schedule(SimTime::ZERO + period, Ev::GlobalTimer);
+            }
+            Algorithm::Local { .. } => {
+                self.queue
+                    .schedule(SimTime::ZERO + self.epoch_len, Ev::EpochTick);
+            }
+            _ => {}
+        }
+        if let Some(next) = self.probe_scheduler.as_ref().and_then(|s| s.next_due()) {
+            self.queue.schedule(next, Ev::MonitorTick);
+        }
+        self.send_demands(self.tree.root(), 1);
+
+        let cap = SimTime::ZERO + self.cfg.max_sim_time;
+        let mut completed = false;
+        while let Some((t, _, ev)) = self.queue.pop() {
+            if t > cap {
+                break;
+            }
+            self.handle(ev);
+            if self.arrivals.len() as u32 >= self.n_iterations {
+                completed = true;
+                break;
+            }
+        }
+
+        let completion_time = self
+            .arrivals
+            .last()
+            .map(|&t| t - SimTime::ZERO)
+            .unwrap_or(SimDuration::ZERO);
+        let mut interarrival = Tally::new();
+        let mut prev = SimTime::ZERO;
+        for &a in &self.arrivals {
+            interarrival.record((a - prev).as_secs_f64());
+            prev = a;
+        }
+        RunResult {
+            completed,
+            completion_time,
+            images_delivered: self.arrivals.len(),
+            interarrival,
+            arrivals: self.arrivals,
+            relocations: self.relocations,
+            changeovers: self.changeovers,
+            planner_runs: self.planner_runs,
+            net_stats: self.net.stats(),
+            audit: self.audit,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Deliver(tid) => self.handle_delivery(tid),
+            Ev::Local(msg) => self.dispatch_message(*msg),
+            Ev::DiskDone { host } => self.handle_disk_done(host),
+            Ev::ComputeDone { host } => self.handle_compute_done(host),
+            Ev::GlobalTimer => self.handle_global_timer(),
+            Ev::EpochTick => self.handle_epoch_tick(),
+            Ev::MonitorTick => self.handle_monitor_tick(),
+        }
+    }
+
+    /// Fires the active monitoring daemon's due probes and re-arms.
+    fn handle_monitor_tick(&mut self) {
+        let now = self.now();
+        let Some(scheduler) = self.probe_scheduler.as_mut() else {
+            return;
+        };
+        let due = scheduler.due(now);
+        let next = scheduler.next_due();
+        for (a, b) in due {
+            self.submit_probe(a, b, now);
+        }
+        self.pump();
+        if let Some(next) = next {
+            self.queue.schedule(next.max(now), Ev::MonitorTick);
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn handle_delivery(&mut self, tid: TransferId) {
+        let now = self.now();
+        let delivery = self.net.complete(tid, now);
+        self.pump();
+        let spec = delivery.spec;
+        // Passive monitoring at both endpoints.
+        let elapsed = delivery.elapsed();
+        let measured = self.caches[spec.src.index()].observe_transfer(
+            spec.src, spec.dst, spec.bytes, elapsed, now,
+        );
+        self.caches[spec.dst.index()].observe_transfer(
+            spec.src, spec.dst, spec.bytes, elapsed, now,
+        );
+        if measured {
+            let bw = spec.bytes as f64 / elapsed.as_secs_f64();
+            self.forecasters[spec.src.index()].observe(spec.src, spec.dst, bw, now);
+            self.forecasters[spec.dst.index()].observe(spec.src, spec.dst, bw, now);
+        }
+        self.dispatch_message(delivery.payload);
+    }
+
+    /// Absorbs a message's gossip and routes it to its destination node,
+    /// then fires the sender-side notification (the light-move point for
+    /// data dispatches).
+    fn dispatch_message(&mut self, msg: Message) {
+        let dst_host = msg.dst_host;
+        piggyback::absorb(&mut self.caches[dst_host.index()], &msg.piggyback);
+        for e in &msg.piggyback.entries {
+            self.forecasters[dst_host.index()].observe(
+                e.a,
+                e.b,
+                e.measurement.bytes_per_sec,
+                e.measurement.at,
+            );
+        }
+        if let Some(v) = &msg.locations {
+            if self.local_mode {
+                self.vectors[dst_host.index()].merge(v);
+            }
+        }
+        let notify = msg.notify_sender;
+        let dispatched_iter = match &msg.payload {
+            Payload::Data(d) => Some(d.iteration),
+            _ => None,
+        };
+        self.deliver_to_node(msg);
+        if let (Some(sender), Some(iter)) = (notify, dispatched_iter) {
+            self.light_point(sender, iter);
+        }
+    }
+
+    fn deliver_to_node(&mut self, msg: Message) {
+        let node = msg.dst_node;
+        let rt = &mut self.nodes[node.index()];
+        if rt.frozen && !matches!(msg.payload, Payload::OperatorState { .. }) {
+            rt.buffered.push(msg);
+            return;
+        }
+        match msg.payload.clone() {
+            Payload::Demand(d) => self.handle_demand(node, d, msg.src_host),
+            Payload::Data(d) => self.handle_data(node, d),
+            Payload::BarrierReport {
+                server,
+                iteration,
+                version,
+            } => self.handle_barrier_report(server, iteration, version),
+            Payload::BarrierCommit {
+                version,
+                switch_iteration,
+                placement,
+            } => self.handle_barrier_commit(node, version, switch_iteration, &placement),
+            Payload::OperatorState {
+                op,
+                after_iteration,
+                plan,
+            } => self.complete_relocation(node, op, after_iteration, msg.src_host, msg.dst_host, &plan),
+            // A probe's only effect is the passive measurement taken when
+            // its transfer completed (already recorded in handle_delivery).
+            Payload::Probe => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The demand-driven protocol
+    // ------------------------------------------------------------------
+
+    fn handle_demand(&mut self, node: NodeId, d: Demand, src_host: HostId) {
+        debug_assert_eq!(d.producer, node);
+        let is_server = matches!(self.tree.node(node).kind, NodeKind::Server(_));
+        let mut report: Option<(usize, u32, u32)> = None;
+        {
+            let rt = &mut self.nodes[node.index()];
+            if d.marked_later {
+                rt.later_marks += 1;
+            }
+            rt.consumer_on_cp = d.consumer_on_cp;
+            if let Some(update) = &d.placement_update {
+                if update.version > rt.seen_proposal_version {
+                    rt.seen_proposal_version = update.version;
+                    if is_server {
+                        // First sight of a proposal at a server: report the
+                        // current iteration to the client and suspend.
+                        rt.suspended = true;
+                        if let NodeKind::Server(s) = self.tree.node(node).kind {
+                            report = Some((s, rt.last_dispatched, update.version));
+                        }
+                    }
+                }
+            }
+            debug_assert!(
+                rt.pending_demand.is_none(),
+                "consumer demanded twice without receiving data"
+            );
+            rt.pending_demand = Some(d.iteration);
+        }
+        let _ = src_host;
+        if let Some((server, iteration, version)) = report {
+            self.audit.record(AuditEvent::ServerSuspended {
+                at: self.now(),
+                server,
+                reported_iteration: iteration,
+                version,
+            });
+            self.send_barrier_report(node, server, iteration, version);
+        }
+        if is_server {
+            self.ensure_disk_read(node, d.iteration);
+        } else if d.iteration == 1 && self.nodes[node.index()].gather_iter == 0 {
+            // Bootstrap: an operator has no previous output to dispatch, so
+            // its very first demand triggers its own demands immediately.
+            // Every later round is triggered by the light point instead.
+            self.send_demands(node, 1);
+        }
+        self.try_dispatch(node);
+    }
+
+    fn handle_data(&mut self, node: NodeId, d: DataMsg) {
+        debug_assert_eq!(d.consumer, node);
+        let now = self.now();
+        if node == self.tree.root() {
+            // Client: record the arrival, demand the next partition.
+            debug_assert_eq!(
+                d.iteration as usize,
+                self.arrivals.len() + 1,
+                "client received partitions out of order"
+            );
+            self.arrivals.push(now);
+            self.nodes[node.index()].later_child = Some(0);
+            if d.iteration < self.n_iterations {
+                self.send_demands(node, d.iteration + 1);
+            }
+            return;
+        }
+        // Operator: store the input; compose when both have arrived.
+        let child_idx = self
+            .tree
+            .node(node)
+            .children
+            .iter()
+            .position(|&c| c == d.producer)
+            .expect("data from a non-child");
+        let host;
+        let ready = {
+            let rt = &mut self.nodes[node.index()];
+            debug_assert_eq!(
+                d.iteration, rt.gather_iter,
+                "data for an iteration the operator did not demand"
+            );
+            debug_assert!(rt.inputs[child_idx].is_none(), "duplicate input");
+            rt.inputs[child_idx] = Some(InputSlot {
+                dims: d.dims,
+                arrived: now,
+            });
+            host = rt.host;
+            rt.inputs.iter().all(Option::is_some)
+        };
+        if ready {
+            let rt = &mut self.nodes[node.index()];
+            let slots: Vec<InputSlot> = rt.inputs.iter().map(|s| s.expect("all present")).collect();
+            // Mark the later producer (ties: the higher index, i.e. the one
+            // whose message was processed last).
+            let later = slots
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, s)| (s.arrived, *i))
+                .map(|(i, _)| i);
+            rt.later_child = later;
+            let out_dims = slots
+                .iter()
+                .map(|s| s.dims)
+                .reduce(|a, b| a.larger(b))
+                .expect("at least one input");
+            let iteration = rt.gather_iter;
+            let duration =
+                SimDuration::from_secs_f64(compose_secs(out_dims, PAPER_SECS_PER_PIXEL));
+            self.request_cpu(
+                host,
+                ComputeJob {
+                    node,
+                    iteration,
+                    dims: out_dims,
+                    duration,
+                },
+            );
+        }
+    }
+
+    /// Dispatches the held output if a matching demand is pending.
+    fn try_dispatch(&mut self, node: NodeId) {
+        let (iteration, dims) = {
+            let rt = &mut self.nodes[node.index()];
+            if rt.frozen || rt.suspended {
+                return;
+            }
+            match (rt.output, rt.pending_demand) {
+                (Some(out), Some(demanded)) if out.iteration == demanded => {
+                    rt.output = None;
+                    rt.pending_demand = None;
+                    rt.last_dispatched = out.iteration;
+                    rt.dispatches_this_epoch += 1;
+                    (out.iteration, out.dims)
+                }
+                _ => return,
+            }
+        };
+        let parent = self
+            .tree
+            .node(node)
+            .parent
+            .expect("only the client lacks a parent, and it never dispatches");
+        self.send(
+            node,
+            parent,
+            Payload::Data(DataMsg {
+                producer: node,
+                consumer: parent,
+                iteration,
+                dims,
+            }),
+            Priority::Normal,
+            Some(node),
+        );
+    }
+
+    /// The light-move point: fires at the producer when its data dispatch
+    /// for `iteration` has fully arrived at the consumer.
+    fn light_point(&mut self, node: NodeId, iteration: u32) {
+        match self.tree.node(node).kind {
+            NodeKind::Server(_) => {
+                // Prefetch the next image ("a node requests data from its
+                // producers — here, the disk — after dispatching output").
+                if iteration < self.n_iterations {
+                    self.ensure_disk_read(node, iteration + 1);
+                }
+            }
+            NodeKind::Operator(_) => {
+                // Committed global switch?
+                let mut move_to: Option<HostId> = None;
+                {
+                    let rt = &mut self.nodes[node.index()];
+                    if let Some((switch, site)) = rt.next_placement {
+                        if iteration + 1 >= switch {
+                            rt.next_placement = None;
+                            if site != rt.host {
+                                move_to = Some(site);
+                            }
+                        }
+                    }
+                    if move_to.is_none() {
+                        if let Some(site) = rt.pending_move.take() {
+                            if site != rt.host {
+                                move_to = Some(site);
+                            }
+                        }
+                    }
+                }
+                match move_to {
+                    Some(site) => self.begin_relocation(node, site, iteration),
+                    None => {
+                        if iteration < self.n_iterations {
+                            self.send_demands(node, iteration + 1);
+                        }
+                    }
+                }
+            }
+            NodeKind::Client => unreachable!("the client never dispatches data"),
+        }
+    }
+
+    /// Sends demands for `iteration` to all of `node`'s children and
+    /// resets the gather state.
+    fn send_demands(&mut self, node: NodeId, iteration: u32) {
+        if iteration > self.n_iterations {
+            return;
+        }
+        let children = self.tree.node(node).children.clone();
+        let (later_child, on_cp, seen_version) = {
+            let rt = &mut self.nodes[node.index()];
+            rt.gather_iter = iteration;
+            for slot in rt.inputs.iter_mut() {
+                *slot = None;
+            }
+            (rt.later_child, rt.on_cp, rt.seen_proposal_version)
+        };
+        let is_client = node == self.tree.root();
+        let placement_update = self.proposal.as_ref().and_then(|p| {
+            (is_client || seen_version >= p.version).then(|| PlacementUpdate {
+                version: p.version,
+                placement: p.placement.clone(),
+            })
+        });
+        for (ci, child) in children.into_iter().enumerate() {
+            self.send(
+                node,
+                child,
+                Payload::Demand(Demand {
+                    consumer: node,
+                    producer: child,
+                    iteration,
+                    marked_later: later_child == Some(ci),
+                    consumer_on_cp: is_client || on_cp,
+                    placement_update: placement_update.clone(),
+                }),
+                Priority::Normal,
+                None,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Relocation
+    // ------------------------------------------------------------------
+
+    fn begin_relocation(&mut self, node: NodeId, to: HostId, after_iteration: u32) {
+        let op = self
+            .tree
+            .operator_at(node)
+            .expect("only operators relocate");
+        let (from, mobile_state, witness) = {
+            let rt = &self.nodes[node.index()];
+            (
+                rt.host,
+                MobileState {
+                    op,
+                    last_dispatched: rt.last_dispatched,
+                    later_marks: rt.later_marks,
+                    dispatches_this_epoch: rt.dispatches_this_epoch,
+                    consumer_on_cp: rt.consumer_on_cp,
+                    on_cp: rt.on_cp,
+                },
+                LightPointWitness {
+                    holds_output: rt.output.is_some(),
+                    // A gather for iteration i+1 is in progress when demands
+                    // for it went out (gather_iter advanced past the last
+                    // dispatch) and any input already arrived; inputs left
+                    // over from the just-dispatched iteration don't count.
+                    has_gathered_inputs: rt.gather_iter > rt.last_dispatched
+                        && rt.inputs.iter().any(Option::is_some),
+                },
+            )
+        };
+        // The mobility substrate re-validates the light-move requirement
+        // and prices the move (state packet + code on a first visit).
+        let plan = self
+            .mobility
+            .plan_move(&mobile_state, from, to, witness)
+            .expect("engine only relocates at light points");
+        self.nodes[node.index()].frozen = true;
+        self.relocations += 1;
+        self.audit.record(AuditEvent::RelocationStarted {
+            at: self.now(),
+            op,
+            from,
+            to,
+            after_iteration,
+        });
+        self.send_to_host(
+            node,
+            from,
+            to,
+            Payload::OperatorState {
+                op,
+                after_iteration,
+                plan,
+            },
+            Priority::Normal,
+            None,
+        );
+    }
+
+    fn complete_relocation(
+        &mut self,
+        node: NodeId,
+        op: OperatorId,
+        after_iteration: u32,
+        from_host: HostId,
+        new_host: HostId,
+        plan: &wadc_mobile::protocol::MovePlan,
+    ) {
+        // The substrate validates the packet and records the code install.
+        let restored = self
+            .mobility
+            .complete_move(plan)
+            .expect("engine-produced state packets are valid");
+        debug_assert_eq!(restored.op, op);
+        {
+            let rt = &mut self.nodes[node.index()];
+            debug_assert!(rt.frozen, "operator state arrived without a move in progress");
+            debug_assert_eq!(restored.last_dispatched, rt.last_dispatched);
+            rt.frozen = false;
+            rt.host = new_host;
+        }
+        self.audit.record(AuditEvent::RelocationFinished {
+            at: self.now(),
+            op,
+            host: new_host,
+        });
+        // The original site records the move and the new site learns it.
+        if self.local_mode {
+            self.vectors[from_host.index()].record_move(op, new_host);
+            let updated = self.vectors[from_host.index()].clone();
+            self.vectors[new_host.index()].merge(&updated);
+        }
+        if after_iteration < self.n_iterations {
+            self.send_demands(node, after_iteration + 1);
+        }
+        // Replay anything that arrived mid-flight.
+        let buffered = std::mem::take(&mut self.nodes[node.index()].buffered);
+        for msg in buffered {
+            self.deliver_to_node(msg);
+        }
+        self.try_dispatch(node);
+    }
+
+    // ------------------------------------------------------------------
+    // Global algorithm: periodic re-planning + barrier change-over
+    // ------------------------------------------------------------------
+
+    fn handle_global_timer(&mut self) {
+        let Algorithm::Global { period } = self.cfg.algorithm else {
+            return;
+        };
+        self.queue.schedule_in(period, Ev::GlobalTimer);
+        if self.proposal.is_some() {
+            // Previous change-over still in flight; skip this tick.
+            return;
+        }
+        self.planner_runs += 1;
+        let now = self.now();
+        let client = self.roster.client();
+        self.emit_probe_traffic(now);
+        let view = PlannerView::for_mode(
+            self.cfg.knowledge,
+            &self.caches[client.index()],
+            &self.forecasters[client.index()],
+            self.net.links(),
+            now,
+        );
+        let cost_before = self.cfg.objective.evaluate(
+            &self.tree,
+            &self.roster,
+            &self.committed_placement,
+            view,
+            &self.cfg.cost_model,
+        );
+        let result = improve_placement_by(
+            &self.tree,
+            &self.roster,
+            self.committed_placement.clone(),
+            view,
+            &self.cfg.cost_model,
+            self.cfg.objective,
+        );
+        seed_cache_from_probes(
+            &mut self.caches[client.index()],
+            self.net.links(),
+            &self.roster,
+            now,
+        );
+        let changed = result.placement != self.committed_placement;
+        self.audit.record(AuditEvent::PlannerRan {
+            at: now,
+            cost_before,
+            cost_after: result.cost,
+            changed,
+        });
+        if changed {
+            let moves = self.committed_placement.diff(&result.placement).len();
+            let version = self.committed_version + 1;
+            self.audit.record(AuditEvent::ChangeoverProposed {
+                at: now,
+                version,
+                moves,
+            });
+            self.proposal = Some(Proposal {
+                version,
+                placement: result.placement,
+                reports: BTreeMap::new(),
+            });
+        }
+    }
+
+    fn send_barrier_report(&mut self, node: NodeId, server: usize, iteration: u32, version: u32) {
+        self.send(
+            node,
+            self.tree.root(),
+            Payload::BarrierReport {
+                server,
+                iteration,
+                version,
+            },
+            Priority::High,
+            None,
+        );
+    }
+
+    fn handle_barrier_report(&mut self, server: usize, iteration: u32, version: u32) {
+        let all_in = {
+            let Some(p) = self.proposal.as_mut() else {
+                return; // stale report for an abandoned proposal
+            };
+            if p.version != version {
+                return;
+            }
+            p.reports.insert(server, iteration);
+            p.reports.len() == self.cfg.n_servers
+        };
+        if !all_in {
+            return;
+        }
+        let p = self.proposal.take().expect("checked above");
+        let switch_iteration = p.reports.values().copied().max().expect("non-empty") + 1;
+        self.committed_placement = p.placement.clone();
+        self.committed_version = p.version;
+        self.changeovers += 1;
+        self.audit.record(AuditEvent::ChangeoverCommitted {
+            at: self.now(),
+            version: p.version,
+            switch_iteration,
+        });
+        // Broadcast the commit to every node at high priority.
+        let client = self.tree.root();
+        for i in 0..self.tree.nodes().len() {
+            let node = NodeId::new(i);
+            if node == client {
+                continue;
+            }
+            self.send(
+                client,
+                node,
+                Payload::BarrierCommit {
+                    version: p.version,
+                    switch_iteration,
+                    placement: p.placement.clone(),
+                },
+                Priority::High,
+                None,
+            );
+        }
+    }
+
+    fn handle_barrier_commit(
+        &mut self,
+        node: NodeId,
+        version: u32,
+        switch_iteration: u32,
+        placement: &Placement,
+    ) {
+        let kind = self.tree.node(node).kind;
+        {
+            let rt = &mut self.nodes[node.index()];
+            rt.seen_proposal_version = rt.seen_proposal_version.max(version);
+            match kind {
+                NodeKind::Server(_) => {
+                    rt.suspended = false;
+                }
+                NodeKind::Operator(op) => {
+                    rt.next_placement = Some((switch_iteration, placement.site(op)));
+                }
+                NodeKind::Client => {}
+            }
+        }
+        // A resumed server may have a demand waiting.
+        self.try_dispatch(node);
+    }
+
+    // ------------------------------------------------------------------
+    // Local algorithm: staggered epoch wavefront
+    // ------------------------------------------------------------------
+
+    fn handle_epoch_tick(&mut self) {
+        let depth = self.tree.depth().max(1);
+        let level = (self.epoch_index % depth as u64) as usize;
+        self.epoch_index += 1;
+        self.queue.schedule_in(self.epoch_len, Ev::EpochTick);
+
+        let now = self.now();
+        for i in 0..self.tree.operator_count() {
+            let op = OperatorId::new(i);
+            if self.tree.operator_level(op) != level {
+                continue;
+            }
+            let node = self.tree.operator_node(op);
+            let (later, dispatched, consumer_on_cp, host, frozen) = {
+                let rt = &self.nodes[node.index()];
+                (
+                    rt.later_marks,
+                    rt.dispatches_this_epoch,
+                    rt.consumer_on_cp,
+                    rt.host,
+                    rt.frozen,
+                )
+            };
+            // "an operator decides that it is on the critical path iff it
+            // was marked the 'later' producer more than half the times it
+            // sent data during the epoch and its consumer was also on the
+            // critical path"
+            let on_cp = dispatched > 0 && later * 2 > dispatched && consumer_on_cp;
+            {
+                let rt = &mut self.nodes[node.index()];
+                rt.on_cp = on_cp;
+                rt.later_marks = 0;
+                rt.dispatches_this_epoch = 0;
+            }
+            if !on_cp || frozen {
+                continue;
+            }
+            let ctx = self.local_context(node, host);
+            let view = PlannerView::monitored(&self.caches[host.index()], self.net.links(), now);
+            let decision = best_local_site(&ctx, view, &self.cfg.cost_model);
+            if decision.moves() {
+                self.audit.record(AuditEvent::LocalDecision {
+                    at: now,
+                    op,
+                    level,
+                    from: host,
+                    to: decision.site,
+                });
+                self.nodes[node.index()].pending_move = Some(decision.site);
+            }
+        }
+    }
+
+    /// Builds the operator's local view: producer and consumer locations
+    /// from the host's location vector (servers and the client are pinned
+    /// by the roster), plus `k` random extra candidates.
+    fn local_context(&mut self, node: NodeId, host: HostId) -> LocalContext {
+        let believed = |engine: &Engine, peer: NodeId| -> HostId {
+            match engine.tree.node(peer).kind {
+                NodeKind::Server(s) => engine.roster.server_host(s),
+                NodeKind::Client => engine.roster.client(),
+                NodeKind::Operator(op) => engine.vectors[host.index()].location(op),
+            }
+        };
+        let producers: Vec<HostId> = self
+            .tree
+            .node(node)
+            .children
+            .iter()
+            .map(|&c| believed(self, c))
+            .collect();
+        let consumer = believed(
+            self,
+            self.tree.node(node).parent.expect("operators have parents"),
+        );
+        let mut fixed: Vec<HostId> = producers.clone();
+        fixed.push(consumer);
+        fixed.push(host);
+        let mut extras = Vec::new();
+        if self.extra_candidates > 0 {
+            let mut remaining: Vec<HostId> = self
+                .roster
+                .hosts()
+                .filter(|h| !fixed.contains(h))
+                .collect();
+            for _ in 0..self.extra_candidates.min(remaining.len()) {
+                let idx = self.rng.gen_range(0..remaining.len());
+                extras.push(remaining.swap_remove(idx));
+            }
+        }
+        LocalContext {
+            producers,
+            consumer,
+            current: host,
+            extra_candidates: extras,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Disk and CPU
+    // ------------------------------------------------------------------
+
+    fn ensure_disk_read(&mut self, node: NodeId, iteration: u32) {
+        let NodeKind::Server(server) = self.tree.node(node).kind else {
+            unreachable!("disk reads happen at servers");
+        };
+        let host = self.nodes[node.index()].host;
+        {
+            let rt = &mut self.nodes[node.index()];
+            if rt.disk_requested >= iteration {
+                return;
+            }
+            debug_assert_eq!(
+                rt.disk_requested + 1,
+                iteration,
+                "disk reads must be sequential"
+            );
+            rt.disk_requested = iteration;
+        }
+        let dims = self.workload.server(server).image_dims(iteration as usize - 1);
+        let job = DiskJob {
+            node,
+            iteration,
+            dims,
+        };
+        if let Some(granted) = self.disks[host.index()].request(job, Priority::Normal) {
+            self.start_disk(host, granted);
+        }
+    }
+
+    fn start_disk(&mut self, host: HostId, job: DiskJob) {
+        debug_assert!(self.disk_current[host.index()].is_none());
+        let duration = self.cfg.disk.read_duration(job.dims.bytes());
+        self.disk_current[host.index()] = Some(job);
+        self.queue.schedule_in(
+            duration,
+            Ev::DiskDone {
+                host: host.index(),
+            },
+        );
+    }
+
+    fn handle_disk_done(&mut self, host: usize) {
+        let job = self.disk_current[host]
+            .take()
+            .expect("disk completion without a job");
+        {
+            let rt = &mut self.nodes[job.node.index()];
+            debug_assert!(rt.output.is_none(), "server output overwritten");
+            rt.output = Some(OutputItem {
+                iteration: job.iteration,
+                dims: job.dims,
+            });
+        }
+        self.try_dispatch(job.node);
+        if let Some(next) = self.disks[host].release() {
+            self.start_disk(HostId::new(host), next);
+        }
+    }
+
+    fn request_cpu(&mut self, host: HostId, job: ComputeJob) {
+        if let Some(granted) = self.cpus[host.index()].request(job, Priority::Normal) {
+            self.start_cpu(host, granted);
+        }
+    }
+
+    fn start_cpu(&mut self, host: HostId, job: ComputeJob) {
+        debug_assert!(self.cpu_current[host.index()].is_none());
+        self.cpu_current[host.index()] = Some(job);
+        self.queue.schedule_in(
+            job.duration,
+            Ev::ComputeDone {
+                host: host.index(),
+            },
+        );
+    }
+
+    fn handle_compute_done(&mut self, host: usize) {
+        let job = self.cpu_current[host]
+            .take()
+            .expect("compute completion without a job");
+        {
+            let rt = &mut self.nodes[job.node.index()];
+            debug_assert!(rt.output.is_none(), "operator output overwritten");
+            rt.output = Some(OutputItem {
+                iteration: job.iteration,
+                dims: job.dims,
+            });
+        }
+        self.try_dispatch(job.node);
+        if let Some(next) = self.cpus[host].release() {
+            self.start_cpu(HostId::new(host), next);
+        }
+    }
+
+    /// Models the planner's on-demand monitoring: every host pair without
+    /// a fresh entry in the client's cache is probed with a real transfer
+    /// ("in the worst case, this algorithm requires bandwidth to be
+    /// measured for all links"). The probes contend with application
+    /// traffic for NICs — the cost that penalises very frequent
+    /// re-planning. Their completions feed the caches through passive
+    /// monitoring like any other large transfer.
+    fn emit_probe_traffic(&mut self, now: SimTime) {
+        if self.cfg.probe_bytes == 0 {
+            return;
+        }
+        let client = self.roster.client();
+        let mut pairs = Vec::new();
+        for a in self.roster.hosts() {
+            for b in self.roster.hosts() {
+                if a < b
+                    && self.caches[client.index()].lookup(a, b, now).is_none()
+                {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        for (a, b) in pairs {
+            self.submit_probe(a, b, now);
+        }
+        self.pump();
+    }
+
+    /// Submits one probe transfer between a host pair.
+    fn submit_probe(&mut self, a: HostId, b: HostId, now: SimTime) {
+        if self.cfg.probe_bytes == 0 {
+            return;
+        }
+        let msg = Message {
+            src_host: a,
+            dst_host: b,
+            dst_node: self.tree.root(),
+            notify_sender: None,
+            payload: Payload::Probe,
+            piggyback: piggyback::collect(&self.caches[a.index()], now),
+            locations: None,
+        };
+        self.net.submit(
+            TransferSpec {
+                src: a,
+                dst: b,
+                bytes: self.cfg.probe_bytes,
+                priority: Priority::Normal,
+            },
+            msg,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Message transport
+    // ------------------------------------------------------------------
+
+    /// Sends a message from `from_node`'s host to `to_node`'s current host.
+    fn send(
+        &mut self,
+        from_node: NodeId,
+        to_node: NodeId,
+        payload: Payload,
+        priority: Priority,
+        notify_sender: Option<NodeId>,
+    ) {
+        let from_host = self.nodes[from_node.index()].host;
+        let to_host = self.nodes[to_node.index()].host;
+        self.send_to_host(to_node, from_host, to_host, payload, priority, notify_sender);
+    }
+
+    fn send_to_host(
+        &mut self,
+        to_node: NodeId,
+        from_host: HostId,
+        to_host: HostId,
+        payload: Payload,
+        priority: Priority,
+        notify_sender: Option<NodeId>,
+    ) {
+        let now = self.now();
+        let msg = Message {
+            src_host: from_host,
+            dst_host: to_host,
+            dst_node: to_node,
+            notify_sender,
+            payload,
+            piggyback: piggyback::collect(&self.caches[from_host.index()], now),
+            locations: self
+                .local_mode
+                .then(|| self.vectors[from_host.index()].clone()),
+        };
+        if from_host == to_host {
+            // Co-located delivery: no NIC, no startup cost. The sender
+            // notification (light point) fires when the message arrives,
+            // exactly as for remote transfers.
+            self.queue.schedule_now(Ev::Local(Box::new(msg)));
+            return;
+        }
+        let bytes = msg.wire_bytes(self.cfg.operator_state_bytes);
+        self.net.submit(
+            TransferSpec {
+                src: from_host,
+                dst: to_host,
+                bytes,
+                priority,
+            },
+            msg,
+        );
+        self.pump();
+    }
+
+    /// Starts every transfer that can start now and schedules their
+    /// completions.
+    fn pump(&mut self) {
+        let now = self.now();
+        for started in self.net.poll_start(now) {
+            self.queue
+                .schedule(started.completes_at, Ev::Deliver(started.id));
+        }
+    }
+}
+
+/// An on-demand planning probe measures real links; the measured values
+/// stay in the prober's cache (client-side), as the paper's on-demand
+/// monitoring would leave them. They are timestamped `now` and so expire
+/// after `T_thres` like any other measurement.
+fn seed_cache_from_probes(
+    cache: &mut BandwidthCache,
+    links: &LinkTable,
+    roster: &HostRoster,
+    now: SimTime,
+) {
+    for a in roster.hosts() {
+        for b in roster.hosts() {
+            if a < b {
+                if let Some(tr) = links.trace(a, b) {
+                    cache.observe(a, b, tr.bandwidth_at(now), now);
+                }
+            }
+        }
+    }
+}

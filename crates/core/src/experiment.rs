@@ -1,0 +1,284 @@
+//! Single-experiment setup: one network configuration, compared across
+//! placement strategies.
+//!
+//! An [`Experiment`] pins everything that must be held fixed when
+//! comparing algorithms — the link traces, the workload seed, the tree
+//! shape — and runs each algorithm against that identical world, which is
+//! how the paper computes its speedups.
+
+use std::sync::Arc;
+
+use wadc_app::image::SizeDistribution;
+use wadc_app::workload::WorkloadParams;
+use wadc_net::link::LinkTable;
+use wadc_plan::tree::TreeShape;
+use wadc_sim::rng::derive_seed2;
+use wadc_sim::time::SimDuration;
+use wadc_trace::model::BandwidthTrace;
+use wadc_trace::study::BandwidthStudy;
+use wadc_trace::synth::{generate, SynthParams};
+
+use crate::algorithms::one_shot::Objective;
+use crate::engine::{Algorithm, Engine, EngineConfig, RunResult};
+use crate::knowledge::KnowledgeMode;
+
+/// Stream labels for seed derivation (arbitrary, fixed constants).
+const STREAM_LINKS: u64 = 10;
+const STREAM_WORKLOAD: u64 = 11;
+
+/// One fixed world (links + workload) to run algorithms against.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_core::engine::Algorithm;
+/// use wadc_core::experiment::Experiment;
+///
+/// let mut exp = Experiment::quick(4, 7);
+/// let result = exp.run(Algorithm::OneShot);
+/// assert!(result.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    links: LinkTable,
+    template: EngineConfig,
+}
+
+impl Experiment {
+    /// Builds an experiment over an explicit link table and config
+    /// template. The template's `algorithm` field is replaced by
+    /// [`Experiment::run`].
+    pub fn new(links: LinkTable, template: EngineConfig) -> Self {
+        Experiment { links, template }
+    }
+
+    /// The paper's construction: assign traces from `pool` uniformly at
+    /// random to the links of the complete graph over `n_servers + 1`
+    /// hosts, with the paper's default workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    pub fn from_pool(n_servers: usize, pool: &[Arc<BandwidthTrace>], seed: u64) -> Self {
+        let links = LinkTable::random_from_pool(
+            n_servers + 1,
+            pool,
+            derive_seed2(seed, STREAM_LINKS, 0),
+        );
+        let template = EngineConfig::new(n_servers, Algorithm::DownloadAll)
+            .with_seed(derive_seed2(seed, STREAM_WORKLOAD, 0));
+        Experiment { links, template }
+    }
+
+    /// Builds configuration number `index` of a paper-style study: traces
+    /// drawn from the study's noon-aligned pool.
+    pub fn from_study(
+        n_servers: usize,
+        study: &BandwidthStudy,
+        window: SimDuration,
+        index: u64,
+        master_seed: u64,
+    ) -> Self {
+        let pool = study.noon_trace_pool(window);
+        let links = LinkTable::random_from_pool(
+            n_servers + 1,
+            &pool,
+            derive_seed2(master_seed, STREAM_LINKS, index),
+        );
+        let template = EngineConfig::new(n_servers, Algorithm::DownloadAll)
+            .with_seed(derive_seed2(master_seed, STREAM_WORKLOAD, index));
+        Experiment { links, template }
+    }
+
+    /// A deliberately small world for unit tests and doctests: a handful
+    /// of short synthetic traces, 8 images of ~16 KB per server.
+    pub fn quick(n_servers: usize, seed: u64) -> Self {
+        // A deliberately heterogeneous pool (4 KB/s … 192 KB/s) so even a
+        // tiny configuration has slow links worth routing around.
+        let pool: Vec<Arc<BandwidthTrace>> = [4.0, 8.0, 16.0, 48.0, 96.0, 192.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &kb)| {
+                Arc::new(generate(
+                    &SynthParams::wide_area(kb * 1024.0),
+                    SimDuration::from_hours(2),
+                    derive_seed2(seed, 99, i as u64),
+                ))
+            })
+            .collect();
+        Experiment::from_pool(n_servers, &pool, seed).with_workload(WorkloadParams {
+            images_per_server: 8,
+            sizes: SizeDistribution {
+                mean_bytes: 16.0 * 1024.0,
+                rel_std_dev: 0.25,
+                aspect: 4.0 / 3.0,
+            },
+        })
+    }
+
+    /// Sets the tree shape (builder-style).
+    pub fn with_tree_shape(mut self, shape: TreeShape) -> Self {
+        self.template.tree_shape = shape;
+        self
+    }
+
+    /// Sets the knowledge mode (builder-style).
+    pub fn with_knowledge(mut self, knowledge: KnowledgeMode) -> Self {
+        self.template.knowledge = knowledge;
+        self
+    }
+
+    /// Sets the workload (builder-style); the planning cost model's size
+    /// estimates follow the workload's mean image size.
+    pub fn with_workload(mut self, workload: WorkloadParams) -> Self {
+        self.template = self.template.with_workload(workload);
+        self
+    }
+
+    /// Read access to the configuration template.
+    pub fn template(&self) -> &EngineConfig {
+        &self.template
+    }
+
+    /// Mutable access to the configuration template, for parameters
+    /// without a dedicated builder.
+    pub fn template_mut(&mut self) -> &mut EngineConfig {
+        &mut self.template
+    }
+
+    /// The experiment's link table.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// Sets the placement-search objective (builder-style).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.template.objective = objective;
+        self
+    }
+
+    /// Runs `algorithm` against this world.
+    pub fn run(&self, algorithm: Algorithm) -> RunResult {
+        let mut cfg = self.template.clone();
+        cfg.algorithm = algorithm;
+        Engine::new(cfg, self.links.clone()).run()
+    }
+
+    /// Runs `algorithm` with an explicitly constructed combination tree
+    /// (e.g. a bandwidth-aware ordering) instead of the template's shape.
+    pub fn run_with_tree(
+        &self,
+        algorithm: Algorithm,
+        tree: wadc_plan::tree::CombinationTree,
+    ) -> RunResult {
+        let mut cfg = self.template.clone();
+        cfg.algorithm = algorithm;
+        Engine::new_with_tree(cfg, self.links.clone(), tree).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_completes_under_all_algorithms() {
+        let exp = Experiment::quick(4, 3);
+        for alg in [
+            Algorithm::DownloadAll,
+            Algorithm::OneShot,
+            Algorithm::Global {
+                period: SimDuration::from_secs(30),
+            },
+            Algorithm::Local {
+                period: SimDuration::from_secs(30),
+                extra_candidates: 0,
+            },
+        ] {
+            let r = exp.run(alg);
+            assert!(r.completed, "{} did not complete", alg.name());
+            assert_eq!(r.images_delivered, 8, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let exp = Experiment::quick(4, 5);
+        let a = exp.run(Algorithm::OneShot);
+        let b = exp.run(Algorithm::OneShot);
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.relocations, b.relocations);
+    }
+
+    #[test]
+    fn same_seed_same_world() {
+        let a = Experiment::quick(4, 5).run(Algorithm::DownloadAll);
+        let b = Experiment::quick(4, 5).run(Algorithm::DownloadAll);
+        assert_eq!(a.completion_time, b.completion_time);
+    }
+
+    #[test]
+    fn different_seed_different_world() {
+        let a = Experiment::quick(4, 5).run(Algorithm::DownloadAll);
+        let b = Experiment::quick(4, 6).run(Algorithm::DownloadAll);
+        assert_ne!(a.completion_time, b.completion_time);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_complete() {
+        let r = Experiment::quick(4, 9).run(Algorithm::OneShot);
+        assert_eq!(r.arrivals.len(), 8);
+        for w in r.arrivals.windows(2) {
+            assert!(w[0] < w[1], "arrivals must be strictly increasing");
+        }
+        assert_eq!(
+            r.completion_time.as_secs_f64(),
+            r.arrivals.last().unwrap().as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn one_shot_beats_download_all_on_skewed_network() {
+        // Build a pool with one dreadful trace; with 5 hosts most
+        // configurations will hand some server a bad client link that
+        // placement can route around.
+        let mut badly_worse = 0;
+        let mut total = 0.0;
+        for seed in 0..5 {
+            let exp = Experiment::quick(4, seed);
+            let da = exp.run(Algorithm::DownloadAll);
+            let os = exp.run(Algorithm::OneShot);
+            let s = os.speedup_over(&da);
+            total += s;
+            if s < 0.95 {
+                badly_worse += 1;
+            }
+        }
+        assert!(
+            total / 5.0 > 1.05,
+            "one-shot should help on average (mean speedup {})",
+            total / 5.0
+        );
+        assert_eq!(
+            badly_worse, 0,
+            "one-shot should never hurt noticeably at this scale"
+        );
+    }
+
+    #[test]
+    fn left_deep_shape_is_runnable() {
+        let exp = Experiment::quick(4, 11).with_tree_shape(TreeShape::LeftDeep);
+        let r = exp.run(Algorithm::OneShot);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn oracle_knowledge_is_runnable() {
+        let exp = Experiment::quick(4, 12).with_knowledge(KnowledgeMode::Oracle);
+        let r = exp.run(Algorithm::Global {
+            period: SimDuration::from_secs(20),
+        });
+        assert!(r.completed);
+    }
+}

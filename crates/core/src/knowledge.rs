@@ -1,0 +1,182 @@
+//! What the placement algorithms know about the network.
+//!
+//! The paper's algorithms consume bandwidth information from on-demand
+//! monitoring: a cache of passively observed values, with active probes for
+//! pairs the cache cannot answer. [`PlannerView`] composes those sources;
+//! [`KnowledgeMode`] selects between the realistic monitored view and a
+//! perfect oracle (useful for ablations isolating monitoring error).
+
+use wadc_monitor::cache::BandwidthCache;
+use wadc_monitor::forecast::Forecaster;
+use wadc_net::link::LinkTable;
+use wadc_plan::bandwidth::BandwidthView;
+use wadc_plan::ids::HostId;
+use wadc_sim::time::SimTime;
+
+/// How a placement decision sees the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KnowledgeMode {
+    /// The paper's model: the decision-maker's measurement cache, with an
+    /// on-demand probe (reading the true current bandwidth) for pairs the
+    /// cache cannot answer. Cached values may be up to `T_thres` stale.
+    #[default]
+    Monitored,
+    /// Perfect knowledge of the true current bandwidth of every link.
+    Oracle,
+    /// NWS-style forecasts over the measurement history (see
+    /// [`wadc_monitor::forecast`]), falling back to a probe for pairs
+    /// with no history. An extension: the paper's planners consume raw
+    /// cached measurements.
+    Forecast,
+}
+
+/// A [`BandwidthView`] for planning: cache first, on-demand probe on miss.
+///
+/// Probes read the true link bandwidth at the view's timestamp, modelling
+/// the paper's on-demand monitoring (Komodo / NWS style); with
+/// [`KnowledgeMode::Oracle`] every lookup probes.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerView<'a> {
+    cache: Option<&'a BandwidthCache>,
+    forecaster: Option<&'a Forecaster>,
+    links: &'a LinkTable,
+    now: SimTime,
+}
+
+impl<'a> PlannerView<'a> {
+    /// The monitored view: `cache` backed by probes of `links`.
+    pub fn monitored(cache: &'a BandwidthCache, links: &'a LinkTable, now: SimTime) -> Self {
+        PlannerView {
+            cache: Some(cache),
+            forecaster: None,
+            links,
+            now,
+        }
+    }
+
+    /// The oracle view: every lookup reads the true bandwidth.
+    pub fn oracle(links: &'a LinkTable, now: SimTime) -> Self {
+        PlannerView {
+            cache: None,
+            forecaster: None,
+            links,
+            now,
+        }
+    }
+
+    /// The forecast view: NWS-style predictions over the measurement
+    /// history, probe fallback for unseen pairs.
+    pub fn forecast(forecaster: &'a Forecaster, links: &'a LinkTable, now: SimTime) -> Self {
+        PlannerView {
+            cache: None,
+            forecaster: Some(forecaster),
+            links,
+            now,
+        }
+    }
+
+    /// Builds the view selected by `mode`.
+    pub fn for_mode(
+        mode: KnowledgeMode,
+        cache: &'a BandwidthCache,
+        forecaster: &'a Forecaster,
+        links: &'a LinkTable,
+        now: SimTime,
+    ) -> Self {
+        match mode {
+            KnowledgeMode::Monitored => PlannerView::monitored(cache, links, now),
+            KnowledgeMode::Oracle => PlannerView::oracle(links, now),
+            KnowledgeMode::Forecast => PlannerView::forecast(forecaster, links, now),
+        }
+    }
+}
+
+impl BandwidthView for PlannerView<'_> {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        if let Some(forecaster) = self.forecaster {
+            if let Some(bw) = forecaster.forecast(a, b) {
+                return Some(bw);
+            }
+        }
+        if let Some(cache) = self.cache {
+            if let Some(bw) = cache.lookup(a, b, self.now) {
+                return Some(bw);
+            }
+        }
+        self.links.bandwidth_at(a, b, self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wadc_monitor::cache::MonitorConfig;
+    use wadc_trace::model::BandwidthTrace;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn links() -> LinkTable {
+        let mut l = LinkTable::new(3);
+        for (a, b, bw) in [(0, 1, 100.0), (0, 2, 200.0), (1, 2, 300.0)] {
+            l.set(h(a), h(b), Arc::new(BandwidthTrace::constant(bw)));
+        }
+        l
+    }
+
+    #[test]
+    fn cache_hit_wins_over_probe() {
+        let l = links();
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 42.0, SimTime::from_secs(10));
+        let v = PlannerView::monitored(&c, &l, SimTime::from_secs(11));
+        assert_eq!(v.bandwidth(h(0), h(1)), Some(42.0));
+    }
+
+    #[test]
+    fn cache_miss_probes_truth() {
+        let l = links();
+        let c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        let v = PlannerView::monitored(&c, &l, SimTime::ZERO);
+        assert_eq!(v.bandwidth(h(1), h(2)), Some(300.0));
+    }
+
+    #[test]
+    fn expired_cache_entry_falls_back_to_probe() {
+        let l = links();
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(2), 1.0, SimTime::ZERO);
+        let v = PlannerView::monitored(&c, &l, SimTime::from_secs(100));
+        assert_eq!(v.bandwidth(h(0), h(2)), Some(200.0));
+    }
+
+    #[test]
+    fn oracle_ignores_cache() {
+        let l = links();
+        let v = PlannerView::oracle(&l, SimTime::ZERO);
+        assert_eq!(v.bandwidth(h(0), h(1)), Some(100.0));
+        assert_eq!(v.bandwidth(h(0), h(0)), None);
+    }
+
+    #[test]
+    fn for_mode_selects() {
+        let l = links();
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 7.0, SimTime::ZERO);
+        let mut f = Forecaster::new(8);
+        f.observe(h(0), h(1), 55.0, SimTime::ZERO);
+        let m = PlannerView::for_mode(KnowledgeMode::Monitored, &c, &f, &l, SimTime::ZERO);
+        let o = PlannerView::for_mode(KnowledgeMode::Oracle, &c, &f, &l, SimTime::ZERO);
+        let fc = PlannerView::for_mode(KnowledgeMode::Forecast, &c, &f, &l, SimTime::ZERO);
+        assert_eq!(m.bandwidth(h(0), h(1)), Some(7.0));
+        assert_eq!(o.bandwidth(h(0), h(1)), Some(100.0));
+        assert_eq!(fc.bandwidth(h(0), h(1)), Some(55.0));
+        // Forecast falls back to a probe for unseen pairs.
+        assert_eq!(fc.bandwidth(h(1), h(2)), Some(300.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! # wadc-mobile — the operator-mobility substrate
+//!
+//! The paper's infrastructure requirement (1): "the placement algorithm
+//! should be able to specify the location of combination operations and
+//! to move operators during computation", provided in 1998 by mobile
+//! object systems (Sumatra, Aglets, Mole, Telescript) or — "for
+//! frequently used servers" — by pre-installing code everywhere and
+//! shipping only control messages. This crate models both substrates:
+//!
+//! - [`state::OperatorState`] — the small, checksummed state packet an
+//!   operator ships at a light point,
+//! - [`registry::CodeRegistry`] — code presence per host, under either
+//!   [`registry::MobilityMode`],
+//! - [`protocol::MoveProtocol`] — validates the light-move requirement
+//!   and prices each move (state, plus code on a mobile-object host's
+//!   first visit).
+//!
+//! The engine consumes this through
+//! [`wadc_core::engine::EngineConfig`]'s mobility settings; the
+//! `ablations` bench quantifies the substrate choice.
+//!
+//! [`wadc_core::engine::EngineConfig`]: ../wadc_core/engine/struct.EngineConfig.html
+//!
+//! # Examples
+//!
+//! ```
+//! use wadc_mobile::protocol::{LightPointWitness, MoveProtocol};
+//! use wadc_mobile::registry::{CodeRegistry, MobilityMode};
+//! use wadc_mobile::state::OperatorState;
+//! use wadc_plan::ids::{HostId, OperatorId};
+//!
+//! let mut protocol = MoveProtocol::new(CodeRegistry::new(MobilityMode::MobileObjects, 24_000));
+//! let state = OperatorState::initial(OperatorId::new(0));
+//! let plan = protocol
+//!     .plan_move(&state, HostId::new(0), HostId::new(1), LightPointWitness::clean())
+//!     .expect("clean light point");
+//! assert_eq!(plan.code_bytes, 24_000); // first visit ships the code
+//! let restored = protocol.complete_move(&plan).expect("valid packet");
+//! assert_eq!(restored, state);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod registry;
+pub mod state;
+
+pub use protocol::{LightPointWitness, MoveError, MovePlan, MoveProtocol};
+pub use registry::{CodeRegistry, MobilityMode};
+pub use state::{DecodeError, OperatorState};

@@ -1,0 +1,291 @@
+//! The per-host bandwidth measurement cache.
+//!
+//! The paper's monitoring model: "(1) if node A sends node B a message of
+//! size greater than S_thres both node A and node B know the bandwidth
+//! between A and B (passive monitoring); (2) each node maintains a
+//! bandwidth measurement cache; entries are timed out after T_thres
+//! seconds". The experiments used `S_thres = 16 KB` and `T_thres = 40 s`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use wadc_plan::bandwidth::BandwidthView;
+use wadc_plan::ids::HostId;
+use wadc_sim::time::{SimDuration, SimTime};
+
+/// Monitoring parameters, defaulting to the paper's values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Transfers at least this large produce a passive bandwidth
+    /// measurement at both endpoints (paper: 16 KB).
+    pub s_thres_bytes: u64,
+    /// Cache entries older than this are expired (paper: 40 s, chosen as
+    /// "a little less than half" the ~2-minute expected interval between
+    /// significant bandwidth changes).
+    pub t_thres: SimDuration,
+    /// Byte budget for bandwidth values piggybacked on each message
+    /// (paper: "the most recent bandwidth values (those that fit within
+    /// 1KB) are piggybacked").
+    pub piggyback_budget_bytes: usize,
+}
+
+impl MonitorConfig {
+    /// The paper's monitoring constants.
+    pub fn paper_defaults() -> Self {
+        MonitorConfig {
+            s_thres_bytes: 16 * 1024,
+            t_thres: SimDuration::from_secs(40),
+            piggyback_budget_bytes: 1024,
+        }
+    }
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig::paper_defaults()
+    }
+}
+
+/// One bandwidth measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Measured application-level bandwidth, bytes per second.
+    pub bytes_per_sec: f64,
+    /// When the measurement was taken.
+    pub at: SimTime,
+}
+
+fn norm(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A host's cache of pairwise bandwidth measurements with `T_thres` expiry.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_monitor::cache::{BandwidthCache, MonitorConfig};
+/// use wadc_plan::ids::HostId;
+/// use wadc_sim::time::{SimDuration, SimTime};
+///
+/// let mut cache = BandwidthCache::new(MonitorConfig::paper_defaults());
+/// let (a, b) = (HostId::new(0), HostId::new(1));
+/// cache.observe(a, b, 50_000.0, SimTime::ZERO);
+/// assert_eq!(cache.lookup(a, b, SimTime::from_secs(30)), Some(50_000.0));
+/// // After T_thres = 40 s the entry has expired.
+/// assert_eq!(cache.lookup(a, b, SimTime::from_secs(41)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthCache {
+    config: MonitorConfig,
+    entries: HashMap<(HostId, HostId), Measurement>,
+}
+
+impl BandwidthCache {
+    /// Creates an empty cache.
+    pub fn new(config: MonitorConfig) -> Self {
+        BandwidthCache {
+            config,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Records a measurement for the pair `(a, b)`. Older measurements for
+    /// the pair are replaced only by newer ones, so absorbing stale
+    /// piggybacked values never regresses the cache.
+    pub fn observe(&mut self, a: HostId, b: HostId, bytes_per_sec: f64, at: SimTime) {
+        debug_assert_ne!(a, b, "no self-measurements");
+        let key = norm(a, b);
+        let newer = self.entries.get(&key).is_none_or(|m| at >= m.at);
+        if newer {
+            self.entries.insert(
+                key,
+                Measurement {
+                    bytes_per_sec,
+                    at,
+                },
+            );
+        }
+    }
+
+    /// Records a passive measurement from a completed transfer of
+    /// `bytes` over `elapsed`, but only when the transfer meets `S_thres`.
+    /// Returns `true` if a measurement was recorded.
+    pub fn observe_transfer(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        bytes: u64,
+        elapsed: SimDuration,
+        completed_at: SimTime,
+    ) -> bool {
+        if bytes < self.config.s_thres_bytes || elapsed.is_zero() {
+            return false;
+        }
+        self.observe(a, b, bytes as f64 / elapsed.as_secs_f64(), completed_at);
+        true
+    }
+
+    /// The cached bandwidth for a pair, or `None` if absent or older than
+    /// `T_thres` relative to `now`.
+    pub fn lookup(&self, a: HostId, b: HostId, now: SimTime) -> Option<f64> {
+        let m = self.entries.get(&norm(a, b))?;
+        (now.saturating_since(m.at) <= self.config.t_thres).then_some(m.bytes_per_sec)
+    }
+
+    /// The raw measurement for a pair regardless of expiry.
+    pub fn measurement(&self, a: HostId, b: HostId) -> Option<Measurement> {
+        self.entries.get(&norm(a, b)).copied()
+    }
+
+    /// All unexpired measurements at `now`, newest first.
+    pub fn fresh_entries(&self, now: SimTime) -> Vec<((HostId, HostId), Measurement)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, m)| now.saturating_since(m.at) <= self.config.t_thres)
+            .map(|(&k, &m)| (k, m))
+            .collect();
+        v.sort_by(|x, y| y.1.at.cmp(&x.1.at).then_with(|| x.0.cmp(&y.0)));
+        v
+    }
+
+    /// Drops entries expired at `now`; returns how many were dropped.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let t = self.config.t_thres;
+        let before = self.entries.len();
+        self.entries.retain(|_, m| now.saturating_since(m.at) <= t);
+        before - self.entries.len()
+    }
+
+    /// Number of entries, including expired ones not yet purged.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A [`BandwidthView`] of the cache frozen at `now`, for handing to the
+    /// placement algorithms.
+    pub fn view_at(&self, now: SimTime) -> CacheView<'_> {
+        CacheView { cache: self, now }
+    }
+}
+
+/// A point-in-time [`BandwidthView`] over a [`BandwidthCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheView<'a> {
+    cache: &'a BandwidthCache,
+    now: SimTime,
+}
+
+impl BandwidthView for CacheView<'_> {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        self.cache.lookup(a, b, self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    #[test]
+    fn observe_and_lookup_symmetric() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(3), h(1), 9_000.0, SimTime::from_secs(5));
+        assert_eq!(c.lookup(h(1), h(3), SimTime::from_secs(6)), Some(9_000.0));
+        assert_eq!(c.lookup(h(3), h(1), SimTime::from_secs(6)), Some(9_000.0));
+    }
+
+    #[test]
+    fn expiry_at_t_thres() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 1.0, SimTime::from_secs(100));
+        assert!(c.lookup(h(0), h(1), SimTime::from_secs(140)).is_some());
+        assert!(c.lookup(h(0), h(1), SimTime::from_secs(141)).is_none());
+    }
+
+    #[test]
+    fn stale_observation_does_not_regress() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 100.0, SimTime::from_secs(50));
+        c.observe(h(0), h(1), 999.0, SimTime::from_secs(10)); // stale
+        assert_eq!(c.lookup(h(0), h(1), SimTime::from_secs(55)), Some(100.0));
+    }
+
+    #[test]
+    fn observe_transfer_respects_s_thres() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        assert!(!c.observe_transfer(
+            h(0),
+            h(1),
+            1024,
+            SimDuration::from_secs(1),
+            SimTime::from_secs(1)
+        ));
+        assert!(c.observe_transfer(
+            h(0),
+            h(1),
+            32 * 1024,
+            SimDuration::from_secs(2),
+            SimTime::from_secs(3)
+        ));
+        assert_eq!(
+            c.lookup(h(0), h(1), SimTime::from_secs(3)),
+            Some(16.0 * 1024.0)
+        );
+    }
+
+    #[test]
+    fn fresh_entries_sorted_newest_first() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 1.0, SimTime::from_secs(10));
+        c.observe(h(0), h(2), 2.0, SimTime::from_secs(30));
+        c.observe(h(1), h(2), 3.0, SimTime::from_secs(20));
+        let fresh = c.fresh_entries(SimTime::from_secs(35));
+        let pairs: Vec<_> = fresh.iter().map(|(k, _)| *k).collect();
+        assert_eq!(pairs, vec![(h(0), h(2)), (h(1), h(2)), (h(0), h(1))]);
+        // At t=55 the t=10 entry has expired.
+        assert_eq!(c.fresh_entries(SimTime::from_secs(55)).len(), 2);
+    }
+
+    #[test]
+    fn purge_drops_expired() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 1.0, SimTime::ZERO);
+        c.observe(h(0), h(2), 2.0, SimTime::from_secs(100));
+        assert_eq!(c.purge_expired(SimTime::from_secs(120)), 1);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn view_implements_bandwidth_view() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 42.0, SimTime::from_secs(1));
+        let view = c.view_at(SimTime::from_secs(2));
+        assert_eq!(view.bandwidth(h(0), h(1)), Some(42.0));
+        assert_eq!(view.bandwidth(h(0), h(0)), None);
+        let stale_view = c.view_at(SimTime::from_secs(200));
+        assert_eq!(stale_view.bandwidth(h(0), h(1)), None);
+    }
+}

@@ -1,0 +1,296 @@
+//! Bandwidth forecasting in the style of the Network Weather Service.
+//!
+//! The paper points at NWS ("Dynamically forecasting network performance
+//! using the Network Weather Service") as the monitoring substrate. NWS
+//! does not hand back the last raw measurement: it runs a family of simple
+//! predictors over the measurement history and serves the forecast of
+//! whichever predictor has recently been most accurate. This module
+//! implements that scheme as an optional upgrade over the raw
+//! [`crate::cache::BandwidthCache`] value — the ablation benches compare
+//! planning from forecasts against planning from last measurements.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use wadc_plan::bandwidth::BandwidthView;
+use wadc_plan::ids::HostId;
+use wadc_sim::time::SimTime;
+
+/// The predictor family (NWS's core set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predictor {
+    /// The most recent measurement.
+    LastValue,
+    /// Mean of the window.
+    WindowMean,
+    /// Median of the window.
+    WindowMedian,
+    /// Exponentially weighted moving average (α = 0.3).
+    Ewma,
+}
+
+impl Predictor {
+    /// All predictors, in evaluation order.
+    pub const ALL: [Predictor; 4] = [
+        Predictor::LastValue,
+        Predictor::WindowMean,
+        Predictor::WindowMedian,
+        Predictor::Ewma,
+    ];
+
+    fn predict(self, window: &VecDeque<f64>, ewma: f64) -> f64 {
+        match self {
+            Predictor::LastValue => *window.back().expect("non-empty window"),
+            Predictor::WindowMean => window.iter().sum::<f64>() / window.len() as f64,
+            Predictor::WindowMedian => {
+                let mut v: Vec<f64> = window.iter().copied().collect();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite bandwidths"));
+                let n = v.len();
+                if n % 2 == 1 {
+                    v[n / 2]
+                } else {
+                    (v[n / 2 - 1] + v[n / 2]) / 2.0
+                }
+            }
+            Predictor::Ewma => ewma,
+        }
+    }
+}
+
+const EWMA_ALPHA: f64 = 0.3;
+
+#[derive(Debug, Clone)]
+struct SeriesState {
+    window: VecDeque<f64>,
+    ewma: f64,
+    /// Cumulative absolute forecast error per predictor.
+    errors: [f64; 4],
+    /// Forecast each predictor made before the next observation arrives.
+    pending: Option<[f64; 4]>,
+    last_at: SimTime,
+}
+
+/// A per-host forecaster: feed it the measurements the cache observes,
+/// ask it for NWS-style forecasts.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_monitor::forecast::Forecaster;
+/// use wadc_plan::ids::HostId;
+/// use wadc_sim::time::SimTime;
+///
+/// let mut f = Forecaster::new(8);
+/// let (a, b) = (HostId::new(0), HostId::new(1));
+/// for i in 0..10 {
+///     f.observe(a, b, 50_000.0, SimTime::from_secs(i));
+/// }
+/// let fc = f.forecast(a, b).unwrap();
+/// assert!((fc - 50_000.0).abs() < 1.0, "constant series forecasts itself");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Forecaster {
+    window_len: usize,
+    series: HashMap<(HostId, HostId), SeriesState>,
+}
+
+fn norm(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Forecaster {
+    /// Creates a forecaster keeping up to `window_len` measurements per
+    /// host pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn new(window_len: usize) -> Self {
+        assert!(window_len > 0, "window must hold at least one measurement");
+        Forecaster {
+            window_len,
+            series: HashMap::new(),
+        }
+    }
+
+    /// Feeds a measurement; out-of-order (older than the last) samples are
+    /// ignored.
+    pub fn observe(&mut self, a: HostId, b: HostId, bytes_per_sec: f64, at: SimTime) {
+        let key = norm(a, b);
+        let entry = self.series.entry(key).or_insert_with(|| SeriesState {
+            window: VecDeque::new(),
+            ewma: bytes_per_sec,
+            errors: [0.0; 4],
+            pending: None,
+            last_at: at,
+        });
+        if at < entry.last_at {
+            return;
+        }
+        // Score the forecasts made before this observation.
+        if let Some(pending) = entry.pending.take() {
+            for (e, f) in entry.errors.iter_mut().zip(pending) {
+                *e += (f - bytes_per_sec).abs();
+            }
+        }
+        entry.last_at = at;
+        entry.window.push_back(bytes_per_sec);
+        if entry.window.len() > self.window_len {
+            entry.window.pop_front();
+        }
+        entry.ewma = EWMA_ALPHA * bytes_per_sec + (1.0 - EWMA_ALPHA) * entry.ewma;
+        // Pre-compute what every predictor says next, for scoring.
+        let forecasts: Vec<f64> = Predictor::ALL
+            .iter()
+            .map(|p| p.predict(&entry.window, entry.ewma))
+            .collect();
+        entry.pending = Some([forecasts[0], forecasts[1], forecasts[2], forecasts[3]]);
+    }
+
+    /// The NWS-style forecast for a pair: the prediction of the predictor
+    /// with the lowest cumulative error so far (ties favour
+    /// [`Predictor::LastValue`]). `None` for pairs never observed.
+    pub fn forecast(&self, a: HostId, b: HostId) -> Option<f64> {
+        let entry = self.series.get(&norm(a, b))?;
+        let best = self.best_predictor_of(entry);
+        Some(best.predict(&entry.window, entry.ewma))
+    }
+
+    /// Which predictor currently wins for a pair.
+    pub fn best_predictor(&self, a: HostId, b: HostId) -> Option<Predictor> {
+        self.series
+            .get(&norm(a, b))
+            .map(|e| self.best_predictor_of(e))
+    }
+
+    fn best_predictor_of(&self, entry: &SeriesState) -> Predictor {
+        let mut best = Predictor::LastValue;
+        let mut best_err = f64::INFINITY;
+        for (p, &e) in Predictor::ALL.iter().zip(&entry.errors) {
+            if e < best_err {
+                best_err = e;
+                best = *p;
+            }
+        }
+        best
+    }
+
+    /// Number of host pairs with history.
+    pub fn pair_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// A [`BandwidthView`] serving forecasts.
+    pub fn view(&self) -> ForecastView<'_> {
+        ForecastView { forecaster: self }
+    }
+}
+
+/// [`BandwidthView`] adapter over a [`Forecaster`].
+#[derive(Debug, Clone, Copy)]
+pub struct ForecastView<'a> {
+    forecaster: &'a Forecaster,
+}
+
+impl BandwidthView for ForecastView<'_> {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        self.forecaster.forecast(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn feed(f: &mut Forecaster, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            f.observe(h(0), h(1), v, SimTime::from_secs(i as u64));
+        }
+    }
+
+    #[test]
+    fn constant_series_forecasts_exactly() {
+        let mut f = Forecaster::new(10);
+        feed(&mut f, &[100.0; 20]);
+        assert_eq!(f.forecast(h(0), h(1)), Some(100.0));
+    }
+
+    #[test]
+    fn unknown_pair_is_none() {
+        let f = Forecaster::new(4);
+        assert_eq!(f.forecast(h(0), h(1)), None);
+        assert_eq!(f.best_predictor(h(0), h(1)), None);
+    }
+
+    #[test]
+    fn median_wins_on_spiky_series() {
+        // A series that is 100 with occasional huge spikes: the median
+        // predictor accumulates far less error than last-value.
+        let mut f = Forecaster::new(8);
+        let mut series = Vec::new();
+        for i in 0..60 {
+            series.push(if i % 5 == 4 { 10_000.0 } else { 100.0 });
+        }
+        feed(&mut f, &series);
+        let fc = f.forecast(h(0), h(1)).unwrap();
+        assert!(
+            fc < 1_000.0,
+            "forecast {fc} should ignore spikes (best: {:?})",
+            f.best_predictor(h(0), h(1))
+        );
+    }
+
+    #[test]
+    fn tracks_level_shift() {
+        // After a persistent regime change every reasonable predictor
+        // converges to the new level.
+        let mut f = Forecaster::new(8);
+        let mut series = vec![100.0; 20];
+        series.extend(vec![500.0; 20]);
+        feed(&mut f, &series);
+        let fc = f.forecast(h(0), h(1)).unwrap();
+        assert!(fc > 400.0, "forecast {fc} should track the new regime");
+    }
+
+    #[test]
+    fn out_of_order_samples_ignored() {
+        let mut f = Forecaster::new(4);
+        f.observe(h(0), h(1), 100.0, SimTime::from_secs(10));
+        f.observe(h(0), h(1), 999.0, SimTime::from_secs(5)); // stale
+        assert_eq!(f.forecast(h(0), h(1)), Some(100.0));
+    }
+
+    #[test]
+    fn symmetric_pairs() {
+        let mut f = Forecaster::new(4);
+        f.observe(h(3), h(1), 42.0, SimTime::ZERO);
+        assert_eq!(f.forecast(h(1), h(3)), Some(42.0));
+        assert_eq!(f.pair_count(), 1);
+    }
+
+    #[test]
+    fn view_adapts_to_bandwidth_view() {
+        let mut f = Forecaster::new(4);
+        feed(&mut f, &[7.0; 5]);
+        let v = f.view();
+        assert_eq!(v.bandwidth(h(0), h(1)), Some(7.0));
+        assert_eq!(v.bandwidth(h(0), h(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        Forecaster::new(0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Operator location tracking with timestamp vectors.
+//!
+//! "All participating hosts maintain two vectors – a timestamp vector and a
+//! location vector. Each vector has one entry for each operator. When an
+//! operator is repositioned, the original site updates the corresponding
+//! entry in the location vector and increments the corresponding entry in
+//! the timestamp vector. The new information is propagated to peers ... by
+//! piggybacking it on outgoing messages."
+//!
+//! The paper merges by whole-vector dominance; [`LocationVector::merge`]
+//! instead merges entrywise (per-operator newest-stamp wins), which is the
+//! join of the same partial order and also handles *incomparable* vectors —
+//! two sites that each learned about a different move.
+//! [`LocationVector::dominates`] is
+//! provided (and tested) for the paper's original predicate.
+
+use serde::{Deserialize, Serialize};
+use wadc_plan::ids::{HostId, OperatorId};
+
+/// Per-operator locations paired with per-operator logical timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_monitor::vector::LocationVector;
+/// use wadc_plan::ids::{HostId, OperatorId};
+///
+/// let mut site_a = LocationVector::new(vec![HostId::new(0), HostId::new(1)]);
+/// let mut site_b = site_a.clone();
+/// site_a.record_move(OperatorId::new(0), HostId::new(5));
+/// assert!(site_b.merge(&site_a));
+/// assert_eq!(site_b.location(OperatorId::new(0)), HostId::new(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocationVector {
+    locations: Vec<HostId>,
+    stamps: Vec<u64>,
+}
+
+impl LocationVector {
+    /// Creates a vector with the given initial operator locations, all at
+    /// timestamp zero.
+    pub fn new(initial: Vec<HostId>) -> Self {
+        let n = initial.len();
+        LocationVector {
+            locations: initial,
+            stamps: vec![0; n],
+        }
+    }
+
+    /// Number of operators tracked.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Returns `true` if no operators are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// The believed location of an operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn location(&self, op: OperatorId) -> HostId {
+        self.locations[op.index()]
+    }
+
+    /// The logical timestamp of an operator's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn stamp(&self, op: OperatorId) -> u64 {
+        self.stamps[op.index()]
+    }
+
+    /// All believed locations, indexable by [`OperatorId::index`].
+    pub fn locations(&self) -> &[HostId] {
+        &self.locations
+    }
+
+    /// Records that `op` moved to `host`: updates the location and
+    /// increments the timestamp. Called by the operator's *original site*
+    /// when a relocation commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn record_move(&mut self, op: OperatorId, host: HostId) {
+        self.locations[op.index()] = host;
+        self.stamps[op.index()] += 1;
+    }
+
+    /// Entrywise merge: for every operator, adopt the other vector's entry
+    /// when it is newer. Returns `true` if anything changed.
+    ///
+    /// Entries are compared as `(timestamp, location)` lexicographically.
+    /// In the paper's protocol only an operator's current site ever stamps
+    /// a move, so two sites can never disagree at the same timestamp; the
+    /// location tie-break makes the merge a true join (commutative,
+    /// associative, idempotent) even for byzantine/duplicated histories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors track different operator counts.
+    pub fn merge(&mut self, other: &LocationVector) -> bool {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "merging vectors over different operator sets"
+        );
+        let mut changed = false;
+        for i in 0..self.len() {
+            if (other.stamps[i], other.locations[i]) > (self.stamps[i], self.locations[i]) {
+                self.stamps[i] = other.stamps[i];
+                self.locations[i] = other.locations[i];
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The paper's dominance predicate: every entry of `self` is ≥ the
+    /// corresponding entry of `other`, and at least one is strictly
+    /// greater.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors track different operator counts.
+    pub fn dominates(&self, other: &LocationVector) -> bool {
+        assert_eq!(self.len(), other.len());
+        let mut strict = false;
+        for i in 0..self.len() {
+            if self.stamps[i] < other.stamps[i] {
+                return false;
+            }
+            if self.stamps[i] > other.stamps[i] {
+                strict = true;
+            }
+        }
+        strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+    fn op(i: usize) -> OperatorId {
+        OperatorId::new(i)
+    }
+
+    fn fresh(n: usize) -> LocationVector {
+        LocationVector::new((0..n).map(h).collect())
+    }
+
+    #[test]
+    fn record_move_bumps_stamp() {
+        let mut v = fresh(3);
+        assert_eq!(v.stamp(op(1)), 0);
+        v.record_move(op(1), h(9));
+        assert_eq!(v.location(op(1)), h(9));
+        assert_eq!(v.stamp(op(1)), 1);
+    }
+
+    #[test]
+    fn merge_adopts_newer_entries_only() {
+        let mut a = fresh(3);
+        let mut b = fresh(3);
+        a.record_move(op(0), h(7)); // a newer on op0
+        b.record_move(op(2), h(8)); // b newer on op2
+        let mut merged = a.clone();
+        assert!(merged.merge(&b));
+        assert_eq!(merged.location(op(0)), h(7));
+        assert_eq!(merged.location(op(2)), h(8));
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = fresh(2);
+        let mut b = fresh(2);
+        b.record_move(op(0), h(5));
+        assert!(a.merge(&b));
+        assert!(!a.merge(&b), "second merge changes nothing");
+    }
+
+    #[test]
+    fn merge_is_commutative_on_incomparable_vectors() {
+        let mut a = fresh(2);
+        let mut b = fresh(2);
+        a.record_move(op(0), h(5));
+        b.record_move(op(1), h(6));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn dominance_is_strict_partial_order() {
+        let base = fresh(2);
+        let mut newer = base.clone();
+        newer.record_move(op(0), h(3));
+        assert!(newer.dominates(&base));
+        assert!(!base.dominates(&newer));
+        assert!(!base.dominates(&base), "irreflexive");
+        // Incomparable pair.
+        let mut other = base.clone();
+        other.record_move(op(1), h(4));
+        assert!(!newer.dominates(&other));
+        assert!(!other.dominates(&newer));
+    }
+
+    #[test]
+    fn stale_merge_does_not_overwrite() {
+        let mut a = fresh(1);
+        a.record_move(op(0), h(1));
+        a.record_move(op(0), h(2)); // stamp 2
+        let mut b = fresh(1);
+        b.record_move(op(0), h(9)); // stamp 1, stale
+        assert!(!a.merge(&b));
+        assert_eq!(a.location(op(0)), h(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different operator sets")]
+    fn merge_rejects_mismatched_lengths() {
+        let mut a = fresh(2);
+        let b = fresh(3);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the monitoring substrate: cache expiry,
+//! piggyback budgets, and the location-vector join semilattice.
+
+use proptest::prelude::*;
+use wadc_monitor::cache::{BandwidthCache, MonitorConfig};
+use wadc_monitor::piggyback::{absorb, collect, ENTRY_WIRE_BYTES};
+use wadc_monitor::vector::LocationVector;
+use wadc_plan::ids::{HostId, OperatorId};
+use wadc_sim::time::SimTime;
+
+/// Strategy: a sequence of (pair, bandwidth, time) observations.
+fn arb_observations() -> impl Strategy<Value = Vec<(usize, usize, f64, u64)>> {
+    proptest::collection::vec((0usize..8, 0usize..8, 1.0f64..1e6, 0u64..500), 0..100)
+}
+
+/// Strategy: a location vector over `n` operators built by a random move
+/// sequence.
+fn arb_vector(n: usize) -> impl Strategy<Value = LocationVector> {
+    proptest::collection::vec((0usize..8, 0usize..16), 0..32).prop_map(move |moves| {
+        let mut v = LocationVector::new(vec![HostId::new(0); 8]);
+        for (op, host) in moves {
+            v.record_move(OperatorId::new(op % 8), HostId::new(host));
+        }
+        let _ = n;
+        v
+    })
+}
+
+proptest! {
+    /// A cache lookup never returns a value older than T_thres, and always
+    /// returns the *newest* observation for the pair.
+    #[test]
+    fn cache_serves_newest_unexpired(obs in arb_observations(), now in 0u64..600) {
+        let config = MonitorConfig::paper_defaults();
+        let mut cache = BandwidthCache::new(config);
+        let now = SimTime::from_secs(now);
+        for &(a, b, bw, t) in &obs {
+            if a == b { continue; }
+            cache.observe(HostId::new(a), HostId::new(b), bw, SimTime::from_secs(t));
+        }
+        for &(a, b, _, _) in &obs {
+            if a == b { continue; }
+            let newest = obs
+                .iter()
+                .filter(|&&(x, y, _, _)| {
+                    (x.min(y), x.max(y)) == (a.min(b), a.max(b))
+                })
+                .max_by_key(|&&(_, _, _, t)| t);
+            let expect = newest.and_then(|&(_, _, bw, t)| {
+                (now.saturating_since(SimTime::from_secs(t)) <= config.t_thres).then_some(bw)
+            });
+            // `observe` keeps the newest per pair; equal-time ties keep the
+            // later write, which also satisfies "a newest observation".
+            let got = cache.lookup(HostId::new(a), HostId::new(b), now);
+            match (got, expect) {
+                (None, None) => {}
+                (Some(g), Some(_)) => {
+                    // must be one of the newest-time observations for the pair
+                    let newest_t = newest.unwrap().3;
+                    let candidates: Vec<f64> = obs
+                        .iter()
+                        .filter(|&&(x, y, _, t)| {
+                            (x.min(y), x.max(y)) == (a.min(b), a.max(b)) && t == newest_t
+                        })
+                        .map(|&(_, _, bw, _)| bw)
+                        .collect();
+                    prop_assert!(candidates.contains(&g));
+                }
+                (g, e) => prop_assert!(false, "lookup {g:?} vs expected {e:?}"),
+            }
+        }
+    }
+
+    /// Piggyback payloads never exceed the byte budget and only carry
+    /// unexpired entries; absorption is idempotent.
+    #[test]
+    fn piggyback_budget_and_idempotence(obs in arb_observations(), now in 0u64..600) {
+        let config = MonitorConfig::paper_defaults();
+        let mut sender = BandwidthCache::new(config);
+        let now = SimTime::from_secs(now);
+        for &(a, b, bw, t) in &obs {
+            if a == b { continue; }
+            sender.observe(HostId::new(a), HostId::new(b), bw, SimTime::from_secs(t));
+        }
+        let payload = collect(&sender, now);
+        prop_assert!(payload.wire_bytes() <= config.piggyback_budget_bytes);
+        prop_assert_eq!(payload.wire_bytes(), payload.len() * ENTRY_WIRE_BYTES);
+        for e in &payload.entries {
+            prop_assert!(now.saturating_since(e.measurement.at) <= config.t_thres);
+        }
+        let mut receiver = BandwidthCache::new(config);
+        absorb(&mut receiver, &payload);
+        let snapshot: Vec<_> = payload
+            .entries
+            .iter()
+            .map(|e| receiver.measurement(e.a, e.b))
+            .collect();
+        prop_assert_eq!(absorb(&mut receiver, &payload), 0, "second absorb is a no-op");
+        for (e, before) in payload.entries.iter().zip(snapshot) {
+            prop_assert_eq!(receiver.measurement(e.a, e.b), before);
+        }
+    }
+
+    /// Location-vector merge is a join: commutative, associative,
+    /// idempotent, and an upper bound of both inputs.
+    #[test]
+    fn vector_merge_is_semilattice(
+        a in arb_vector(8),
+        b in arb_vector(8),
+        c in arb_vector(8),
+    ) {
+        // Commutative.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Associative.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Idempotent.
+        let mut aa = a.clone();
+        prop_assert!(!aa.merge(&a));
+        prop_assert_eq!(&aa, &a);
+        // Upper bound: the merge result's stamps dominate-or-equal both.
+        for i in 0..8 {
+            let op = OperatorId::new(i);
+            prop_assert!(ab.stamp(op) >= a.stamp(op));
+            prop_assert!(ab.stamp(op) >= b.stamp(op));
+        }
+    }
+
+    /// Dominance is irreflexive and asymmetric, and merge(a,b) dominates
+    /// a strict sub-vector.
+    #[test]
+    fn dominance_properties(a in arb_vector(8), b in arb_vector(8)) {
+        prop_assert!(!a.dominates(&a), "irreflexive");
+        if a.dominates(&b) {
+            prop_assert!(!b.dominates(&a), "asymmetric");
+        }
+        let mut joined = a.clone();
+        joined.merge(&b);
+        // The join is an upper bound of `a`; it strictly dominates `a`
+        // exactly when some stamp increased (a location tie-break alone
+        // does not change stamps).
+        let mut any_stamp_increased = false;
+        for i in 0..8 {
+            let op = OperatorId::new(i);
+            prop_assert!(joined.stamp(op) >= a.stamp(op));
+            any_stamp_increased |= joined.stamp(op) > a.stamp(op);
+        }
+        prop_assert_eq!(joined.dominates(&a), any_stamp_increased);
+    }
+}

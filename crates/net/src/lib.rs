@@ -1,0 +1,35 @@
+//! # wadc-net — the simulated wide-area network
+//!
+//! The network substrate of the paper's simulation, built on the
+//! [`wadc_sim`] kernel and driven by [`wadc_trace`] bandwidth traces:
+//!
+//! - [`link::LinkTable`] — a bandwidth trace per host pair, including the
+//!   paper's 300-configuration generator (random assignment of study
+//!   traces to the links of a complete graph),
+//! - [`network::Network`] — half-duplex single-NIC hosts, 50 ms message
+//!   startup, priority queueing of control traffic, exact transfer times
+//!   integrated over the time-varying traces,
+//! - [`disk::DiskModel`] — the 3 MB/s server disk.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wadc_net::link::LinkTable;
+//! use wadc_trace::model::BandwidthTrace;
+//!
+//! let pool = vec![Arc::new(BandwidthTrace::constant(64_000.0))];
+//! let links = LinkTable::random_from_pool(9, &pool, 42);
+//! assert!(links.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod link;
+pub mod network;
+
+pub use disk::DiskModel;
+pub use link::{LinkTable, OracleView};
+pub use network::{Delivery, NetStats, Network, NetworkParams, StartedTransfer, TransferId, TransferSpec};

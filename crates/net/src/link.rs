@@ -1,0 +1,206 @@
+//! The link table: a bandwidth trace per host pair.
+//!
+//! The paper built each of its 300 network configurations "by different
+//! assignments of the Internet bandwidth traces to the links in a complete
+//! graph of nine nodes". [`LinkTable::random_from_pool`] reproduces that
+//! construction: every link of the complete graph receives a trace drawn
+//! uniformly at random from the study's trace pool.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wadc_plan::bandwidth::BandwidthView;
+use wadc_plan::ids::HostId;
+use wadc_sim::time::SimTime;
+use wadc_trace::model::BandwidthTrace;
+
+/// Per-pair bandwidth traces over a complete graph of hosts.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use wadc_net::link::LinkTable;
+/// use wadc_plan::ids::HostId;
+/// use wadc_sim::time::SimTime;
+/// use wadc_trace::model::BandwidthTrace;
+///
+/// let mut links = LinkTable::new(3);
+/// links.set(HostId::new(0), HostId::new(1), Arc::new(BandwidthTrace::constant(1000.0)));
+/// assert_eq!(
+///     links.bandwidth_at(HostId::new(1), HostId::new(0), SimTime::ZERO),
+///     Some(1000.0)
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    n: usize,
+    traces: Vec<Option<Arc<BandwidthTrace>>>,
+}
+
+impl LinkTable {
+    /// Creates a table over `n` hosts with no traces assigned.
+    pub fn new(n: usize) -> Self {
+        LinkTable {
+            n,
+            traces: vec![None; n * n],
+        }
+    }
+
+    /// The paper's configuration generator: assigns every link of the
+    /// complete graph on `n` hosts a trace drawn uniformly (with
+    /// replacement) from `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    pub fn random_from_pool(n: usize, pool: &[Arc<BandwidthTrace>], seed: u64) -> Self {
+        assert!(!pool.is_empty(), "trace pool must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut table = LinkTable::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let t = pool[rng.gen_range(0..pool.len())].clone();
+                table.set(HostId::new(a), HostId::new(b), t);
+            }
+        }
+        table
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.n
+    }
+
+    /// Assigns a trace to the (symmetric) link between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host is out of range or `a == b`.
+    pub fn set(&mut self, a: HostId, b: HostId, trace: Arc<BandwidthTrace>) {
+        assert!(a.index() < self.n && b.index() < self.n, "host out of range");
+        assert_ne!(a, b, "no self-links");
+        self.traces[a.index() * self.n + b.index()] = Some(trace.clone());
+        self.traces[b.index() * self.n + a.index()] = Some(trace);
+    }
+
+    /// The trace for a link, or `None` if unassigned.
+    pub fn trace(&self, a: HostId, b: HostId) -> Option<&Arc<BandwidthTrace>> {
+        if a == b || a.index() >= self.n || b.index() >= self.n {
+            return None;
+        }
+        self.traces[a.index() * self.n + b.index()].as_ref()
+    }
+
+    /// True bandwidth of a link at time `t`.
+    pub fn bandwidth_at(&self, a: HostId, b: HostId, t: SimTime) -> Option<f64> {
+        self.trace(a, b).map(|tr| tr.bandwidth_at(t))
+    }
+
+    /// Returns `true` if every link of the complete graph has a trace.
+    pub fn is_complete(&self) -> bool {
+        (0..self.n).all(|a| {
+            ((a + 1)..self.n).all(|b| self.trace(HostId::new(a), HostId::new(b)).is_some())
+        })
+    }
+
+    /// An oracle [`BandwidthView`] of the true link bandwidths at time
+    /// `at` — what a perfect on-demand monitoring probe would report.
+    pub fn oracle_at(&self, at: SimTime) -> OracleView<'_> {
+        OracleView { links: self, at }
+    }
+}
+
+/// Point-in-time oracle view over a [`LinkTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct OracleView<'a> {
+    links: &'a LinkTable,
+    at: SimTime,
+}
+
+impl BandwidthView for OracleView<'_> {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        self.links.bandwidth_at(a, b, self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut t = LinkTable::new(4);
+        t.set(h(0), h(3), Arc::new(BandwidthTrace::constant(5.0)));
+        assert!(t.trace(h(3), h(0)).is_some());
+        assert_eq!(t.bandwidth_at(h(0), h(3), SimTime::ZERO), Some(5.0));
+    }
+
+    #[test]
+    fn self_and_out_of_range_links_absent() {
+        let t = LinkTable::new(2);
+        assert!(t.trace(h(0), h(0)).is_none());
+        assert!(t.trace(h(0), h(9)).is_none());
+    }
+
+    #[test]
+    fn random_from_pool_is_complete_and_deterministic() {
+        let pool: Vec<Arc<BandwidthTrace>> = (1..=5)
+            .map(|i| Arc::new(BandwidthTrace::constant(i as f64 * 100.0)))
+            .collect();
+        let a = LinkTable::random_from_pool(9, &pool, 77);
+        let b = LinkTable::random_from_pool(9, &pool, 77);
+        assert!(a.is_complete());
+        for x in 0..9 {
+            for y in (x + 1)..9 {
+                assert_eq!(
+                    a.bandwidth_at(h(x), h(y), SimTime::ZERO),
+                    b.bandwidth_at(h(x), h(y), SimTime::ZERO)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_assignments() {
+        let pool: Vec<Arc<BandwidthTrace>> = (1..=50)
+            .map(|i| Arc::new(BandwidthTrace::constant(i as f64)))
+            .collect();
+        let a = LinkTable::random_from_pool(9, &pool, 1);
+        let b = LinkTable::random_from_pool(9, &pool, 2);
+        let differs = (0..9).any(|x| {
+            ((x + 1)..9).any(|y| {
+                a.bandwidth_at(h(x), h(y), SimTime::ZERO)
+                    != b.bandwidth_at(h(x), h(y), SimTime::ZERO)
+            })
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn incomplete_table_reports_incomplete() {
+        let mut t = LinkTable::new(3);
+        t.set(h(0), h(1), Arc::new(BandwidthTrace::constant(1.0)));
+        assert!(!t.is_complete());
+    }
+
+    #[test]
+    fn oracle_view_tracks_time() {
+        let mut t = LinkTable::new(2);
+        t.set(
+            h(0),
+            h(1),
+            Arc::new(BandwidthTrace::from_steps(&[(0.0, 10.0), (5.0, 99.0)]).unwrap()),
+        );
+        assert_eq!(t.oracle_at(SimTime::ZERO).bandwidth(h(0), h(1)), Some(10.0));
+        assert_eq!(
+            t.oracle_at(SimTime::from_secs(6)).bandwidth(h(0), h(1)),
+            Some(99.0)
+        );
+    }
+}

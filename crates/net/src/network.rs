@@ -1,0 +1,545 @@
+//! The transfer scheduler: half-duplex NICs over traced links.
+//!
+//! Models the paper's network semantics:
+//!
+//! - every host has a **single network interface** — it "can send or
+//!   receive at most one message at a time", so a transfer occupies both
+//!   endpoints' NICs for its whole duration (end-point congestion),
+//! - every message pays a fixed **startup cost** (50 ms in the paper)
+//!   before data flows at the traced, time-varying link bandwidth,
+//! - **high-priority messages** (barriers and other control traffic) are
+//!   "preferentially processed": they overtake queued data messages but do
+//!   not preempt a transfer already in progress.
+//!
+//! The scheduler is a pure data structure: the engine submits transfers,
+//! asks what can start *now*, schedules the returned completion times on
+//! its event queue, and reports completions back.
+
+use std::collections::HashMap;
+
+use wadc_plan::ids::HostId;
+use wadc_sim::resource::Priority;
+use wadc_sim::stats::TimeWeighted;
+use wadc_sim::time::{SimDuration, SimTime};
+
+use crate::link::LinkTable;
+
+/// Handle to a submitted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(u64);
+
+impl TransferId {
+    /// The raw id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Network-wide parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    /// Per-message startup cost (paper: 50 ms).
+    pub startup: SimDuration,
+    /// Concurrent transfers a host can participate in. The paper assumes
+    /// a single half-duplex interface (capacity 1, "send or receive at
+    /// most one message at a time"); the paper notes this assumption "can
+    /// be relaxed", which raising the capacity models (2 ≈ full duplex).
+    pub nic_capacity: usize,
+}
+
+impl NetworkParams {
+    /// The paper's constants.
+    pub fn paper_defaults() -> Self {
+        NetworkParams {
+            startup: SimDuration::from_millis(50),
+            nic_capacity: 1,
+        }
+    }
+
+    /// Paper defaults with a different NIC capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_nic_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a host needs at least one channel");
+        NetworkParams {
+            nic_capacity: capacity,
+            ..NetworkParams::paper_defaults()
+        }
+    }
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams::paper_defaults()
+    }
+}
+
+/// What to transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferSpec {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Queueing priority.
+    pub priority: Priority,
+}
+
+#[derive(Debug)]
+struct Pending<P> {
+    id: TransferId,
+    spec: TransferSpec,
+    payload: P,
+}
+
+#[derive(Debug)]
+struct InFlight<P> {
+    spec: TransferSpec,
+    started: SimTime,
+    payload: P,
+}
+
+/// A transfer that just entered service; the caller must schedule its
+/// completion at `completes_at` and later call [`Network::complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedTransfer {
+    /// The transfer.
+    pub id: TransferId,
+    /// Absolute completion time.
+    pub completes_at: SimTime,
+}
+
+/// A completed transfer handed back to the caller.
+#[derive(Debug)]
+pub struct Delivery<P> {
+    /// The transfer.
+    pub id: TransferId,
+    /// What was transferred.
+    pub spec: TransferSpec,
+    /// When it entered service.
+    pub started: SimTime,
+    /// When it completed.
+    pub completed: SimTime,
+    /// The caller's payload.
+    pub payload: P,
+}
+
+impl<P> Delivery<P> {
+    /// Time spent in service (startup + data transfer).
+    pub fn elapsed(&self) -> SimDuration {
+        self.completed - self.started
+    }
+}
+
+/// Aggregate transfer statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Transfers submitted.
+    pub submitted: u64,
+    /// Transfers completed.
+    pub completed: u64,
+    /// Data bytes delivered.
+    pub bytes_delivered: u64,
+    /// Completed transfers that were high priority.
+    pub high_priority_completed: u64,
+}
+
+/// The network: pending queue, in-flight transfers, NIC occupancy.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use wadc_net::link::LinkTable;
+/// use wadc_net::network::{Network, NetworkParams, TransferSpec};
+/// use wadc_plan::ids::HostId;
+/// use wadc_sim::resource::Priority;
+/// use wadc_sim::time::SimTime;
+/// use wadc_trace::model::BandwidthTrace;
+///
+/// let mut links = LinkTable::new(2);
+/// links.set(HostId::new(0), HostId::new(1), Arc::new(BandwidthTrace::constant(1000.0)));
+/// let mut net: Network<&str> = Network::new(NetworkParams::paper_defaults(), links);
+/// net.submit(
+///     TransferSpec { src: HostId::new(0), dst: HostId::new(1), bytes: 1000, priority: Priority::Normal },
+///     "hello",
+/// );
+/// let started = net.poll_start(SimTime::ZERO);
+/// assert_eq!(started.len(), 1);
+/// // 50 ms startup + 1 s of data.
+/// assert_eq!(started[0].completes_at, SimTime::from_millis(1050));
+/// ```
+#[derive(Debug)]
+pub struct Network<P> {
+    params: NetworkParams,
+    links: LinkTable,
+    /// Number of transfers each host currently participates in.
+    nic_busy: Vec<usize>,
+    nic_usage: Vec<TimeWeighted>,
+    pending: Vec<Pending<P>>,
+    in_flight: HashMap<TransferId, InFlight<P>>,
+    next_id: u64,
+    stats: NetStats,
+}
+
+impl<P> Network<P> {
+    /// Creates a network over the given links.
+    pub fn new(params: NetworkParams, links: LinkTable) -> Self {
+        assert!(params.nic_capacity > 0, "a host needs at least one channel");
+        let n = links.host_count();
+        Network {
+            params,
+            links,
+            nic_busy: vec![0; n],
+            nic_usage: (0..n).map(|_| TimeWeighted::new(SimTime::ZERO, 0.0)).collect(),
+            pending: Vec::new(),
+            in_flight: HashMap::new(),
+            next_id: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The link table.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// The network parameters.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Submits a transfer. It will start once both endpoints' NICs are
+    /// free and no higher-priority (or earlier same-priority) transfer is
+    /// contending for them; call [`Network::poll_start`] to find out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (co-located messages never touch the
+    /// network — the engine delivers them directly) or if the link has no
+    /// trace assigned.
+    pub fn submit(&mut self, spec: TransferSpec, payload: P) -> TransferId {
+        assert_ne!(spec.src, spec.dst, "co-located transfer submitted to the network");
+        assert!(
+            self.links.trace(spec.src, spec.dst).is_some(),
+            "no trace assigned for link {} - {}",
+            spec.src,
+            spec.dst
+        );
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.stats.submitted += 1;
+        self.pending.push(Pending { id, spec, payload });
+        id
+    }
+
+    /// Starts every pending transfer whose endpoints are both free, in
+    /// priority order (high first, FIFO within a class). Returns the
+    /// started transfers with their completion times; the caller schedules
+    /// those completions.
+    ///
+    /// Within a priority class a blocked head-of-line transfer does not
+    /// stop later transfers between *other* hosts from starting
+    /// (work-conserving greedy matching).
+    pub fn poll_start(&mut self, now: SimTime) -> Vec<StartedTransfer> {
+        // Sort stably by priority (High first); submission order is
+        // preserved within a class because ids are monotonic.
+        self.pending
+            .sort_by(|a, b| b.spec.priority.cmp(&a.spec.priority).then(a.id.cmp(&b.id)));
+        let mut started = Vec::new();
+        let mut i = 0;
+        let capacity = self.params.nic_capacity;
+        while i < self.pending.len() {
+            let spec = self.pending[i].spec;
+            if self.nic_busy[spec.src.index()] < capacity
+                && self.nic_busy[spec.dst.index()] < capacity
+            {
+                let p = self.pending.remove(i);
+                self.nic_busy[spec.src.index()] += 1;
+                self.nic_busy[spec.dst.index()] += 1;
+                self.touch_usage(spec, now);
+                let data_start = now + self.params.startup;
+                let trace = self
+                    .links
+                    .trace(spec.src, spec.dst)
+                    .expect("validated at submit");
+                let completes_at = data_start + trace.transfer_duration(spec.bytes, data_start);
+                self.in_flight.insert(
+                    p.id,
+                    InFlight {
+                        spec,
+                        started: now,
+                        payload: p.payload,
+                    },
+                );
+                started.push(StartedTransfer {
+                    id: p.id,
+                    completes_at,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        started
+    }
+
+    /// Completes an in-flight transfer: frees both NICs and returns the
+    /// delivery. The caller should call [`Network::poll_start`] afterwards
+    /// to start any unblocked transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in flight.
+    pub fn complete(&mut self, id: TransferId, now: SimTime) -> Delivery<P> {
+        let f = self
+            .in_flight
+            .remove(&id)
+            .expect("completing a transfer that is not in flight");
+        self.nic_busy[f.spec.src.index()] -= 1;
+        self.nic_busy[f.spec.dst.index()] -= 1;
+        self.touch_usage(f.spec, now);
+        self.stats.completed += 1;
+        self.stats.bytes_delivered += f.spec.bytes;
+        if f.spec.priority == Priority::High {
+            self.stats.high_priority_completed += 1;
+        }
+        Delivery {
+            id,
+            spec: f.spec,
+            started: f.started,
+            completed: now,
+            payload: f.payload,
+        }
+    }
+
+    /// Number of transfers waiting to start.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of transfers in service.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Returns `true` if the host's NIC is at capacity.
+    pub fn nic_busy(&self, host: HostId) -> bool {
+        self.nic_busy[host.index()] >= self.params.nic_capacity
+    }
+
+    /// Records both endpoints' current occupancy fractions.
+    fn touch_usage(&mut self, spec: TransferSpec, now: SimTime) {
+        let cap = self.params.nic_capacity as f64;
+        for h in [spec.src, spec.dst] {
+            let frac = self.nic_busy[h.index()] as f64 / cap;
+            self.nic_usage[h.index()].set(now, frac);
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Fraction of time the host's NIC has been occupied up to `now`.
+    pub fn nic_utilization(&self, host: HostId, now: SimTime) -> f64 {
+        self.nic_usage[host.index()].mean(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wadc_trace::model::BandwidthTrace;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn net(n: usize, bw: f64) -> Network<u32> {
+        let mut links = LinkTable::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                links.set(h(a), h(b), Arc::new(BandwidthTrace::constant(bw)));
+            }
+        }
+        Network::new(NetworkParams::paper_defaults(), links)
+    }
+
+    fn spec(src: usize, dst: usize, bytes: u64) -> TransferSpec {
+        TransferSpec {
+            src: h(src),
+            dst: h(dst),
+            bytes,
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn startup_plus_transfer_time() {
+        let mut n = net(2, 1000.0);
+        n.submit(spec(0, 1, 2000), 0);
+        let s = n.poll_start(SimTime::ZERO);
+        assert_eq!(s[0].completes_at, SimTime::from_millis(2050));
+        assert!(n.nic_busy(h(0)) && n.nic_busy(h(1)));
+        let d = n.complete(s[0].id, s[0].completes_at);
+        assert_eq!(d.elapsed(), SimDuration::from_millis(2050));
+        assert!(!n.nic_busy(h(0)) && !n.nic_busy(h(1)));
+    }
+
+    #[test]
+    fn nic_serialises_transfers_to_same_host() {
+        // Two senders target host 2; only one transfer runs at a time.
+        let mut n = net(3, 1000.0);
+        n.submit(spec(0, 2, 1000), 1);
+        n.submit(spec(1, 2, 1000), 2);
+        let s = n.poll_start(SimTime::ZERO);
+        assert_eq!(s.len(), 1, "second transfer blocked on host 2's NIC");
+        assert_eq!(n.pending_count(), 1);
+        let s2 = n.poll_start(SimTime::from_millis(10));
+        assert!(s2.is_empty(), "still blocked");
+        n.complete(s[0].id, s[0].completes_at);
+        let s3 = n.poll_start(s[0].completes_at);
+        assert_eq!(s3.len(), 1, "unblocked after completion");
+    }
+
+    #[test]
+    fn disjoint_transfers_run_concurrently() {
+        let mut n = net(4, 1000.0);
+        n.submit(spec(0, 1, 1000), 1);
+        n.submit(spec(2, 3, 1000), 2);
+        assert_eq!(n.poll_start(SimTime::ZERO).len(), 2);
+    }
+
+    #[test]
+    fn sender_nic_blocks_second_send() {
+        let mut n = net(3, 1000.0);
+        n.submit(spec(0, 1, 1000), 1);
+        n.submit(spec(0, 2, 1000), 2);
+        assert_eq!(n.poll_start(SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn high_priority_overtakes_queue() {
+        let mut n = net(2, 1000.0);
+        n.submit(spec(0, 1, 1000), 1);
+        let s1 = n.poll_start(SimTime::ZERO); // data transfer in service
+        assert_eq!(s1.len(), 1);
+        n.submit(spec(0, 1, 1000), 2); // queued (normal)
+        let mut high = spec(1, 0, 100);
+        high.priority = Priority::High;
+        n.submit(high, 3); // queued (high) — behind in submission order
+        assert!(
+            n.poll_start(SimTime::from_millis(1)).is_empty(),
+            "no preemption of the transfer in service"
+        );
+        n.complete(s1[0].id, s1[0].completes_at);
+        let s2 = n.poll_start(s1[0].completes_at);
+        assert_eq!(s2.len(), 1);
+        let d = n.complete(s2[0].id, s2[0].completes_at);
+        assert_eq!(d.payload, 3, "high-priority message went first");
+    }
+
+    #[test]
+    fn work_conserving_overtake_between_other_hosts() {
+        // Transfer A occupies hosts 0 and 1; B (0→2) is blocked on host 0,
+        // but C (2→3) is free to go even though it was submitted later.
+        let mut n = net(4, 1000.0);
+        n.submit(spec(0, 1, 1000), 1);
+        n.poll_start(SimTime::ZERO);
+        n.submit(spec(0, 2, 1000), 2);
+        n.submit(spec(2, 3, 1000), 3);
+        let s = n.poll_start(SimTime::ZERO);
+        assert_eq!(s.len(), 1);
+        assert_eq!(n.in_flight_count(), 2);
+        let d = n.complete(s[0].id, s[0].completes_at);
+        assert_eq!(d.payload, 3);
+    }
+
+    #[test]
+    fn transfer_time_tracks_bandwidth_trace() {
+        let mut links = LinkTable::new(2);
+        // 1000 B/s for the first second (after startup), then 100 B/s.
+        links.set(
+            h(0),
+            h(1),
+            Arc::new(BandwidthTrace::from_steps(&[(0.0, 1000.0), (1.05, 100.0)]).unwrap()),
+        );
+        let mut n: Network<()> = Network::new(NetworkParams::paper_defaults(), links);
+        n.submit(spec(0, 1, 1500), ());
+        let s = n.poll_start(SimTime::ZERO);
+        // startup 0.05; data: 1000 B in 1 s, then 500 B at 100 B/s = 5 s.
+        assert_eq!(s[0].completes_at, SimTime::from_millis(6050));
+    }
+
+    #[test]
+    fn capacity_two_allows_concurrent_transfers_per_host() {
+        // With two channels, host 2 can receive from 0 and 1 at once.
+        let mut links = LinkTable::new(3);
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                links.set(h(a), h(b), Arc::new(BandwidthTrace::constant(1000.0)));
+            }
+        }
+        let mut n: Network<u32> =
+            Network::new(NetworkParams::with_nic_capacity(2), links);
+        n.submit(spec(0, 2, 1000), 1);
+        n.submit(spec(1, 2, 1000), 2);
+        n.submit(spec(0, 2, 1000), 3); // host 0 and host 2 both saturated
+        let s = n.poll_start(SimTime::ZERO);
+        assert_eq!(s.len(), 2, "two channels → two concurrent transfers");
+        assert!(n.nic_busy(h(2)));
+        assert!(!n.nic_busy(h(1)));
+        // Utilization reflects fractional occupancy.
+        let u = n.nic_utilization(h(0), SimTime::from_millis(100));
+        assert!((u - 0.5).abs() < 1e-9, "one of two channels busy: {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_capacity_rejected() {
+        let _ = NetworkParams::with_nic_capacity(0);
+    }
+
+    #[test]
+    fn nic_utilization_tracks_busy_time() {
+        let mut n = net(2, 1000.0);
+        n.submit(spec(0, 1, 1000), 0);
+        let s = n.poll_start(SimTime::ZERO);
+        n.complete(s[0].id, s[0].completes_at); // busy 0 .. 1.05 s
+        // At t = 2.1 s each NIC was busy exactly half the time.
+        let u = n.nic_utilization(h(0), SimTime::from_millis(2100));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+        assert_eq!(n.nic_utilization(h(1), SimTime::from_millis(2100)), u);
+    }
+
+    #[test]
+    fn idle_nic_has_zero_utilization() {
+        let n = net(2, 1000.0);
+        assert_eq!(n.nic_utilization(h(0), SimTime::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(2, 1000.0);
+        n.submit(spec(0, 1, 500), 1);
+        let s = n.poll_start(SimTime::ZERO);
+        n.complete(s[0].id, s[0].completes_at);
+        let st = n.stats();
+        assert_eq!(st.submitted, 1);
+        assert_eq!(st.completed, 1);
+        assert_eq!(st.bytes_delivered, 500);
+        assert_eq!(st.high_priority_completed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-located")]
+    fn rejects_self_transfer() {
+        net(2, 1000.0).submit(spec(1, 1, 10), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Bandwidth knowledge for planning.
+//!
+//! The placement algorithms consume "information about network bandwidth
+//! (represented as a sparse matrix)". [`BandwidthView`] is that interface;
+//! [`BwMatrix`] is the concrete sparse symmetric matrix. Entries may be
+//! missing — the monitoring system only knows pairs it has observed — and
+//! the cost model decides what to assume for unknown links.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::HostId;
+
+/// Read access to (estimated) pairwise bandwidth, bytes per second.
+///
+/// Implementations may be an oracle over the true simulated network, a
+/// monitoring cache, or a static matrix. Bandwidth is treated as symmetric,
+/// matching the paper's round-trip-probe methodology.
+pub trait BandwidthView {
+    /// Estimated bandwidth between two hosts, or `None` if unknown.
+    /// `bandwidth(a, a)` is local and should be `None` (callers treat
+    /// same-host edges as free).
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64>;
+}
+
+impl<T: BandwidthView + ?Sized> BandwidthView for &T {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        (**self).bandwidth(a, b)
+    }
+}
+
+/// A sparse symmetric bandwidth matrix.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_plan::bandwidth::{BandwidthView, BwMatrix};
+/// use wadc_plan::ids::HostId;
+///
+/// let mut m = BwMatrix::new(3);
+/// m.set(HostId::new(0), HostId::new(2), 50_000.0);
+/// assert_eq!(m.bandwidth(HostId::new(2), HostId::new(0)), Some(50_000.0));
+/// assert_eq!(m.bandwidth(HostId::new(0), HostId::new(1)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BwMatrix {
+    n: usize,
+    vals: Vec<Option<f64>>,
+}
+
+impl BwMatrix {
+    /// Creates an empty matrix over `n` hosts.
+    pub fn new(n: usize) -> Self {
+        BwMatrix {
+            n,
+            vals: vec![None; n * n],
+        }
+    }
+
+    /// Builds a fully populated matrix from a function of host pairs.
+    pub fn from_fn(n: usize, mut f: impl FnMut(HostId, HostId) -> f64) -> Self {
+        let mut m = BwMatrix::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let bw = f(HostId::new(a), HostId::new(b));
+                m.set(HostId::new(a), HostId::new(b), bw);
+            }
+        }
+        m
+    }
+
+    /// Number of hosts the matrix covers.
+    pub fn host_count(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the (symmetric) bandwidth between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host is out of range or `a == b`.
+    pub fn set(&mut self, a: HostId, b: HostId, bytes_per_sec: f64) {
+        assert!(a.index() < self.n && b.index() < self.n, "host out of range");
+        assert_ne!(a, b, "no self-links");
+        self.vals[a.index() * self.n + b.index()] = Some(bytes_per_sec);
+        self.vals[b.index() * self.n + a.index()] = Some(bytes_per_sec);
+    }
+
+    /// Clears the entry for a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host is out of range.
+    pub fn clear(&mut self, a: HostId, b: HostId) {
+        assert!(a.index() < self.n && b.index() < self.n, "host out of range");
+        self.vals[a.index() * self.n + b.index()] = None;
+        self.vals[b.index() * self.n + a.index()] = None;
+    }
+
+    /// Number of known (unordered) pairs.
+    pub fn known_pairs(&self) -> usize {
+        let mut k = 0;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if self.vals[a * self.n + b].is_some() {
+                    k += 1;
+                }
+            }
+        }
+        k
+    }
+}
+
+impl BandwidthView for BwMatrix {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        if a == b || a.index() >= self.n || b.index() >= self.n {
+            return None;
+        }
+        self.vals[a.index() * self.n + b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_set_get() {
+        let mut m = BwMatrix::new(4);
+        m.set(HostId::new(1), HostId::new(3), 100.0);
+        assert_eq!(m.bandwidth(HostId::new(1), HostId::new(3)), Some(100.0));
+        assert_eq!(m.bandwidth(HostId::new(3), HostId::new(1)), Some(100.0));
+        assert_eq!(m.known_pairs(), 1);
+    }
+
+    #[test]
+    fn self_link_is_none() {
+        let m = BwMatrix::from_fn(3, |_, _| 1.0);
+        assert_eq!(m.bandwidth(HostId::new(1), HostId::new(1)), None);
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let m = BwMatrix::new(2);
+        assert_eq!(m.bandwidth(HostId::new(0), HostId::new(9)), None);
+    }
+
+    #[test]
+    fn from_fn_fills_all_pairs() {
+        let m = BwMatrix::from_fn(5, |a, b| (a.index() + b.index()) as f64);
+        assert_eq!(m.known_pairs(), 10);
+        assert_eq!(m.bandwidth(HostId::new(2), HostId::new(4)), Some(6.0));
+    }
+
+    #[test]
+    fn clear_removes_both_directions() {
+        let mut m = BwMatrix::from_fn(3, |_, _| 5.0);
+        m.clear(HostId::new(0), HostId::new(1));
+        assert_eq!(m.bandwidth(HostId::new(0), HostId::new(1)), None);
+        assert_eq!(m.bandwidth(HostId::new(1), HostId::new(0)), None);
+        assert_eq!(m.known_pairs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-links")]
+    fn set_self_link_panics() {
+        BwMatrix::new(2).set(HostId::new(0), HostId::new(0), 1.0);
+    }
+
+    #[test]
+    fn view_through_reference() {
+        fn takes_view(v: impl BandwidthView) -> Option<f64> {
+            v.bandwidth(HostId::new(0), HostId::new(1))
+        }
+        let mut m = BwMatrix::new(2);
+        m.set(HostId::new(0), HostId::new(1), 7.0);
+        assert_eq!(takes_view(&m), Some(7.0));
+    }
+}

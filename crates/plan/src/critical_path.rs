@@ -1,0 +1,370 @@
+//! Critical-path analysis of a placed combination tree.
+//!
+//! "The execution time is governed by the length of the critical path of
+//! the data-flow tree. Critical path is defined as the length of the
+//! longest path from a server to the final destination (the client)." All
+//! three placement algorithms iteratively shorten this path.
+//!
+//! For a *tree* the longest leaf-to-root path is computable in one
+//! post-order pass (the paper mentions branch-and-bound, which its more
+//! general representation needed; on a tree the exact computation is
+//! linear, so nothing is lost by the direct algorithm).
+
+use crate::bandwidth::BandwidthView;
+use crate::cost::CostModel;
+use crate::ids::{NodeId, OperatorId};
+use crate::placement::{HostRoster, Placement};
+use crate::tree::{CombinationTree, NodeKind};
+
+/// The critical path of a placed tree: its estimated per-partition cost and
+/// the nodes along it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Estimated seconds per partition along the slowest path.
+    pub cost: f64,
+    /// Path node ids from the critical server leaf up to the client root.
+    pub path: Vec<NodeId>,
+}
+
+impl CriticalPath {
+    /// The operators on the critical path, bottom-up.
+    pub fn operators(&self, tree: &CombinationTree) -> Vec<OperatorId> {
+        self.path
+            .iter()
+            .filter_map(|&n| tree.operator_at(n))
+            .collect()
+    }
+}
+
+/// Computes the estimated cost of every node's subtree (seconds per
+/// partition): the node's own processing plus the slowest
+/// `edge + child-subtree` chain below it. Index by [`NodeId::index`].
+pub fn subtree_costs(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    placement: &Placement,
+    view: impl BandwidthView,
+    model: &CostModel,
+) -> Vec<f64> {
+    let mut cost = vec![0.0f64; tree.nodes().len()];
+    for node_id in tree.postorder() {
+        let node = tree.node(node_id);
+        let here = placement.node_host(tree, roster, node_id);
+        let own = match node.kind {
+            NodeKind::Server(_) => model.disk_secs,
+            NodeKind::Operator(_) => model.compute_secs,
+            NodeKind::Client => 0.0,
+        };
+        let slowest_input = node
+            .children
+            .iter()
+            .map(|&c| {
+                let child_host = placement.node_host(tree, roster, c);
+                model.edge_cost(&view, child_host, here) + cost[c.index()]
+            })
+            .fold(0.0f64, f64::max);
+        cost[node_id.index()] = own + slowest_input;
+    }
+    cost
+}
+
+/// Computes the critical path of a placed tree under the cost model.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_plan::bandwidth::BwMatrix;
+/// use wadc_plan::cost::CostModel;
+/// use wadc_plan::critical_path::critical_path;
+/// use wadc_plan::ids::HostId;
+/// use wadc_plan::placement::{HostRoster, Placement};
+/// use wadc_plan::tree::CombinationTree;
+///
+/// let tree = CombinationTree::complete_binary(4)?;
+/// let roster = HostRoster::one_host_per_server(4);
+/// let bw = BwMatrix::from_fn(5, |_, _| 64_000.0);
+/// let p = Placement::download_all(&tree, &roster);
+/// let cp = critical_path(&tree, &roster, &p, &bw, &CostModel::paper_defaults());
+/// assert!(cp.cost > 0.0);
+/// assert_eq!(*cp.path.last().unwrap(), tree.root());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn critical_path(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    placement: &Placement,
+    view: impl BandwidthView,
+    model: &CostModel,
+) -> CriticalPath {
+    let cost = subtree_costs(tree, roster, placement, &view, model);
+    // Walk down from the root following the most expensive input chain.
+    let mut path_rev = vec![tree.root()];
+    let mut cur = tree.root();
+    loop {
+        let node = tree.node(cur);
+        if node.children.is_empty() {
+            break;
+        }
+        let here = placement.node_host(tree, roster, cur);
+        let next = node
+            .children
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let ca = model.edge_cost(&view, placement.node_host(tree, roster, a), here)
+                    + cost[a.index()];
+                let cb = model.edge_cost(&view, placement.node_host(tree, roster, b), here)
+                    + cost[b.index()];
+                ca.partial_cmp(&cb).expect("costs are finite")
+            })
+            .expect("non-leaf has children");
+        path_rev.push(next);
+        cur = next;
+    }
+    path_rev.reverse();
+    CriticalPath {
+        cost: cost[tree.root().index()],
+        path: path_rev,
+    }
+}
+
+/// Cost of the whole placement (the critical-path length); a convenience
+/// for search loops that do not need the path itself.
+pub fn placement_cost(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    placement: &Placement,
+    view: impl BandwidthView,
+    model: &CostModel,
+) -> f64 {
+    subtree_costs(tree, roster, placement, view, model)[tree.root().index()]
+}
+
+/// Per-host NIC occupancy per partition: the summed transfer time of every
+/// remote tree edge incident on the host. Because every host has a single
+/// half-duplex interface, the slowest host's occupancy lower-bounds the
+/// per-partition time regardless of the path structure — this is exactly
+/// the end-point congestion that makes download-all slow (all `n` streams
+/// serialise at the client's NIC) and that the plain critical-path metric
+/// cannot see.
+pub fn nic_occupancy(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    placement: &Placement,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+) -> Vec<f64> {
+    let mut load = vec![0.0f64; roster.host_count()];
+    for (i, node) in tree.nodes().iter().enumerate() {
+        if let Some(parent) = node.parent {
+            let from = placement.node_host(tree, roster, NodeId::new(i));
+            let to = placement.node_host(tree, roster, parent);
+            if from != to {
+                let secs = model.edge_cost(view, from, to);
+                load[from.index()] += secs;
+                load[to.index()] += secs;
+            }
+        }
+    }
+    load
+}
+
+/// Contention-aware placement cost: the maximum of the critical-path
+/// length and the busiest NIC's occupancy. An *extension* over the paper's
+/// plain critical-path objective (see `DESIGN.md`); the ablation bench
+/// quantifies the difference.
+pub fn contended_placement_cost(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    placement: &Placement,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+) -> f64 {
+    let cp = placement_cost(tree, roster, placement, view, model);
+    let nic = nic_occupancy(tree, roster, placement, view, model)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    cp.max(nic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BwMatrix;
+    use crate::ids::HostId;
+
+    fn setup(n: usize) -> (CombinationTree, HostRoster, CostModel) {
+        (
+            CombinationTree::complete_binary(n).unwrap(),
+            HostRoster::one_host_per_server(n),
+            CostModel::paper_defaults(),
+        )
+    }
+
+    #[test]
+    fn path_runs_leaf_to_root() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |_, _| 50_000.0);
+        let p = Placement::download_all(&tree, &roster);
+        let cp = critical_path(&tree, &roster, &p, &bw, &model);
+        assert!(matches!(
+            tree.node(cp.path[0]).kind,
+            NodeKind::Server(_)
+        ));
+        assert_eq!(*cp.path.last().unwrap(), tree.root());
+        // 8 servers: leaf, 3 operators, client = 5 nodes.
+        assert_eq!(cp.path.len(), 5);
+        assert_eq!(cp.operators(&tree).len(), 3);
+    }
+
+    #[test]
+    fn critical_path_follows_slow_link() {
+        let (tree, roster, model) = setup(4);
+        // Server 2's link to the client is 10× slower than everyone else's.
+        let slow = HostId::new(2);
+        let bw = BwMatrix::from_fn(5, |a, b| {
+            if a == slow || b == slow {
+                5_000.0
+            } else {
+                500_000.0
+            }
+        });
+        let p = Placement::download_all(&tree, &roster);
+        let cp = critical_path(&tree, &roster, &p, &bw, &model);
+        assert_eq!(tree.node(cp.path[0]).kind, NodeKind::Server(2));
+    }
+
+    #[test]
+    fn cost_dominates_every_root_leaf_path() {
+        let (tree, roster, model) = setup(8);
+        // Irregular bandwidths.
+        let bw = BwMatrix::from_fn(9, |a, b| 10_000.0 + (a.index() * 7 + b.index() * 13) as f64);
+        let p = Placement::download_all(&tree, &roster);
+        let cp = critical_path(&tree, &roster, &p, &bw, &model);
+        // Recompute each leaf-to-root chain cost by hand; none may exceed cp.
+        for &leaf in tree.server_nodes() {
+            let mut cost = model.disk_secs;
+            let mut cur = leaf;
+            while let Some(parent) = tree.node(cur).parent {
+                let from = p.node_host(&tree, &roster, cur);
+                let to = p.node_host(&tree, &roster, parent);
+                cost += model.edge_cost(&bw, from, to);
+                cost += match tree.node(parent).kind {
+                    NodeKind::Operator(_) => model.compute_secs,
+                    _ => 0.0,
+                };
+                cur = parent;
+            }
+            assert!(
+                cost <= cp.cost + 1e-9,
+                "leaf path cost {cost} exceeds critical path {}",
+                cp.cost
+            );
+        }
+    }
+
+    #[test]
+    fn colocating_everything_leaves_only_server_edges() {
+        let (tree, roster, model) = setup(2);
+        let bw = BwMatrix::from_fn(3, |_, _| 131072.0); // 1 s transfers
+        let p = Placement::download_all(&tree, &roster);
+        let cp = critical_path(&tree, &roster, &p, &bw, &model);
+        // disk + (startup + 1 s) edge + compute at client + free edge to client
+        let expected = model.disk_secs + (0.05 + 1.0) + model.compute_secs;
+        assert!((cp.cost - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_placement_routes_around_slow_link() {
+        let (tree, roster, model) = setup(2);
+        // Server 1's direct link to the client is terrible, but it can reach
+        // server 0 quickly, and server 0 reaches the client at a decent rate.
+        // Relocating the operator to host 0 routes around the bad link —
+        // the paper's core phenomenon.
+        let h0 = HostId::new(0);
+        let h1 = HostId::new(1);
+        let client = roster.client();
+        let mut bw = BwMatrix::new(3);
+        bw.set(h1, client, 2_000.0); // ~65 s per image
+        bw.set(h0, h1, 1_000_000.0); // ~0.13 s per image
+        bw.set(h0, client, 64_000.0); // ~2 s per image
+        let downloaded = Placement::download_all(&tree, &roster);
+        let mut pushed = downloaded.clone();
+        pushed.set_site(OperatorId::new(0), h0);
+        let c_down = placement_cost(&tree, &roster, &downloaded, &bw, &model);
+        let c_push = placement_cost(&tree, &roster, &pushed, &bw, &model);
+        assert!(
+            c_push < c_down / 5.0,
+            "pushed {c_push} should be far below download-all {c_down}"
+        );
+    }
+
+    #[test]
+    fn nic_occupancy_sees_download_all_congestion() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |_, _| 131_072.0); // ~1 s per image
+        let p = Placement::download_all(&tree, &roster);
+        let load = nic_occupancy(&tree, &roster, &p, &bw, &model);
+        // The client receives 8 streams: ~8x the per-edge time; each
+        // server sends one.
+        let client_load = load[roster.client().index()];
+        let server_load = load[0];
+        assert!((client_load / server_load - 8.0).abs() < 1e-9);
+        // The contended cost therefore exceeds the plain critical path.
+        let cp = placement_cost(&tree, &roster, &p, &bw, &model);
+        let contended = contended_placement_cost(&tree, &roster, &p, &bw, &model);
+        assert!(contended > cp);
+        assert!((contended - client_load).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributing_operators_reduces_contended_cost() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |_, _| 131_072.0);
+        let downloaded = Placement::download_all(&tree, &roster);
+        // Spread level-0 operators onto their left-child server hosts.
+        let mut spread = downloaded.clone();
+        for i in 0..tree.operator_count() {
+            let op = OperatorId::new(i);
+            let node = tree.operator_node(op);
+            if tree.node(node).level == 0 {
+                let left = tree.node(node).children[0];
+                spread.set_site(op, downloaded.node_host(&tree, &roster, left));
+            }
+        }
+        let c_down = contended_placement_cost(&tree, &roster, &downloaded, &bw, &model);
+        let c_spread = contended_placement_cost(&tree, &roster, &spread, &bw, &model);
+        assert!(
+            c_spread < c_down,
+            "spreading operators should relieve the client NIC: {c_spread} vs {c_down}"
+        );
+    }
+
+    #[test]
+    fn colocated_placement_has_zero_intermediate_occupancy() {
+        let (tree, roster, model) = setup(4);
+        let bw = BwMatrix::from_fn(5, |_, _| 50_000.0);
+        let p = Placement::download_all(&tree, &roster);
+        let load = nic_occupancy(&tree, &roster, &p, &bw, &model);
+        // Only server→client edges exist; inter-operator edges are local.
+        let per_edge = model.edge_cost(&bw, wadc_helper_h(0), roster.client());
+        assert!((load[roster.client().index()] - 4.0 * per_edge).abs() < 1e-9);
+    }
+
+    fn wadc_helper_h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    #[test]
+    fn subtree_costs_monotone_up_the_tree() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |_, _| 64_000.0);
+        let p = Placement::download_all(&tree, &roster);
+        let costs = subtree_costs(&tree, &roster, &p, &bw, &model);
+        for (i, node) in tree.nodes().iter().enumerate() {
+            for &c in &node.children {
+                assert!(costs[i] >= costs[c.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! Distinct newtypes keep hosts, tree nodes and operators from being mixed
+//! up at compile time: a [`HostId`] names a machine participating in the
+//! computation, a [`NodeId`] names a node of the combination tree, and an
+//! [`OperatorId`] names a combination operator (an internal tree node) —
+//! the unit the placement algorithms move between hosts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A participating host (a server machine or the client machine).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct HostId(usize);
+
+impl HostId {
+    /// Creates a host id from an index.
+    pub const fn new(index: usize) -> Self {
+        HostId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A node of the combination tree (server leaf, operator, or client root).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from an index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A combination operator: an internal node of the tree, and the unit of
+/// relocation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct OperatorId(usize);
+
+impl OperatorId {
+    /// Creates an operator id from an index.
+    pub const fn new(index: usize) -> Self {
+        OperatorId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(HostId::new(3).index(), 3);
+        assert_eq!(NodeId::new(7).index(), 7);
+        assert_eq!(OperatorId::new(0).index(), 0);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(HostId::new(2).to_string(), "h2");
+        assert_eq!(NodeId::new(2).to_string(), "n2");
+        assert_eq!(OperatorId::new(2).to_string(), "op2");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(HostId::new(1) < HostId::new(2));
+        assert!(OperatorId::new(0) < OperatorId::new(5));
+    }
+}

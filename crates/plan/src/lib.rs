@@ -1,0 +1,50 @@
+//! # wadc-plan — combination plans and their cost analysis
+//!
+//! The vocabulary of the paper's planning problem:
+//!
+//! - [`ids`] — typed identifiers for hosts, tree nodes and operators,
+//! - [`tree::CombinationTree`] — the data-flow tree (complete-binary or
+//!   left-deep ordering),
+//! - [`placement::Placement`] — the assignment of operators to hosts, with
+//!   the "download-all" base case,
+//! - [`bandwidth`] — the sparse bandwidth matrix the algorithms consume,
+//! - [`cost::CostModel`] — the paper's cost constants (50 ms startup,
+//!   3 MB/s disk, 7 µs/pixel composition, 128 KB images),
+//! - [`mod@critical_path`] — the longest server-to-client path that all three
+//!   placement algorithms iteratively shorten.
+//!
+//! # Examples
+//!
+//! ```
+//! use wadc_plan::bandwidth::BwMatrix;
+//! use wadc_plan::cost::CostModel;
+//! use wadc_plan::critical_path::placement_cost;
+//! use wadc_plan::placement::{HostRoster, Placement};
+//! use wadc_plan::tree::CombinationTree;
+//!
+//! let tree = CombinationTree::complete_binary(8)?;
+//! let roster = HostRoster::one_host_per_server(8);
+//! let bw = BwMatrix::from_fn(9, |_, _| 64_000.0);
+//! let p = Placement::download_all(&tree, &roster);
+//! let secs = placement_cost(&tree, &roster, &p, &bw, &CostModel::paper_defaults());
+//! assert!(secs > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod cost;
+pub mod critical_path;
+pub mod ids;
+pub mod ordering;
+pub mod placement;
+pub mod tree;
+
+pub use bandwidth::{BandwidthView, BwMatrix};
+pub use cost::CostModel;
+pub use critical_path::{critical_path, placement_cost, CriticalPath};
+pub use ids::{HostId, NodeId, OperatorId};
+pub use placement::{HostRoster, Placement, PlacementError};
+pub use tree::{CombinationTree, NodeKind, TreeError, TreeShape};

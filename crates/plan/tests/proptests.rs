@@ -1,0 +1,158 @@
+//! Property-based tests of trees, placements and critical-path analysis.
+
+use proptest::prelude::*;
+use wadc_plan::bandwidth::BwMatrix;
+use wadc_plan::cost::CostModel;
+use wadc_plan::critical_path::{critical_path, placement_cost, subtree_costs};
+use wadc_plan::ids::{HostId, NodeId, OperatorId};
+use wadc_plan::placement::{HostRoster, Placement};
+use wadc_plan::tree::{CombinationTree, NodeKind, TreeShape};
+
+fn arb_shape() -> impl Strategy<Value = TreeShape> {
+    prop_oneof![Just(TreeShape::CompleteBinary), Just(TreeShape::LeftDeep)]
+}
+
+/// A random bandwidth matrix over `n` hosts from a seed.
+fn bw_from_seed(n: usize, seed: u64) -> BwMatrix {
+    BwMatrix::from_fn(n, |a, b| {
+        let h = (a.index() as u64 + 13)
+            .wrapping_mul(b.index() as u64 + 41)
+            .wrapping_mul(seed | 1);
+        1_000.0 + (h % 100_000) as f64
+    })
+}
+
+/// A random valid placement from a seed.
+fn placement_from_seed(tree: &CombinationTree, roster: &HostRoster, seed: u64) -> Placement {
+    let mut p = Placement::download_all(tree, roster);
+    for i in 0..tree.operator_count() {
+        let h = (seed.wrapping_mul(6364136223846793005).wrapping_add((i as u64).wrapping_mul(1442695040888963407))
+            >> 33) as usize
+            % roster.host_count();
+        p.set_site(OperatorId::new(i), HostId::new(h));
+    }
+    p
+}
+
+proptest! {
+    /// Both builders produce structurally valid trees with n-1 operators.
+    #[test]
+    fn trees_are_well_formed(shape in arb_shape(), n in 2usize..40) {
+        let tree = CombinationTree::build(shape, n).expect("n >= 2");
+        prop_assert_eq!(tree.check_invariants(), Ok(()));
+        prop_assert_eq!(tree.server_count(), n);
+        prop_assert_eq!(tree.operator_count(), n - 1);
+        prop_assert_eq!(tree.nodes().len(), 2 * n);
+        // Every operator level is below the depth, and all levels up to
+        // depth-1 are inhabited (the epoch wavefront needs this).
+        let depth = tree.depth();
+        let mut seen = vec![false; depth];
+        for i in 0..tree.operator_count() {
+            let l = tree.operator_level(OperatorId::new(i));
+            prop_assert!(l < depth);
+            seen[l] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// The critical path cost dominates the cost of every leaf-to-root
+    /// chain, and the reported path is one that attains it.
+    #[test]
+    fn critical_path_dominates_all_paths(
+        shape in arb_shape(),
+        n in 2usize..20,
+        bw_seed in any::<u64>(),
+        p_seed in any::<u64>(),
+    ) {
+        let tree = CombinationTree::build(shape, n).expect("n >= 2");
+        let roster = HostRoster::one_host_per_server(n);
+        let bw = bw_from_seed(n + 1, bw_seed);
+        let placement = placement_from_seed(&tree, &roster, p_seed);
+        let model = CostModel::paper_defaults();
+        let cp = critical_path(&tree, &roster, &placement, &bw, &model);
+
+        let chain_cost = |leaf: NodeId| {
+            let mut cost = model.disk_secs;
+            let mut cur = leaf;
+            while let Some(parent) = tree.node(cur).parent {
+                cost += model.edge_cost(
+                    &bw,
+                    placement.node_host(&tree, &roster, cur),
+                    placement.node_host(&tree, &roster, parent),
+                );
+                if matches!(tree.node(parent).kind, NodeKind::Operator(_)) {
+                    cost += model.compute_secs;
+                }
+                cur = parent;
+            }
+            cost
+        };
+        for &leaf in tree.server_nodes() {
+            prop_assert!(chain_cost(leaf) <= cp.cost + 1e-9);
+        }
+        // The returned path starts at a server, ends at the root, and its
+        // chain cost equals the reported cost.
+        prop_assert!(matches!(tree.node(cp.path[0]).kind, NodeKind::Server(_)));
+        prop_assert_eq!(*cp.path.last().unwrap(), tree.root());
+        prop_assert!((chain_cost(cp.path[0]) - cp.cost).abs() < 1e-9);
+    }
+
+    /// Subtree costs are monotone along parent links and the root cost
+    /// equals `placement_cost`.
+    #[test]
+    fn subtree_costs_consistent(
+        shape in arb_shape(),
+        n in 2usize..20,
+        bw_seed in any::<u64>(),
+        p_seed in any::<u64>(),
+    ) {
+        let tree = CombinationTree::build(shape, n).expect("n >= 2");
+        let roster = HostRoster::one_host_per_server(n);
+        let bw = bw_from_seed(n + 1, bw_seed);
+        let placement = placement_from_seed(&tree, &roster, p_seed);
+        let model = CostModel::paper_defaults();
+        let costs = subtree_costs(&tree, &roster, &placement, &bw, &model);
+        for (i, node) in tree.nodes().iter().enumerate() {
+            for &c in &node.children {
+                prop_assert!(costs[i] >= costs[c.index()] - 1e-12);
+            }
+        }
+        let total = placement_cost(&tree, &roster, &placement, &bw, &model);
+        prop_assert_eq!(costs[tree.root().index()], total);
+    }
+
+    /// Co-locating an operator with both its producers and its consumer
+    /// never increases the total cost relative to placing it on an
+    /// isolated slow host (sanity of the edge-cost structure).
+    #[test]
+    fn colocated_edges_are_free(n in 2usize..12, bw_seed in any::<u64>()) {
+        let tree = CombinationTree::complete_binary(n).expect("n >= 2");
+        let roster = HostRoster::one_host_per_server(n);
+        let bw = bw_from_seed(n + 1, bw_seed);
+        let model = CostModel::paper_defaults();
+        // All operators at the client: every inter-operator edge is free,
+        // so total cost is bounded by slowest (server→client edge) plus
+        // the chain of computes.
+        let p = Placement::download_all(&tree, &roster);
+        let total = placement_cost(&tree, &roster, &p, &bw, &model);
+        let max_edge = (0..n)
+            .map(|s| model.edge_cost(&bw, roster.server_host(s), roster.client()))
+            .fold(0.0f64, f64::max);
+        let bound = model.disk_secs + max_edge + tree.depth() as f64 * model.compute_secs;
+        prop_assert!(total <= bound + 1e-9);
+    }
+
+    /// Placement `diff` returns exactly the operators whose sites differ.
+    #[test]
+    fn placement_diff_is_exact(n in 2usize..20, p_seed in any::<u64>(), q_seed in any::<u64>()) {
+        let tree = CombinationTree::complete_binary(n).expect("n >= 2");
+        let roster = HostRoster::one_host_per_server(n);
+        let p = placement_from_seed(&tree, &roster, p_seed);
+        let q = placement_from_seed(&tree, &roster, q_seed);
+        let diff = p.diff(&q);
+        for i in 0..tree.operator_count() {
+            let op = OperatorId::new(i);
+            prop_assert_eq!(diff.contains(&op), p.site(op) != q.site(op));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The future event list.
+//!
+//! A simulation is driven by popping events off an [`EventQueue`] in
+//! non-decreasing time order. Ties are broken by scheduling order (a
+//! monotonically increasing sequence number), which makes the execution
+//! order a *total* order and hence the whole simulation deterministic.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Returns the raw sequence number backing this id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops first.
+        (other.at, other.id).cmp(&(self.at, self.id))
+    }
+}
+
+/// A deterministic future event list over payload type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_sim::event::EventQueue;
+/// use wadc_sim::time::{SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(SimDuration::from_secs(2), "second");
+/// q.schedule_in(SimDuration::from_secs(1), "first");
+/// let (t, _, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(1), "first"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (not cancelled) events still scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; in debug builds it panics,
+    /// in release builds the event fires "now" (at the current clock value).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than [`EventQueue::now`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling event in the past");
+        let at = at.max(self.now);
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, id, payload });
+        id
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` to fire at the current time, after all events
+    /// already scheduled for the current time.
+    pub fn schedule_now(&mut self, payload: E) -> EventId {
+        self.schedule(self.now, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (and will now never fire), `false` if it had already
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply know whether the id is still in the heap, so track
+        // the cancellation and filter on pop; double-cancel is a no-op.
+        if self.cancelled.contains(&id) {
+            return false;
+        }
+        // Only mark ids that might still be queued.
+        let live = self.heap.iter().any(|s| s.id == id);
+        if live {
+            self.cancelled.insert(id);
+        }
+        live
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.id) {
+                continue;
+            }
+            self.now = s.at;
+            return Some((s.at, s.id, s.payload));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            match self.heap.peek() {
+                None => return None,
+                Some(s) if self.cancelled.contains(&s.id) => {
+                    let s = self.heap.pop().expect("peeked element exists");
+                    self.cancelled.remove(&s.id);
+                }
+                Some(s) => return Some(s.at),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        let (_, _, e) = q.pop().unwrap();
+        assert_eq!(e, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), ());
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn schedule_now_orders_after_existing_same_time_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule_now(2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(5), "second");
+        let (t, _, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+}

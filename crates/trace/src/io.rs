@@ -1,0 +1,135 @@
+//! Trace persistence.
+//!
+//! Traces and summaries serialize to JSON so figure binaries can archive
+//! the exact inputs of a run and the examples can ship canned traces.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::model::{BandwidthTrace, Sample, TraceError};
+
+/// Errors from reading or writing trace files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file was not valid JSON for a trace.
+    Format(serde_json::Error),
+    /// The decoded samples violate trace invariants.
+    Invalid(TraceError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "trace file I/O failed: {e}"),
+            IoError::Format(e) => write!(f, "trace file is not valid JSON: {e}"),
+            IoError::Invalid(e) => write!(f, "trace file violates invariants: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Format(e) => Some(e),
+            IoError::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Format(e)
+    }
+}
+
+/// Writes `trace` to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on filesystem failure.
+pub fn save_trace(trace: &BandwidthTrace, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let json = serde_json::to_string(trace.samples()).expect("samples always serialize");
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a trace previously written by [`save_trace`].
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on filesystem failure, [`IoError::Format`] for
+/// malformed JSON and [`IoError::Invalid`] if the samples violate trace
+/// invariants (unsorted, empty, non-positive bandwidth).
+pub fn load_trace(path: impl AsRef<Path>) -> Result<BandwidthTrace, IoError> {
+    let data = fs::read_to_string(path)?;
+    let samples: Vec<Sample> = serde_json::from_str(&data)?;
+    BandwidthTrace::from_samples(samples).map_err(IoError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthParams};
+    use wadc_sim::time::SimDuration;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wadc-trace-io-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip() {
+        let tr = generate(
+            &SynthParams::wide_area(50_000.0),
+            SimDuration::from_mins(30),
+            9,
+        );
+        let path = tmp("roundtrip");
+        save_trace(&tr, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        // JSON float formatting may not be bit-exact; compare within 1e-9
+        // relative, which is far below any bandwidth the model cares about.
+        assert_eq!(tr.len(), back.len());
+        for (a, b) in tr.samples().iter().zip(back.samples()) {
+            assert_eq!(a.at, b.at);
+            assert!((a.bytes_per_sec - b.bytes_per_sec).abs() / a.bytes_per_sec < 1e-9);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage_json() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(matches!(load_trace(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_invalid_samples() {
+        let path = tmp("invalid");
+        // Valid JSON, but bandwidth is negative.
+        std::fs::write(&path, r#"[{"at":0,"bytes_per_sec":-5.0}]"#).unwrap();
+        assert!(matches!(load_trace(&path), Err(IoError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            load_trace("/definitely/not/here.json"),
+            Err(IoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! The multi-day Internet bandwidth study.
+//!
+//! The paper: "we conducted a multi-day study of Internet bandwidth for a
+//! large number of host-pairs. This study included US hosts (east coast,
+//! west coast, midwest and south), European hosts (in Spain, France and
+//! Austria) and one host in Brazil... For the experiments described in this
+//! paper, we extracted trace segments starting at noon."
+//!
+//! [`BandwidthStudy::conduct`] reproduces that study synthetically: it
+//! generates a two-day trace for every pair of study hosts, with base
+//! bandwidths chosen by region pair (1997-era wide-area capacities), and
+//! exposes noon-aligned segments as the trace pool from which network
+//! configurations are built.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wadc_sim::rng::derive_seed2;
+use wadc_sim::time::{SimDuration, SimTime};
+
+use crate::model::BandwidthTrace;
+use crate::synth::{generate, SynthParams};
+
+/// Geographic region of a study host, as enumerated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// US east coast.
+    UsEast,
+    /// US west coast.
+    UsWest,
+    /// US midwest.
+    UsMidwest,
+    /// US south.
+    UsSouth,
+    /// Spain.
+    Spain,
+    /// France.
+    France,
+    /// Austria.
+    Austria,
+    /// Brazil.
+    Brazil,
+}
+
+impl Region {
+    /// All regions covered by the study.
+    pub const ALL: [Region; 8] = [
+        Region::UsEast,
+        Region::UsWest,
+        Region::UsMidwest,
+        Region::UsSouth,
+        Region::Spain,
+        Region::France,
+        Region::Austria,
+        Region::Brazil,
+    ];
+
+    fn is_us(self) -> bool {
+        matches!(
+            self,
+            Region::UsEast | Region::UsWest | Region::UsMidwest | Region::UsSouth
+        )
+    }
+
+    fn is_europe(self) -> bool {
+        matches!(self, Region::Spain | Region::France | Region::Austria)
+    }
+
+    /// Nominal UTC offset in hours, used to phase the diurnal cycle.
+    pub fn utc_offset_hours(self) -> f64 {
+        match self {
+            Region::UsEast => -5.0,
+            Region::UsWest => -8.0,
+            Region::UsMidwest => -6.0,
+            Region::UsSouth => -6.0,
+            Region::Spain | Region::France | Region::Austria => 1.0,
+            Region::Brazil => -3.0,
+        }
+    }
+}
+
+/// A host that participated in the bandwidth study.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyHost {
+    /// Short site name, e.g. `"umd"`.
+    pub name: String,
+    /// The host's region.
+    pub region: Region,
+}
+
+impl StudyHost {
+    /// Creates a study host.
+    pub fn new(name: impl Into<String>, region: Region) -> Self {
+        StudyHost {
+            name: name.into(),
+            region,
+        }
+    }
+}
+
+/// The ten-site host list used by default, mirroring the paper's coverage:
+/// four US regions, Spain, France, Austria and one Brazilian host.
+pub fn default_hosts() -> Vec<StudyHost> {
+    vec![
+        StudyHost::new("umd", Region::UsEast),
+        StudyHost::new("cornell", Region::UsEast),
+        StudyHost::new("ucsb", Region::UsWest),
+        StudyHost::new("ucla", Region::UsWest),
+        StudyHost::new("wisc", Region::UsMidwest),
+        StudyHost::new("utexas", Region::UsSouth),
+        StudyHost::new("upm", Region::Spain),
+        StudyHost::new("inria", Region::France),
+        StudyHost::new("tuwien", Region::Austria),
+        StudyHost::new("ufmg", Region::Brazil),
+    ]
+}
+
+/// Base-bandwidth range (bytes/sec) for a region pair: 1997-era
+/// application-level TCP throughput between well-connected academic sites.
+fn base_range(a: Region, b: Region) -> (f64, f64) {
+    const KB: f64 = 1024.0;
+    if a == Region::Brazil || b == Region::Brazil {
+        (4.0 * KB, 16.0 * KB)
+    } else if a.is_us() && b.is_us() {
+        if a == b {
+            (100.0 * KB, 300.0 * KB)
+        } else {
+            (40.0 * KB, 150.0 * KB)
+        }
+    } else if a.is_europe() && b.is_europe() {
+        (25.0 * KB, 80.0 * KB)
+    } else {
+        // transatlantic
+        (10.0 * KB, 48.0 * KB)
+    }
+}
+
+/// Identifier of an unordered host pair within a study: `(i, j)` with `i < j`.
+pub type PairId = (usize, usize);
+
+/// The synthetic multi-day bandwidth study: one two-day trace per host pair.
+#[derive(Debug, Clone)]
+pub struct BandwidthStudy {
+    hosts: Vec<StudyHost>,
+    duration: SimDuration,
+    traces: BTreeMap<PairId, Arc<BandwidthTrace>>,
+}
+
+impl BandwidthStudy {
+    /// Conducts the study: generates one trace of `duration` per unordered
+    /// pair of `hosts`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two hosts are supplied.
+    pub fn conduct(hosts: Vec<StudyHost>, duration: SimDuration, seed: u64) -> Self {
+        assert!(hosts.len() >= 2, "a study needs at least two hosts");
+        let mut traces = BTreeMap::new();
+        for i in 0..hosts.len() {
+            for j in (i + 1)..hosts.len() {
+                let pair_seed = derive_seed2(seed, i as u64, j as u64);
+                let mut rng = StdRng::seed_from_u64(pair_seed);
+                let (lo, hi) = base_range(hosts[i].region, hosts[j].region);
+                // Log-uniform base draw spreads pairs across the range.
+                let base = lo * (hi / lo).powf(rng.gen::<f64>());
+                let params = SynthParams {
+                    // Diurnal phase follows the midpoint of the two sites'
+                    // time zones; traces start at local midnight.
+                    start_hour: ((hosts[i].region.utc_offset_hours()
+                        + hosts[j].region.utc_offset_hours())
+                        / 2.0)
+                        .rem_euclid(24.0),
+                    ..SynthParams::wide_area(base)
+                };
+                let trace = generate(&params, duration, rng.gen());
+                traces.insert((i, j), Arc::new(trace));
+            }
+        }
+        BandwidthStudy {
+            hosts,
+            duration,
+            traces,
+        }
+    }
+
+    /// Conducts the default study: the ten default hosts over two days.
+    pub fn default_study(seed: u64) -> Self {
+        BandwidthStudy::conduct(default_hosts(), SimDuration::from_hours(48), seed)
+    }
+
+    /// The studied hosts.
+    pub fn hosts(&self) -> &[StudyHost] {
+        &self.hosts
+    }
+
+    /// Duration covered by every trace.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Number of host pairs (i.e. traces) in the study.
+    pub fn pair_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// The full trace for a host pair, or `None` for an unknown pair.
+    /// The pair may be given in either order.
+    pub fn trace(&self, a: usize, b: usize) -> Option<&Arc<BandwidthTrace>> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.traces.get(&key)
+    }
+
+    /// Extracts the segment of every trace starting at noon of the first
+    /// day ("all experiments were run as if they started at noon") and
+    /// lasting `window`, returning the pool the experiments draw from.
+    pub fn noon_trace_pool(&self, window: SimDuration) -> Vec<Arc<BandwidthTrace>> {
+        let noon = SimTime::from_secs(12 * 3600);
+        self.traces
+            .values()
+            .map(|t| Arc::new(t.extract(noon, window)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_study_shape() {
+        let hosts = default_hosts();
+        assert_eq!(hosts.len(), 10);
+        // Coverage: all 8 regions appear.
+        for r in Region::ALL {
+            assert!(hosts.iter().any(|h| h.region == r), "{r:?} missing");
+        }
+    }
+
+    #[test]
+    fn study_has_all_pairs() {
+        let study = BandwidthStudy::conduct(
+            default_hosts()[..5].to_vec(),
+            SimDuration::from_hours(1),
+            42,
+        );
+        assert_eq!(study.pair_count(), 10);
+        assert!(study.trace(0, 1).is_some());
+        assert!(study.trace(1, 0).is_some(), "order-insensitive lookup");
+        assert!(study.trace(0, 0).is_none());
+        assert!(study.trace(0, 99).is_none());
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = BandwidthStudy::conduct(default_hosts(), SimDuration::from_mins(30), 7);
+        let b = BandwidthStudy::conduct(default_hosts(), SimDuration::from_mins(30), 7);
+        for (k, t) in &a.traces {
+            assert_eq!(**t, **b.traces.get(k).unwrap());
+        }
+    }
+
+    #[test]
+    fn brazil_pairs_are_slowest_class() {
+        let study = BandwidthStudy::default_study(3);
+        let hosts = study.hosts();
+        let brazil = hosts.iter().position(|h| h.region == Region::Brazil).unwrap();
+        let us_east: Vec<usize> = hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.region == Region::UsEast)
+            .map(|(i, _)| i)
+            .collect();
+        let t_brazil = study.trace(brazil, us_east[0]).unwrap();
+        let t_us = study.trace(us_east[0], us_east[1]).unwrap();
+        let end = SimTime::ZERO + SimDuration::from_hours(48);
+        assert!(
+            t_brazil.mean_bandwidth(end) < t_us.mean_bandwidth(end),
+            "Brazil links should be slower than intra-US-east links"
+        );
+    }
+
+    #[test]
+    fn noon_pool_extracts_window() {
+        let study = BandwidthStudy::conduct(
+            default_hosts()[..3].to_vec(),
+            SimDuration::from_hours(24),
+            1,
+        );
+        let pool = study.noon_trace_pool(SimDuration::from_hours(2));
+        assert_eq!(pool.len(), 3);
+        for t in &pool {
+            assert!(t.last_sample_time() <= SimTime::ZERO + SimDuration::from_hours(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn study_rejects_single_host() {
+        BandwidthStudy::conduct(default_hosts()[..1].to_vec(), SimDuration::from_mins(1), 0);
+    }
+
+    #[test]
+    fn base_ranges_ordered_sensibly() {
+        let (brazil_lo, _) = base_range(Region::Brazil, Region::UsEast);
+        let (_, us_hi) = base_range(Region::UsEast, Region::UsEast);
+        assert!(brazil_lo < us_hi);
+        let (ta_lo, ta_hi) = base_range(Region::UsEast, Region::France);
+        let (eu_lo, eu_hi) = base_range(Region::Spain, Region::Austria);
+        assert!(ta_lo <= eu_lo && ta_hi <= eu_hi, "transatlantic ≤ intra-EU");
+    }
+}

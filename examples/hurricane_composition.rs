@@ -1,0 +1,106 @@
+//! Hurricane-imagery composition: the application itself, run on real
+//! pixels.
+//!
+//! The simulation engine only tracks image *sizes*; this example runs the
+//! actual composition operator the paper describes (pairwise pixel
+//! selection with expansion of the smaller image) over a complete binary
+//! combination tree, on synthetic satellite passes, and reports what the
+//! operators at each tree level produced.
+//!
+//! ```sh
+//! cargo run --release --example hurricane_composition
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wadc::app::compose::{compose, compose_secs, SelectRule, PAPER_SECS_PER_PIXEL};
+use wadc::app::image::{Image, SizeDistribution};
+use wadc::plan::ids::NodeId;
+use wadc::plan::tree::{CombinationTree, NodeKind};
+
+fn main() {
+    let n_servers = 8;
+    let tree = CombinationTree::complete_binary(n_servers).expect("8 servers is plenty");
+    let dist = SizeDistribution::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // One "satellite pass" per server, sizes from the paper's measured
+    // distribution (Normal(128 KB, 25%)), scaled down 16× so the example
+    // runs instantly.
+    let passes: Vec<Image> = (0..n_servers)
+        .map(|s| {
+            let mut dims = dist.sample(&mut rng);
+            dims = wadc::app::image::ImageDims::new(dims.width / 4, dims.height / 4);
+            Image::synthetic(dims, 7000 + s as u64)
+        })
+        .collect();
+    for (s, img) in passes.iter().enumerate() {
+        println!(
+            "server {s}: {}x{} ({} KB)",
+            img.dims().width,
+            img.dims().height,
+            img.dims().bytes() / 1024
+        );
+    }
+
+    // Evaluate the tree bottom-up: servers yield their pass, operators
+    // compose their children.
+    let mut outputs: Vec<Option<Image>> = vec![None; tree.nodes().len()];
+    let mut modelled_compute = 0.0;
+    for node_id in tree.postorder() {
+        let node = tree.node(node_id);
+        let out = match node.kind {
+            NodeKind::Server(s) => passes[s].clone(),
+            NodeKind::Operator(op) => {
+                let take = |slot: &mut Option<Image>| slot.take().expect("children evaluated");
+                let left = take(&mut outputs[node.children[0].index()]);
+                let right = take(&mut outputs[node.children[1].index()]);
+                let composed = compose(&left, &right, SelectRule::Max);
+                modelled_compute += compose_secs(composed.dims(), PAPER_SECS_PER_PIXEL);
+                println!(
+                    "operator {op} (level {}): {}x{} + {}x{} -> {}x{}",
+                    node.level,
+                    left.dims().width,
+                    left.dims().height,
+                    right.dims().width,
+                    right.dims().height,
+                    composed.dims().width,
+                    composed.dims().height,
+                );
+                composed
+            }
+            NodeKind::Client => take_child(&tree, &mut outputs, node_id),
+        };
+        outputs[node_id.index()] = Some(out);
+    }
+
+    let final_image = outputs[tree.root().index()].take().expect("root evaluated");
+    let mean: f64 = final_image.pixels().iter().map(|&p| p as f64).sum::<f64>()
+        / final_image.dims().pixels() as f64;
+    println!(
+        "\ncomposite delivered to client: {}x{} ({} KB), mean brightness {mean:.1}",
+        final_image.dims().width,
+        final_image.dims().height,
+        final_image.dims().bytes() / 1024,
+    );
+    println!(
+        "modelled composition cost at 7 us/pixel: {modelled_compute:.3} s across {} operators",
+        tree.operator_count()
+    );
+
+    // Maximum-value compositing brightens: every output pixel is >= both
+    // inputs' pixels, so the composite is at least as bright as any pass.
+    for (s, img) in passes.iter().enumerate() {
+        let pass_mean: f64 =
+            img.pixels().iter().map(|&p| p as f64).sum::<f64>() / img.dims().pixels() as f64;
+        assert!(
+            mean >= pass_mean - 1.0,
+            "composite dimmer than pass {s} — compositing is broken"
+        );
+    }
+}
+
+fn take_child(tree: &CombinationTree, outputs: &mut [Option<Image>], node: NodeId) -> Image {
+    let child = tree.node(node).children[0];
+    outputs[child.index()].take().expect("child evaluated")
+}

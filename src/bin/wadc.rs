@@ -1,0 +1,340 @@
+//! `wadc` — command-line driver for the wide-area data combination
+//! simulator.
+//!
+//! ```sh
+//! wadc run   [--servers N] [--algorithm A] [--period-mins M] [--shape S] [--seed S] [--images N] [--audit]
+//! wadc study [--configs N] [--servers N] [--seed S] [--threads T]
+//! wadc trace [--pair A,B] [--seed S] [--window-hours H]
+//! wadc plan  [--servers N] [--seed S] [--objective critical-path|contended]
+//! ```
+
+use std::collections::HashMap;
+
+use wadc::core::algorithms::one_shot::{one_shot_placement, Objective};
+use wadc::core::engine::{Algorithm, AuditEvent};
+use wadc::core::experiment::Experiment;
+use wadc::core::study::{run_study_parallel, StudyParams};
+use wadc::plan::cost::CostModel;
+use wadc::plan::critical_path::{critical_path, nic_occupancy};
+use wadc::plan::ids::OperatorId;
+use wadc::plan::placement::{HostRoster, Placement};
+use wadc::plan::tree::{CombinationTree, TreeShape};
+use wadc::sim::time::{SimDuration, SimTime};
+use wadc::trace::stats::summarize;
+use wadc::trace::study::BandwidthStudy;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wadc <run|study|trace|plan> [flags]
+
+run    simulate one configuration under one algorithm
+         --servers N (8)  --algorithm download-all|one-shot|global|local (global)
+         --period-mins M (10)  --shape binary|left-deep (binary)
+         --seed S (1998)  --config I (0)  --images N (180)  --audit
+study  run a multi-configuration comparison of all four algorithms
+         --configs N (50)  --servers N (8)  --seed S (1998)  --threads T (auto)
+trace  characterise the synthetic bandwidth study
+         --pair A,B (0,7)  --seed S (1998)  --window-hours H (12)
+plan   compute and print a one-shot placement for a random world
+         --servers N (8)  --seed S (1998)  --config I (0)
+         --objective critical-path|contended (critical-path)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        if !key.starts_with("--") {
+            eprintln!("unexpected argument {key}");
+            usage();
+        }
+        if key == "--audit" {
+            flags.insert(key, "true".to_string());
+            i += 1;
+        } else {
+            if i + 1 >= args.len() {
+                eprintln!("{key} requires a value");
+                usage();
+            }
+            flags.insert(key, args[i + 1].clone());
+            i += 2;
+        }
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {key}: {v}");
+            usage()
+        }),
+    }
+}
+
+fn algorithm_from(flags: &HashMap<String, String>) -> Algorithm {
+    let period = SimDuration::from_mins(flag(flags, "--period-mins", 10u64));
+    match flags.get("--algorithm").map(String::as_str).unwrap_or("global") {
+        "download-all" => Algorithm::DownloadAll,
+        "one-shot" => Algorithm::OneShot,
+        "global" => Algorithm::Global { period },
+        "local" => Algorithm::Local {
+            period,
+            extra_candidates: flag(flags, "--extra-candidates", 0usize),
+        },
+        other => {
+            eprintln!("unknown algorithm {other}");
+            usage()
+        }
+    }
+}
+
+fn shape_from(flags: &HashMap<String, String>) -> TreeShape {
+    match flags.get("--shape").map(String::as_str).unwrap_or("binary") {
+        "binary" => TreeShape::CompleteBinary,
+        "left-deep" => TreeShape::LeftDeep,
+        other => {
+            eprintln!("unknown shape {other}");
+            usage()
+        }
+    }
+}
+
+fn build_experiment(flags: &HashMap<String, String>) -> Experiment {
+    let servers = flag(flags, "--servers", 8usize);
+    let seed = flag(flags, "--seed", 1998u64);
+    let config = flag(flags, "--config", 0u64);
+    let study = BandwidthStudy::default_study(seed);
+    let mut exp = Experiment::from_study(servers, &study, SimDuration::from_hours(24), config, seed)
+        .with_tree_shape(shape_from(flags));
+    let images = flag(flags, "--images", 180usize);
+    let mut workload = exp.template().workload;
+    workload.images_per_server = images;
+    exp.template_mut().workload = workload;
+    exp
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let exp = build_experiment(&flags);
+    let algorithm = algorithm_from(&flags);
+    println!(
+        "running {} servers x {} images under {}...",
+        exp.template().n_servers,
+        exp.template().workload.images_per_server,
+        algorithm.name()
+    );
+    let baseline = exp.run(Algorithm::DownloadAll);
+    let r = exp.run(algorithm);
+    println!(
+        "completed: {} | total {:.0} s | {:.1} s/image | speedup over download-all {:.2}x",
+        r.completed,
+        r.completion_time.as_secs_f64(),
+        r.mean_interarrival_secs(),
+        r.speedup_over(&baseline)
+    );
+    println!(
+        "planner runs {} | change-overs {} | relocations {} | wire bytes {}",
+        r.planner_runs, r.changeovers, r.relocations, r.net_stats.bytes_delivered
+    );
+    if flags.contains_key("--audit") {
+        println!("\naudit log ({} events):", r.audit.len());
+        for e in r.audit.events() {
+            match e {
+                AuditEvent::PlannerRan {
+                    at,
+                    cost_before,
+                    cost_after,
+                    changed,
+                } => println!(
+                    "{:>8.0}s planner: {cost_before:.2}s -> {cost_after:.2}s per partition{}",
+                    at.as_secs_f64(),
+                    if *changed { " (placement changed)" } else { "" }
+                ),
+                AuditEvent::ChangeoverProposed { at, version, moves } => println!(
+                    "{:>8.0}s change-over v{version} proposed ({moves} moves)",
+                    at.as_secs_f64()
+                ),
+                AuditEvent::ServerSuspended {
+                    at,
+                    server,
+                    reported_iteration,
+                    ..
+                } => println!(
+                    "{:>8.0}s server {server} suspended at iteration {reported_iteration}",
+                    at.as_secs_f64()
+                ),
+                AuditEvent::ChangeoverCommitted {
+                    at,
+                    version,
+                    switch_iteration,
+                } => println!(
+                    "{:>8.0}s change-over v{version} committed, switch at iteration {switch_iteration}",
+                    at.as_secs_f64()
+                ),
+                AuditEvent::LocalDecision {
+                    at, op, level, from, to,
+                } => println!(
+                    "{:>8.0}s local decision: {op} (level {level}) {from} -> {to}",
+                    at.as_secs_f64()
+                ),
+                AuditEvent::RelocationStarted {
+                    at, op, from, to, ..
+                } => println!("{:>8.0}s {op} moving {from} -> {to}", at.as_secs_f64()),
+                AuditEvent::RelocationFinished { at, op, host } => {
+                    println!("{:>8.0}s {op} resumed at {host}", at.as_secs_f64())
+                }
+            }
+        }
+    }
+}
+
+fn cmd_study(flags: HashMap<String, String>) {
+    let mut params = StudyParams::paper_main(flag(&flags, "--seed", 1998u64));
+    params.n_configs = flag(&flags, "--configs", 50usize);
+    params.n_servers = flag(&flags, "--servers", 8usize);
+    let threads = flag(
+        &flags,
+        "--threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    println!(
+        "running {} configurations x 4 algorithms ({} servers, {} threads)...",
+        params.n_configs, params.n_servers, threads
+    );
+    let results = run_study_parallel(&params, threads);
+    println!("\nalgorithm   mean speedup  median  mean inter-arrival");
+    println!(
+        "download-all        1.00    1.00  {:>10.1} s",
+        results.mean_interarrival_download_all()
+    );
+    for (i, name) in ["one-shot", "global", "local"].iter().enumerate() {
+        println!(
+            "{name:<12}{:>8.2}{:>8.2}  {:>10.1} s",
+            results.mean_speedup(i),
+            results.median_speedup(i),
+            results.mean_interarrival(i)
+        );
+    }
+}
+
+fn cmd_trace(flags: HashMap<String, String>) {
+    let seed = flag(&flags, "--seed", 1998u64);
+    let window = SimDuration::from_hours(flag(&flags, "--window-hours", 12u64));
+    let pair = flags
+        .get("--pair")
+        .map(String::as_str)
+        .unwrap_or("0,7")
+        .to_string();
+    let (a, b) = pair
+        .split_once(',')
+        .and_then(|(x, y)| Some((x.parse().ok()?, y.parse().ok()?)))
+        .unwrap_or_else(|| {
+            eprintln!("--pair must be two comma-separated host indices");
+            usage()
+        });
+    let study = BandwidthStudy::default_study(seed);
+    let hosts = study.hosts();
+    let Some(trace) = study.trace(a, b) else {
+        eprintln!(
+            "unknown pair ({a}, {b}); the study has hosts 0..{}",
+            hosts.len()
+        );
+        std::process::exit(2);
+    };
+    let s = summarize(trace, window);
+    println!(
+        "{} - {} over {:.0} h: mean {:.1} KB/s, range {:.1}..{:.1} KB/s, cv {:.2}",
+        hosts[a].name,
+        hosts[b].name,
+        window.as_secs_f64() / 3600.0,
+        s.mean_bytes_per_sec / 1024.0,
+        s.min_bytes_per_sec / 1024.0,
+        s.max_bytes_per_sec / 1024.0,
+        s.coefficient_of_variation
+    );
+    match s.mean_change_interval_secs {
+        Some(secs) => println!(">=10% bandwidth changes every {secs:.0} s on average"),
+        None => println!("bandwidth never changes by >=10%"),
+    }
+}
+
+fn cmd_plan(flags: HashMap<String, String>) {
+    let servers = flag(&flags, "--servers", 8usize);
+    let seed = flag(&flags, "--seed", 1998u64);
+    let config = flag(&flags, "--config", 0u64);
+    let objective = match flags
+        .get("--objective")
+        .map(String::as_str)
+        .unwrap_or("critical-path")
+    {
+        "critical-path" => Objective::CriticalPath,
+        "contended" => Objective::Contended,
+        other => {
+            eprintln!("unknown objective {other}");
+            usage()
+        }
+    };
+    let study = BandwidthStudy::default_study(seed);
+    let exp = Experiment::from_study(servers, &study, SimDuration::from_hours(24), config, seed);
+    let tree = CombinationTree::complete_binary(servers).expect("servers >= 2");
+    let roster = HostRoster::one_host_per_server(servers);
+    let model = CostModel::paper_defaults();
+    let view = exp.links().oracle_at(SimTime::ZERO);
+
+    let download_all = Placement::download_all(&tree, &roster);
+    let da_cp = critical_path(&tree, &roster, &download_all, view, &model);
+    println!("download-all critical path: {:.2} s/partition", da_cp.cost);
+
+    let result = match objective {
+        Objective::CriticalPath => one_shot_placement(&tree, &roster, view, &model),
+        Objective::Contended => wadc::core::algorithms::one_shot::improve_placement_by(
+            &tree,
+            &roster,
+            download_all.clone(),
+            view,
+            &model,
+            Objective::Contended,
+        ),
+    };
+    println!(
+        "one-shot placement ({} iterations): {:.2} s/partition",
+        result.iterations, result.cost
+    );
+    for i in 0..tree.operator_count() {
+        let op = OperatorId::new(i);
+        println!(
+            "  {op} (level {}) -> {}",
+            tree.operator_level(op),
+            result.placement.site(op)
+        );
+    }
+    let occupancy = nic_occupancy(&tree, &roster, &result.placement, view, &model);
+    let busiest = occupancy
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "busiest NIC: host {} at {:.2} s/partition",
+        busiest.0, busiest.1
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "run" => cmd_run(flags),
+        "study" => cmd_study(flags),
+        "trace" => cmd_trace(flags),
+        "plan" => cmd_plan(flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,218 @@
+//! Protocol properties verified from the outside through the audit log:
+//! barrier ordering, light-move timing, wavefront staggering.
+
+use wadc::core::engine::{Algorithm, AuditEvent};
+use wadc::core::experiment::Experiment;
+use wadc::sim::time::SimTime;
+use wadc::sim::time::SimDuration;
+
+fn global_run(seed: u64) -> wadc::core::engine::RunResult {
+    Experiment::quick(6, seed).run(Algorithm::Global {
+        period: SimDuration::from_secs(15),
+    })
+}
+
+fn local_run(seed: u64) -> wadc::core::engine::RunResult {
+    Experiment::quick(6, seed).run(Algorithm::Local {
+        period: SimDuration::from_secs(15),
+        extra_candidates: 1,
+    })
+}
+
+#[test]
+fn audit_events_are_chronological() {
+    for seed in 0..6 {
+        for r in [global_run(seed), local_run(seed)] {
+            let mut prev = SimTime::ZERO;
+            for e in r.audit.events() {
+                assert!(e.at() >= prev, "audit log out of order");
+                prev = e.at();
+            }
+        }
+    }
+}
+
+#[test]
+fn every_global_relocation_follows_a_commit() {
+    for seed in 0..8 {
+        let r = global_run(seed);
+        let events = r.audit.events();
+        for (i, e) in events.iter().enumerate() {
+            if let AuditEvent::RelocationStarted { at, .. } = e {
+                // Some commit happened earlier (or at the same instant).
+                let committed_before = events[..=i].iter().any(|x| {
+                    matches!(x, AuditEvent::ChangeoverCommitted { at: c, .. } if c <= at)
+                });
+                assert!(
+                    committed_before,
+                    "seed {seed}: relocation without a prior commit"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn commits_follow_reports_from_every_server() {
+    for seed in 0..8 {
+        let r = global_run(seed);
+        let events = r.audit.events();
+        for (i, e) in events.iter().enumerate() {
+            if let AuditEvent::ChangeoverCommitted { version, .. } = e {
+                let suspensions: Vec<usize> = events[..i]
+                    .iter()
+                    .filter_map(|x| match x {
+                        AuditEvent::ServerSuspended {
+                            server, version: v, ..
+                        } if v == version => Some(*server),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(
+                    suspensions.len(),
+                    6,
+                    "seed {seed}: commit v{version} without all six server reports"
+                );
+                let unique: std::collections::HashSet<usize> =
+                    suspensions.iter().copied().collect();
+                assert_eq!(unique.len(), 6, "duplicate server reports for one version");
+            }
+        }
+    }
+}
+
+#[test]
+fn proposals_precede_their_commits() {
+    for seed in 0..8 {
+        let r = global_run(seed);
+        let events = r.audit.events();
+        for (i, e) in events.iter().enumerate() {
+            if let AuditEvent::ChangeoverCommitted { version, .. } = e {
+                assert!(
+                    events[..i].iter().any(|x| matches!(
+                        x,
+                        AuditEvent::ChangeoverProposed { version: v, .. } if v == version
+                    )),
+                    "seed {seed}: commit v{version} without a proposal"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relocation_finish_matches_start() {
+    for seed in 0..8 {
+        for r in [global_run(seed), local_run(seed)] {
+            let events = r.audit.events();
+            let mut in_flight = std::collections::HashMap::new();
+            for e in events {
+                match e {
+                    AuditEvent::RelocationStarted { op, to, .. } => {
+                        let prev = in_flight.insert(*op, *to);
+                        assert!(prev.is_none(), "operator {op} moved twice concurrently");
+                    }
+                    AuditEvent::RelocationFinished { op, host, .. } => {
+                        let expected = in_flight.remove(op);
+                        assert_eq!(
+                            expected,
+                            Some(*host),
+                            "operator {op} finished at an unexpected host"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                in_flight.is_empty(),
+                "operators still in flight at end of run"
+            );
+            assert_eq!(
+                r.audit.relocations().count() as u32,
+                r.relocations,
+                "audit log and counter disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn local_decisions_follow_the_wavefront_levels() {
+    // Within each epoch-tick instant, all decisions carry the same level,
+    // and successive decision instants cycle levels 0, 1, 2, ...
+    for seed in 0..8 {
+        let r = local_run(seed);
+        let mut by_time: Vec<(SimTime, usize)> = Vec::new();
+        for e in r.audit.events() {
+            if let AuditEvent::LocalDecision { at, level, .. } = e {
+                by_time.push((*at, *level));
+            }
+        }
+        for w in by_time.windows(2) {
+            let ((t1, l1), (t2, l2)) = (w[0], w[1]);
+            if t1 == t2 {
+                assert_eq!(l1, l2, "mixed levels within one epoch tick");
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_never_reports_a_worse_result_than_its_start() {
+    for seed in 0..8 {
+        let r = global_run(seed);
+        for e in r.audit.events() {
+            if let AuditEvent::PlannerRan {
+                cost_before,
+                cost_after,
+                ..
+            } = e
+            {
+                assert!(
+                    *cost_after <= cost_before + 1e-9,
+                    "seed {seed}: search regressed {cost_before} -> {cost_after}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_audit_is_consistent_under_the_contended_objective() {
+    // Regression test: cost_before and cost_after must be measured under
+    // the same objective, or contended runs log spurious regressions.
+    use wadc::core::algorithms::one_shot::Objective;
+    for seed in 0..6 {
+        let exp = Experiment::quick(6, seed).with_objective(Objective::Contended);
+        let r = exp.run(Algorithm::Global {
+            period: SimDuration::from_secs(15),
+        });
+        for e in r.audit.events() {
+            if let AuditEvent::PlannerRan {
+                cost_before,
+                cost_after,
+                ..
+            } = e
+            {
+                assert!(
+                    *cost_after <= cost_before + 1e-9,
+                    "seed {seed}: contended search regressed {cost_before} -> {cost_after}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_shot_audit_has_exactly_one_planner_event() {
+    let r = Experiment::quick(4, 3).run(Algorithm::OneShot);
+    let planner_events = r
+        .audit
+        .events()
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::PlannerRan { .. }))
+        .count();
+    assert_eq!(planner_events, 1);
+    assert_eq!(r.audit.changeovers().count(), 0);
+    assert_eq!(r.audit.relocations().count(), 0);
+}

@@ -1,0 +1,135 @@
+//! Protocol-level invariants of the demand-driven engine, exercised across
+//! randomized configurations, algorithms, tree shapes and server counts.
+//! These run in debug mode, so the engine's internal `debug_assert!`s
+//! (light-move, ordered gathers, single-output slots) are armed.
+
+use wadc::core::engine::Algorithm;
+use wadc::core::experiment::Experiment;
+use wadc::sim::time::SimDuration;
+use wadc::TreeShape;
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::DownloadAll,
+        Algorithm::OneShot,
+        Algorithm::Global {
+            period: SimDuration::from_secs(45),
+        },
+        Algorithm::Local {
+            period: SimDuration::from_secs(45),
+            extra_candidates: 1,
+        },
+    ]
+}
+
+#[test]
+fn random_worlds_always_complete_in_order() {
+    for seed in 0..8u64 {
+        let exp = Experiment::quick(4, seed);
+        for alg in algorithms() {
+            let r = exp.run(alg);
+            assert!(r.completed, "seed {seed}, {}", alg.name());
+            assert_eq!(r.images_delivered, 8);
+            for w in r.arrivals.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}
+
+#[test]
+fn odd_server_counts_are_supported() {
+    // Non-power-of-two trees exercise the unbalanced-builder paths.
+    for n in [2usize, 3, 5, 6, 7, 9] {
+        let exp = Experiment::quick(n, 3);
+        for alg in algorithms() {
+            let r = exp.run(alg);
+            assert!(r.completed, "{n} servers, {}", alg.name());
+            assert_eq!(r.images_delivered, 8);
+        }
+    }
+}
+
+#[test]
+fn both_tree_shapes_run_every_algorithm() {
+    for shape in [TreeShape::CompleteBinary, TreeShape::LeftDeep] {
+        let exp = Experiment::quick(6, 9).with_tree_shape(shape);
+        for alg in algorithms() {
+            let r = exp.run(alg);
+            assert!(r.completed, "{shape:?}, {}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn runs_are_bit_for_bit_deterministic() {
+    for alg in algorithms() {
+        let a = Experiment::quick(5, 17).run(alg);
+        let b = Experiment::quick(5, 17).run(alg);
+        assert_eq!(a.arrivals, b.arrivals, "{}", alg.name());
+        assert_eq!(a.relocations, b.relocations);
+        assert_eq!(a.changeovers, b.changeovers);
+        assert_eq!(a.planner_runs, b.planner_runs);
+        assert_eq!(a.net_stats.submitted, b.net_stats.submitted);
+        assert_eq!(a.net_stats.bytes_delivered, b.net_stats.bytes_delivered);
+    }
+}
+
+#[test]
+fn interarrival_statistics_are_consistent() {
+    let r = Experiment::quick(4, 21).run(Algorithm::OneShot);
+    assert_eq!(r.interarrival.count(), r.arrivals.len() as u64);
+    // Mean inter-arrival × count == completion time (first gap measured
+    // from t = 0).
+    let reconstructed = r.mean_interarrival_secs() * r.arrivals.len() as f64;
+    assert!((reconstructed - r.completion_time.as_secs_f64()).abs() < 1e-6);
+}
+
+#[test]
+fn static_algorithms_never_transfer_operator_state() {
+    for seed in 0..5u64 {
+        let exp = Experiment::quick(4, seed);
+        assert_eq!(exp.run(Algorithm::DownloadAll).relocations, 0);
+        assert_eq!(exp.run(Algorithm::OneShot).relocations, 0);
+    }
+}
+
+#[test]
+fn every_wire_message_is_accounted() {
+    let exp = Experiment::quick(4, 7);
+    let r = exp.run(Algorithm::DownloadAll);
+    let s = r.net_stats;
+    assert_eq!(s.submitted, s.completed, "no transfers left in flight");
+    assert!(s.bytes_delivered > 0);
+}
+
+#[test]
+fn single_image_workload_works() {
+    use wadc::app::image::SizeDistribution;
+    use wadc::app::workload::WorkloadParams;
+    let exp = Experiment::quick(4, 2).with_workload(WorkloadParams {
+        images_per_server: 1,
+        sizes: SizeDistribution::paper_defaults(),
+    });
+    for alg in algorithms() {
+        let r = exp.run(alg);
+        assert!(r.completed, "{}", alg.name());
+        assert_eq!(r.images_delivered, 1);
+    }
+}
+
+#[test]
+fn very_frequent_relocation_still_terminates() {
+    // A 5-second period at quick scale forces many planning rounds and
+    // change-overs mid-pipeline; the barrier protocol must never wedge.
+    let exp = Experiment::quick(6, 13);
+    let r = exp.run(Algorithm::Global {
+        period: SimDuration::from_secs(5),
+    });
+    assert!(r.completed, "barrier protocol wedged");
+    let r = exp.run(Algorithm::Local {
+        period: SimDuration::from_secs(5),
+        extra_candidates: 3,
+    });
+    assert!(r.completed, "local wavefront wedged");
+}
