@@ -11,12 +11,10 @@
 //! Images are single-channel (one byte per pixel), matching AVHRR-style
 //! satellite products, so `pixels == bytes`.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use wadc_sim::rng::Rng64;
 
 /// Width and height of an image, pixels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ImageDims {
     /// Width in pixels.
     pub width: u32,
@@ -60,7 +58,7 @@ impl ImageDims {
 }
 
 /// Parameters of the image-size distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizeDistribution {
     /// Mean image size, bytes (paper: 128 KB).
     pub mean_bytes: f64,
@@ -82,11 +80,9 @@ impl SizeDistribution {
 
     /// Samples image dimensions whose byte size follows the distribution,
     /// truncated to `[mean/8, mean*4]` to avoid degenerate draws.
-    pub fn sample(&self, rng: &mut impl Rng) -> ImageDims {
-        let normal = Normal::new(self.mean_bytes, self.mean_bytes * self.rel_std_dev)
-            .expect("finite size distribution");
-        let bytes = normal
-            .sample(rng)
+    pub fn sample(&self, rng: &mut Rng64) -> ImageDims {
+        let bytes = rng
+            .normal(self.mean_bytes, self.mean_bytes * self.rel_std_dev)
             .clamp(self.mean_bytes / 8.0, self.mean_bytes * 4.0);
         // bytes = w * h, w = aspect * h  →  h = sqrt(bytes / aspect)
         let h = (bytes / self.aspect).sqrt().round().max(1.0) as u32;
@@ -105,7 +101,7 @@ impl Default for SizeDistribution {
 ///
 /// The simulation only tracks [`ImageDims`]; full images are materialised
 /// by the examples and the composition tests.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Image {
     dims: ImageDims,
     pixels: Vec<u8>,
@@ -176,8 +172,6 @@ impl Image {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn dims_arithmetic() {
@@ -203,7 +197,7 @@ mod tests {
     #[test]
     fn size_distribution_matches_paper_statistics() {
         let dist = SizeDistribution::paper_defaults();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let sizes: Vec<f64> = (0..4000).map(|_| dist.sample(&mut rng).bytes() as f64).collect();
         let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
         let sd = (sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / sizes.len() as f64)
@@ -222,7 +216,7 @@ mod tests {
     #[test]
     fn samples_are_truncated() {
         let dist = SizeDistribution::paper_defaults();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         for _ in 0..2000 {
             let b = dist.sample(&mut rng).bytes() as f64;
             assert!(b >= dist.mean_bytes / 8.0 - dist.mean_bytes * 0.01);

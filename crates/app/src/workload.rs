@@ -5,15 +5,12 @@
 //! delivered to the client." The simulation tracks only sizes; the
 //! examples materialise full images with [`crate::image::Image::synthetic`].
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
-use wadc_sim::rng::derive_seed2;
+use wadc_sim::rng::{derive_seed2, Rng64};
 
 use crate::image::{ImageDims, SizeDistribution};
 
 /// Workload parameters, defaulting to the paper's experiment setup.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadParams {
     /// Images served by each server (paper: 180).
     pub images_per_server: usize,
@@ -38,7 +35,7 @@ impl Default for WorkloadParams {
 }
 
 /// One server's image sequence (sizes only — the simulation's view).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerWorkload {
     dims: Vec<ImageDims>,
 }
@@ -49,7 +46,7 @@ impl ServerWorkload {
     pub fn generate(params: &WorkloadParams, server_index: usize, seed: u64) -> Self {
         const WORKLOAD_STREAM: u64 = 0x774F_524B; // ASCII "wORK"
         let mut rng =
-            StdRng::seed_from_u64(derive_seed2(seed, WORKLOAD_STREAM, server_index as u64));
+            Rng64::seed_from_u64(derive_seed2(seed, WORKLOAD_STREAM, server_index as u64));
         ServerWorkload {
             dims: (0..params.images_per_server)
                 .map(|_| params.sizes.sample(&mut rng))
@@ -88,7 +85,7 @@ impl ServerWorkload {
 }
 
 /// The full experiment workload: one sequence per server.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
     servers: Vec<ServerWorkload>,
 }

@@ -1,82 +1,111 @@
-//! Property-based tests of the composition operator.
+//! Randomized tests of the composition operator. Cases are drawn from the
+//! in-repo [`Rng64`] so runs are deterministic.
 
-use proptest::prelude::*;
 use wadc_app::compose::{compose, expand, SelectRule};
 use wadc_app::image::{Image, ImageDims, SizeDistribution};
+use wadc_sim::rng::{derive_seed2, Rng64};
 
-fn arb_image() -> impl Strategy<Value = Image> {
-    (1u32..40, 1u32..40, any::<u64>())
-        .prop_map(|(w, h, seed)| Image::synthetic(ImageDims::new(w, h), seed))
+const CASES: u64 = 48;
+
+fn case_rng(test: u64, case: u64) -> Rng64 {
+    Rng64::seed_from_u64(derive_seed2(0xA44, test, case))
 }
 
-proptest! {
-    /// The composite has the larger input's dimensions and every pixel is
-    /// the max (resp. min) of the corresponding expanded inputs.
-    #[test]
-    fn compose_selects_pixelwise(a in arb_image(), b in arb_image()) {
+fn arb_image(rng: &mut Rng64) -> Image {
+    let w = rng.range_u64(1, 39) as u32;
+    let h = rng.range_u64(1, 39) as u32;
+    Image::synthetic(ImageDims::new(w, h), rng.next_u64())
+}
+
+/// The composite has the larger input's dimensions and every pixel is the
+/// max (resp. min) of the corresponding expanded inputs.
+#[test]
+fn compose_selects_pixelwise() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let a = arb_image(&mut rng);
+        let b = arb_image(&mut rng);
         let out = compose(&a, &b, SelectRule::Max);
         let dims = a.dims().larger(b.dims());
-        prop_assert_eq!(out.dims(), dims);
+        assert_eq!(out.dims(), dims);
         let ea = expand(&a, dims);
         let eb = expand(&b, dims);
         for ((o, x), y) in out.pixels().iter().zip(ea.pixels()).zip(eb.pixels()) {
-            prop_assert_eq!(*o, (*x).max(*y));
+            assert_eq!(*o, (*x).max(*y));
         }
         let out_min = compose(&a, &b, SelectRule::Min);
         for ((o, x), y) in out_min.pixels().iter().zip(ea.pixels()).zip(eb.pixels()) {
-            prop_assert_eq!(*o, (*x).min(*y));
+            assert_eq!(*o, (*x).min(*y));
         }
     }
+}
 
-    /// Composition is commutative and idempotent.
-    #[test]
-    fn compose_algebra(a in arb_image(), b in arb_image()) {
-        prop_assert_eq!(
+/// Composition is commutative and idempotent.
+#[test]
+fn compose_algebra() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let a = arb_image(&mut rng);
+        let b = arb_image(&mut rng);
+        assert_eq!(
             compose(&a, &b, SelectRule::Max),
             compose(&b, &a, SelectRule::Max)
         );
-        prop_assert_eq!(compose(&a, &a, SelectRule::Max), a.clone());
+        assert_eq!(compose(&a, &a, SelectRule::Max), a.clone());
     }
+}
 
-    /// Max-compositing never darkens: the composite dominates both
-    /// expanded inputs pixelwise (the cloud-removal property).
-    #[test]
-    fn max_compose_brightens(a in arb_image(), b in arb_image()) {
+/// Max-compositing never darkens: the composite dominates both expanded
+/// inputs pixelwise (the cloud-removal property).
+#[test]
+fn max_compose_brightens() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let a = arb_image(&mut rng);
+        let b = arb_image(&mut rng);
         let out = compose(&a, &b, SelectRule::Max);
         let ea = expand(&a, out.dims());
         for (o, x) in out.pixels().iter().zip(ea.pixels()) {
-            prop_assert!(o >= x);
+            assert!(o >= x);
         }
     }
+}
 
-    /// Expansion preserves the pixel value set (nearest neighbour invents
-    /// no new values) and hits the requested dimensions.
-    #[test]
-    fn expand_no_new_values(img in arb_image(), fx in 1u32..4, fy in 1u32..4) {
+/// Expansion preserves the pixel value set (nearest neighbour invents no
+/// new values) and hits the requested dimensions.
+#[test]
+fn expand_no_new_values() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let img = arb_image(&mut rng);
+        let fx = rng.range_u64(1, 3) as u32;
+        let fy = rng.range_u64(1, 3) as u32;
         let target = ImageDims::new(img.dims().width * fx, img.dims().height * fy);
         let big = expand(&img, target);
-        prop_assert_eq!(big.dims(), target);
+        assert_eq!(big.dims(), target);
         let original: std::collections::HashSet<u8> = img.pixels().iter().copied().collect();
         for p in big.pixels() {
-            prop_assert!(original.contains(p));
+            assert!(original.contains(p));
         }
     }
+}
 
-    /// Sampled sizes always land in the truncation range and build valid
-    /// dimensions.
-    #[test]
-    fn size_samples_in_range(seed in any::<u64>()) {
-        use rand::SeedableRng;
+/// Sampled sizes always land in the truncation range and build valid
+/// dimensions.
+#[test]
+fn size_samples_in_range() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
         let dist = SizeDistribution::paper_defaults();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sample_rng = Rng64::seed_from_u64(rng.next_u64());
         for _ in 0..50 {
-            let dims = dist.sample(&mut rng);
+            let dims = dist.sample(&mut sample_rng);
             let bytes = dims.bytes() as f64;
-            prop_assert!(bytes >= dist.mean_bytes / 8.0 * 0.9);
-            prop_assert!(bytes <= dist.mean_bytes * 4.0 * 1.1);
+            assert!(bytes >= dist.mean_bytes / 8.0 * 0.9);
+            assert!(bytes <= dist.mean_bytes * 4.0 * 1.1);
             // Aspect stays near the requested 4:3.
             let aspect = dims.width as f64 / dims.height as f64;
-            prop_assert!((0.8..2.2).contains(&aspect), "aspect {aspect}");
+            assert!((0.8..2.2).contains(&aspect), "aspect {aspect}");
         }
     }
 }

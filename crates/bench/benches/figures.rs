@@ -2,16 +2,14 @@
 //! figure exercises, at reduced scale (the figure binaries in `src/bin`
 //! run the full 300-configuration studies).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use wadc_bench::harness::Harness;
 use wadc_core::engine::Algorithm;
 use wadc_core::experiment::Experiment;
 use wadc_plan::tree::TreeShape;
 use wadc_sim::time::SimDuration;
 
-fn bench_engine_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_run");
-    g.sample_size(20);
+fn bench_engine_runs(h: &mut Harness) {
+    h.group("engine_run");
     let exp = Experiment::quick(8, 5);
     for alg in [
         Algorithm::DownloadAll,
@@ -24,34 +22,31 @@ fn bench_engine_runs(c: &mut Criterion) {
             extra_candidates: 2,
         },
     ] {
-        g.bench_function(alg.name(), |b| b.iter(|| black_box(exp.run(alg))));
+        h.bench(alg.name(), || exp.run(alg));
     }
-    g.finish();
 }
 
-fn bench_tree_shapes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_run_shape");
-    g.sample_size(20);
+fn bench_tree_shapes(h: &mut Harness) {
+    h.group("engine_run_shape");
     for shape in [TreeShape::CompleteBinary, TreeShape::LeftDeep] {
         let exp = Experiment::quick(8, 6).with_tree_shape(shape);
-        g.bench_function(format!("{shape:?}"), |b| {
-            b.iter(|| black_box(exp.run(Algorithm::global_default())))
-        });
+        h.bench(&format!("{shape:?}"), || exp.run(Algorithm::global_default()));
     }
-    g.finish();
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_run_scaling");
-    g.sample_size(10);
+fn bench_scaling(h: &mut Harness) {
+    h.group("engine_run_scaling");
     for n in [4usize, 8, 16, 32] {
         let exp = Experiment::quick(n, 7);
-        g.bench_function(format!("{n}_servers_global"), |b| {
-            b.iter(|| black_box(exp.run(Algorithm::global_default())))
+        h.bench(&format!("{n}_servers_global"), || {
+            exp.run(Algorithm::global_default())
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_engine_runs, bench_tree_shapes, bench_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_engine_runs(&mut h);
+    bench_tree_shapes(&mut h);
+    bench_scaling(&mut h);
+}

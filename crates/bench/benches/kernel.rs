@@ -1,82 +1,75 @@
 //! Micro-benchmarks of the simulation substrates: the event queue, the
 //! priority resource, and bandwidth-trace integration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::hint::black_box;
+use wadc_bench::harness::Harness;
 use wadc_sim::event::EventQueue;
 use wadc_sim::resource::{Priority, Resource};
 use wadc_sim::time::{SimDuration, SimTime};
 use wadc_trace::synth::{generate, SynthParams};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn bench_event_queue(h: &mut Harness) {
+    h.group("event_queue");
     for n in [1_000u64, 10_000] {
-        g.throughput(Throughput::Elements(n));
-        g.bench_function(format!("schedule_pop_{n}"), |b| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                // Pseudo-random but deterministic interleave of times.
-                for i in 0..n {
-                    let t = (i.wrapping_mul(2654435761)) % 1_000_000;
-                    q.schedule(SimTime::from_micros(t), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, _, v)) = q.pop() {
-                    acc = acc.wrapping_add(v);
-                }
-                black_box(acc)
-            })
+        h.bench(&format!("schedule_pop_{n}"), || {
+            let mut q = EventQueue::new();
+            // Pseudo-random but deterministic interleave of times.
+            for i in 0..n {
+                let t = (i.wrapping_mul(2654435761)) % 1_000_000;
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, _, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
         });
     }
-    g.finish();
 }
 
-fn bench_resource(c: &mut Criterion) {
-    c.bench_function("resource_request_release_1k", |b| {
-        b.iter(|| {
-            let mut r: Resource<u64> = Resource::new();
-            for i in 0..1_000u64 {
-                let prio = if i % 7 == 0 {
-                    Priority::High
-                } else {
-                    Priority::Normal
-                };
-                if r.request(i, prio).is_none() && i % 3 == 0 {
-                    black_box(r.release());
-                }
+fn bench_resource(h: &mut Harness) {
+    h.group("resource");
+    h.bench("resource_request_release_1k", || {
+        let mut r: Resource<u64> = Resource::new();
+        for i in 0..1_000u64 {
+            let prio = if i % 7 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            if r.request(i, prio).is_none() && i % 3 == 0 {
+                std::hint::black_box(r.release());
             }
-            while r.is_busy() {
-                if r.release().is_none() {
-                    break;
-                }
+        }
+        while r.is_busy() {
+            if r.release().is_none() {
+                break;
             }
-            black_box(r.total_served())
-        })
+        }
+        r.total_served()
     });
 }
 
-fn bench_trace_integration(c: &mut Criterion) {
+fn bench_trace_integration(h: &mut Harness) {
+    h.group("trace");
     let trace = generate(
         &SynthParams::wide_area(64_000.0),
         SimDuration::from_hours(24),
         7,
     );
-    c.bench_function("trace_transfer_duration", |b| {
-        let mut t = 0u64;
-        b.iter(|| {
-            t = (t + 977) % (20 * 3600);
-            black_box(trace.transfer_duration(131_072, SimTime::from_secs(t)))
-        })
+    let mut t = 0u64;
+    h.bench("trace_transfer_duration", || {
+        t = (t + 977) % (20 * 3600);
+        trace.transfer_duration(131_072, SimTime::from_secs(t))
     });
-    c.bench_function("trace_generate_2h", |b| {
-        let params = SynthParams::wide_area(64_000.0);
-        b.iter_batched(
-            || (),
-            |_| black_box(generate(&params, SimDuration::from_hours(2), 3)),
-            BatchSize::SmallInput,
-        )
+    let params = SynthParams::wide_area(64_000.0);
+    h.bench("trace_generate_2h", || {
+        generate(&params, SimDuration::from_hours(2), 3)
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_resource, bench_trace_integration);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_event_queue(&mut h);
+    bench_resource(&mut h);
+    bench_trace_integration(&mut h);
+}

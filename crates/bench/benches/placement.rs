@@ -1,8 +1,7 @@
 //! Benchmarks of the placement machinery: critical-path evaluation and the
 //! one-shot search, across tree sizes and shapes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use wadc_bench::harness::Harness;
 use wadc_core::algorithms::local_step::{best_local_site, LocalContext};
 use wadc_core::algorithms::one_shot::one_shot_placement;
 use wadc_plan::bandwidth::BwMatrix;
@@ -18,44 +17,42 @@ fn varied_bw(n_hosts: usize) -> BwMatrix {
     })
 }
 
-fn bench_critical_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("critical_path");
+fn bench_critical_path(h: &mut Harness) {
+    h.group("critical_path");
     for n in [8usize, 16, 32] {
         let tree = CombinationTree::complete_binary(n).unwrap();
         let roster = HostRoster::one_host_per_server(n);
         let bw = varied_bw(n + 1);
         let model = CostModel::paper_defaults();
         let p = Placement::download_all(&tree, &roster);
-        g.bench_function(format!("evaluate_{n}_servers"), |b| {
-            b.iter(|| black_box(placement_cost(&tree, &roster, &p, &bw, &model)))
+        h.bench(&format!("evaluate_{n}_servers"), || {
+            placement_cost(&tree, &roster, &p, &bw, &model)
         });
     }
-    g.finish();
 }
 
-fn bench_one_shot(c: &mut Criterion) {
-    let mut g = c.benchmark_group("one_shot_search");
-    g.sample_size(20);
+fn bench_one_shot(h: &mut Harness) {
+    h.group("one_shot_search");
     for n in [8usize, 16, 32] {
         let tree = CombinationTree::complete_binary(n).unwrap();
         let roster = HostRoster::one_host_per_server(n);
         let bw = varied_bw(n + 1);
         let model = CostModel::paper_defaults();
-        g.bench_function(format!("binary_{n}_servers"), |b| {
-            b.iter(|| black_box(one_shot_placement(&tree, &roster, &bw, &model)))
+        h.bench(&format!("binary_{n}_servers"), || {
+            one_shot_placement(&tree, &roster, &bw, &model)
         });
     }
     let tree = CombinationTree::left_deep(16).unwrap();
     let roster = HostRoster::one_host_per_server(16);
     let bw = varied_bw(17);
     let model = CostModel::paper_defaults();
-    g.bench_function("left_deep_16_servers", |b| {
-        b.iter(|| black_box(one_shot_placement(&tree, &roster, &bw, &model)))
+    h.bench("left_deep_16_servers", || {
+        one_shot_placement(&tree, &roster, &bw, &model)
     });
-    g.finish();
 }
 
-fn bench_local_step(c: &mut Criterion) {
+fn bench_local_step(h: &mut Harness) {
+    h.group("local_step");
     let bw = varied_bw(33);
     let model = CostModel::paper_defaults();
     let ctx = LocalContext {
@@ -64,10 +61,12 @@ fn bench_local_step(c: &mut Criterion) {
         current: HostId::new(3),
         extra_candidates: (4..10).map(HostId::new).collect(),
     };
-    c.bench_function("local_step_decision_k6", |b| {
-        b.iter(|| black_box(best_local_site(&ctx, &bw, &model)))
-    });
+    h.bench("local_step_decision_k6", || best_local_site(&ctx, &bw, &model));
 }
 
-criterion_group!(benches, bench_critical_path, bench_one_shot, bench_local_step);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_critical_path(&mut h);
+    bench_one_shot(&mut h);
+    bench_local_step(&mut h);
+}

@@ -18,6 +18,7 @@
 
 use std::path::PathBuf;
 
+use wadc_bench::json::Json;
 use wadc_core::algorithms::one_shot::Objective;
 use wadc_core::engine::Algorithm;
 use wadc_core::experiment::Experiment;
@@ -90,15 +91,16 @@ fn speedup(exp: &Experiment, alg: Algorithm) -> f64 {
     exp.run(alg).speedup_over(&da)
 }
 
-fn report(title: &str, rows: &[(String, f64)], results: &mut Vec<serde_json::Value>) {
+fn report(title: &str, rows: &[(String, f64)], results: &mut Vec<Json>) {
     println!("\n=== ablation: {title} ===");
     for (name, mean) in rows {
         println!("{name:<40} mean speedup {mean:.3}");
     }
-    results.push(serde_json::json!({
-        "ablation": title,
-        "rows": rows.iter().map(|(n, m)| serde_json::json!({"variant": n, "mean_speedup": m})).collect::<Vec<_>>(),
-    }));
+    let rows: Vec<Json> = rows
+        .iter()
+        .map(|(n, m)| Json::obj().field("variant", n.as_str()).field("mean_speedup", *m))
+        .collect();
+    results.push(Json::obj().field("ablation", title).field("rows", rows));
 }
 
 fn main() {
@@ -387,12 +389,8 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&serde_json::Value::Array(results))
-                .expect("serializable"),
-        )
-        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        std::fs::write(path, Json::Arr(results).to_string_pretty())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         eprintln!("\nresults archived to {}", path.display());
     }
 }

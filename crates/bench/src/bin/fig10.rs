@@ -7,7 +7,7 @@
 //! cargo run --release -p wadc-bench --bin fig10 [--configs N] [--json PATH]
 //! ```
 
-use serde_json::json;
+use wadc_bench::json::Json;
 use wadc_bench::{print_series, print_summary, FigArgs};
 use wadc_core::engine::Algorithm;
 use wadc_core::study::{run_study_parallel, StudyParams, StudyResults};
@@ -68,18 +68,21 @@ fn main() {
     );
     println!("(paper: the complete binary ordering adapts better for both algorithms)");
 
-    args.maybe_write_json(&json!({
-        "figure": 10,
-        "configs": args.configs,
-        "mean_speedup": {
-            "global_binary": binary.mean_speedup(GLOBAL),
-            "global_left_deep": left_deep.mean_speedup(GLOBAL),
-            "local_binary": binary.mean_speedup(LOCAL),
-            "local_left_deep": left_deep.mean_speedup(LOCAL),
-        },
-        "global_binary": binary.sorted_speedups(GLOBAL),
-        "global_left_deep": left_deep.sorted_speedups(GLOBAL),
-        "local_binary": binary.sorted_speedups(LOCAL),
-        "local_left_deep": left_deep.sorted_speedups(LOCAL),
-    }));
+    args.maybe_write_json(
+        &Json::obj()
+            .field("figure", 10)
+            .field("configs", args.configs)
+            .field(
+                "mean_speedup",
+                Json::obj()
+                    .field("global_binary", binary.mean_speedup(GLOBAL))
+                    .field("global_left_deep", left_deep.mean_speedup(GLOBAL))
+                    .field("local_binary", binary.mean_speedup(LOCAL))
+                    .field("local_left_deep", left_deep.mean_speedup(LOCAL)),
+            )
+            .field("global_binary", binary.sorted_speedups(GLOBAL))
+            .field("global_left_deep", left_deep.sorted_speedups(GLOBAL))
+            .field("local_binary", binary.sorted_speedups(LOCAL))
+            .field("local_left_deep", left_deep.sorted_speedups(LOCAL)),
+    );
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p wadc-bench --bin fig2 [--seed S] [--json PATH]
 //! ```
 
-use serde_json::json;
+use wadc_bench::json::Json;
 use wadc_bench::FigArgs;
 use wadc_sim::time::{SimDuration, SimTime};
 use wadc_trace::stats::{mean_change_interval, summarize};
@@ -56,17 +56,20 @@ fn main() {
         change.as_secs_f64()
     );
 
-    args.maybe_write_json(&json!({
-        "figure": 2,
-        "pair": ["wisc", "ucla"],
-        "ten_minutes_bytes_per_sec": ten_min,
-        "two_days_bytes_per_sec": two_day,
-        "mean_change_interval_secs": change.as_secs_f64(),
-        "summary": {
-            "mean": summary.mean_bytes_per_sec,
-            "min": summary.min_bytes_per_sec,
-            "max": summary.max_bytes_per_sec,
-            "cv": summary.coefficient_of_variation,
-        },
-    }));
+    args.maybe_write_json(
+        &Json::obj()
+            .field("figure", 2)
+            .field("pair", vec!["wisc", "ucla"])
+            .field("ten_minutes_bytes_per_sec", ten_min)
+            .field("two_days_bytes_per_sec", two_day)
+            .field("mean_change_interval_secs", change.as_secs_f64())
+            .field(
+                "summary",
+                Json::obj()
+                    .field("mean", summary.mean_bytes_per_sec)
+                    .field("min", summary.min_bytes_per_sec)
+                    .field("max", summary.max_bytes_per_sec)
+                    .field("cv", summary.coefficient_of_variation),
+            ),
+    );
 }

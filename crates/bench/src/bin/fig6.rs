@@ -8,7 +8,7 @@
 //! cargo run --release -p wadc-bench --bin fig6 [--configs N] [--json PATH]
 //! ```
 
-use serde_json::json;
+use wadc_bench::json::Json;
 use wadc_bench::{print_series, print_summary, FigArgs};
 use wadc_core::study::{run_study_parallel, StudyParams};
 
@@ -70,21 +70,26 @@ fn main() {
         results.mean_interarrival(GLOBAL),
     );
 
-    args.maybe_write_json(&json!({
-        "figure": 6,
-        "configs": params.n_configs,
-        "sorted_by_global": {
-            "one_shot": sorted_by_global(ONE_SHOT),
-            "global": sorted_by_global(GLOBAL),
-            "local": sorted_by_global(LOCAL),
-        },
-        "median_ratio_global_one_shot": results.median_ratio(GLOBAL, ONE_SHOT),
-        "median_ratio_global_local": results.median_ratio(GLOBAL, LOCAL),
-        "interarrival_secs": {
-            "download_all": results.mean_interarrival_download_all(),
-            "one_shot": results.mean_interarrival(ONE_SHOT),
-            "local": results.mean_interarrival(LOCAL),
-            "global": results.mean_interarrival(GLOBAL),
-        },
-    }));
+    args.maybe_write_json(
+        &Json::obj()
+            .field("figure", 6)
+            .field("configs", params.n_configs)
+            .field(
+                "sorted_by_global",
+                Json::obj()
+                    .field("one_shot", sorted_by_global(ONE_SHOT))
+                    .field("global", sorted_by_global(GLOBAL))
+                    .field("local", sorted_by_global(LOCAL)),
+            )
+            .field("median_ratio_global_one_shot", results.median_ratio(GLOBAL, ONE_SHOT))
+            .field("median_ratio_global_local", results.median_ratio(GLOBAL, LOCAL))
+            .field(
+                "interarrival_secs",
+                Json::obj()
+                    .field("download_all", results.mean_interarrival_download_all())
+                    .field("one_shot", results.mean_interarrival(ONE_SHOT))
+                    .field("local", results.mean_interarrival(LOCAL))
+                    .field("global", results.mean_interarrival(GLOBAL)),
+            ),
+    );
 }

@@ -8,7 +8,7 @@
 //! cargo run --release -p wadc-bench --bin fig7 [--configs N] [--json PATH]
 //! ```
 
-use serde_json::json;
+use wadc_bench::json::Json;
 use wadc_bench::FigArgs;
 use wadc_core::engine::Algorithm;
 use wadc_core::study::{run_study_parallel, StudyParams};
@@ -46,10 +46,11 @@ fn main() {
         100.0 * spread / series[0]
     );
 
-    args.maybe_write_json(&json!({
-        "figure": 7,
-        "configs": params.n_configs,
-        "k": (0..=6).collect::<Vec<_>>(),
-        "avg_speedup": series,
-    }));
+    args.maybe_write_json(
+        &Json::obj()
+            .field("figure", 7)
+            .field("configs", params.n_configs)
+            .field("k", (0..=6).collect::<Vec<i32>>())
+            .field("avg_speedup", series),
+    );
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p wadc-bench --bin fig8 [--configs N] [--json PATH]
 //! ```
 
-use serde_json::json;
+use wadc_bench::json::Json;
 use wadc_bench::FigArgs;
 use wadc_core::study::{run_study_parallel, StudyParams};
 
@@ -47,14 +47,17 @@ fn main() {
         per_alg[1][last] / per_alg[2][last]
     );
 
-    args.maybe_write_json(&json!({
-        "figure": 8,
-        "configs": args.configs,
-        "servers": server_counts,
-        "avg_speedup": {
-            "one_shot": per_alg[0],
-            "global": per_alg[1],
-            "local": per_alg[2],
-        },
-    }));
+    args.maybe_write_json(
+        &Json::obj()
+            .field("figure", 8)
+            .field("configs", args.configs)
+            .field("servers", server_counts.as_slice())
+            .field(
+                "avg_speedup",
+                Json::obj()
+                    .field("one_shot", per_alg[0].as_slice())
+                    .field("global", per_alg[1].as_slice())
+                    .field("local", per_alg[2].as_slice()),
+            ),
+    );
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p wadc-bench --bin fig9 [--configs N] [--json PATH]
 //! ```
 
-use serde_json::json;
+use wadc_bench::json::Json;
 use wadc_bench::FigArgs;
 use wadc_core::engine::Algorithm;
 use wadc_core::study::{run_study_parallel, StudyParams};
@@ -48,11 +48,12 @@ fn main() {
         .0];
     println!("\nbest period: {best} min (paper: 5-10 minutes)");
 
-    args.maybe_write_json(&json!({
-        "figure": 9,
-        "configs": params.n_configs,
-        "period_minutes": periods_min,
-        "avg_speedup": series,
-        "best_period_minutes": best,
-    }));
+    args.maybe_write_json(
+        &Json::obj()
+            .field("figure", 9)
+            .field("configs", params.n_configs)
+            .field("period_minutes", periods_min.as_slice())
+            .field("avg_speedup", series)
+            .field("best_period_minutes", best),
+    );
 }

@@ -1,0 +1,114 @@
+//! A small wall-clock benchmark harness.
+//!
+//! The `benches/` targets report per-iteration timing without an external
+//! framework: each benchmark is warmed up, then run in batches until a
+//! time budget is spent, and the per-iteration mean and minimum are
+//! printed in a fixed-width table. Use `cargo bench -p wadc-bench`.
+
+use std::time::{Duration, Instant};
+
+/// Runs named closures and prints per-iteration timings.
+pub struct Harness {
+    budget: Duration,
+    group: String,
+}
+
+impl Harness {
+    /// A harness with the default 200 ms measurement budget per benchmark.
+    pub fn new() -> Self {
+        Harness {
+            budget: Duration::from_millis(200),
+            group: String::new(),
+        }
+    }
+
+    /// Starts a named group; subsequent rows are printed under it.
+    pub fn group(&mut self, name: &str) {
+        self.group = name.to_string();
+        println!("\n## {name}");
+    }
+
+    /// Measures `f`, printing mean and best time per iteration.
+    ///
+    /// The closure's return value is consumed with a volatile read so the
+    /// optimizer cannot delete the work.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm-up and calibration: find an iteration count that costs
+        // roughly 1/10 of the budget per batch.
+        let t0 = Instant::now();
+        consume(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch = ((self.budget.as_nanos() / 10 / once.as_nanos()).max(1)) as usize;
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let bt = Instant::now();
+            for _ in 0..batch {
+                consume(f());
+            }
+            let elapsed = bt.elapsed();
+            let per_iter = elapsed / batch as u32;
+            best = best.min(per_iter);
+            total += elapsed;
+            iters += batch as u64;
+        }
+        let mean = total / iters.max(1) as u32;
+        println!(
+            "{name:<40} mean {:>12}  best {:>12}  ({iters} iters)",
+            fmt_ns(mean),
+            fmt_ns(best)
+        );
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+/// Prevents the optimizer from discarding a benchmark result.
+fn consume<T>(value: T) {
+    std::hint::black_box(value);
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(fmt_ns(Duration::from_micros(120)), "120.0 us");
+        assert_eq!(fmt_ns(Duration::from_millis(120)), "120.00 ms");
+    }
+
+    #[test]
+    fn bench_runs_to_completion() {
+        let mut h = Harness {
+            budget: Duration::from_millis(5),
+            group: String::new(),
+        };
+        let mut count = 0u64;
+        h.bench("noop", || {
+            count += 1;
+            count
+        });
+        assert!(count > 0);
+        let _ = &h.group;
+    }
+}

@@ -21,6 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod json;
+
 use std::path::PathBuf;
 
 /// Command-line arguments shared by all figure binaries.
@@ -68,9 +71,9 @@ impl FigArgs {
     }
 
     /// Writes the JSON archive if `--json` was given.
-    pub fn maybe_write_json(&self, value: &serde_json::Value) {
+    pub fn maybe_write_json(&self, value: &json::Json) {
         if let Some(path) = &self.json {
-            std::fs::write(path, serde_json::to_string_pretty(value).expect("serializable"))
+            std::fs::write(path, value.to_string_pretty())
                 .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
             eprintln!("series archived to {}", path.display());
         }

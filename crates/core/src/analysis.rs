@@ -6,14 +6,13 @@
 //! one (greedy local moves, slow convergence). This module computes those
 //! diagnostics from a run's [`AuditLog`] and arrival series.
 
-use serde::{Deserialize, Serialize};
 use wadc_sim::time::{SimDuration, SimTime};
 
 use crate::engine::audit::{AuditEvent, AuditLog};
 use crate::engine::RunResult;
 
 /// Summary of a run's adaptation behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptationSummary {
     /// Placement searches executed.
     pub planner_runs: usize,

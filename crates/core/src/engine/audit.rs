@@ -7,12 +7,12 @@
 //! barrier ordering, wavefront staggering — from the *outside*, without
 //! reaching into engine internals.
 
-use serde::{Deserialize, Serialize};
 use wadc_plan::ids::{HostId, OperatorId};
+use wadc_sim::digest::Digest;
 use wadc_sim::time::SimTime;
 
 /// One adaptation event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AuditEvent {
     /// A placement search ran (one-shot at startup, or a global re-plan).
     PlannerRan {
@@ -92,6 +92,89 @@ pub enum AuditEvent {
 }
 
 impl AuditEvent {
+    /// Folds the event into a [`Digest`]: a short type tag followed by
+    /// every field, with times as microseconds and costs as IEEE-754 bit
+    /// patterns, so the encoding is total (no information is dropped) and
+    /// platform independent.
+    pub fn fold_into(&self, d: &mut Digest) {
+        match *self {
+            AuditEvent::PlannerRan {
+                at,
+                cost_before,
+                cost_after,
+                changed,
+            } => {
+                d.write_str("planner");
+                d.write_u64(at.as_micros());
+                d.write_f64(cost_before);
+                d.write_f64(cost_after);
+                d.write_u64(changed as u64);
+            }
+            AuditEvent::ChangeoverProposed { at, version, moves } => {
+                d.write_str("propose");
+                d.write_u64(at.as_micros());
+                d.write_u64(version as u64);
+                d.write_usize(moves);
+            }
+            AuditEvent::ServerSuspended {
+                at,
+                server,
+                reported_iteration,
+                version,
+            } => {
+                d.write_str("suspend");
+                d.write_u64(at.as_micros());
+                d.write_usize(server);
+                d.write_u64(reported_iteration as u64);
+                d.write_u64(version as u64);
+            }
+            AuditEvent::ChangeoverCommitted {
+                at,
+                version,
+                switch_iteration,
+            } => {
+                d.write_str("commit");
+                d.write_u64(at.as_micros());
+                d.write_u64(version as u64);
+                d.write_u64(switch_iteration as u64);
+            }
+            AuditEvent::LocalDecision {
+                at,
+                op,
+                level,
+                from,
+                to,
+            } => {
+                d.write_str("decide");
+                d.write_u64(at.as_micros());
+                d.write_usize(op.index());
+                d.write_usize(level);
+                d.write_usize(from.index());
+                d.write_usize(to.index());
+            }
+            AuditEvent::RelocationStarted {
+                at,
+                op,
+                from,
+                to,
+                after_iteration,
+            } => {
+                d.write_str("move");
+                d.write_u64(at.as_micros());
+                d.write_usize(op.index());
+                d.write_usize(from.index());
+                d.write_usize(to.index());
+                d.write_u64(after_iteration as u64);
+            }
+            AuditEvent::RelocationFinished { at, op, host } => {
+                d.write_str("moved");
+                d.write_u64(at.as_micros());
+                d.write_usize(op.index());
+                d.write_usize(host.index());
+            }
+        }
+    }
+
     /// The event's timestamp.
     pub fn at(&self) -> SimTime {
         match *self {
@@ -107,7 +190,7 @@ impl AuditEvent {
 }
 
 /// The chronological audit log of one run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuditLog {
     events: Vec<AuditEvent>,
 }
@@ -126,7 +209,9 @@ impl AuditLog {
     /// (the engine emits in simulation order).
     pub fn record(&mut self, event: AuditEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            self.events
+                .last()
+                .is_none_or(|last| last.at() <= event.at()),
             "audit events must be recorded in time order"
         );
         self.events.push(event);
@@ -159,6 +244,27 @@ impl AuditLog {
         self.events
             .iter()
             .filter(|e| matches!(e, AuditEvent::ChangeoverCommitted { .. }))
+    }
+
+    /// A stable 64-bit digest of the whole log.
+    ///
+    /// Two runs of the same `(seed, config)` must produce equal digests —
+    /// the determinism property `wadc-verify` enforces — and the digest is
+    /// platform independent, so fixtures recorded under `tests/golden/`
+    /// stay valid until the simulation itself changes behaviour.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_usize(self.events.len());
+        for e in &self.events {
+            e.fold_into(&mut d);
+        }
+        d.finish()
+    }
+
+    /// [`AuditLog::digest`] rendered as the 16-character lowercase hex
+    /// string used by golden fixtures.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
     }
 }
 
@@ -209,5 +315,27 @@ mod tests {
     fn event_timestamps_accessible() {
         let e = reloc(7, 2);
         assert_eq!(e.at(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn digest_distinguishes_logs() {
+        let mut a = AuditLog::new();
+        a.record(reloc(5, 0));
+        let mut b = AuditLog::new();
+        b.record(reloc(5, 0));
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest_hex(), b.digest_hex());
+        b.record(reloc(6, 1));
+        assert_ne!(a.digest(), b.digest());
+        // Different operators at the same time also differ.
+        let mut c = AuditLog::new();
+        c.record(reloc(5, 1));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn empty_log_digest_is_stable() {
+        assert_eq!(AuditLog::new().digest(), AuditLog::new().digest());
+        assert_eq!(AuditLog::new().digest_hex().len(), 16);
     }
 }

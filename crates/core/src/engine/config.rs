@@ -217,6 +217,38 @@ impl RunResult {
         self.interarrival.mean()
     }
 
+    /// A stable 64-bit digest of the whole result: completion, every
+    /// arrival time, adaptation counters, network statistics and the audit
+    /// log. Two runs of the same `(seed, config)` must agree bit for bit;
+    /// this digest is what the determinism harness and the golden fixtures
+    /// under `tests/golden/` compare.
+    pub fn digest(&self) -> u64 {
+        let mut d = wadc_sim::digest::Digest::new();
+        d.write_u64(self.completed as u64);
+        d.write_u64(self.completion_time.as_micros());
+        d.write_usize(self.images_delivered);
+        d.write_usize(self.arrivals.len());
+        for &a in &self.arrivals {
+            d.write_u64(a.as_micros());
+        }
+        d.write_u64(self.relocations as u64);
+        d.write_u64(self.changeovers as u64);
+        d.write_u64(self.planner_runs as u64);
+        d.write_u64(self.net_stats.submitted);
+        d.write_u64(self.net_stats.completed);
+        d.write_u64(self.net_stats.bytes_submitted);
+        d.write_u64(self.net_stats.bytes_delivered);
+        d.write_u64(self.net_stats.high_priority_completed);
+        d.write_u64(self.audit.digest());
+        d.finish()
+    }
+
+    /// [`RunResult::digest`] as the 16-character lowercase hex string used
+    /// by golden fixtures.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
     /// Speedup of this run over a baseline run (baseline time / this
     /// time), the paper's headline metric.
     ///
@@ -283,5 +315,9 @@ mod tests {
         let fast = mk(25);
         assert_eq!(fast.speedup_over(&base), 4.0);
         assert_eq!(base.speedup_over(&base), 1.0);
+        // Result digests separate distinct outcomes and are stable.
+        assert_eq!(base.digest(), mk(100).digest());
+        assert_ne!(base.digest(), fast.digest());
+        assert_eq!(base.digest_hex(), format!("{:016x}", base.digest()));
     }
 }

@@ -24,9 +24,6 @@ pub mod message;
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use wadc_app::compose::{compose_secs, PAPER_SECS_PER_PIXEL};
 use wadc_app::image::ImageDims;
 use wadc_app::workload::Workload;
@@ -45,7 +42,7 @@ use wadc_plan::placement::{HostRoster, Placement};
 use wadc_plan::tree::{CombinationTree, NodeKind};
 use wadc_sim::event::EventQueue;
 use wadc_sim::resource::{Priority, Resource};
-use wadc_sim::rng::derive_seed;
+use wadc_sim::rng::{derive_seed, Rng64};
 use wadc_sim::stats::Tally;
 use wadc_sim::time::{SimDuration, SimTime};
 
@@ -212,7 +209,7 @@ pub struct Engine {
     epoch_len: SimDuration,
     epoch_index: u64,
     extra_candidates: usize,
-    rng: StdRng,
+    rng: Rng64,
     arrivals: Vec<SimTime>,
     relocations: u32,
     changeovers: u32,
@@ -369,7 +366,7 @@ impl Engine {
             Vec::new()
         };
 
-        let rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 2));
+        let rng = Rng64::seed_from_u64(derive_seed(cfg.seed, 2));
         Engine {
             net: Network::new(cfg.net, links),
             cpus: (0..n_hosts).map(|_| Resource::new()).collect(),
@@ -1180,7 +1177,7 @@ impl Engine {
                 .filter(|h| !fixed.contains(h))
                 .collect();
             for _ in 0..self.extra_candidates.min(remaining.len()) {
-                let idx = self.rng.gen_range(0..remaining.len());
+                let idx = self.rng.range_usize(remaining.len());
                 extras.push(remaining.swap_remove(idx));
             }
         }

@@ -7,7 +7,6 @@
 //! when the size of their state is small", i.e. at a light point, with no
 //! held output and no gathered inputs.
 
-use serde::{Deserialize, Serialize};
 use wadc_plan::ids::{HostId, OperatorId};
 
 use crate::registry::CodeRegistry;
@@ -63,7 +62,7 @@ impl LightPointWitness {
 }
 
 /// A priced, validated move: what must travel and how big it is.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MovePlan {
     /// The operator being moved.
     pub op: OperatorId,
@@ -86,7 +85,7 @@ impl MovePlan {
 }
 
 /// Plans operator moves against a [`CodeRegistry`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MoveProtocol {
     registry: CodeRegistry,
 }

@@ -10,11 +10,10 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
 use wadc_plan::ids::HostId;
 
 /// Which mobility substrate a deployment uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MobilityMode {
     /// Code pre-installed at every participating host; moves ship only
     /// the operator's (small) state. The paper's recommendation for
@@ -44,7 +43,7 @@ pub enum MobilityMode {
 /// reg.install(h);
 /// assert_eq!(reg.code_bytes_for_move(h), 0); // cached afterwards
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodeRegistry {
     mode: MobilityMode,
     code_package_bytes: u64,

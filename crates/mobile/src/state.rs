@@ -8,7 +8,6 @@
 //! magic, a version byte and a checksum, so a receiving host can reject
 //! truncated or corrupted arrivals instead of resuming a broken operator.
 
-use serde::{Deserialize, Serialize};
 use wadc_plan::ids::OperatorId;
 
 /// Magic bytes opening every encoded state packet (`"WDC1"`).
@@ -47,7 +46,7 @@ impl std::error::Error for DecodeError {}
 
 /// The portable execution state of a combination operator at a light
 /// point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OperatorState {
     /// The operator this state belongs to.
     pub op: OperatorId,

@@ -8,13 +8,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use wadc_plan::bandwidth::BandwidthView;
 use wadc_plan::ids::HostId;
 use wadc_sim::time::{SimDuration, SimTime};
 
 /// Monitoring parameters, defaulting to the paper's values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitorConfig {
     /// Transfers at least this large produce a passive bandwidth
     /// measurement at both endpoints (paper: 16 KB).
@@ -47,7 +46,7 @@ impl Default for MonitorConfig {
 }
 
 /// One bandwidth measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Measured application-level bandwidth, bytes per second.
     pub bytes_per_sec: f64,

@@ -7,7 +7,6 @@
 //! newest-wins rule, so stale gossip can never overwrite fresher local
 //! knowledge, and values propagate transitively across the tree.
 
-use serde::{Deserialize, Serialize};
 use wadc_plan::ids::HostId;
 use wadc_sim::time::SimTime;
 
@@ -18,7 +17,7 @@ use crate::cache::{BandwidthCache, Measurement};
 pub const ENTRY_WIRE_BYTES: usize = 24;
 
 /// One piggybacked bandwidth value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PiggybackEntry {
     /// First host of the pair (normalised: `a <= b`).
     pub a: HostId,
@@ -29,7 +28,7 @@ pub struct PiggybackEntry {
 }
 
 /// The bandwidth values attached to one message.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Piggyback {
     /// Entries, newest first.
     pub entries: Vec<PiggybackEntry>,

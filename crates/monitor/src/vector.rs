@@ -14,7 +14,6 @@
 //! [`LocationVector::dominates`] is
 //! provided (and tested) for the paper's original predicate.
 
-use serde::{Deserialize, Serialize};
 use wadc_plan::ids::{HostId, OperatorId};
 
 /// Per-operator locations paired with per-operator logical timestamps.
@@ -31,7 +30,7 @@ use wadc_plan::ids::{HostId, OperatorId};
 /// assert!(site_b.merge(&site_a));
 /// assert_eq!(site_b.location(OperatorId::new(0)), HostId::new(5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocationVector {
     locations: Vec<HostId>,
     stamps: Vec<u64>,

@@ -1,50 +1,69 @@
-//! Property-based tests of the monitoring substrate: cache expiry,
-//! piggyback budgets, and the location-vector join semilattice.
+//! Randomized tests of the monitoring substrate: cache expiry, piggyback
+//! budgets, and the location-vector join semilattice. Cases are drawn from
+//! the in-repo [`Rng64`] so runs are deterministic.
 
-use proptest::prelude::*;
 use wadc_monitor::cache::{BandwidthCache, MonitorConfig};
 use wadc_monitor::piggyback::{absorb, collect, ENTRY_WIRE_BYTES};
 use wadc_monitor::vector::LocationVector;
 use wadc_plan::ids::{HostId, OperatorId};
+use wadc_sim::rng::{derive_seed2, Rng64};
 use wadc_sim::time::SimTime;
 
-/// Strategy: a sequence of (pair, bandwidth, time) observations.
-fn arb_observations() -> impl Strategy<Value = Vec<(usize, usize, f64, u64)>> {
-    proptest::collection::vec((0usize..8, 0usize..8, 1.0f64..1e6, 0u64..500), 0..100)
+const CASES: u64 = 48;
+
+fn case_rng(test: u64, case: u64) -> Rng64 {
+    Rng64::seed_from_u64(derive_seed2(0x4040, test, case))
 }
 
-/// Strategy: a location vector over `n` operators built by a random move
-/// sequence.
-fn arb_vector(n: usize) -> impl Strategy<Value = LocationVector> {
-    proptest::collection::vec((0usize..8, 0usize..16), 0..32).prop_map(move |moves| {
-        let mut v = LocationVector::new(vec![HostId::new(0); 8]);
-        for (op, host) in moves {
-            v.record_move(OperatorId::new(op % 8), HostId::new(host));
-        }
-        let _ = n;
-        v
-    })
+/// A sequence of (a, b, bandwidth, time) observations.
+fn arb_observations(rng: &mut Rng64) -> Vec<(usize, usize, f64, u64)> {
+    let n = rng.range_usize(100);
+    (0..n)
+        .map(|_| {
+            (
+                rng.range_usize(8),
+                rng.range_usize(8),
+                rng.range_f64(1.0, 1e6),
+                rng.range_u64(0, 499),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    /// A cache lookup never returns a value older than T_thres, and always
-    /// returns the *newest* observation for the pair.
-    #[test]
-    fn cache_serves_newest_unexpired(obs in arb_observations(), now in 0u64..600) {
+/// A location vector over 8 operators built by a random move sequence.
+fn arb_vector(rng: &mut Rng64) -> LocationVector {
+    let mut v = LocationVector::new(vec![HostId::new(0); 8]);
+    for _ in 0..rng.range_usize(32) {
+        let op = rng.range_usize(8);
+        let host = rng.range_usize(16);
+        v.record_move(OperatorId::new(op), HostId::new(host));
+    }
+    v
+}
+
+/// A cache lookup never returns a value older than T_thres, and always
+/// returns the *newest* observation for the pair.
+#[test]
+fn cache_serves_newest_unexpired() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let obs = arb_observations(&mut rng);
+        let now = SimTime::from_secs(rng.range_u64(0, 599));
         let config = MonitorConfig::paper_defaults();
         let mut cache = BandwidthCache::new(config);
-        let now = SimTime::from_secs(now);
         for &(a, b, bw, t) in &obs {
-            if a == b { continue; }
+            if a == b {
+                continue;
+            }
             cache.observe(HostId::new(a), HostId::new(b), bw, SimTime::from_secs(t));
         }
         for &(a, b, _, _) in &obs {
-            if a == b { continue; }
+            if a == b {
+                continue;
+            }
             let newest = obs
                 .iter()
-                .filter(|&&(x, y, _, _)| {
-                    (x.min(y), x.max(y)) == (a.min(b), a.max(b))
-                })
+                .filter(|&&(x, y, _, _)| (x.min(y), x.max(y)) == (a.min(b), a.max(b)))
                 .max_by_key(|&&(_, _, _, t)| t);
             let expect = newest.and_then(|&(_, _, bw, t)| {
                 (now.saturating_since(SimTime::from_secs(t)) <= config.t_thres).then_some(bw)
@@ -64,29 +83,35 @@ proptest! {
                         })
                         .map(|&(_, _, bw, _)| bw)
                         .collect();
-                    prop_assert!(candidates.contains(&g));
+                    assert!(candidates.contains(&g));
                 }
-                (g, e) => prop_assert!(false, "lookup {g:?} vs expected {e:?}"),
+                (g, e) => panic!("lookup {g:?} vs expected {e:?}"),
             }
         }
     }
+}
 
-    /// Piggyback payloads never exceed the byte budget and only carry
-    /// unexpired entries; absorption is idempotent.
-    #[test]
-    fn piggyback_budget_and_idempotence(obs in arb_observations(), now in 0u64..600) {
+/// Piggyback payloads never exceed the byte budget and only carry
+/// unexpired entries; absorption is idempotent.
+#[test]
+fn piggyback_budget_and_idempotence() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let obs = arb_observations(&mut rng);
+        let now = SimTime::from_secs(rng.range_u64(0, 599));
         let config = MonitorConfig::paper_defaults();
         let mut sender = BandwidthCache::new(config);
-        let now = SimTime::from_secs(now);
         for &(a, b, bw, t) in &obs {
-            if a == b { continue; }
+            if a == b {
+                continue;
+            }
             sender.observe(HostId::new(a), HostId::new(b), bw, SimTime::from_secs(t));
         }
         let payload = collect(&sender, now);
-        prop_assert!(payload.wire_bytes() <= config.piggyback_budget_bytes);
-        prop_assert_eq!(payload.wire_bytes(), payload.len() * ENTRY_WIRE_BYTES);
+        assert!(payload.wire_bytes() <= config.piggyback_budget_bytes);
+        assert_eq!(payload.wire_bytes(), payload.len() * ENTRY_WIRE_BYTES);
         for e in &payload.entries {
-            prop_assert!(now.saturating_since(e.measurement.at) <= config.t_thres);
+            assert!(now.saturating_since(e.measurement.at) <= config.t_thres);
         }
         let mut receiver = BandwidthCache::new(config);
         absorb(&mut receiver, &payload);
@@ -95,26 +120,28 @@ proptest! {
             .iter()
             .map(|e| receiver.measurement(e.a, e.b))
             .collect();
-        prop_assert_eq!(absorb(&mut receiver, &payload), 0, "second absorb is a no-op");
+        assert_eq!(absorb(&mut receiver, &payload), 0, "second absorb is a no-op");
         for (e, before) in payload.entries.iter().zip(snapshot) {
-            prop_assert_eq!(receiver.measurement(e.a, e.b), before);
+            assert_eq!(receiver.measurement(e.a, e.b), before);
         }
     }
+}
 
-    /// Location-vector merge is a join: commutative, associative,
-    /// idempotent, and an upper bound of both inputs.
-    #[test]
-    fn vector_merge_is_semilattice(
-        a in arb_vector(8),
-        b in arb_vector(8),
-        c in arb_vector(8),
-    ) {
+/// Location-vector merge is a join: commutative, associative, idempotent,
+/// and an upper bound of both inputs.
+#[test]
+fn vector_merge_is_semilattice() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let a = arb_vector(&mut rng);
+        let b = arb_vector(&mut rng);
+        let c = arb_vector(&mut rng);
         // Commutative.
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         // Associative.
         let mut ab_c = ab.clone();
         ab_c.merge(&c);
@@ -122,26 +149,31 @@ proptest! {
         bc.merge(&c);
         let mut a_bc = a.clone();
         a_bc.merge(&bc);
-        prop_assert_eq!(&ab_c, &a_bc);
+        assert_eq!(&ab_c, &a_bc);
         // Idempotent.
         let mut aa = a.clone();
-        prop_assert!(!aa.merge(&a));
-        prop_assert_eq!(&aa, &a);
+        assert!(!aa.merge(&a));
+        assert_eq!(&aa, &a);
         // Upper bound: the merge result's stamps dominate-or-equal both.
         for i in 0..8 {
             let op = OperatorId::new(i);
-            prop_assert!(ab.stamp(op) >= a.stamp(op));
-            prop_assert!(ab.stamp(op) >= b.stamp(op));
+            assert!(ab.stamp(op) >= a.stamp(op));
+            assert!(ab.stamp(op) >= b.stamp(op));
         }
     }
+}
 
-    /// Dominance is irreflexive and asymmetric, and merge(a,b) dominates
-    /// a strict sub-vector.
-    #[test]
-    fn dominance_properties(a in arb_vector(8), b in arb_vector(8)) {
-        prop_assert!(!a.dominates(&a), "irreflexive");
+/// Dominance is irreflexive and asymmetric, and merge(a,b) dominates a
+/// strict sub-vector.
+#[test]
+fn dominance_properties() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let a = arb_vector(&mut rng);
+        let b = arb_vector(&mut rng);
+        assert!(!a.dominates(&a), "irreflexive");
         if a.dominates(&b) {
-            prop_assert!(!b.dominates(&a), "asymmetric");
+            assert!(!b.dominates(&a), "asymmetric");
         }
         let mut joined = a.clone();
         joined.merge(&b);
@@ -151,9 +183,9 @@ proptest! {
         let mut any_stamp_increased = false;
         for i in 0..8 {
             let op = OperatorId::new(i);
-            prop_assert!(joined.stamp(op) >= a.stamp(op));
+            assert!(joined.stamp(op) >= a.stamp(op));
             any_stamp_increased |= joined.stamp(op) > a.stamp(op);
         }
-        prop_assert_eq!(joined.dominates(&a), any_stamp_increased);
+        assert_eq!(joined.dominates(&a), any_stamp_increased);
     }
 }

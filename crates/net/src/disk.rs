@@ -5,11 +5,10 @@
 //! time per host (the engine queues reads on a
 //! [`wadc_sim::resource::Resource`]).
 
-use serde::{Deserialize, Serialize};
 use wadc_sim::time::SimDuration;
 
 /// A fixed-rate disk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskModel {
     /// Sustained read bandwidth, bytes per second.
     pub bytes_per_sec: f64,

@@ -8,10 +8,9 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use wadc_plan::bandwidth::BandwidthView;
 use wadc_plan::ids::HostId;
+use wadc_sim::rng::Rng64;
 use wadc_sim::time::SimTime;
 use wadc_trace::model::BandwidthTrace;
 
@@ -57,11 +56,11 @@ impl LinkTable {
     /// Panics if the pool is empty.
     pub fn random_from_pool(n: usize, pool: &[Arc<BandwidthTrace>], seed: u64) -> Self {
         assert!(!pool.is_empty(), "trace pool must be non-empty");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut table = LinkTable::new(n);
         for a in 0..n {
             for b in (a + 1)..n {
-                let t = pool[rng.gen_range(0..pool.len())].clone();
+                let t = pool[rng.range_usize(pool.len())].clone();
                 table.set(HostId::new(a), HostId::new(b), t);
             }
         }
@@ -79,7 +78,10 @@ impl LinkTable {
     ///
     /// Panics if either host is out of range or `a == b`.
     pub fn set(&mut self, a: HostId, b: HostId, trace: Arc<BandwidthTrace>) {
-        assert!(a.index() < self.n && b.index() < self.n, "host out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "host out of range"
+        );
         assert_ne!(a, b, "no self-links");
         self.traces[a.index() * self.n + b.index()] = Some(trace.clone());
         self.traces[b.index() * self.n + a.index()] = Some(trace);
@@ -109,6 +111,56 @@ impl LinkTable {
     /// `at` — what a perfect on-demand monitoring probe would report.
     pub fn oracle_at(&self, at: SimTime) -> OracleView<'_> {
         OracleView { links: self, at }
+    }
+
+    /// A copy of the table with every trace's bandwidth multiplied by
+    /// `factor` — the metamorphic scaling transform used by the
+    /// verification suite (scaling all links by `k` must scale
+    /// network-bound completion times by about `1/k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled(&self, factor: f64) -> LinkTable {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        let mut out = LinkTable::new(self.n);
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if let Some(tr) = self.trace(HostId::new(a), HostId::new(b)) {
+                    out.set(HostId::new(a), HostId::new(b), Arc::new(tr.scaled(factor)));
+                }
+            }
+        }
+        out
+    }
+
+    /// A copy of the table with the hosts relabeled by `perm` (host `i`
+    /// becomes host `perm[i]`): the relabeled world is isomorphic to the
+    /// original, which the verification suite exploits as a metamorphic
+    /// relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..host_count()`.
+    pub fn relabeled(&self, perm: &[usize]) -> LinkTable {
+        assert_eq!(perm.len(), self.n, "permutation must cover every host");
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            assert!(p < self.n && !seen[p], "not a permutation of 0..n");
+            seen[p] = true;
+        }
+        let mut out = LinkTable::new(self.n);
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if let Some(tr) = self.trace(HostId::new(a), HostId::new(b)) {
+                    out.set(HostId::new(perm[a]), HostId::new(perm[b]), tr.clone());
+                }
+            }
+        }
+        out
     }
 }
 
@@ -187,6 +239,41 @@ mod tests {
         let mut t = LinkTable::new(3);
         t.set(h(0), h(1), Arc::new(BandwidthTrace::constant(1.0)));
         assert!(!t.is_complete());
+    }
+
+    #[test]
+    fn scaled_multiplies_every_link() {
+        let pool: Vec<Arc<BandwidthTrace>> = (1..=3)
+            .map(|i| Arc::new(BandwidthTrace::constant(i as f64 * 10.0)))
+            .collect();
+        let t = LinkTable::random_from_pool(4, &pool, 5);
+        let s = t.scaled(3.0);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let base = t.bandwidth_at(h(a), h(b), SimTime::ZERO).unwrap();
+                let scaled = s.bandwidth_at(h(a), h(b), SimTime::ZERO).unwrap();
+                assert!((scaled - 3.0 * base).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn relabeled_moves_traces_with_hosts() {
+        let mut t = LinkTable::new(3);
+        t.set(h(0), h(1), Arc::new(BandwidthTrace::constant(10.0)));
+        t.set(h(0), h(2), Arc::new(BandwidthTrace::constant(20.0)));
+        t.set(h(1), h(2), Arc::new(BandwidthTrace::constant(30.0)));
+        // 0 -> 2, 1 -> 0, 2 -> 1.
+        let r = t.relabeled(&[2, 0, 1]);
+        assert_eq!(r.bandwidth_at(h(2), h(0), SimTime::ZERO), Some(10.0));
+        assert_eq!(r.bandwidth_at(h(2), h(1), SimTime::ZERO), Some(20.0));
+        assert_eq!(r.bandwidth_at(h(0), h(1), SimTime::ZERO), Some(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabeled_rejects_non_permutation() {
+        LinkTable::new(3).relabeled(&[0, 0, 1]);
     }
 
     #[test]

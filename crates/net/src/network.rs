@@ -142,6 +142,9 @@ pub struct NetStats {
     pub submitted: u64,
     /// Transfers completed.
     pub completed: u64,
+    /// Bytes submitted for transfer (conservation: every submitted byte is
+    /// either delivered or still pending/in flight).
+    pub bytes_submitted: u64,
     /// Data bytes delivered.
     pub bytes_delivered: u64,
     /// Completed transfers that were high priority.
@@ -195,7 +198,9 @@ impl<P> Network<P> {
             params,
             links,
             nic_busy: vec![0; n],
-            nic_usage: (0..n).map(|_| TimeWeighted::new(SimTime::ZERO, 0.0)).collect(),
+            nic_usage: (0..n)
+                .map(|_| TimeWeighted::new(SimTime::ZERO, 0.0))
+                .collect(),
             pending: Vec::new(),
             in_flight: HashMap::new(),
             next_id: 0,
@@ -223,7 +228,10 @@ impl<P> Network<P> {
     /// network — the engine delivers them directly) or if the link has no
     /// trace assigned.
     pub fn submit(&mut self, spec: TransferSpec, payload: P) -> TransferId {
-        assert_ne!(spec.src, spec.dst, "co-located transfer submitted to the network");
+        assert_ne!(
+            spec.src, spec.dst,
+            "co-located transfer submitted to the network"
+        );
         assert!(
             self.links.trace(spec.src, spec.dst).is_some(),
             "no trace assigned for link {} - {}",
@@ -233,6 +241,7 @@ impl<P> Network<P> {
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.stats.submitted += 1;
+        self.stats.bytes_submitted += spec.bytes;
         self.pending.push(Pending { id, spec, payload });
         id
     }
@@ -486,8 +495,7 @@ mod tests {
                 links.set(h(a), h(b), Arc::new(BandwidthTrace::constant(1000.0)));
             }
         }
-        let mut n: Network<u32> =
-            Network::new(NetworkParams::with_nic_capacity(2), links);
+        let mut n: Network<u32> = Network::new(NetworkParams::with_nic_capacity(2), links);
         n.submit(spec(0, 2, 1000), 1);
         n.submit(spec(1, 2, 1000), 2);
         n.submit(spec(0, 2, 1000), 3); // host 0 and host 2 both saturated
@@ -512,7 +520,7 @@ mod tests {
         n.submit(spec(0, 1, 1000), 0);
         let s = n.poll_start(SimTime::ZERO);
         n.complete(s[0].id, s[0].completes_at); // busy 0 .. 1.05 s
-        // At t = 2.1 s each NIC was busy exactly half the time.
+                                                // At t = 2.1 s each NIC was busy exactly half the time.
         let u = n.nic_utilization(h(0), SimTime::from_millis(2100));
         assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
         assert_eq!(n.nic_utilization(h(1), SimTime::from_millis(2100)), u);
@@ -533,6 +541,7 @@ mod tests {
         let st = n.stats();
         assert_eq!(st.submitted, 1);
         assert_eq!(st.completed, 1);
+        assert_eq!(st.bytes_submitted, 500);
         assert_eq!(st.bytes_delivered, 500);
         assert_eq!(st.high_priority_completed, 0);
     }

@@ -1,29 +1,44 @@
-//! Property-based tests of the transfer scheduler: capacity is never
-//! exceeded, every transfer completes exactly once, priorities are
-//! honoured among simultaneously-eligible transfers.
+//! Randomized tests of the transfer scheduler: capacity is never exceeded,
+//! every transfer completes exactly once, priorities are honoured among
+//! simultaneously-eligible transfers. Cases are drawn from the in-repo
+//! [`Rng64`] so runs are deterministic.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use wadc_net::link::LinkTable;
 use wadc_net::network::{Network, NetworkParams, StartedTransfer, TransferSpec};
 use wadc_plan::ids::HostId;
 use wadc_sim::resource::Priority;
+use wadc_sim::rng::{derive_seed2, Rng64};
 use wadc_sim::time::SimTime;
 use wadc_trace::model::BandwidthTrace;
 
-/// A randomized batch of transfers over `n` hosts.
-fn arb_transfers(n_hosts: usize) -> impl Strategy<Value = Vec<(usize, usize, u64, bool)>> {
-    proptest::collection::vec(
-        (0..n_hosts, 0..n_hosts, 1u64..100_000, any::<bool>()),
-        1..60,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .filter(|(a, b, _, _)| a != b)
-            .collect::<Vec<_>>()
-    })
-    .prop_filter("need at least one valid transfer", |v| !v.is_empty())
+const CASES: u64 = 48;
+
+fn case_rng(test: u64, case: u64) -> Rng64 {
+    Rng64::seed_from_u64(derive_seed2(0x4E37_0000, test, case))
+}
+
+/// A randomized batch of transfers over `n_hosts` hosts: (src, dst, bytes,
+/// high-priority). Always non-empty.
+fn arb_transfers(rng: &mut Rng64, n_hosts: usize) -> Vec<(usize, usize, u64, bool)> {
+    loop {
+        let n = rng.range_usize(59) + 1;
+        let v: Vec<(usize, usize, u64, bool)> = (0..n)
+            .map(|_| {
+                (
+                    rng.range_usize(n_hosts),
+                    rng.range_usize(n_hosts),
+                    rng.range_u64(1, 99_999),
+                    rng.bool_with(0.5),
+                )
+            })
+            .filter(|&(a, b, _, _)| a != b)
+            .collect();
+        if !v.is_empty() {
+            return v;
+        }
+    }
 }
 
 fn links(n: usize) -> LinkTable {
@@ -39,12 +54,8 @@ fn links(n: usize) -> LinkTable {
 
 /// Drives the network to completion: repeatedly starts what can start and
 /// completes the earliest in-flight transfer. Returns the completion order
-/// of payload ids and checks per-host concurrency against `capacity`.
-fn drive(
-    net: &mut Network<usize>,
-    n_hosts: usize,
-    _capacity: usize,
-) -> Vec<usize> {
+/// of payload ids and checks per-host concurrency against capacity.
+fn drive(net: &mut Network<usize>, n_hosts: usize) -> Vec<usize> {
     let mut order = Vec::new();
     let mut now = SimTime::ZERO;
     let mut in_flight: Vec<StartedTransfer> = Vec::new();
@@ -76,18 +87,16 @@ fn drive(
     order
 }
 
-proptest! {
-    /// Every submitted transfer completes exactly once, regardless of the
-    /// contention pattern, and the byte accounting matches.
-    #[test]
-    fn all_transfers_complete_exactly_once(
-        transfers in arb_transfers(5),
-        capacity in 1usize..4,
-    ) {
-        let mut net: Network<usize> = Network::new(
-            NetworkParams::with_nic_capacity(capacity),
-            links(5),
-        );
+/// Every submitted transfer completes exactly once, regardless of the
+/// contention pattern, and the byte accounting matches.
+#[test]
+fn all_transfers_complete_exactly_once() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let transfers = arb_transfers(&mut rng, 5);
+        let capacity = rng.range_usize(3) + 1;
+        let mut net: Network<usize> =
+            Network::new(NetworkParams::with_nic_capacity(capacity), links(5));
         let mut total_bytes = 0;
         for (i, &(src, dst, bytes, high)) in transfers.iter().enumerate() {
             total_bytes += bytes;
@@ -101,28 +110,30 @@ proptest! {
                 i,
             );
         }
-        let order = drive(&mut net, 5, capacity);
-        prop_assert_eq!(order.len(), transfers.len());
+        let order = drive(&mut net, 5);
+        assert_eq!(order.len(), transfers.len());
         let mut seen: Vec<usize> = order.clone();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..transfers.len()).collect::<Vec<_>>());
+        assert_eq!(seen, (0..transfers.len()).collect::<Vec<_>>());
         let stats = net.stats();
-        prop_assert_eq!(stats.submitted, transfers.len() as u64);
-        prop_assert_eq!(stats.completed, transfers.len() as u64);
-        prop_assert_eq!(stats.bytes_delivered, total_bytes);
-        prop_assert_eq!(net.pending_count(), 0);
-        prop_assert_eq!(net.in_flight_count(), 0);
+        assert_eq!(stats.submitted, transfers.len() as u64);
+        assert_eq!(stats.completed, transfers.len() as u64);
+        assert_eq!(stats.bytes_delivered, total_bytes);
+        assert_eq!(net.pending_count(), 0);
+        assert_eq!(net.in_flight_count(), 0);
     }
+}
 
-    /// On a two-host network (total serialisation at capacity 1), all high
-    /// priority transfers that are queued together overtake all queued
-    /// normal ones, and within each class FIFO order holds.
-    #[test]
-    fn strict_priority_order_on_serial_link(
-        prios in proptest::collection::vec(any::<bool>(), 2..30),
-    ) {
-        let mut net: Network<usize> =
-            Network::new(NetworkParams::paper_defaults(), links(2));
+/// On a two-host network (total serialisation at capacity 1), all high
+/// priority transfers that are queued together overtake all queued normal
+/// ones, and within each class FIFO order holds.
+#[test]
+fn strict_priority_order_on_serial_link() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let n = rng.range_usize(28) + 2;
+        let prios: Vec<bool> = (0..n).map(|_| rng.bool_with(0.5)).collect();
+        let mut net: Network<usize> = Network::new(NetworkParams::paper_defaults(), links(2));
         for (i, &high) in prios.iter().enumerate() {
             net.submit(
                 TransferSpec {
@@ -134,25 +145,26 @@ proptest! {
                 i,
             );
         }
-        let order = drive(&mut net, 2, 1);
-        // The first submitted transfer starts immediately (it was alone at
-        // poll time only if polled before others were submitted — here all
-        // are submitted first, so pure priority order applies).
+        let order = drive(&mut net, 2);
+        // All transfers are submitted before the first poll, so pure
+        // priority order applies.
         let highs: Vec<usize> = (0..prios.len()).filter(|&i| prios[i]).collect();
         let normals: Vec<usize> = (0..prios.len()).filter(|&i| !prios[i]).collect();
         let expected: Vec<usize> = highs.into_iter().chain(normals).collect();
-        prop_assert_eq!(order, expected);
+        assert_eq!(order, expected);
     }
+}
 
-    /// Higher NIC capacity never increases the total completion time of a
-    /// fixed batch (more parallelism is monotone).
-    #[test]
-    fn capacity_is_monotone(transfers in arb_transfers(5)) {
+/// Higher NIC capacity never increases the total completion time of a
+/// fixed batch (more parallelism is monotone).
+#[test]
+fn capacity_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let transfers = arb_transfers(&mut rng, 5);
         let finish = |capacity: usize| {
-            let mut net: Network<usize> = Network::new(
-                NetworkParams::with_nic_capacity(capacity),
-                links(5),
-            );
+            let mut net: Network<usize> =
+                Network::new(NetworkParams::with_nic_capacity(capacity), links(5));
             for (i, &(src, dst, bytes, _)) in transfers.iter().enumerate() {
                 net.submit(
                     TransferSpec {
@@ -183,7 +195,7 @@ proptest! {
             }
             now
         };
-        prop_assert!(finish(4) <= finish(1));
-        prop_assert!(finish(2) <= finish(1));
+        assert!(finish(4) <= finish(1));
+        assert!(finish(2) <= finish(1));
     }
 }

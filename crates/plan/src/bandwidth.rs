@@ -6,7 +6,6 @@
 //! missing — the monitoring system only knows pairs it has observed — and
 //! the cost model decides what to assume for unknown links.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::HostId;
 
@@ -41,7 +40,7 @@ impl<T: BandwidthView + ?Sized> BandwidthView for &T {
 /// assert_eq!(m.bandwidth(HostId::new(2), HostId::new(0)), Some(50_000.0));
 /// assert_eq!(m.bandwidth(HostId::new(0), HostId::new(1)), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BwMatrix {
     n: usize,
     vals: Vec<Option<f64>>,

@@ -7,7 +7,6 @@
 //! parameters: 50 ms message startup, 3 MB/s disk, 7 µs/pixel composition,
 //! 128 KB expected images.
 
-use serde::{Deserialize, Serialize};
 
 use crate::bandwidth::BandwidthView;
 use crate::ids::HostId;
@@ -33,7 +32,7 @@ pub const DEFAULT_IMAGE_BYTES: f64 = 128.0 * 1024.0;
 /// assert!((c - 2.05).abs() < 1e-9);
 /// assert_eq!(model.edge_cost(&bw, HostId::new(1), HostId::new(1)), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Per-message startup cost, seconds (paper: 50 ms).
     pub startup_secs: f64,

@@ -169,6 +169,106 @@ pub fn nic_occupancy(
     load
 }
 
+/// An analytic completion-time estimate for a full pipelined run, used by
+/// the verification suite to cross-check the simulator against the cost
+/// model on constant-bandwidth networks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineEstimate {
+    /// Fill latency: the time for the first partition to traverse the
+    /// placed tree (critical path, with each remote edge also paying a
+    /// startup for the demand message that precedes the data).
+    pub latency_secs: f64,
+    /// Steady-state interval between successive partitions: the busiest
+    /// resource's occupancy per partition (a host's NIC handles a demand
+    /// and a data message per remote incident edge; its CPU/disk handle
+    /// the processing of the nodes placed on it).
+    pub interval_secs: f64,
+}
+
+impl PipelineEstimate {
+    /// Estimated end-to-end seconds for `iterations` partitions:
+    /// `latency + (iterations - 1) * interval`.
+    pub fn total_secs(&self, iterations: u32) -> f64 {
+        self.latency_secs + iterations.saturating_sub(1) as f64 * self.interval_secs
+    }
+}
+
+/// Estimates the completion time of a pipelined run over a placed tree.
+///
+/// The model mirrors the simulator's structure without simulating it:
+/// demand-driven execution sends a (startup-priced) demand down and a data
+/// message up every remote edge once per partition, every host serialises
+/// its transfers through a single NIC, and processing (disk at servers,
+/// composition at operators) overlaps with communication. The estimate is
+/// exact only in expectation — image sizes are random, demands carry
+/// piggybacked gossip — so consumers compare against it with a tolerance.
+pub fn pipeline_estimate(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    placement: &Placement,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+) -> PipelineEstimate {
+    // Fill latency: subtree_costs plus one demand startup per remote edge.
+    let mut fill = vec![0.0f64; tree.nodes().len()];
+    for node_id in tree.postorder() {
+        let node = tree.node(node_id);
+        let here = placement.node_host(tree, roster, node_id);
+        let own = match node.kind {
+            NodeKind::Server(_) => model.disk_secs,
+            NodeKind::Operator(_) => model.compute_secs,
+            NodeKind::Client => 0.0,
+        };
+        let slowest_input = node
+            .children
+            .iter()
+            .map(|&c| {
+                let child_host = placement.node_host(tree, roster, c);
+                let demand = if child_host == here {
+                    0.0
+                } else {
+                    model.startup_secs
+                };
+                demand + model.edge_cost(view, child_host, here) + fill[c.index()]
+            })
+            .fold(0.0f64, f64::max);
+        fill[node_id.index()] = own + slowest_input;
+    }
+    let latency_secs = fill[tree.root().index()];
+
+    // Steady-state interval: per-host NIC occupancy (demand + data per
+    // remote incident edge) and per-host processing occupancy; NIC, CPU
+    // and disk are separate resources, so a host's contribution is the
+    // larger of the two, and the pipeline drains at the busiest host.
+    let mut nic = vec![0.0f64; roster.host_count()];
+    let mut processing = vec![0.0f64; roster.host_count()];
+    for (i, node) in tree.nodes().iter().enumerate() {
+        let here = placement.node_host(tree, roster, NodeId::new(i));
+        processing[here.index()] += match node.kind {
+            NodeKind::Server(_) => model.disk_secs,
+            NodeKind::Operator(_) => model.compute_secs,
+            NodeKind::Client => 0.0,
+        };
+        if let Some(parent) = node.parent {
+            let to = placement.node_host(tree, roster, parent);
+            if here != to {
+                let secs = model.startup_secs + model.edge_cost(view, here, to);
+                nic[here.index()] += secs;
+                nic[to.index()] += secs;
+            }
+        }
+    }
+    let interval_secs = nic
+        .iter()
+        .zip(&processing)
+        .map(|(&n, &p)| n.max(p))
+        .fold(0.0f64, f64::max);
+    PipelineEstimate {
+        latency_secs,
+        interval_secs,
+    }
+}
+
 /// Contention-aware placement cost: the maximum of the critical-path
 /// length and the busiest NIC's occupancy. An *extension* over the paper's
 /// plain critical-path objective (see `DESIGN.md`); the ablation bench
@@ -207,10 +307,7 @@ mod tests {
         let bw = BwMatrix::from_fn(9, |_, _| 50_000.0);
         let p = Placement::download_all(&tree, &roster);
         let cp = critical_path(&tree, &roster, &p, &bw, &model);
-        assert!(matches!(
-            tree.node(cp.path[0]).kind,
-            NodeKind::Server(_)
-        ));
+        assert!(matches!(tree.node(cp.path[0]).kind, NodeKind::Server(_)));
         assert_eq!(*cp.path.last().unwrap(), tree.root());
         // 8 servers: leaf, 3 operators, client = 5 nodes.
         assert_eq!(cp.path.len(), 5);
@@ -353,6 +450,36 @@ mod tests {
 
     fn wadc_helper_h(i: usize) -> HostId {
         HostId::new(i)
+    }
+
+    #[test]
+    fn pipeline_estimate_bounds_make_sense() {
+        let (tree, roster, model) = setup(4);
+        let bw = BwMatrix::from_fn(5, |_, _| 64_000.0);
+        let p = Placement::download_all(&tree, &roster);
+        let est = pipeline_estimate(&tree, &roster, &p, &bw, &model);
+        // The fill latency dominates the plain critical path (every remote
+        // edge pays an extra demand startup).
+        let cp = placement_cost(&tree, &roster, &p, &bw, &model);
+        assert!(est.latency_secs > cp);
+        // Download-all: the client NIC carries all four server edges, so
+        // the interval is 4x the per-edge time (demand startup + data).
+        let per_edge = model.startup_secs + model.edge_cost(&bw, HostId::new(0), roster.client());
+        assert!((est.interval_secs - 4.0 * per_edge).abs() < 1e-9);
+        // Totals accumulate linearly in the iteration count.
+        assert!((est.total_secs(1) - est.latency_secs).abs() < 1e-12);
+        let d = est.total_secs(11) - est.total_secs(10);
+        assert!((d - est.interval_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_interval_can_be_compute_bound() {
+        let (tree, roster, model) = setup(2);
+        // Absurdly fast links: the operator's composition dominates.
+        let bw = BwMatrix::from_fn(3, |_, _| 1e12);
+        let p = Placement::download_all(&tree, &roster);
+        let est = pipeline_estimate(&tree, &roster, &p, &bw, &model);
+        assert!(est.interval_secs >= model.compute_secs);
     }
 
     #[test]

@@ -8,11 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A participating host (a server machine or the client machine).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct HostId(usize);
 
@@ -36,7 +35,7 @@ impl fmt::Display for HostId {
 
 /// A node of the combination tree (server leaf, operator, or client root).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct NodeId(usize);
 
@@ -61,7 +60,7 @@ impl fmt::Display for NodeId {
 /// A combination operator: an internal node of the tree, and the unit of
 /// relocation.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct OperatorId(usize);
 

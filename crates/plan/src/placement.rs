@@ -5,7 +5,6 @@
 //! host each server's data lives on, and which host is the client — so a
 //! placement only has freedom over the operators, exactly as in the paper.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{HostId, NodeId, OperatorId};
 use crate::tree::{CombinationTree, NodeKind};
@@ -15,7 +14,7 @@ use crate::tree::{CombinationTree, NodeKind};
 ///
 /// In the paper's configurations each server is its own host and the client
 /// is a ninth host; the roster also supports servers sharing hosts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostRoster {
     n_hosts: usize,
     client: HostId,
@@ -134,7 +133,7 @@ impl HostRoster {
 /// assert_eq!(p.site(OperatorId::new(0)), roster.client());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     sites: Vec<HostId>,
 }

@@ -7,12 +7,11 @@
 //! (maximally bushy) and the **left-deep tree** (linear, the shape of
 //! classic database query plans — Figure 5).
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{NodeId, OperatorId};
 
 /// What a tree node is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// A data server — a leaf. The payload is the server index
     /// (0-based, dense).
@@ -24,7 +23,7 @@ pub enum NodeKind {
 }
 
 /// One node of a combination tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeNode {
     /// What the node is.
     pub kind: NodeKind,
@@ -66,7 +65,7 @@ impl std::error::Error for TreeError {}
 
 /// The shape of the combination ordering, as compared in the paper's
 /// Figure 10 experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TreeShape {
     /// Maximally bushy: pairs combined in a balanced binary tree. The
     /// paper's default and the shape that adapts best.
@@ -94,7 +93,7 @@ pub enum TreeShape {
 /// assert_eq!(t.depth(), 3); // three operator levels for 8 servers
 /// # Ok::<(), wadc_plan::tree::TreeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CombinationTree {
     nodes: Vec<TreeNode>,
     root: NodeId,

@@ -1,15 +1,26 @@
-//! Property-based tests of trees, placements and critical-path analysis.
+//! Randomized tests of trees, placements and critical-path analysis.
+//! Cases are drawn from the in-repo [`Rng64`] so runs are deterministic.
 
-use proptest::prelude::*;
 use wadc_plan::bandwidth::BwMatrix;
 use wadc_plan::cost::CostModel;
 use wadc_plan::critical_path::{critical_path, placement_cost, subtree_costs};
 use wadc_plan::ids::{HostId, NodeId, OperatorId};
 use wadc_plan::placement::{HostRoster, Placement};
 use wadc_plan::tree::{CombinationTree, NodeKind, TreeShape};
+use wadc_sim::rng::{derive_seed2, Rng64};
 
-fn arb_shape() -> impl Strategy<Value = TreeShape> {
-    prop_oneof![Just(TreeShape::CompleteBinary), Just(TreeShape::LeftDeep)]
+const CASES: u64 = 48;
+
+fn case_rng(test: u64, case: u64) -> Rng64 {
+    Rng64::seed_from_u64(derive_seed2(0x1A4, test, case))
+}
+
+fn arb_shape(rng: &mut Rng64) -> TreeShape {
+    if rng.bool_with(0.5) {
+        TreeShape::CompleteBinary
+    } else {
+        TreeShape::LeftDeep
+    }
 }
 
 /// A random bandwidth matrix over `n` hosts from a seed.
@@ -26,7 +37,9 @@ fn bw_from_seed(n: usize, seed: u64) -> BwMatrix {
 fn placement_from_seed(tree: &CombinationTree, roster: &HostRoster, seed: u64) -> Placement {
     let mut p = Placement::download_all(tree, roster);
     for i in 0..tree.operator_count() {
-        let h = (seed.wrapping_mul(6364136223846793005).wrapping_add((i as u64).wrapping_mul(1442695040888963407))
+        let h = (seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((i as u64).wrapping_mul(1442695040888963407))
             >> 33) as usize
             % roster.host_count();
         p.set_site(OperatorId::new(i), HostId::new(h));
@@ -34,36 +47,41 @@ fn placement_from_seed(tree: &CombinationTree, roster: &HostRoster, seed: u64) -
     p
 }
 
-proptest! {
-    /// Both builders produce structurally valid trees with n-1 operators.
-    #[test]
-    fn trees_are_well_formed(shape in arb_shape(), n in 2usize..40) {
+/// Both builders produce structurally valid trees with n-1 operators.
+#[test]
+fn trees_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let shape = arb_shape(&mut rng);
+        let n = rng.range_usize(38) + 2;
         let tree = CombinationTree::build(shape, n).expect("n >= 2");
-        prop_assert_eq!(tree.check_invariants(), Ok(()));
-        prop_assert_eq!(tree.server_count(), n);
-        prop_assert_eq!(tree.operator_count(), n - 1);
-        prop_assert_eq!(tree.nodes().len(), 2 * n);
+        assert_eq!(tree.check_invariants(), Ok(()));
+        assert_eq!(tree.server_count(), n);
+        assert_eq!(tree.operator_count(), n - 1);
+        assert_eq!(tree.nodes().len(), 2 * n);
         // Every operator level is below the depth, and all levels up to
         // depth-1 are inhabited (the epoch wavefront needs this).
         let depth = tree.depth();
         let mut seen = vec![false; depth];
         for i in 0..tree.operator_count() {
             let l = tree.operator_level(OperatorId::new(i));
-            prop_assert!(l < depth);
+            assert!(l < depth);
             seen[l] = true;
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s));
     }
+}
 
-    /// The critical path cost dominates the cost of every leaf-to-root
-    /// chain, and the reported path is one that attains it.
-    #[test]
-    fn critical_path_dominates_all_paths(
-        shape in arb_shape(),
-        n in 2usize..20,
-        bw_seed in any::<u64>(),
-        p_seed in any::<u64>(),
-    ) {
+/// The critical path cost dominates the cost of every leaf-to-root chain,
+/// and the reported path is one that attains it.
+#[test]
+fn critical_path_dominates_all_paths() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let shape = arb_shape(&mut rng);
+        let n = rng.range_usize(18) + 2;
+        let bw_seed = rng.next_u64();
+        let p_seed = rng.next_u64();
         let tree = CombinationTree::build(shape, n).expect("n >= 2");
         let roster = HostRoster::one_host_per_server(n);
         let bw = bw_from_seed(n + 1, bw_seed);
@@ -88,24 +106,26 @@ proptest! {
             cost
         };
         for &leaf in tree.server_nodes() {
-            prop_assert!(chain_cost(leaf) <= cp.cost + 1e-9);
+            assert!(chain_cost(leaf) <= cp.cost + 1e-9);
         }
         // The returned path starts at a server, ends at the root, and its
         // chain cost equals the reported cost.
-        prop_assert!(matches!(tree.node(cp.path[0]).kind, NodeKind::Server(_)));
-        prop_assert_eq!(*cp.path.last().unwrap(), tree.root());
-        prop_assert!((chain_cost(cp.path[0]) - cp.cost).abs() < 1e-9);
+        assert!(matches!(tree.node(cp.path[0]).kind, NodeKind::Server(_)));
+        assert_eq!(*cp.path.last().unwrap(), tree.root());
+        assert!((chain_cost(cp.path[0]) - cp.cost).abs() < 1e-9);
     }
+}
 
-    /// Subtree costs are monotone along parent links and the root cost
-    /// equals `placement_cost`.
-    #[test]
-    fn subtree_costs_consistent(
-        shape in arb_shape(),
-        n in 2usize..20,
-        bw_seed in any::<u64>(),
-        p_seed in any::<u64>(),
-    ) {
+/// Subtree costs are monotone along parent links and the root cost equals
+/// `placement_cost`.
+#[test]
+fn subtree_costs_consistent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let shape = arb_shape(&mut rng);
+        let n = rng.range_usize(18) + 2;
+        let bw_seed = rng.next_u64();
+        let p_seed = rng.next_u64();
         let tree = CombinationTree::build(shape, n).expect("n >= 2");
         let roster = HostRoster::one_host_per_server(n);
         let bw = bw_from_seed(n + 1, bw_seed);
@@ -114,18 +134,23 @@ proptest! {
         let costs = subtree_costs(&tree, &roster, &placement, &bw, &model);
         for (i, node) in tree.nodes().iter().enumerate() {
             for &c in &node.children {
-                prop_assert!(costs[i] >= costs[c.index()] - 1e-12);
+                assert!(costs[i] >= costs[c.index()] - 1e-12);
             }
         }
         let total = placement_cost(&tree, &roster, &placement, &bw, &model);
-        prop_assert_eq!(costs[tree.root().index()], total);
+        assert_eq!(costs[tree.root().index()], total);
     }
+}
 
-    /// Co-locating an operator with both its producers and its consumer
-    /// never increases the total cost relative to placing it on an
-    /// isolated slow host (sanity of the edge-cost structure).
-    #[test]
-    fn colocated_edges_are_free(n in 2usize..12, bw_seed in any::<u64>()) {
+/// Co-locating an operator with both its producers and its consumer never
+/// increases the total cost relative to placing it on an isolated slow
+/// host (sanity of the edge-cost structure).
+#[test]
+fn colocated_edges_are_free() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n = rng.range_usize(10) + 2;
+        let bw_seed = rng.next_u64();
         let tree = CombinationTree::complete_binary(n).expect("n >= 2");
         let roster = HostRoster::one_host_per_server(n);
         let bw = bw_from_seed(n + 1, bw_seed);
@@ -139,12 +164,18 @@ proptest! {
             .map(|s| model.edge_cost(&bw, roster.server_host(s), roster.client()))
             .fold(0.0f64, f64::max);
         let bound = model.disk_secs + max_edge + tree.depth() as f64 * model.compute_secs;
-        prop_assert!(total <= bound + 1e-9);
+        assert!(total <= bound + 1e-9);
     }
+}
 
-    /// Placement `diff` returns exactly the operators whose sites differ.
-    #[test]
-    fn placement_diff_is_exact(n in 2usize..20, p_seed in any::<u64>(), q_seed in any::<u64>()) {
+/// Placement `diff` returns exactly the operators whose sites differ.
+#[test]
+fn placement_diff_is_exact() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let n = rng.range_usize(18) + 2;
+        let p_seed = rng.next_u64();
+        let q_seed = rng.next_u64();
         let tree = CombinationTree::complete_binary(n).expect("n >= 2");
         let roster = HostRoster::one_host_per_server(n);
         let p = placement_from_seed(&tree, &roster, p_seed);
@@ -152,7 +183,7 @@ proptest! {
         let diff = p.diff(&q);
         for i in 0..tree.operator_count() {
             let op = OperatorId::new(i);
-            prop_assert_eq!(diff.contains(&op), p.site(op) != q.site(op));
+            assert_eq!(diff.contains(&op), p.site(op) != q.site(op));
         }
     }
 }

@@ -243,6 +243,42 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_scheduling_order_not_insertion_pattern() {
+        // Tie order must follow *scheduling* order even when the tied
+        // events are interleaved with earlier and later ones, and must
+        // survive cancellations in the middle of the tie group.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        q.schedule(t, "x");
+        q.schedule(SimTime::from_secs(3), "early");
+        let y = q.schedule(t, "y");
+        q.schedule(SimTime::from_secs(9), "late");
+        q.schedule(t, "z");
+        q.cancel(y);
+        q.schedule(t, "w");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!["early", "x", "z", "w", "late"]);
+    }
+
+    #[test]
+    fn same_time_events_scheduled_while_popping_run_last() {
+        // An event scheduled for "now" from inside a handler (the engine's
+        // schedule_now fast path for co-located messages) runs after every
+        // event already pending at that instant.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(1), 2);
+        let mut order = Vec::new();
+        while let Some((_, _, e)) = q.pop() {
+            order.push(e);
+            if e == 1 {
+                q.schedule_now(3);
+            }
+        }
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn peek_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_secs(1), ());

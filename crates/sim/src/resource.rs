@@ -9,15 +9,11 @@
 
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
-
 /// Priority class of a resource request or message. Higher sorts first.
 ///
 /// The paper distinguishes only two classes (barrier/control messages versus
 /// data), but the queueing machinery is generic over the ordering.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Bulk data transfers and ordinary work.
     #[default]
@@ -198,6 +194,50 @@ mod tests {
         r.release();
         assert_eq!(r.total_served(), 2);
         assert_eq!(r.queue_len(), 0);
+    }
+
+    #[test]
+    fn zero_duration_service_leaves_resource_idle() {
+        // A zero-duration service is a request followed immediately by its
+        // release — the resource must come back fully idle and reusable.
+        let mut r = Resource::new();
+        assert_eq!(r.request("instant", Priority::Normal), Some("instant"));
+        assert_eq!(r.release(), None);
+        assert!(!r.is_busy());
+        assert_eq!(r.queue_len(), 0);
+        // And the idle resource grants again right away.
+        assert_eq!(r.request("next", Priority::High), Some("next"));
+        assert_eq!(r.total_served(), 2);
+    }
+
+    #[test]
+    fn back_to_back_releases_drain_a_mixed_queue_in_order() {
+        // Chained releases (each handing the next request into service)
+        // must drain the queue high-priority-first, FIFO within class, and
+        // end exactly at idle.
+        let mut r = Resource::new();
+        assert_eq!(r.request("first", Priority::Normal), Some("first"));
+        r.request("n0", Priority::Normal);
+        r.request("h0", Priority::High);
+        r.request("n1", Priority::Normal);
+        r.request("h1", Priority::High);
+        let mut served = Vec::new();
+        while let Some(next) = r.release() {
+            served.push(next);
+            assert!(r.is_busy(), "a granted request is in service");
+        }
+        assert_eq!(served, vec!["h0", "h1", "n0", "n1"]);
+        assert!(!r.is_busy());
+        assert_eq!(r.queue_len(), 0);
+        assert_eq!(r.total_served(), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "release of an idle resource")]
+    fn releasing_an_idle_resource_panics_in_debug() {
+        let mut r: Resource<()> = Resource::new();
+        r.release();
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! distribution summaries (used for the sorted speedup curves of the paper's
 //! Figure 6/10 style plots).
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
 
@@ -25,7 +24,7 @@ use crate::time::SimTime;
 /// assert_eq!(t.count(), 3);
 /// assert_eq!(t.min(), Some(2.0));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Tally {
     count: u64,
     mean: f64,
@@ -125,7 +124,7 @@ impl FromIterator<f64> for Tally {
 /// u.set(SimTime::from_secs(30), 0.0); // 1.0 for 20 s
 /// assert!((u.mean(SimTime::from_secs(40)) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     last_change: SimTime,
     current: f64,
@@ -181,7 +180,7 @@ impl TimeWeighted {
 }
 
 /// Fixed-width histogram over `[lo, hi)` with saturating edge buckets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

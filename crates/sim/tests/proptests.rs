@@ -1,16 +1,29 @@
-//! Property-based tests of the simulation kernel's ordering guarantees.
+//! Randomized tests of the simulation kernel's ordering guarantees.
+//!
+//! Each test draws many random cases from the in-repo [`Rng64`] so runs
+//! are deterministic and platform-independent — property-based testing
+//! without an external framework.
 
-use proptest::prelude::*;
 use wadc_sim::event::EventQueue;
 use wadc_sim::resource::{Priority, Resource};
+use wadc_sim::rng::{derive_seed2, Rng64};
 use wadc_sim::stats::Tally;
 use wadc_sim::time::{SimDuration, SimTime};
 
-proptest! {
-    /// Events pop in non-decreasing time order, with scheduling order
-    /// breaking ties, regardless of insertion order.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+const CASES: u64 = 64;
+
+fn case_rng(test: u64, case: u64) -> Rng64 {
+    Rng64::seed_from_u64(derive_seed2(0x51D0_7E57, test, case))
+}
+
+/// Events pop in non-decreasing time order, with scheduling order breaking
+/// ties, regardless of insertion order.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let n = rng.range_usize(199) + 1;
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 999)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), i);
@@ -19,23 +32,25 @@ proptest! {
         while let Some((t, id, seq)) = q.pop() {
             popped.push((t, id, seq));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
             let ((t1, id1, _), (t2, id2, _)) = (w[0], w[1]);
-            prop_assert!(t1 < t2 || (t1 == t2 && id1 < id2));
+            assert!(t1 < t2 || (t1 == t2 && id1 < id2));
         }
         // Every event's pop time equals its scheduled time.
         for (t, _, seq) in popped {
-            prop_assert_eq!(t, SimTime::from_micros(times[seq]));
+            assert_eq!(t, SimTime::from_micros(times[seq]));
         }
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn event_queue_cancellation(
-        times in proptest::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn event_queue_cancellation() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let n = rng.range_usize(99) + 1;
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 999)).collect();
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
@@ -43,26 +58,29 @@ proptest! {
             .map(|(i, &t)| q.schedule(SimTime::from_micros(t), i))
             .collect();
         let mut cancelled = std::collections::HashSet::new();
-        for (id, &c) in ids.iter().zip(&cancel_mask) {
-            if c {
-                q.cancel(*id);
-                cancelled.insert(*id);
+        for &id in &ids {
+            if rng.bool_with(0.5) {
+                q.cancel(id);
+                cancelled.insert(id);
             }
         }
         let mut seen = 0;
         while let Some((_, id, _)) = q.pop() {
-            prop_assert!(!cancelled.contains(&id));
+            assert!(!cancelled.contains(&id));
             seen += 1;
         }
-        prop_assert_eq!(seen, times.len() - cancelled.len());
+        assert_eq!(seen, times.len() - cancelled.len());
     }
+}
 
-    /// A resource serves every request exactly once, high priority first
-    /// among waiters, FIFO within a class.
-    #[test]
-    fn resource_serves_all_in_priority_order(
-        prios in proptest::collection::vec(any::<bool>(), 2..100),
-    ) {
+/// A resource serves every request exactly once, high priority first among
+/// waiters, FIFO within a class.
+#[test]
+fn resource_serves_all_in_priority_order() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let n = rng.range_usize(98) + 2;
+        let prios: Vec<bool> = (0..n).map(|_| rng.bool_with(0.5)).collect();
         let mut r: Resource<usize> = Resource::new();
         let mut immediately_served = Vec::new();
         for (i, &high) in prios.iter().enumerate() {
@@ -72,38 +90,48 @@ proptest! {
             }
         }
         // Only the first request enters service immediately.
-        prop_assert_eq!(&immediately_served, &[0]);
+        assert_eq!(&immediately_served, &[0]);
         let mut served = vec![0];
         while let Some(next) = r.release() {
             served.push(next);
         }
-        prop_assert_eq!(served.len(), prios.len());
+        assert_eq!(served.len(), prios.len());
         // After the first, all highs (FIFO) then all normals (FIFO).
         let queued = &served[1..];
         let highs: Vec<usize> = (1..prios.len()).filter(|&i| prios[i]).collect();
         let normals: Vec<usize> = (1..prios.len()).filter(|&i| !prios[i]).collect();
         let expected: Vec<usize> = highs.into_iter().chain(normals).collect();
-        prop_assert_eq!(queued, &expected[..]);
+        assert_eq!(queued, &expected[..]);
     }
+}
 
-    /// Welford tally agrees with the naive two-pass computation.
-    #[test]
-    fn tally_matches_naive(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Welford tally agrees with the naive two-pass computation.
+#[test]
+fn tally_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n = rng.range_usize(199) + 1;
+        let values: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let tally: Tally = values.iter().copied().collect();
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        prop_assert!((tally.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((tally.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
-        prop_assert_eq!(tally.count(), values.len() as u64);
+        assert!((tally.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((tally.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        assert_eq!(tally.count(), values.len() as u64);
     }
+}
 
-    /// Duration arithmetic is consistent: (t + d) - t == d.
-    #[test]
-    fn time_addition_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// Duration arithmetic is consistent: (t + d) - t == d.
+#[test]
+fn time_addition_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let t = rng.range_u64(0, u64::MAX / 4 - 1);
+        let d = rng.range_u64(0, u64::MAX / 4 - 1);
         let base = SimTime::from_micros(t);
         let dur = SimDuration::from_micros(d);
-        prop_assert_eq!((base + dur) - base, dur);
-        prop_assert_eq!((base + dur) - dur, base);
+        assert_eq!((base + dur) - base, dur);
+        assert_eq!((base + dur) - dur, base);
     }
 }

@@ -1,13 +1,16 @@
 //! Trace persistence.
 //!
-//! Traces and summaries serialize to JSON so figure binaries can archive
-//! the exact inputs of a run and the examples can ship canned traces.
+//! Traces serialize to a small JSON array so figure binaries can archive
+//! the exact inputs of a run and the examples can ship canned traces. The
+//! format is `[{"at":<micros>,"bytes_per_sec":<f64>}, ...]`; reading and
+//! writing are hand-rolled so the workspace stays dependency-free.
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
 use crate::model::{BandwidthTrace, Sample, TraceError};
+use wadc_sim::time::SimTime;
 
 /// Errors from reading or writing trace files.
 #[derive(Debug)]
@@ -15,7 +18,7 @@ pub enum IoError {
     /// Underlying filesystem error.
     Io(io::Error),
     /// The file was not valid JSON for a trace.
-    Format(serde_json::Error),
+    Format(String),
     /// The decoded samples violate trace invariants.
     Invalid(TraceError),
 }
@@ -34,7 +37,7 @@ impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Format(e) => Some(e),
+            IoError::Format(_) => None,
             IoError::Invalid(e) => Some(e),
         }
     }
@@ -46,9 +49,155 @@ impl From<io::Error> for IoError {
     }
 }
 
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
-        IoError::Format(e)
+/// Renders samples in the trace file format.
+fn to_json(samples: &[Sample]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // 17 significant digits round-trips any f64 exactly.
+        out.push_str(&format!(
+            "{{\"at\":{},\"bytes_per_sec\":{:.17e}}}",
+            s.at.as_micros(),
+            s.bytes_per_sec
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// A minimal parser for the sample-array format written by [`to_json`].
+/// Accepts arbitrary whitespace and either key order.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err("escape sequences are not used in trace files".into());
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| {
+            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn sample(&mut self) -> Result<Sample, String> {
+        self.expect(b'{')?;
+        let mut at: Option<u64> = None;
+        let mut bw: Option<f64> = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.number()?;
+            match key.as_str() {
+                "at" => {
+                    if !(value.is_finite() && value >= 0.0 && value.fract() == 0.0) {
+                        return Err(format!("'at' must be a non-negative integer, got {value}"));
+                    }
+                    at = Some(value as u64);
+                }
+                "bytes_per_sec" => bw = Some(value),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        match (at, bw) {
+            (Some(at), Some(bytes_per_sec)) => Ok(Sample {
+                at: SimTime::from_micros(at),
+                bytes_per_sec,
+            }),
+            _ => Err("sample must have both 'at' and 'bytes_per_sec'".into()),
+        }
+    }
+
+    fn samples(&mut self) -> Result<Vec<Sample>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+        } else {
+            loop {
+                out.push(self.sample()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(out)
     }
 }
 
@@ -58,8 +207,7 @@ impl From<serde_json::Error> for IoError {
 ///
 /// Returns [`IoError::Io`] on filesystem failure.
 pub fn save_trace(trace: &BandwidthTrace, path: impl AsRef<Path>) -> Result<(), IoError> {
-    let json = serde_json::to_string(trace.samples()).expect("samples always serialize");
-    fs::write(path, json)?;
+    fs::write(path, to_json(trace.samples()))?;
     Ok(())
 }
 
@@ -72,7 +220,7 @@ pub fn save_trace(trace: &BandwidthTrace, path: impl AsRef<Path>) -> Result<(), 
 /// invariants (unsorted, empty, non-positive bandwidth).
 pub fn load_trace(path: impl AsRef<Path>) -> Result<BandwidthTrace, IoError> {
     let data = fs::read_to_string(path)?;
-    let samples: Vec<Sample> = serde_json::from_str(&data)?;
+    let samples = Parser::new(&data).samples().map_err(IoError::Format)?;
     BandwidthTrace::from_samples(samples).map_err(IoError::Invalid)
 }
 
@@ -98,13 +246,26 @@ mod tests {
         let path = tmp("roundtrip");
         save_trace(&tr, &path).unwrap();
         let back = load_trace(&path).unwrap();
-        // JSON float formatting may not be bit-exact; compare within 1e-9
-        // relative, which is far below any bandwidth the model cares about.
         assert_eq!(tr.len(), back.len());
         for (a, b) in tr.samples().iter().zip(back.samples()) {
             assert_eq!(a.at, b.at);
-            assert!((a.bytes_per_sec - b.bytes_per_sec).abs() / a.bytes_per_sec < 1e-9);
+            assert_eq!(a.bytes_per_sec, b.bytes_per_sec, "17-digit format is exact");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn accepts_whitespace_and_key_order() {
+        let path = tmp("loose");
+        std::fs::write(
+            &path,
+            " [ {\"bytes_per_sec\": 5e3, \"at\": 0},\n {\"at\":1000000, \"bytes_per_sec\":2.5} ] ",
+        )
+        .unwrap();
+        let tr = load_trace(&path).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.samples()[0].bytes_per_sec, 5000.0);
+        assert_eq!(tr.samples()[1].at, SimTime::from_secs(1));
         std::fs::remove_file(&path).ok();
     }
 

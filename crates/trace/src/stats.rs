@@ -7,7 +7,6 @@
 //! in the bandwidth (≥ 10%) was about 2 minutes; we picked 40 sec as a
 //! conservative value").
 
-use serde::{Deserialize, Serialize};
 use wadc_sim::time::{SimDuration, SimTime};
 
 use crate::model::BandwidthTrace;
@@ -46,7 +45,7 @@ pub fn mean_change_interval(trace: &BandwidthTrace, threshold: f64) -> Option<Si
 
 /// Summary statistics of a trace over a window, in the shape the paper's
 /// Figure 2 characterises.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
     /// Time-weighted mean bandwidth (bytes/sec).
     pub mean_bytes_per_sec: f64,
@@ -125,25 +124,53 @@ mod tests {
 
     #[test]
     fn calibration_two_minute_change_interval() {
-        // The headline calibration target: synthetic wide-area traces have a
-        // mean ≥10%-change interval in the neighbourhood of the 2 minutes
-        // the paper measured. Averaged over several seeds to damp noise.
+        // The paper's one quantitative trace statistic: "the expected time
+        // between changes of 10% or more was found to be about two
+        // minutes". Empirically the generator sits at ~116 s with every
+        // seed inside 104–126 s, so the bands below are a seeded tolerance
+        // around the 2-minute target, not a tautology.
         let p = SynthParams::wide_area(100_000.0);
         let mut total = 0.0;
         let mut count = 0;
         for seed in 0..8 {
             let tr = generate(&p, SimDuration::from_hours(12), seed);
-            if let Some(m) = mean_change_interval(&tr, 0.10) {
-                total += m.as_secs_f64();
-                count += 1;
-            }
+            let m = mean_change_interval(&tr, 0.10)
+                .expect("wide-area traces must vary by >=10%")
+                .as_secs_f64();
+            assert!(
+                (90.0..160.0).contains(&m),
+                "seed {seed}: per-seed change interval {m:.1}s strays from ~2 minutes"
+            );
+            total += m;
+            count += 1;
         }
-        assert!(count > 0);
         let mean = total / count as f64;
         assert!(
-            (45.0..300.0).contains(&mean),
+            (100.0..140.0).contains(&mean),
             "mean ≥10% change interval {mean:.1}s outside the 2-minute neighbourhood"
         );
+    }
+
+    #[test]
+    fn change_interval_is_scale_invariant() {
+        // The ≥10% threshold is relative, so the calibration must not
+        // depend on the link's base bandwidth — only on the generator's
+        // temporal structure.
+        for seed in [3u64, 11] {
+            let slow = generate(
+                &SynthParams::wide_area(16_000.0),
+                SimDuration::from_hours(12),
+                seed,
+            );
+            let fast = generate(
+                &SynthParams::wide_area(512_000.0),
+                SimDuration::from_hours(12),
+                seed,
+            );
+            let a = mean_change_interval(&slow, 0.10).unwrap();
+            let b = mean_change_interval(&fast, 0.10).unwrap();
+            assert_eq!(a, b, "seed {seed}: interval depends on base bandwidth");
+        }
     }
 
     #[test]

@@ -15,17 +15,14 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-use wadc_sim::rng::derive_seed2;
+use wadc_sim::rng::{derive_seed2, Rng64};
 use wadc_sim::time::{SimDuration, SimTime};
 
 use crate::model::BandwidthTrace;
 use crate::synth::{generate, SynthParams};
 
 /// Geographic region of a study host, as enumerated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Region {
     /// US east coast.
     UsEast,
@@ -83,7 +80,7 @@ impl Region {
 }
 
 /// A host that participated in the bandwidth study.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StudyHost {
     /// Short site name, e.g. `"umd"`.
     pub name: String,
@@ -162,10 +159,10 @@ impl BandwidthStudy {
         for i in 0..hosts.len() {
             for j in (i + 1)..hosts.len() {
                 let pair_seed = derive_seed2(seed, i as u64, j as u64);
-                let mut rng = StdRng::seed_from_u64(pair_seed);
+                let mut rng = Rng64::seed_from_u64(pair_seed);
                 let (lo, hi) = base_range(hosts[i].region, hosts[j].region);
                 // Log-uniform base draw spreads pairs across the range.
-                let base = lo * (hi / lo).powf(rng.gen::<f64>());
+                let base = lo * (hi / lo).powf(rng.f64());
                 let params = SynthParams {
                     // Diurnal phase follows the midpoint of the two sites'
                     // time zones; traces start at local midnight.
@@ -175,7 +172,7 @@ impl BandwidthStudy {
                         .rem_euclid(24.0),
                     ..SynthParams::wide_area(base)
                 };
-                let trace = generate(&params, duration, rng.gen());
+                let trace = generate(&params, duration, rng.next_u64());
                 traces.insert((i, j), Arc::new(trace));
             }
         }

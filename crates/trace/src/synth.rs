@@ -17,9 +17,7 @@
 //! fluctuation) and `congestion(t)` applies Poisson-arriving multiplicative
 //! dips. All randomness is seeded and reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp, Normal};
+use wadc_sim::rng::Rng64;
 use wadc_sim::time::{SimDuration, SimTime};
 
 use crate::model::{BandwidthTrace, Sample};
@@ -111,27 +109,26 @@ struct Episode {
 fn congestion_episodes(
     params: &SynthParams,
     duration: SimDuration,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> Vec<Episode> {
     let mut eps = Vec::new();
     if params.congestion_per_hour <= 0.0 {
         return eps;
     }
     let mean_gap_secs = 3600.0 / params.congestion_per_hour;
-    let gap_dist = Exp::new(1.0 / mean_gap_secs).expect("positive rate");
-    let len_dist = Exp::new(1.0 / params.congestion_mean_len.as_secs_f64().max(1e-9))
-        .expect("positive rate");
-    let mut t = SimTime::ZERO + SimDuration::from_secs_f64(gap_dist.sample(rng));
+    let gap_rate = 1.0 / mean_gap_secs;
+    let len_rate = 1.0 / params.congestion_mean_len.as_secs_f64().max(1e-9);
+    let mut t = SimTime::ZERO + SimDuration::from_secs_f64(rng.exp(gap_rate));
     let end = SimTime::ZERO + duration;
     while t < end {
-        let len = SimDuration::from_secs_f64(len_dist.sample(rng).max(1.0));
-        let depth = rng.gen_range(params.congestion_depth.0..=params.congestion_depth.1);
+        let len = SimDuration::from_secs_f64(rng.exp(len_rate).max(1.0));
+        let depth = rng.range_f64(params.congestion_depth.0, params.congestion_depth.1);
         eps.push(Episode {
             start: t,
             end: t + len,
             depth,
         });
-        t = t + len + SimDuration::from_secs_f64(gap_dist.sample(rng));
+        t = t + len + SimDuration::from_secs_f64(rng.exp(gap_rate));
     }
     eps
 }
@@ -168,9 +165,9 @@ pub fn generate(params: &SynthParams, duration: SimDuration, seed: u64) -> Bandw
         "fluct_rho must be in [0, 1)"
     );
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let episodes = congestion_episodes(params, duration, &mut rng);
-    let normal = Normal::new(0.0, params.fluct_sigma.max(0.0)).expect("finite sigma");
+    let fluct_sigma = params.fluct_sigma.max(0.0);
 
     // Slow regime component: an AR(1) whose step autocorrelation gives the
     // configured correlation time, with the configured *stationary* σ.
@@ -180,14 +177,13 @@ pub fn generate(params: &SynthParams, duration: SimDuration, seed: u64) -> Bandw
     } else {
         0.0
     };
-    let regime_innov_sigma = params.regime_sigma * (1.0 - regime_rho * regime_rho).sqrt();
-    let regime_normal = Normal::new(0.0, regime_innov_sigma.max(0.0)).expect("finite sigma");
+    let regime_innov_sigma = (params.regime_sigma * (1.0 - regime_rho * regime_rho).sqrt()).max(0.0);
 
     // Start both processes at their stationary distributions so traces
     // have no warm-up bias.
-    let draw_stationary = |sigma: f64, rng: &mut StdRng| -> f64 {
+    let draw_stationary = |sigma: f64, rng: &mut Rng64| -> f64 {
         if sigma > 0.0 {
-            Normal::new(0.0, sigma).expect("finite sigma").sample(rng)
+            rng.normal(0.0, sigma)
         } else {
             0.0
         }
@@ -222,8 +218,8 @@ pub fn generate(params: &SynthParams, duration: SimDuration, seed: u64) -> Bandw
             at,
             bytes_per_sec: bw,
         });
-        x = params.fluct_rho * x + normal.sample(&mut rng);
-        slow = regime_rho * slow + regime_normal.sample(&mut rng);
+        x = params.fluct_rho * x + rng.normal(0.0, fluct_sigma);
+        slow = regime_rho * slow + rng.normal(0.0, regime_innov_sigma);
     }
     BandwidthTrace::from_samples(samples).expect("generated samples satisfy invariants")
 }

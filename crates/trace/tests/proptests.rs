@@ -1,53 +1,58 @@
-//! Property-based tests of bandwidth-trace integration.
+//! Randomized tests of bandwidth-trace integration. Cases are drawn from
+//! the in-repo [`Rng64`] so runs are deterministic.
 
-use proptest::prelude::*;
+use wadc_sim::rng::{derive_seed2, Rng64};
 use wadc_sim::time::{SimDuration, SimTime};
 use wadc_trace::model::{BandwidthTrace, Sample};
 use wadc_trace::synth::{generate, SynthParams};
 
-/// Strategy: a valid trace with 1..40 random steps.
-fn arb_trace() -> impl Strategy<Value = BandwidthTrace> {
-    proptest::collection::vec((1u64..600, 100.0f64..1e6), 1..40).prop_map(|steps| {
-        let mut t = 0u64;
-        let samples = steps
-            .into_iter()
-            .map(|(gap, bw)| {
-                let s = Sample {
-                    at: SimTime::from_secs(t),
-                    bytes_per_sec: bw,
-                };
-                t += gap;
-                s
-            })
-            .collect();
-        BandwidthTrace::from_samples(samples).expect("constructed valid")
-    })
+const CASES: u64 = 48;
+
+fn case_rng(test: u64, case: u64) -> Rng64 {
+    Rng64::seed_from_u64(derive_seed2(0x7124CE, test, case))
 }
 
-proptest! {
-    /// Transfer duration is monotonically non-decreasing in byte count.
-    #[test]
-    fn duration_monotone_in_bytes(
-        trace in arb_trace(),
-        start in 0u64..10_000,
-        a in 0u64..10_000_000,
-        b in 0u64..10_000_000,
-    ) {
-        let start = SimTime::from_secs(start);
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(trace.transfer_duration(lo, start) <= trace.transfer_duration(hi, start));
-    }
+/// A valid trace with 1..40 random steps.
+fn arb_trace(rng: &mut Rng64) -> BandwidthTrace {
+    let n = rng.range_usize(39) + 1;
+    let mut t = 0u64;
+    let samples = (0..n)
+        .map(|_| {
+            let s = Sample {
+                at: SimTime::from_secs(t),
+                bytes_per_sec: rng.range_f64(100.0, 1e6),
+            };
+            t += rng.range_u64(1, 599);
+            s
+        })
+        .collect();
+    BandwidthTrace::from_samples(samples).expect("constructed valid")
+}
 
-    /// Splitting a transfer at any byte boundary takes the same total time
-    /// as doing it in one piece (the integral is additive).
-    #[test]
-    fn duration_is_additive(
-        trace in arb_trace(),
-        start in 0u64..5_000,
-        total in 1u64..5_000_000,
-        split_frac in 0.0f64..1.0,
-    ) {
-        let start = SimTime::from_secs(start);
+/// Transfer duration is monotonically non-decreasing in byte count.
+#[test]
+fn duration_monotone_in_bytes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let trace = arb_trace(&mut rng);
+        let start = SimTime::from_secs(rng.range_u64(0, 9_999));
+        let a = rng.range_u64(0, 9_999_999);
+        let b = rng.range_u64(0, 9_999_999);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        assert!(trace.transfer_duration(lo, start) <= trace.transfer_duration(hi, start));
+    }
+}
+
+/// Splitting a transfer at any byte boundary takes the same total time as
+/// doing it in one piece (the integral is additive).
+#[test]
+fn duration_is_additive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let trace = arb_trace(&mut rng);
+        let start = SimTime::from_secs(rng.range_u64(0, 4_999));
+        let total = rng.range_u64(1, 4_999_999);
+        let split_frac = rng.f64();
         let first = ((total as f64) * split_frac) as u64;
         let second = total - first;
         let d_whole = trace.transfer_duration(total, start);
@@ -57,29 +62,36 @@ proptest! {
         let combined = d_first + d_second;
         let diff = combined.as_secs_f64() - d_whole.as_secs_f64();
         // Microsecond rounding at the split point can accumulate slightly.
-        prop_assert!(diff.abs() < 1e-3, "split {first}/{second}: {combined} vs {d_whole}");
+        assert!(
+            diff.abs() < 1e-3,
+            "split {first}/{second}: {combined} vs {d_whole}"
+        );
     }
+}
 
-    /// Under constant bandwidth the duration matches the closed form.
-    #[test]
-    fn constant_bandwidth_closed_form(
-        bw in 1.0f64..1e7,
-        bytes in 0u64..100_000_000,
-        start in 0u64..100_000,
-    ) {
+/// Under constant bandwidth the duration matches the closed form.
+#[test]
+fn constant_bandwidth_closed_form() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let bw = rng.range_f64(1.0, 1e7);
+        let bytes = rng.range_u64(0, 99_999_999);
+        let start = rng.range_u64(0, 99_999);
         let trace = BandwidthTrace::constant(bw);
         let d = trace.transfer_duration(bytes, SimTime::from_secs(start));
         let expected = bytes as f64 / bw;
-        prop_assert!((d.as_secs_f64() - expected).abs() < 2e-6 * (1.0 + expected));
+        assert!((d.as_secs_f64() - expected).abs() < 2e-6 * (1.0 + expected));
     }
+}
 
-    /// Scaling all bandwidths by `f` divides durations by roughly `f`.
-    #[test]
-    fn scaling_inverts_duration(
-        trace in arb_trace(),
-        factor in 1.0f64..16.0,
-        bytes in 1u64..2_000_000,
-    ) {
+/// Scaling all bandwidths by `f` divides durations by roughly `f`.
+#[test]
+fn scaling_inverts_duration() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let trace = arb_trace(&mut rng);
+        let factor = rng.range_f64(1.0, 16.0);
+        let bytes = rng.range_u64(1, 1_999_999);
         let fast = trace.scaled(factor);
         let d_slow = trace.transfer_duration(bytes, SimTime::ZERO).as_secs_f64();
         let d_fast = fast.transfer_duration(bytes, SimTime::ZERO).as_secs_f64();
@@ -87,39 +99,46 @@ proptest! {
         // transfer spans different sample boundaries at different speeds —
         // but the *bytes moved* relation bounds it: scaling can never slow
         // a transfer down, nor speed it by more than the factor.
-        prop_assert!(d_fast <= d_slow + 1e-6);
-        prop_assert!(d_fast * factor >= d_slow - 1e-3 * factor);
+        assert!(d_fast <= d_slow + 1e-6);
+        assert!(d_fast * factor >= d_slow - 1e-3 * factor);
     }
+}
 
-    /// Extraction rebases: bandwidth at offset o within the window equals
-    /// bandwidth at from + o in the original.
-    #[test]
-    fn extract_preserves_lookup(
-        trace in arb_trace(),
-        from in 0u64..5_000,
-        window in 1u64..5_000,
-        offset in 0u64..5_000,
-    ) {
+/// Extraction rebases: bandwidth at offset o within the window equals
+/// bandwidth at from + o in the original.
+#[test]
+fn extract_preserves_lookup() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let trace = arb_trace(&mut rng);
+        let from = rng.range_u64(0, 4_999);
+        let window = rng.range_u64(1, 4_999);
+        let offset = rng.range_u64(0, 4_999);
         let from = SimTime::from_secs(from);
         let window_d = SimDuration::from_secs(window);
         let seg = trace.extract(from, window_d);
         let offset = offset.min(window.saturating_sub(1));
         let o = SimDuration::from_secs(offset);
-        prop_assert_eq!(
+        assert_eq!(
             seg.bandwidth_at(SimTime::ZERO + o),
             trace.bandwidth_at(from + o)
         );
     }
+}
 
-    /// The synthesiser always produces invariant-satisfying traces with
-    /// the requested cadence.
-    #[test]
-    fn synthesiser_output_is_valid(base in 1_000.0f64..1e6, seed in any::<u64>()) {
+/// The synthesiser always produces invariant-satisfying traces with the
+/// requested cadence.
+#[test]
+fn synthesiser_output_is_valid() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let base = rng.range_f64(1_000.0, 1e6);
+        let seed = rng.next_u64();
         let p = SynthParams::wide_area(base);
         let tr = generate(&p, SimDuration::from_mins(30), seed);
-        prop_assert_eq!(tr.len(), 90);
-        prop_assert!(tr.min_bandwidth() > 0.0);
+        assert_eq!(tr.len(), 90);
+        assert!(tr.min_bandwidth() > 0.0);
         // Rebuilding from its own samples must succeed (validates order).
-        prop_assert!(BandwidthTrace::from_samples(tr.samples().to_vec()).is_ok());
+        assert!(BandwidthTrace::from_samples(tr.samples().to_vec()).is_ok());
     }
 }

@@ -1,0 +1,86 @@
+//! Layer 2: the determinism harness.
+//!
+//! The engine promises that a run is a pure function of `(seed, config,
+//! links)`. [`check_determinism`] enforces the promise by running the same
+//! experiment twice and demanding bit-identical audit-log and result
+//! digests; the golden fixtures under `tests/golden/` extend the same
+//! check across commits.
+
+use wadc_core::engine::{Algorithm, RunResult};
+use wadc_core::experiment::Experiment;
+
+/// The two digests that pin down a run: the audit log alone, and the full
+/// result (arrivals, counters, network statistics, audit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDigests {
+    /// [`wadc_core::engine::AuditLog::digest`].
+    pub audit: u64,
+    /// [`RunResult::digest`].
+    pub result: u64,
+}
+
+impl RunDigests {
+    /// Extracts both digests from a finished run.
+    pub fn of(result: &RunResult) -> Self {
+        RunDigests {
+            audit: result.audit.digest(),
+            result: result.digest(),
+        }
+    }
+}
+
+impl std::fmt::Display for RunDigests {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit={:016x} result={:016x}", self.audit, self.result)
+    }
+}
+
+/// Runs `algorithm` twice against the same experiment and returns the
+/// digests if both runs agree bit for bit.
+///
+/// # Errors
+///
+/// Returns a description of the divergence if the two runs differ.
+pub fn check_determinism(exp: &Experiment, algorithm: Algorithm) -> Result<RunDigests, String> {
+    let first = RunDigests::of(&exp.run(algorithm));
+    let second = RunDigests::of(&exp.run(algorithm));
+    if first == second {
+        Ok(first)
+    } else {
+        Err(format!(
+            "{} diverged on identical (seed, config): first {first}, second {second}",
+            algorithm.name()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wadc_sim::time::SimDuration;
+
+    #[test]
+    fn quick_world_is_deterministic_for_every_algorithm() {
+        let exp = Experiment::quick(4, 42);
+        for alg in [
+            Algorithm::DownloadAll,
+            Algorithm::OneShot,
+            Algorithm::Global {
+                period: SimDuration::from_secs(30),
+            },
+            Algorithm::Local {
+                period: SimDuration::from_secs(30),
+                extra_candidates: 0,
+            },
+        ] {
+            check_determinism(&exp, alg).unwrap();
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_the_digest() {
+        let a = check_determinism(&Experiment::quick(4, 1), Algorithm::OneShot).unwrap();
+        let b = check_determinism(&Experiment::quick(4, 2), Algorithm::OneShot).unwrap();
+        assert_ne!(a.result, b.result);
+    }
+}

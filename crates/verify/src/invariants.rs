@@ -1,0 +1,546 @@
+//! Layer 1: the invariant checker.
+//!
+//! [`check_run`] consumes a finished run — its [`EngineConfig`] and the
+//! [`RunResult`] with the embedded [`wadc_core::engine::AuditLog`] — and
+//! asserts protocol
+//! properties strictly from the outside, the way the paper studied "the
+//! relocation traces we obtained from the simulations". Every broken rule
+//! becomes one [`Violation`]; a correct engine produces none.
+
+use std::collections::HashMap;
+
+use wadc_app::workload::Workload;
+use wadc_core::engine::audit::AuditEvent;
+use wadc_core::engine::{Algorithm, EngineConfig, RunResult};
+use wadc_plan::ids::{HostId, OperatorId};
+use wadc_sim::rng::derive_seed;
+use wadc_sim::time::SimTime;
+
+/// One broken invariant: which rule, and the concrete evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short stable rule name (e.g. `"barrier-ordering"`).
+    pub rule: &'static str,
+    /// Human-readable description of the offending evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(rule: &'static str, detail: impl Into<String>) -> Self {
+        Violation {
+            rule,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Checks every invariant against a finished run and returns all
+/// violations found (empty means the run conforms).
+pub fn check_run(cfg: &EngineConfig, result: &RunResult) -> Vec<Violation> {
+    let mut v = Vec::new();
+    check_audit_monotone(result, &mut v);
+    check_arrivals(cfg, result, &mut v);
+    check_counters(result, &mut v);
+    check_algorithm_scope(cfg, result, &mut v);
+    check_barrier_protocol(cfg, result, &mut v);
+    check_residency(cfg, result, &mut v);
+    check_byte_conservation(cfg, result, &mut v);
+    v
+}
+
+/// Panics with a readable report if [`check_run`] finds any violation —
+/// the form used by tests and the property suite.
+///
+/// # Panics
+///
+/// Panics if the run breaks any invariant.
+pub fn assert_clean(cfg: &EngineConfig, result: &RunResult) {
+    let violations = check_run(cfg, result);
+    assert!(
+        violations.is_empty(),
+        "run violates {} invariant(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Audit events must be recorded in simulation-time order.
+fn check_audit_monotone(result: &RunResult, v: &mut Vec<Violation>) {
+    let events = result.audit.events();
+    for w in events.windows(2) {
+        if w[1].at() < w[0].at() {
+            v.push(Violation::new(
+                "audit-monotone",
+                format!(
+                    "event at {:?} recorded after event at {:?}",
+                    w[1].at(),
+                    w[0].at()
+                ),
+            ));
+        }
+    }
+}
+
+/// Image arrivals must be strictly increasing, match the delivered count,
+/// and (on a completed run) cover the whole workload with the last arrival
+/// defining the completion time.
+fn check_arrivals(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
+    if result.arrivals.len() != result.images_delivered {
+        v.push(Violation::new(
+            "arrival-count",
+            format!(
+                "{} arrival timestamps but images_delivered = {}",
+                result.arrivals.len(),
+                result.images_delivered
+            ),
+        ));
+    }
+    for w in result.arrivals.windows(2) {
+        if w[1] <= w[0] {
+            v.push(Violation::new(
+                "arrival-order",
+                format!("arrival at {:?} not after previous at {:?}", w[1], w[0]),
+            ));
+            break;
+        }
+    }
+    let expect_all = cfg.workload.images_per_server;
+    if result.completed != (result.images_delivered == expect_all) {
+        v.push(Violation::new(
+            "completion-flag",
+            format!(
+                "completed = {} but delivered {}/{} images",
+                result.completed, result.images_delivered, expect_all
+            ),
+        ));
+    }
+    if result.completed {
+        if let Some(&last) = result.arrivals.last() {
+            if last.as_micros() != result.completion_time.as_micros() {
+                v.push(Violation::new(
+                    "completion-time",
+                    format!(
+                        "completion_time {:?} != last arrival {:?}",
+                        result.completion_time, last
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The result's adaptation counters must agree with the audit log.
+fn check_counters(result: &RunResult, v: &mut Vec<Violation>) {
+    let count = |pred: fn(&AuditEvent) -> bool| -> u32 {
+        result.audit.events().iter().filter(|e| pred(e)).count() as u32
+    };
+    let relocations = count(|e| matches!(e, AuditEvent::RelocationStarted { .. }));
+    let changeovers = count(|e| matches!(e, AuditEvent::ChangeoverCommitted { .. }));
+    let planner_runs = count(|e| matches!(e, AuditEvent::PlannerRan { .. }));
+    for (name, counter, audited) in [
+        ("relocations", result.relocations, relocations),
+        ("changeovers", result.changeovers, changeovers),
+        ("planner_runs", result.planner_runs, planner_runs),
+    ] {
+        if counter != audited {
+            v.push(Violation::new(
+                "counter-audit-mismatch",
+                format!("{name} counter = {counter} but audit log has {audited}"),
+            ));
+        }
+    }
+}
+
+/// Each algorithm may emit only its own event types: download-all never
+/// plans, one-shot plans exactly once at time zero and never adapts,
+/// global never takes local decisions, local never runs the barrier.
+fn check_algorithm_scope(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
+    let events = result.audit.events();
+    let has = |pred: fn(&AuditEvent) -> bool| events.iter().any(pred);
+    let barrier = |e: &AuditEvent| {
+        matches!(
+            e,
+            AuditEvent::ChangeoverProposed { .. }
+                | AuditEvent::ServerSuspended { .. }
+                | AuditEvent::ChangeoverCommitted { .. }
+        )
+    };
+    match cfg.algorithm {
+        Algorithm::DownloadAll => {
+            if !events.is_empty() {
+                v.push(Violation::new(
+                    "scope-download-all",
+                    format!(
+                        "download-all must not adapt, audit has {} events",
+                        events.len()
+                    ),
+                ));
+            }
+        }
+        Algorithm::OneShot => {
+            let planner_ok = matches!(
+                events,
+                [AuditEvent::PlannerRan { at, .. }] if *at == SimTime::ZERO
+            );
+            if !planner_ok {
+                v.push(Violation::new(
+                    "scope-one-shot",
+                    format!(
+                        "one-shot must log exactly one PlannerRan at t=0, audit has {} events",
+                        events.len()
+                    ),
+                ));
+            }
+        }
+        Algorithm::Global { .. } => {
+            if has(|e| matches!(e, AuditEvent::LocalDecision { .. })) {
+                v.push(Violation::new(
+                    "scope-global",
+                    "global algorithm emitted a LocalDecision",
+                ));
+            }
+        }
+        Algorithm::Local { .. } => {
+            if has(barrier) {
+                v.push(Violation::new(
+                    "scope-local",
+                    "local algorithm emitted a barrier event",
+                ));
+            }
+        }
+    }
+}
+
+/// The global barrier: versions commit in order 1, 2, ...; each version is
+/// proposed before any server suspends for it; all servers suspend exactly
+/// once before the commit; the committed switch iteration is one past the
+/// newest reported iteration.
+fn check_barrier_protocol(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
+    struct Round {
+        proposed_at: SimTime,
+        reports: HashMap<usize, u32>,
+    }
+    let mut rounds: HashMap<u32, Round> = HashMap::new();
+    let mut last_committed = 0u32;
+    for e in result.audit.events() {
+        match *e {
+            AuditEvent::ChangeoverProposed { at, version, .. } => {
+                let round = Round {
+                    proposed_at: at,
+                    reports: HashMap::new(),
+                };
+                if rounds.insert(version, round).is_some() {
+                    v.push(Violation::new(
+                        "barrier-ordering",
+                        format!("version {version} proposed twice"),
+                    ));
+                }
+            }
+            AuditEvent::ServerSuspended {
+                at,
+                server,
+                reported_iteration,
+                version,
+            } => match rounds.get_mut(&version) {
+                None => v.push(Violation::new(
+                    "barrier-ordering",
+                    format!("server {server} suspended for unproposed version {version}"),
+                )),
+                Some(round) => {
+                    if at < round.proposed_at {
+                        v.push(Violation::new(
+                            "barrier-ordering",
+                            format!(
+                                "server {server} suspended at {at:?} before version {version} \
+                                     was proposed at {:?}",
+                                round.proposed_at
+                            ),
+                        ));
+                    }
+                    if round.reports.insert(server, reported_iteration).is_some() {
+                        v.push(Violation::new(
+                            "barrier-ordering",
+                            format!("server {server} suspended twice for version {version}"),
+                        ));
+                    }
+                }
+            },
+            AuditEvent::ChangeoverCommitted {
+                version,
+                switch_iteration,
+                ..
+            } => {
+                if version != last_committed + 1 {
+                    v.push(Violation::new(
+                        "barrier-ordering",
+                        format!("version {version} committed after version {last_committed}"),
+                    ));
+                }
+                last_committed = version;
+                match rounds.get(&version) {
+                    None => v.push(Violation::new(
+                        "barrier-ordering",
+                        format!("version {version} committed without a proposal"),
+                    )),
+                    Some(round) => {
+                        if round.reports.len() != cfg.n_servers {
+                            v.push(Violation::new(
+                                "barrier-ordering",
+                                format!(
+                                    "version {version} committed with {}/{} server reports",
+                                    round.reports.len(),
+                                    cfg.n_servers
+                                ),
+                            ));
+                        }
+                        let newest = round.reports.values().copied().max().unwrap_or(0);
+                        if switch_iteration != newest + 1 {
+                            v.push(Violation::new(
+                                "barrier-switch-iteration",
+                                format!(
+                                    "version {version} switches at iteration {switch_iteration}, \
+                                     expected {} (newest report {newest} + 1)",
+                                    newest + 1
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Operator residency and light-move timing: relocations of one operator
+/// never overlap, each finish lands on the host the start named, each
+/// relocation chains from where the previous one left the operator, and
+/// the state transfer takes at least the per-message startup cost.
+fn check_residency(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
+    struct InFlight {
+        started_at: SimTime,
+        to: HostId,
+    }
+    let mut in_flight: HashMap<OperatorId, InFlight> = HashMap::new();
+    let mut resident: HashMap<OperatorId, HostId> = HashMap::new();
+    let total_iterations = cfg.workload.images_per_server as u32;
+    for e in result.audit.events() {
+        match *e {
+            AuditEvent::RelocationStarted {
+                at,
+                op,
+                from,
+                to,
+                after_iteration,
+            } => {
+                if from == to {
+                    v.push(Violation::new(
+                        "residency",
+                        format!("operator {op:?} relocated from {from:?} to itself"),
+                    ));
+                }
+                if after_iteration > total_iterations {
+                    v.push(Violation::new(
+                        "light-move-bounds",
+                        format!(
+                            "operator {op:?} moved after iteration {after_iteration} of \
+                             {total_iterations}"
+                        ),
+                    ));
+                }
+                if let Some(prev) = in_flight.insert(op, InFlight { started_at: at, to }) {
+                    v.push(Violation::new(
+                        "residency",
+                        format!(
+                            "operator {op:?} started a relocation at {at:?} while one begun at \
+                             {:?} was still in flight (resident on two hosts)",
+                            prev.started_at
+                        ),
+                    ));
+                }
+                if let Some(&home) = resident.get(&op) {
+                    if home != from {
+                        v.push(Violation::new(
+                            "residency",
+                            format!(
+                                "operator {op:?} relocated from {from:?} but last resumed on \
+                                 {home:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            AuditEvent::RelocationFinished { at, op, host } => {
+                match in_flight.remove(&op) {
+                    None => v.push(Violation::new(
+                        "residency",
+                        format!("operator {op:?} finished a relocation it never started"),
+                    )),
+                    Some(fl) => {
+                        if host != fl.to {
+                            v.push(Violation::new(
+                                "residency",
+                                format!(
+                                    "operator {op:?} resumed on {host:?}, relocation targeted \
+                                     {:?}",
+                                    fl.to
+                                ),
+                            ));
+                        }
+                        let min_micros = cfg.net.startup.as_micros();
+                        if at.as_micros() < fl.started_at.as_micros() + min_micros {
+                            v.push(Violation::new(
+                                "light-move-timing",
+                                format!(
+                                    "operator {op:?} moved in {} µs, below the {} µs message \
+                                     startup",
+                                    at.as_micros() - fl.started_at.as_micros(),
+                                    min_micros
+                                ),
+                            ));
+                        }
+                    }
+                }
+                resident.insert(op, host);
+            }
+            _ => {}
+        }
+    }
+    if result.completed {
+        for (op, fl) in &in_flight {
+            v.push(Violation::new(
+                "residency",
+                format!(
+                    "run completed with operator {op:?} still relocating (started {:?})",
+                    fl.started_at
+                ),
+            ));
+        }
+    }
+}
+
+/// Byte conservation across links: nothing is delivered that was not
+/// submitted, a fully drained network delivered exactly what it accepted,
+/// and a download-all run must have shipped at least the whole workload
+/// to the client.
+fn check_byte_conservation(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
+    let st = &result.net_stats;
+    if st.completed > st.submitted {
+        v.push(Violation::new(
+            "byte-conservation",
+            format!(
+                "{} messages completed of {} submitted",
+                st.completed, st.submitted
+            ),
+        ));
+    }
+    if st.bytes_delivered > st.bytes_submitted {
+        v.push(Violation::new(
+            "byte-conservation",
+            format!(
+                "{} bytes delivered of {} submitted",
+                st.bytes_delivered, st.bytes_submitted
+            ),
+        ));
+    }
+    if st.completed == st.submitted && st.bytes_delivered != st.bytes_submitted {
+        v.push(Violation::new(
+            "byte-conservation",
+            format!(
+                "network drained ({} messages) yet {} of {} bytes delivered",
+                st.completed, st.bytes_delivered, st.bytes_submitted
+            ),
+        ));
+    }
+    if result.completed && cfg.algorithm == Algorithm::DownloadAll {
+        // With the canonical one-host-per-server roster every image byte
+        // crosses the network to reach the client.
+        let workload = Workload::generate(&cfg.workload, cfg.n_servers, derive_seed(cfg.seed, 1));
+        let payload: u64 = (0..cfg.n_servers)
+            .map(|s| workload.server(s).total_bytes())
+            .sum();
+        if st.bytes_delivered < payload {
+            v.push(Violation::new(
+                "byte-conservation",
+                format!(
+                    "download-all delivered {} bytes, workload alone is {} bytes",
+                    st.bytes_delivered, payload
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wadc_core::experiment::Experiment;
+    use wadc_sim::time::SimDuration;
+
+    #[test]
+    fn quick_runs_conform_for_every_algorithm() {
+        let exp = Experiment::quick(4, 42);
+        for alg in [
+            Algorithm::DownloadAll,
+            Algorithm::OneShot,
+            Algorithm::Global {
+                period: SimDuration::from_secs(30),
+            },
+            Algorithm::Local {
+                period: SimDuration::from_secs(30),
+                extra_candidates: 0,
+            },
+        ] {
+            let mut cfg = exp.template().clone();
+            cfg.algorithm = alg;
+            let result = exp.run(alg);
+            assert!(result.completed, "{} run did not complete", alg.name());
+            assert_clean(&cfg, &result);
+        }
+    }
+
+    #[test]
+    fn detects_tampered_counters() {
+        let exp = Experiment::quick(4, 42);
+        let mut cfg = exp.template().clone();
+        cfg.algorithm = Algorithm::OneShot;
+        let mut result = exp.run(Algorithm::OneShot);
+        result.planner_runs += 1;
+        let violations = check_run(&cfg, &result);
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == "counter-audit-mismatch"));
+    }
+
+    #[test]
+    fn detects_byte_loss() {
+        let exp = Experiment::quick(4, 42);
+        let mut cfg = exp.template().clone();
+        cfg.algorithm = Algorithm::DownloadAll;
+        let mut result = exp.run(Algorithm::DownloadAll);
+        result.net_stats.bytes_delivered = result.net_stats.bytes_submitted + 1;
+        let violations = check_run(&cfg, &result);
+        assert!(violations.iter().any(|v| v.rule == "byte-conservation"));
+    }
+
+    #[test]
+    fn detects_truncated_arrivals() {
+        let exp = Experiment::quick(4, 42);
+        let mut cfg = exp.template().clone();
+        cfg.algorithm = Algorithm::OneShot;
+        let mut result = exp.run(Algorithm::OneShot);
+        result.arrivals.pop();
+        let violations = check_run(&cfg, &result);
+        assert!(violations.iter().any(|v| v.rule == "arrival-count"));
+    }
+}

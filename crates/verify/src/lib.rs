@@ -1,0 +1,38 @@
+//! Conformance, determinism and differential testing for the simulation
+//! engine.
+//!
+//! The simulator makes claims — the barrier change-over is ordered, light
+//! moves happen only between output dispatch and the next demand, runs are
+//! reproducible — and this crate checks them *from the outside*, consuming
+//! only what a run already exposes ([`wadc_core::engine::RunResult`] and
+//! its audit log). Three layers:
+//!
+//! - [`invariants`] — a checker that replays a run's audit log and network
+//!   statistics against the protocol rules: monotone event times, barrier
+//!   ordering (propose → every server suspends → commit), single residency
+//!   per operator, relocation timing bounds, and byte conservation across
+//!   links.
+//! - [`determinism`] — runs the same `(seed, config)` twice and demands
+//!   bit-identical digests; [`golden`] pins a set of scenarios to fixture
+//!   digests under `tests/golden/` so drift is caught across commits, not
+//!   just within one process.
+//! - [`differential`] — metamorphic relations that need no oracle: host
+//!   relabeling permutes nothing observable, a local algorithm with an
+//!   infinite adaptation period degenerates to one-shot, constant-bandwidth
+//!   worlds agree with the analytic cost model, and scaling every link by
+//!   `k` speeds network-bound runs by about `k`.
+//!
+//! The `wadc verify` subcommand drives all three layers from the command
+//! line; `--quick` runs the fixture comparison only (the CI gate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod determinism;
+pub mod differential;
+pub mod golden;
+pub mod invariants;
+pub mod worlds;
+
+pub use determinism::{check_determinism, RunDigests};
+pub use invariants::{assert_clean, check_run, Violation};

@@ -1,0 +1,126 @@
+//! Small, carefully controlled worlds for the verification suites.
+//!
+//! The differential checks compare *whole runs* for equality, so their
+//! worlds must avoid every source of accidental symmetry or label
+//! dependence: each link carries its **own distinct trace** (no cost ties
+//! for the placement argmin to break by host label), probe traffic is
+//! disabled (probe submission order iterates hosts by label), and host
+//! counts stay small enough that piggyback budgets never truncate.
+
+use std::sync::Arc;
+
+use wadc_app::image::SizeDistribution;
+use wadc_app::workload::WorkloadParams;
+use wadc_core::engine::{Algorithm, EngineConfig};
+use wadc_core::experiment::Experiment;
+use wadc_net::link::LinkTable;
+use wadc_plan::ids::HostId;
+use wadc_sim::rng::derive_seed2;
+use wadc_sim::time::SimDuration;
+use wadc_trace::model::BandwidthTrace;
+use wadc_trace::synth::{generate, SynthParams};
+
+/// The verification workload: 8 images of ~16 KB per server, small enough
+/// that a full differential suite runs in test time.
+pub fn small_workload() -> WorkloadParams {
+    WorkloadParams {
+        images_per_server: 8,
+        sizes: SizeDistribution {
+            mean_bytes: 16.0 * 1024.0,
+            rel_std_dev: 0.25,
+            aspect: 4.0 / 3.0,
+        },
+    }
+}
+
+fn template(n_servers: usize, seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::new(n_servers, Algorithm::DownloadAll)
+        .with_seed(seed)
+        .with_workload(small_workload());
+    // Probe submission order iterates host pairs by label; free
+    // measurements keep the world label-equivariant.
+    cfg.probe_bytes = 0;
+    cfg
+}
+
+/// A world where every link of the complete graph carries a *distinct*
+/// synthetic wide-area trace (unique seed and base bandwidth per pair).
+/// Used by the relabeling check: distinct links mean distinct placement
+/// costs, so the argmin never breaks a tie by host label.
+pub fn distinct_links_experiment(n_servers: usize, seed: u64) -> Experiment {
+    let n = n_servers + 1;
+    let bases = [4.0, 8.0, 16.0, 48.0, 96.0, 192.0];
+    let mut links = LinkTable::new(n);
+    let mut pair = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let base = bases[(pair as usize) % bases.len()] * 1024.0;
+            let trace = generate(
+                &SynthParams::wide_area(base),
+                SimDuration::from_hours(2),
+                derive_seed2(seed, 7, pair),
+            );
+            links.set(HostId::new(a), HostId::new(b), Arc::new(trace));
+            pair += 1;
+        }
+    }
+    Experiment::new(links, template(n_servers, seed))
+}
+
+/// A world of constant-bandwidth links, each pair with its own distinct
+/// rate. Constant bandwidth is what lets a run's completion time be
+/// compared against the analytic `wadc-plan` cost model, and what the
+/// bandwidth-scaling metamorphic check multiplies by `k`.
+pub fn constant_links_experiment(n_servers: usize, seed: u64) -> Experiment {
+    let n = n_servers + 1;
+    let mut links = LinkTable::new(n);
+    let mut pair = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            // Distinct deterministic rates in 6–45 KB/s: slow enough to be
+            // network-bound, spread enough to avoid placement-cost ties.
+            let rate = 1024.0 * (6.0 + 3.0 * pair as f64);
+            links.set(
+                HostId::new(a),
+                HostId::new(b),
+                Arc::new(BandwidthTrace::constant(rate)),
+            );
+            pair += 1;
+        }
+    }
+    Experiment::new(links, template(n_servers, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wadc_sim::time::SimTime;
+
+    #[test]
+    fn distinct_links_are_complete_and_probe_free() {
+        let exp = distinct_links_experiment(4, 3);
+        assert!(exp.links().is_complete());
+        assert_eq!(exp.template().probe_bytes, 0);
+        assert_eq!(exp.template().workload.images_per_server, 8);
+    }
+
+    #[test]
+    fn constant_links_have_distinct_rates() {
+        let exp = constant_links_experiment(4, 3);
+        let links = exp.links();
+        let mut rates = Vec::new();
+        for a in 0..links.host_count() {
+            for b in (a + 1)..links.host_count() {
+                rates.push(
+                    links
+                        .bandwidth_at(HostId::new(a), HostId::new(b), SimTime::ZERO)
+                        .unwrap(),
+                );
+            }
+        }
+        let mut sorted = rates.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        assert_eq!(sorted.len(), rates.len(), "link rates must be distinct");
+    }
+}

@@ -11,8 +11,7 @@
 //! cargo run --release --example hurricane_composition
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wadc::sim::rng::Rng64;
 use wadc::app::compose::{compose, compose_secs, SelectRule, PAPER_SECS_PER_PIXEL};
 use wadc::app::image::{Image, SizeDistribution};
 use wadc::plan::ids::NodeId;
@@ -22,7 +21,7 @@ fn main() {
     let n_servers = 8;
     let tree = CombinationTree::complete_binary(n_servers).expect("8 servers is plenty");
     let dist = SizeDistribution::paper_defaults();
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = Rng64::seed_from_u64(2026);
 
     // One "satellite pass" per server, sizes from the paper's measured
     // distribution (Normal(128 KB, 25%)), scaled down 16× so the example

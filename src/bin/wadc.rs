@@ -6,6 +6,7 @@
 //! wadc study [--configs N] [--servers N] [--seed S] [--threads T]
 //! wadc trace [--pair A,B] [--seed S] [--window-hours H]
 //! wadc plan  [--servers N] [--seed S] [--objective critical-path|contended]
+//! wadc verify [--quick] [--seed S] [--print-golden]
 //! ```
 
 use std::collections::HashMap;
@@ -22,10 +23,14 @@ use wadc::plan::tree::{CombinationTree, TreeShape};
 use wadc::sim::time::{SimDuration, SimTime};
 use wadc::trace::stats::summarize;
 use wadc::trace::study::BandwidthStudy;
+use wadc::verify::determinism::check_determinism;
+use wadc::verify::differential::run_suite;
+use wadc::verify::golden;
+use wadc::verify::invariants::check_run;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wadc <run|study|trace|plan> [flags]
+        "usage: wadc <run|study|trace|plan|verify> [flags]
 
 run    simulate one configuration under one algorithm
          --servers N (8)  --algorithm download-all|one-shot|global|local (global)
@@ -37,7 +42,10 @@ trace  characterise the synthetic bandwidth study
          --pair A,B (0,7)  --seed S (1998)  --window-hours H (12)
 plan   compute and print a one-shot placement for a random world
          --servers N (8)  --seed S (1998)  --config I (0)
-         --objective critical-path|contended (critical-path)"
+         --objective critical-path|contended (critical-path)
+verify check engine conformance: golden digests, determinism, invariants,
+       and (without --quick) the differential/metamorphic suite
+         --quick  --seed S (42)  --print-golden (regenerate the fixture)"
     );
     std::process::exit(2)
 }
@@ -51,7 +59,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument {key}");
             usage();
         }
-        if key == "--audit" {
+        if key == "--audit" || key == "--quick" || key == "--print-golden" {
             flags.insert(key, "true".to_string());
             i += 1;
         } else {
@@ -78,7 +86,11 @@ fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, defaul
 
 fn algorithm_from(flags: &HashMap<String, String>) -> Algorithm {
     let period = SimDuration::from_mins(flag(flags, "--period-mins", 10u64));
-    match flags.get("--algorithm").map(String::as_str).unwrap_or("global") {
+    match flags
+        .get("--algorithm")
+        .map(String::as_str)
+        .unwrap_or("global")
+    {
         "download-all" => Algorithm::DownloadAll,
         "one-shot" => Algorithm::OneShot,
         "global" => Algorithm::Global { period },
@@ -109,8 +121,9 @@ fn build_experiment(flags: &HashMap<String, String>) -> Experiment {
     let seed = flag(flags, "--seed", 1998u64);
     let config = flag(flags, "--config", 0u64);
     let study = BandwidthStudy::default_study(seed);
-    let mut exp = Experiment::from_study(servers, &study, SimDuration::from_hours(24), config, seed)
-        .with_tree_shape(shape_from(flags));
+    let mut exp =
+        Experiment::from_study(servers, &study, SimDuration::from_hours(24), config, seed)
+            .with_tree_shape(shape_from(flags));
     let images = flag(flags, "--images", 180usize);
     let mut workload = exp.template().workload;
     workload.images_per_server = images;
@@ -324,6 +337,73 @@ fn cmd_plan(flags: HashMap<String, String>) {
     );
 }
 
+/// The digests pinned by the repository; drift fails CI until the fixture
+/// is regenerated (and the change thereby acknowledged) with
+/// `wadc verify --print-golden > tests/golden/digests.txt`.
+const GOLDEN_FIXTURE: &str = include_str!("../../tests/golden/digests.txt");
+
+fn cmd_verify(flags: HashMap<String, String>) {
+    if flags.contains_key("--print-golden") {
+        print!("{}", golden::render_fixture());
+        return;
+    }
+    let seed = flag(&flags, "--seed", 42u64);
+    let mut failures: Vec<String> = Vec::new();
+
+    let cases = golden::golden_cases();
+    println!("golden: comparing {} pinned scenarios...", cases.len());
+    failures.extend(
+        golden::compare_fixture(GOLDEN_FIXTURE)
+            .into_iter()
+            .map(|f| format!("golden: {f}")),
+    );
+
+    println!("determinism + invariants: quick world, all four algorithms...");
+    let exp = Experiment::quick(4, seed);
+    let thirty = SimDuration::from_secs(30);
+    for algorithm in [
+        Algorithm::DownloadAll,
+        Algorithm::OneShot,
+        Algorithm::Global { period: thirty },
+        Algorithm::Local {
+            period: thirty,
+            extra_candidates: 0,
+        },
+    ] {
+        match check_determinism(&exp, algorithm) {
+            Ok(digests) => println!("  {:<13} {digests}", algorithm.name()),
+            Err(e) => failures.push(format!("determinism: {e}")),
+        }
+        let mut cfg = exp.template().clone();
+        cfg.algorithm = algorithm;
+        let result = exp.run(algorithm);
+        failures.extend(
+            check_run(&cfg, &result)
+                .into_iter()
+                .map(|v| format!("invariant: {} {v}", algorithm.name())),
+        );
+    }
+
+    if !flags.contains_key("--quick") {
+        println!("differential: relabeling, degenerate period, cost model, scaling...");
+        failures.extend(
+            run_suite(seed)
+                .into_iter()
+                .map(|f| format!("differential: {f}")),
+        );
+    }
+
+    if failures.is_empty() {
+        println!("verify: all checks passed");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!("verify: {} check(s) failed", failures.len());
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -335,6 +415,7 @@ fn main() {
         "study" => cmd_study(flags),
         "trace" => cmd_trace(flags),
         "plan" => cmd_plan(flags),
+        "verify" => cmd_verify(flags),
         _ => usage(),
     }
 }

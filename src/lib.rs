@@ -48,6 +48,7 @@ pub use wadc_net as net;
 pub use wadc_plan as plan;
 pub use wadc_sim as sim;
 pub use wadc_trace as trace;
+pub use wadc_verify as verify;
 
 // Convenient top-level re-exports of the items nearly every user touches.
 pub use wadc_core::engine::{Algorithm, Engine, EngineConfig, RunResult};

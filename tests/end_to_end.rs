@@ -166,7 +166,7 @@ fn local_runs_relocate_without_barriers() {
 fn oracle_knowledge_is_at_least_as_good_on_average() {
     let mut oracle_total = 0.0;
     let mut monitored_total = 0.0;
-    for seed in 50..55 {
+    for seed in 50..60 {
         let exp = mid_world(seed);
         let da = exp.run(Algorithm::DownloadAll);
         let monitored = exp.clone().run(Algorithm::Global {
