@@ -48,8 +48,7 @@ impl ImageDims {
     /// width then height, keeping composition commutative even for images
     /// of equal area but different shape.
     pub fn larger(self, other: ImageDims) -> ImageDims {
-        if (other.pixels(), other.width, other.height) > (self.pixels(), self.width, self.height)
-        {
+        if (other.pixels(), other.width, other.height) > (self.pixels(), self.width, self.height) {
             other
         } else {
             self
@@ -198,10 +197,12 @@ mod tests {
     fn size_distribution_matches_paper_statistics() {
         let dist = SizeDistribution::paper_defaults();
         let mut rng = Rng64::seed_from_u64(7);
-        let sizes: Vec<f64> = (0..4000).map(|_| dist.sample(&mut rng).bytes() as f64).collect();
+        let sizes: Vec<f64> = (0..4000)
+            .map(|_| dist.sample(&mut rng).bytes() as f64)
+            .collect();
         let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
-        let sd = (sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / sizes.len() as f64)
-            .sqrt();
+        let sd =
+            (sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / sizes.len() as f64).sqrt();
         assert!(
             (mean / (128.0 * 1024.0) - 1.0).abs() < 0.03,
             "mean {mean} should be near 128 KB"

@@ -30,7 +30,9 @@ fn bench_tree_shapes(h: &mut Harness) {
     h.group("engine_run_shape");
     for shape in [TreeShape::CompleteBinary, TreeShape::LeftDeep] {
         let exp = Experiment::quick(8, 6).with_tree_shape(shape);
-        h.bench(&format!("{shape:?}"), || exp.run(Algorithm::global_default()));
+        h.bench(&format!("{shape:?}"), || {
+            exp.run(Algorithm::global_default())
+        });
     }
 }
 

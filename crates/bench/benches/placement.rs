@@ -61,7 +61,9 @@ fn bench_local_step(h: &mut Harness) {
         current: HostId::new(3),
         extra_candidates: (4..10).map(HostId::new).collect(),
     };
-    h.bench("local_step_decision_k6", || best_local_site(&ctx, &bw, &model));
+    h.bench("local_step_decision_k6", || {
+        best_local_site(&ctx, &bw, &model)
+    });
 }
 
 fn main() {

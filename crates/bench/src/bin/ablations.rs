@@ -98,7 +98,11 @@ fn report(title: &str, rows: &[(String, f64)], results: &mut Vec<Json>) {
     }
     let rows: Vec<Json> = rows
         .iter()
-        .map(|(n, m)| Json::obj().field("variant", n.as_str()).field("mean_speedup", *m))
+        .map(|(n, m)| {
+            Json::obj()
+                .field("variant", n.as_str())
+                .field("mean_speedup", *m)
+        })
         .collect();
     results.push(Json::obj().field("ablation", title).field("rows", rows));
 }
@@ -145,7 +149,11 @@ fn main() {
                 ),
             ],
         );
-        report("planning objective (paper vs contention-aware)", &rows, &mut results);
+        report(
+            "planning objective (paper vs contention-aware)",
+            &rows,
+            &mut results,
+        );
     }
 
     if all || args.which == "knowledge" {
@@ -178,7 +186,11 @@ fn main() {
                 ),
             ],
         );
-        report("planner knowledge (monitoring staleness)", &rows, &mut results);
+        report(
+            "planner knowledge (monitoring staleness)",
+            &rows,
+            &mut results,
+        );
     }
 
     if all || args.which == "probes" {
@@ -200,9 +212,15 @@ fn main() {
             seed,
             &[
                 ("global 2 min / free measurements", Box::new(mk(0, 2))),
-                ("global 2 min / 16 KB probe traffic", Box::new(mk(16 * 1024, 2))),
+                (
+                    "global 2 min / 16 KB probe traffic",
+                    Box::new(mk(16 * 1024, 2)),
+                ),
                 ("global 10 min / free measurements", Box::new(mk(0, 10))),
-                ("global 10 min / 16 KB probe traffic", Box::new(mk(16 * 1024, 10))),
+                (
+                    "global 10 min / 16 KB probe traffic",
+                    Box::new(mk(16 * 1024, 10)),
+                ),
             ],
         );
         report("on-demand probe traffic", &rows, &mut results);
@@ -240,7 +258,11 @@ fn main() {
                 ),
             ],
         );
-        report("combination ordering (order vs location)", &rows, &mut results);
+        report(
+            "combination ordering (order vs location)",
+            &rows,
+            &mut results,
+        );
     }
 
     if all || args.which == "tthres" {
@@ -269,8 +291,7 @@ fn main() {
         let mk = |interval_secs: Option<u64>| {
             move |e: &Experiment| {
                 let mut e = e.clone();
-                e.template_mut().active_monitoring =
-                    interval_secs.map(SimDuration::from_secs);
+                e.template_mut().active_monitoring = interval_secs.map(SimDuration::from_secs);
                 speedup(&e, Algorithm::global_default())
             }
         };
@@ -281,7 +302,10 @@ fn main() {
             &[
                 ("global / on-demand probing (paper)", Box::new(mk(None))),
                 ("global / active probing every 30 s", Box::new(mk(Some(30)))),
-                ("global / active probing every 120 s", Box::new(mk(Some(120)))),
+                (
+                    "global / active probing every 120 s",
+                    Box::new(mk(Some(120))),
+                ),
             ],
         );
         report(
@@ -358,7 +382,11 @@ fn main() {
                 ),
             ],
         );
-        report("mobility substrate (pre-installed vs mobile objects)", &rows, &mut results);
+        report(
+            "mobility substrate (pre-installed vs mobile objects)",
+            &rows,
+            &mut results,
+        );
     }
 
     if all || args.which == "state" {
@@ -380,12 +408,22 @@ fn main() {
             seed,
             &[
                 ("global 2 min / 4 KB operator state", Box::new(mk(4 << 10))),
-                ("global 2 min / 64 KB operator state", Box::new(mk(64 << 10))),
-                ("global 2 min / 512 KB operator state", Box::new(mk(512 << 10))),
+                (
+                    "global 2 min / 64 KB operator state",
+                    Box::new(mk(64 << 10)),
+                ),
+                (
+                    "global 2 min / 512 KB operator state",
+                    Box::new(mk(512 << 10)),
+                ),
                 ("global 2 min / 4 MB operator state", Box::new(mk(4 << 20))),
             ],
         );
-        report("operator state size (light-move assumption)", &rows, &mut results);
+        report(
+            "operator state size (light-move assumption)",
+            &rows,
+            &mut results,
+        );
     }
 
     if let Some(path) = &args.json {

@@ -46,7 +46,10 @@ fn main() {
                 .partial_cmp(&binary.outcomes[b].speedup(alg))
                 .expect("finite speedups")
         });
-        let binary_curve: Vec<f64> = order.iter().map(|&i| binary.outcomes[i].speedup(alg)).collect();
+        let binary_curve: Vec<f64> = order
+            .iter()
+            .map(|&i| binary.outcomes[i].speedup(alg))
+            .collect();
         let left_curve: Vec<f64> = order
             .iter()
             .map(|&i| left_deep.outcomes[i].speedup(alg))

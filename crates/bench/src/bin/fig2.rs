@@ -19,8 +19,14 @@ fn main() {
 
     // The paper plots Wisconsin - UCLA; our study's closest analogue is
     // the midwest - west-coast pair.
-    let wisc = hosts.iter().position(|h| h.name == "wisc").expect("study host");
-    let ucla = hosts.iter().position(|h| h.name == "ucla").expect("study host");
+    let wisc = hosts
+        .iter()
+        .position(|h| h.name == "wisc")
+        .expect("study host");
+    let ucla = hosts
+        .iter()
+        .position(|h| h.name == "ucla")
+        .expect("study host");
     let trace = study.trace(wisc, ucla).expect("complete study");
 
     println!("=== Figure 2 (left): first ten minutes, samples every 20 s ===");

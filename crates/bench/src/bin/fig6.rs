@@ -38,8 +38,12 @@ fn main() {
             .partial_cmp(&results.outcomes[b].speedup(GLOBAL))
             .expect("finite speedups")
     });
-    let sorted_by_global =
-        |alg: usize| -> Vec<f64> { order.iter().map(|&i| results.outcomes[i].speedup(alg)).collect() };
+    let sorted_by_global = |alg: usize| -> Vec<f64> {
+        order
+            .iter()
+            .map(|&i| results.outcomes[i].speedup(alg))
+            .collect()
+    };
 
     println!("=== Figure 6 (left): one-shot vs global, sorted by global speedup ===");
     print_series("one-shot", &sorted_by_global(ONE_SHOT));
@@ -81,8 +85,14 @@ fn main() {
                     .field("global", sorted_by_global(GLOBAL))
                     .field("local", sorted_by_global(LOCAL)),
             )
-            .field("median_ratio_global_one_shot", results.median_ratio(GLOBAL, ONE_SHOT))
-            .field("median_ratio_global_local", results.median_ratio(GLOBAL, LOCAL))
+            .field(
+                "median_ratio_global_one_shot",
+                results.median_ratio(GLOBAL, ONE_SHOT),
+            )
+            .field(
+                "median_ratio_global_local",
+                results.median_ratio(GLOBAL, LOCAL),
+            )
             .field(
                 "interarrival_secs",
                 Json::obj()

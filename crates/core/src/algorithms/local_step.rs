@@ -217,8 +217,9 @@ mod tests {
         let model = CostModel::paper_defaults();
         for seed in 0..20u64 {
             let bw = BwMatrix::from_fn(6, |a, b| {
-                1_000.0 + ((a.index() as u64 * 7 + b.index() as u64 * 13 + seed * 31) % 100) as f64
-                    * 5_000.0
+                1_000.0
+                    + ((a.index() as u64 * 7 + b.index() as u64 * 13 + seed * 31) % 100) as f64
+                        * 5_000.0
             });
             let mut c = ctx(&[0, 1], 2, 3);
             c.extra_candidates = vec![h(4), h(5)];

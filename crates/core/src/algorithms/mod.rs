@@ -13,4 +13,6 @@ pub mod local_step;
 pub mod one_shot;
 
 pub use local_step::{best_local_site, local_path_cost, LocalContext, LocalDecision};
-pub use one_shot::{improve_placement, improve_placement_by, one_shot_placement, Objective, SearchResult};
+pub use one_shot::{
+    improve_placement, improve_placement_by, one_shot_placement, Objective, SearchResult,
+};

@@ -39,9 +39,7 @@ impl Objective {
     ) -> f64 {
         match self {
             Objective::CriticalPath => placement_cost(tree, roster, placement, view, model),
-            Objective::Contended => {
-                contended_placement_cost(tree, roster, placement, view, model)
-            }
+            Objective::Contended => contended_placement_cost(tree, roster, placement, view, model),
         }
     }
 }
@@ -154,7 +152,13 @@ pub fn one_shot_placement(
     view: impl BandwidthView + Copy,
     model: &CostModel,
 ) -> SearchResult {
-    improve_placement(tree, roster, Placement::download_all(tree, roster), view, model)
+    improve_placement(
+        tree,
+        roster,
+        Placement::download_all(tree, roster),
+        view,
+        model,
+    )
 }
 
 #[cfg(test)]
@@ -178,7 +182,9 @@ mod tests {
     #[test]
     fn never_worse_than_download_all() {
         let (tree, roster, model) = setup(8);
-        let bw = BwMatrix::from_fn(9, |a, b| 5_000.0 + ((a.index() * 31 + b.index() * 17) % 97) as f64 * 2_000.0);
+        let bw = BwMatrix::from_fn(9, |a, b| {
+            5_000.0 + ((a.index() * 31 + b.index() * 17) % 97) as f64 * 2_000.0
+        });
         let da = placement_cost(
             &tree,
             &roster,
@@ -193,7 +199,9 @@ mod tests {
     #[test]
     fn result_cost_is_consistent() {
         let (tree, roster, model) = setup(8);
-        let bw = BwMatrix::from_fn(9, |a, b| 10_000.0 * (1 + (a.index() + b.index()) % 5) as f64);
+        let bw = BwMatrix::from_fn(9, |a, b| {
+            10_000.0 * (1 + (a.index() + b.index()) % 5) as f64
+        });
         let r = one_shot_placement(&tree, &roster, &bw, &model);
         let recomputed = placement_cost(&tree, &roster, &r.placement, &bw, &model);
         assert!((r.cost - recomputed).abs() < 1e-9);
@@ -202,7 +210,9 @@ mod tests {
     #[test]
     fn fixed_point_is_locally_optimal_on_critical_path() {
         let (tree, roster, model) = setup(8);
-        let bw = BwMatrix::from_fn(9, |a, b| 3_000.0 + ((a.index() * 13 + b.index() * 7) % 53) as f64 * 4_000.0);
+        let bw = BwMatrix::from_fn(9, |a, b| {
+            3_000.0 + ((a.index() * 13 + b.index() * 7) % 53) as f64 * 4_000.0
+        });
         let r = one_shot_placement(&tree, &roster, &bw, &model);
         let cp = critical_path(&tree, &roster, &r.placement, &bw, &model);
         // No single move of a critical-path operator improves the cost.
@@ -251,7 +261,9 @@ mod tests {
     #[test]
     fn improve_from_current_never_regresses() {
         let (tree, roster, model) = setup(8);
-        let bw = BwMatrix::from_fn(9, |a, b| 2_000.0 + ((a.index() * 41 + b.index() * 3) % 29) as f64 * 9_000.0);
+        let bw = BwMatrix::from_fn(9, |a, b| {
+            2_000.0 + ((a.index() * 41 + b.index() * 3) % 29) as f64 * 9_000.0
+        });
         // Start from an arbitrary placement (as the global algorithm does).
         let mut start = Placement::download_all(&tree, &roster);
         for i in 0..tree.operator_count() {
@@ -270,7 +282,9 @@ mod tests {
         let tree = CombinationTree::left_deep(6).unwrap();
         let roster = HostRoster::one_host_per_server(6);
         let model = CostModel::paper_defaults();
-        let bw = BwMatrix::from_fn(7, |a, b| 4_000.0 + ((a.index() + 2 * b.index()) % 11) as f64 * 11_000.0);
+        let bw = BwMatrix::from_fn(7, |a, b| {
+            4_000.0 + ((a.index() + 2 * b.index()) % 11) as f64 * 11_000.0
+        });
         let da = placement_cost(
             &tree,
             &roster,

@@ -74,9 +74,7 @@ pub fn summarize_audit(audit: &AuditLog) -> AdaptationSummary {
             }
             AuditEvent::ChangeoverCommitted { at, version, .. } => {
                 changeovers += 1;
-                if let Some(&(_, proposed_at)) =
-                    proposals.iter().find(|(v, _)| v == version)
-                {
+                if let Some(&(_, proposed_at)) = proposals.iter().find(|(v, _)| v == version) {
                     barrier_secs.push(at.saturating_since(proposed_at).as_secs_f64());
                 }
             }
@@ -90,7 +88,13 @@ pub fn summarize_audit(audit: &AuditLog) -> AdaptationSummary {
                     transit.push(at.saturating_since(started).as_secs_f64());
                 }
             }
-            AuditEvent::ServerSuspended { .. } => {}
+            // Fault bookkeeping does not feed the adaptation summary: an
+            // aborted relocation never finished and an aborted change-over
+            // never committed, so neither contributes to the means above.
+            AuditEvent::ServerSuspended { .. }
+            | AuditEvent::MessageLost { .. }
+            | AuditEvent::RelocationAborted { .. }
+            | AuditEvent::ChangeoverAborted { .. } => {}
         }
     }
 
@@ -215,7 +219,11 @@ mod tests {
         assert_eq!(s.planner_runs, 0);
         assert_eq!(s.relocations, 0);
         assert_eq!(s.changeovers, 0);
-        assert_eq!(converged_fraction(&r), 1.0, "never moved → converged all along");
+        assert_eq!(
+            converged_fraction(&r),
+            1.0,
+            "never moved → converged all along"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! barrier ordering, wavefront staggering — from the *outside*, without
 //! reaching into engine internals.
 
+use wadc_net::faults::TrafficKind;
 use wadc_plan::ids::{HostId, OperatorId};
 use wadc_sim::digest::Digest;
 use wadc_sim::time::SimTime;
@@ -88,6 +89,40 @@ pub enum AuditEvent {
         op: OperatorId,
         /// Its new host.
         host: HostId,
+    },
+    /// Fault injection discarded a message after its wire time was paid.
+    MessageLost {
+        /// When the loss was detected (delivery time of the doomed
+        /// transfer).
+        at: SimTime,
+        /// Sending host.
+        from: HostId,
+        /// Receiving host.
+        to: HostId,
+        /// Traffic class of the lost message.
+        kind: TrafficKind,
+        /// How many earlier transmissions of this message were also lost
+        /// (0 = the original send).
+        attempt: u32,
+    },
+    /// An in-flight operator move failed; the operator resumed at its old
+    /// host (rollback at the light point) to be retried by a later
+    /// placement decision.
+    RelocationAborted {
+        /// When the rollback took effect.
+        at: SimTime,
+        /// The operator.
+        op: OperatorId,
+        /// The host it stays resident on (the move's origin).
+        host: HostId,
+    },
+    /// A barrier change-over timed out before every server reported; the
+    /// client abandoned the proposal and kept the old placement.
+    ChangeoverAborted {
+        /// When the abort was declared.
+        at: SimTime,
+        /// The abandoned proposal version.
+        version: u32,
     },
 }
 
@@ -172,6 +207,31 @@ impl AuditEvent {
                 d.write_usize(op.index());
                 d.write_usize(host.index());
             }
+            AuditEvent::MessageLost {
+                at,
+                from,
+                to,
+                kind,
+                attempt,
+            } => {
+                d.write_str("lost");
+                d.write_u64(at.as_micros());
+                d.write_usize(from.index());
+                d.write_usize(to.index());
+                d.write_u64(kind.tag());
+                d.write_u64(attempt as u64);
+            }
+            AuditEvent::RelocationAborted { at, op, host } => {
+                d.write_str("unmoved");
+                d.write_u64(at.as_micros());
+                d.write_usize(op.index());
+                d.write_usize(host.index());
+            }
+            AuditEvent::ChangeoverAborted { at, version } => {
+                d.write_str("abort");
+                d.write_u64(at.as_micros());
+                d.write_u64(version as u64);
+            }
         }
     }
 
@@ -184,8 +244,23 @@ impl AuditEvent {
             | AuditEvent::ChangeoverCommitted { at, .. }
             | AuditEvent::LocalDecision { at, .. }
             | AuditEvent::RelocationStarted { at, .. }
-            | AuditEvent::RelocationFinished { at, .. } => at,
+            | AuditEvent::RelocationFinished { at, .. }
+            | AuditEvent::MessageLost { at, .. }
+            | AuditEvent::RelocationAborted { at, .. }
+            | AuditEvent::ChangeoverAborted { at, .. } => at,
         }
+    }
+
+    /// `true` for events only fault injection can produce; protocol-scope
+    /// invariants ignore them (a baseline run under loss still must not
+    /// *adapt*, but it may well *lose messages*).
+    pub fn is_fault_event(&self) -> bool {
+        matches!(
+            self,
+            AuditEvent::MessageLost { .. }
+                | AuditEvent::RelocationAborted { .. }
+                | AuditEvent::ChangeoverAborted { .. }
+        )
     }
 }
 

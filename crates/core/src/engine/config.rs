@@ -4,6 +4,7 @@ use wadc_app::workload::WorkloadParams;
 use wadc_mobile::registry::MobilityMode;
 use wadc_monitor::cache::MonitorConfig;
 use wadc_net::disk::DiskModel;
+use wadc_net::faults::FaultPlan;
 use wadc_net::network::{NetStats, NetworkParams};
 use wadc_plan::cost::CostModel;
 use wadc_plan::tree::TreeShape;
@@ -71,6 +72,84 @@ impl Algorithm {
     }
 }
 
+/// Per-message timeout, backoff and retransmission parameters, plus the
+/// barrier change-over timeout — the engine's recovery knobs for lossy
+/// runs.
+///
+/// Only consulted when the run's [`FaultPlan`] is non-empty; clean runs
+/// never arm a timer, so the policy is zero-perturbation by default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retransmission (and the detection delay
+    /// for a failed operator-state transfer).
+    pub base: SimDuration,
+    /// Geometric backoff multiplier per attempt.
+    pub multiplier: u32,
+    /// Upper bound on any single backoff interval.
+    pub max_backoff: SimDuration,
+    /// Retransmissions after the original send before a message is
+    /// abandoned.
+    pub max_retries: u32,
+    /// How long the client waits for all servers to report before
+    /// aborting a barrier change-over and keeping the old placement.
+    pub barrier_timeout: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Defaults sized for wide-area latencies: 2 s base doubling to a
+    /// 60 s ceiling, 12 retries, 3 min barrier patience.
+    pub fn paper_defaults() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(2),
+            multiplier: 2,
+            max_backoff: SimDuration::from_secs(60),
+            max_retries: 12,
+            barrier_timeout: SimDuration::from_mins(3),
+        }
+    }
+
+    /// The backoff before retransmission number `attempt + 1`:
+    /// `min(base * multiplier^attempt, max_backoff)`, computed without
+    /// overflow.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let mut b = self.base;
+        for _ in 0..attempt {
+            b = (b * self.multiplier as u64).min(self.max_backoff);
+            if b == self.max_backoff {
+                break;
+            }
+        }
+        b.min(self.max_backoff)
+    }
+
+    /// Checks the policy for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base.is_zero() {
+            return Err("retry policy: zero base backoff would retransmit instantly".into());
+        }
+        if self.multiplier == 0 {
+            return Err("retry policy: zero backoff multiplier".into());
+        }
+        if self.max_backoff < self.base {
+            return Err("retry policy: max_backoff below base".into());
+        }
+        if self.barrier_timeout.is_zero() {
+            return Err("retry policy: zero barrier timeout would abort every change-over".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::paper_defaults()
+    }
+}
+
 /// Full configuration of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
@@ -125,6 +204,13 @@ pub struct EngineConfig {
     /// Safety cap on simulated time; runs exceeding it abort with
     /// `completed = false`.
     pub max_sim_time: SimDuration,
+    /// Faults to inject (default: none). An empty plan bypasses the fault
+    /// machinery entirely, keeping clean runs digest-identical to the
+    /// pre-fault golden fixtures.
+    pub faults: FaultPlan,
+    /// Timeout/backoff/retransmission policy, consulted only when
+    /// `faults` is non-empty.
+    pub retry: RetryPolicy,
 }
 
 impl EngineConfig {
@@ -149,7 +235,67 @@ impl EngineConfig {
             probe_bytes: 16 * 1024,
             seed: 0,
             max_sim_time: SimDuration::from_hours(24 * 7),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::paper_defaults(),
         }
+    }
+
+    /// Checks the configuration for mistakes that would otherwise surface
+    /// as confusing behaviour deep inside a run: degenerate server counts,
+    /// empty workloads, zero-period adaptive algorithms, malformed fault
+    /// plans and retry policies.
+    ///
+    /// [`crate::engine::Engine::new_with_parts`] calls this eagerly, so a
+    /// bad configuration fails at construction with a clear message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_servers < 2 {
+            return Err(format!(
+                "engine config: need at least two servers to combine, got {}",
+                self.n_servers
+            ));
+        }
+        if self.workload.images_per_server == 0 {
+            return Err("engine config: zero-image workload — nothing to combine".into());
+        }
+        match self.algorithm {
+            Algorithm::Global { period } if period.is_zero() => {
+                return Err(
+                    "engine config: global algorithm with zero re-planning period \
+                     would re-plan in a busy loop"
+                        .into(),
+                );
+            }
+            Algorithm::Local { period, .. } if period.is_zero() => {
+                return Err(
+                    "engine config: local algorithm with zero relocation period \
+                     would tick in a busy loop"
+                        .into(),
+                );
+            }
+            _ => {}
+        }
+        if self.max_sim_time.is_zero() {
+            return Err("engine config: zero max_sim_time — every run would abort at t=0".into());
+        }
+        self.faults.validate()?;
+        self.retry.validate()?;
+        Ok(())
+    }
+
+    /// Sets the fault plan (builder-style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry policy (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Sets the master seed (builder-style).
@@ -239,6 +385,15 @@ impl RunResult {
         d.write_u64(self.net_stats.bytes_submitted);
         d.write_u64(self.net_stats.bytes_delivered);
         d.write_u64(self.net_stats.high_priority_completed);
+        // Fault-era counters fold in only when something actually dropped
+        // or retransmitted, so clean runs keep their pre-fault digests —
+        // the golden fixtures stay byte-identical.
+        if self.net_stats.dropped > 0 || self.net_stats.retransmits > 0 {
+            d.write_u64(self.net_stats.retransmits);
+            d.write_u64(self.net_stats.bytes_retransmitted);
+            d.write_u64(self.net_stats.dropped);
+            d.write_u64(self.net_stats.bytes_dropped);
+        }
         d.write_u64(self.audit.digest());
         d.finish()
     }
@@ -295,6 +450,92 @@ mod tests {
         assert_eq!(cfg.tree_shape, TreeShape::LeftDeep);
         assert_eq!(cfg.knowledge, KnowledgeMode::Oracle);
         assert_eq!(cfg.n_servers, 8);
+    }
+
+    #[test]
+    fn backoff_is_geometric_and_capped() {
+        let r = RetryPolicy::paper_defaults();
+        assert_eq!(r.backoff(0), SimDuration::from_secs(2));
+        assert_eq!(r.backoff(1), SimDuration::from_secs(4));
+        assert_eq!(r.backoff(3), SimDuration::from_secs(16));
+        assert_eq!(r.backoff(5), SimDuration::from_secs(60), "hits the cap");
+        assert_eq!(r.backoff(500), SimDuration::from_secs(60), "no overflow");
+    }
+
+    #[test]
+    fn retry_policy_validation() {
+        assert!(RetryPolicy::paper_defaults().validate().is_ok());
+        let mut r = RetryPolicy::paper_defaults();
+        r.base = SimDuration::ZERO;
+        assert!(r.validate().is_err());
+        let mut r = RetryPolicy::paper_defaults();
+        r.multiplier = 0;
+        assert!(r.validate().is_err());
+        let mut r = RetryPolicy::paper_defaults();
+        r.max_backoff = SimDuration::from_millis(1);
+        assert!(r.validate().is_err());
+        let mut r = RetryPolicy::paper_defaults();
+        r.barrier_timeout = SimDuration::ZERO;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_setups() {
+        assert!(EngineConfig::new(4, Algorithm::OneShot).validate().is_ok());
+        assert!(EngineConfig::new(1, Algorithm::OneShot).validate().is_err());
+
+        let mut zero_images = EngineConfig::new(4, Algorithm::OneShot);
+        zero_images.workload.images_per_server = 0;
+        let err = zero_images.validate().unwrap_err();
+        assert!(err.contains("zero-image"), "got: {err}");
+
+        let zero_global = EngineConfig::new(
+            4,
+            Algorithm::Global {
+                period: SimDuration::ZERO,
+            },
+        );
+        assert!(zero_global.validate().unwrap_err().contains("global"));
+
+        let zero_local = EngineConfig::new(
+            4,
+            Algorithm::Local {
+                period: SimDuration::ZERO,
+                extra_candidates: 0,
+            },
+        );
+        assert!(zero_local.validate().unwrap_err().contains("local"));
+
+        let mut zero_cap = EngineConfig::new(4, Algorithm::OneShot);
+        zero_cap.max_sim_time = SimDuration::ZERO;
+        assert!(zero_cap.validate().is_err());
+
+        let bad_faults =
+            EngineConfig::new(4, Algorithm::OneShot).with_faults(FaultPlan::none().with_loss(2.0));
+        assert!(bad_faults.validate().is_err());
+    }
+
+    #[test]
+    fn fault_counters_fold_into_digest_only_when_nonzero() {
+        let mk = |stats: NetStats| RunResult {
+            completed: true,
+            completion_time: SimDuration::from_secs(10),
+            images_delivered: 1,
+            interarrival: Tally::new(),
+            arrivals: Vec::new(),
+            relocations: 0,
+            changeovers: 0,
+            planner_runs: 0,
+            net_stats: stats,
+            audit: AuditLog::new(),
+        };
+        let clean = mk(NetStats::default());
+        let lossy = mk(NetStats {
+            dropped: 1,
+            bytes_dropped: 100,
+            ..NetStats::default()
+        });
+        assert_ne!(clean.digest(), lossy.digest());
     }
 
     #[test]

@@ -109,6 +109,12 @@ pub enum Payload {
         /// (state packet + any code package for a first visit).
         plan: MovePlan,
     },
+    /// Barrier: the client abandoned a timed-out change-over proposal;
+    /// suspended servers resume under the old placement (high priority).
+    BarrierAbort {
+        /// The abandoned proposal version.
+        version: u32,
+    },
     /// An on-demand monitoring probe (content-free; its completion is the
     /// measurement, captured by passive monitoring at both endpoints).
     Probe,
@@ -134,6 +140,10 @@ pub struct Message {
     pub piggyback: Piggyback,
     /// Local mode: the sender host's operator-location vector.
     pub locations: Option<LocationVector>,
+    /// How many earlier transmissions of this message fault injection has
+    /// already destroyed (0 for the original send; only ever nonzero in
+    /// lossy runs, where the retry machinery resends with a fresh count).
+    pub attempt: u32,
 }
 
 impl Message {
@@ -141,13 +151,12 @@ impl Message {
     /// vector.
     pub fn wire_bytes(&self, operator_state_bytes: u64) -> u64 {
         let body = match &self.payload {
-            Payload::Demand(d) => {
-                d.placement_update
-                    .as_ref()
-                    .map_or(0, |u| u.placement.operator_count() as u64 * PLACEMENT_ENTRY_BYTES)
-            }
+            Payload::Demand(d) => d.placement_update.as_ref().map_or(0, |u| {
+                u.placement.operator_count() as u64 * PLACEMENT_ENTRY_BYTES
+            }),
             Payload::Data(d) => d.dims.bytes(),
             Payload::BarrierReport { .. } => 0,
+            Payload::BarrierAbort { .. } => 0,
             Payload::BarrierCommit { placement, .. } => {
                 placement.operator_count() as u64 * PLACEMENT_ENTRY_BYTES
             }
@@ -177,6 +186,7 @@ mod tests {
             payload,
             piggyback: Piggyback::empty(),
             locations: None,
+            attempt: 0,
         }
     }
 
@@ -210,8 +220,7 @@ mod tests {
         use wadc_mobile::registry::{CodeRegistry, MobilityMode};
         use wadc_mobile::state::OperatorState as MobileState;
 
-        let protocol =
-            MoveProtocol::new(CodeRegistry::new(MobilityMode::MobileObjects, 10_000));
+        let protocol = MoveProtocol::new(CodeRegistry::new(MobilityMode::MobileObjects, 10_000));
         let plan = protocol
             .plan_move(
                 &MobileState::initial(OperatorId::new(0)),

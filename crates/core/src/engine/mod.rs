@@ -22,7 +22,7 @@ pub mod audit;
 pub mod config;
 pub mod message;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use wadc_app::compose::{compose_secs, PAPER_SECS_PER_PIXEL};
 use wadc_app::image::ImageDims;
@@ -35,6 +35,7 @@ use wadc_monitor::daemon::ProbeScheduler;
 use wadc_monitor::forecast::Forecaster;
 use wadc_monitor::piggyback;
 use wadc_monitor::vector::LocationVector;
+use wadc_net::faults::{FaultInjector, TrafficKind};
 use wadc_net::link::LinkTable;
 use wadc_net::network::{Network, TransferId, TransferSpec};
 use wadc_plan::ids::{HostId, NodeId, OperatorId};
@@ -51,7 +52,7 @@ use crate::algorithms::one_shot::improve_placement_by;
 use crate::knowledge::PlannerView;
 
 pub use audit::{AuditEvent, AuditLog};
-pub use config::{Algorithm, EngineConfig, RunResult};
+pub use config::{Algorithm, EngineConfig, RetryPolicy, RunResult};
 pub use message::{DataMsg, Demand, Message, Payload, PlacementUpdate};
 
 /// Events driving the engine.
@@ -71,6 +72,28 @@ enum Ev {
     EpochTick,
     /// The active monitoring daemon's next probe slot.
     MonitorTick,
+    /// The fault schedule's next outage/blackout transition: re-poll the
+    /// network so transfers queued behind a dead link start the moment it
+    /// revives.
+    FaultTick,
+    /// A lost message's backoff expired: resend it.
+    Retransmit(Box<Message>),
+    /// The client's patience for barrier reports ran out; if the proposal
+    /// is still pending, abandon it and keep the old placement.
+    BarrierTimeout {
+        /// The proposal the timer was armed for.
+        version: u32,
+    },
+    /// A lost operator-state transfer was detected: the operator rolls
+    /// back at its old host and resumes under the old placement.
+    MoveRollback {
+        /// The operator's tree node.
+        node: NodeId,
+        /// The operator.
+        op: OperatorId,
+        /// The light point it was moving at.
+        after_iteration: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -204,6 +227,10 @@ pub struct Engine {
     disk_current: Vec<Option<DiskJob>>,
     committed_placement: Placement,
     committed_version: u32,
+    /// Highest proposal version ever created. Distinct from
+    /// `committed_version` once a proposal has been aborted: versions are
+    /// never reused, so the audit trail stays unambiguous.
+    proposal_counter: u32,
     proposal: Option<Proposal>,
     local_mode: bool,
     epoch_len: SimDuration,
@@ -217,6 +244,12 @@ pub struct Engine {
     audit: AuditLog,
     mobility: MoveProtocol,
     probe_scheduler: Option<ProbeScheduler>,
+    /// `Some` iff the run's fault plan is non-empty; `None` guarantees
+    /// zero perturbation of clean runs.
+    faults: Option<FaultInjector>,
+    /// Probes rolled as black-holed at submission: their transfer still
+    /// occupies the wire, but delivery discards them unmeasured.
+    doomed_probes: BTreeSet<TransferId>,
 }
 
 impl Engine {
@@ -226,8 +259,10 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.n_servers < 2`, the workload is empty, or the link
-    /// table's host count does not match the roster.
+    /// Panics if [`EngineConfig::validate`] rejects `cfg` (fewer than two
+    /// servers, empty workload, zero-period adaptive algorithm, malformed
+    /// fault plan or retry policy) or if the link table's host count does
+    /// not match the roster.
     pub fn new(cfg: EngineConfig, links: LinkTable) -> Self {
         let tree = CombinationTree::build(cfg.tree_shape, cfg.n_servers)
             .expect("engine shapes are buildable and n_servers >= 2");
@@ -263,11 +298,9 @@ impl Engine {
         tree: CombinationTree,
         roster: HostRoster,
     ) -> Self {
-        assert!(cfg.n_servers >= 2, "need at least two servers");
-        assert!(
-            cfg.workload.images_per_server > 0,
-            "workload must contain at least one image"
-        );
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         assert_eq!(
             tree.server_count(),
             cfg.n_servers,
@@ -288,12 +321,23 @@ impl Engine {
         let workload = Workload::generate(&cfg.workload, cfg.n_servers, derive_seed(cfg.seed, 1));
         let n_iterations = cfg.workload.images_per_server as u32;
         let n_hosts = roster.host_count();
+        // Seed stream 4 is reserved for fault injection (1 = workload,
+        // 2 = engine decisions, 3 = probe stagger). An empty plan builds
+        // no injector at all — the zero-perturbation guarantee.
+        let faults = (!cfg.faults.is_empty())
+            .then(|| FaultInjector::new(&cfg.faults, derive_seed(cfg.seed, 4), n_hosts));
+        let grace = if faults.is_some() {
+            cfg.monitor.t_thres
+        } else {
+            SimDuration::ZERO
+        };
 
         // Initial placement per algorithm.
         let queue: EventQueue<Ev> = EventQueue::new();
         let mut planner_runs = 0;
-        let mut caches: Vec<BandwidthCache> =
-            (0..n_hosts).map(|_| BandwidthCache::new(cfg.monitor)).collect();
+        let mut caches: Vec<BandwidthCache> = (0..n_hosts)
+            .map(|_| BandwidthCache::new(cfg.monitor))
+            .collect();
         let forecasters: Vec<Forecaster> = (0..n_hosts).map(|_| Forecaster::new(16)).collect();
         let mut audit = AuditLog::new();
         let initial = match cfg.algorithm {
@@ -306,7 +350,8 @@ impl Engine {
                     &forecasters[roster.client().index()],
                     &links,
                     SimTime::ZERO,
-                );
+                )
+                .with_grace(grace);
                 let download_all_cost = cfg.objective.evaluate(
                     &tree,
                     &roster,
@@ -335,6 +380,7 @@ impl Engine {
                     &links,
                     &roster,
                     SimTime::ZERO,
+                    faults.as_ref(),
                 );
                 result.placement
             }
@@ -367,14 +413,19 @@ impl Engine {
         };
 
         let rng = Rng64::seed_from_u64(derive_seed(cfg.seed, 2));
+        let mut net = Network::new(cfg.net, links);
+        if let Some(f) = &faults {
+            net.set_faults(f.clone());
+        }
         Engine {
-            net: Network::new(cfg.net, links),
+            net,
             cpus: (0..n_hosts).map(|_| Resource::new()).collect(),
             cpu_current: vec![None; n_hosts],
             disks: (0..n_hosts).map(|_| Resource::new()).collect(),
             disk_current: vec![None; n_hosts],
             committed_placement: initial,
             committed_version: 0,
+            proposal_counter: 0,
             proposal: None,
             local_mode,
             epoch_len,
@@ -386,13 +437,12 @@ impl Engine {
             changeovers: 0,
             planner_runs,
             audit,
-            mobility: MoveProtocol::new(CodeRegistry::new(
-                cfg.mobility,
-                cfg.code_package_bytes,
-            )),
+            mobility: MoveProtocol::new(CodeRegistry::new(cfg.mobility, cfg.code_package_bytes)),
             probe_scheduler: cfg.active_monitoring.map(|interval| {
                 ProbeScheduler::all_pairs(n_hosts, interval, derive_seed(cfg.seed, 3))
             }),
+            faults,
+            doomed_probes: BTreeSet::new(),
             cfg,
             tree,
             roster,
@@ -423,6 +473,13 @@ impl Engine {
         }
         if let Some(next) = self.probe_scheduler.as_ref().and_then(|s| s.next_due()) {
             self.queue.schedule(next, Ev::MonitorTick);
+        }
+        if let Some(t) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.next_transition_after(SimTime::ZERO))
+        {
+            self.queue.schedule(t, Ev::FaultTick);
         }
         self.send_demands(self.tree.root(), 1);
 
@@ -477,6 +534,29 @@ impl Engine {
             Ev::GlobalTimer => self.handle_global_timer(),
             Ev::EpochTick => self.handle_epoch_tick(),
             Ev::MonitorTick => self.handle_monitor_tick(),
+            Ev::FaultTick => self.handle_fault_tick(),
+            Ev::Retransmit(msg) => self.handle_retransmit(*msg),
+            Ev::BarrierTimeout { version } => self.handle_barrier_timeout(version),
+            Ev::MoveRollback {
+                node,
+                op,
+                after_iteration,
+            } => self.handle_move_rollback(node, op, after_iteration),
+        }
+    }
+
+    /// The outage/blackout state just changed: re-poll the network (a
+    /// revived link may unblock queued transfers) and re-arm for the next
+    /// transition.
+    fn handle_fault_tick(&mut self) {
+        self.pump();
+        let now = self.now();
+        if let Some(t) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.next_transition_after(now))
+        {
+            self.queue.schedule(t, Ev::FaultTick);
         }
     }
 
@@ -501,25 +581,167 @@ impl Engine {
         self.queue.now()
     }
 
+    /// How far past `T_thres` planners may trust cached measurements.
+    /// Zero in clean runs; one extra `T_thres` under fault injection,
+    /// where measurements go missing and a stale value beats a blind
+    /// probe of a possibly-dead link.
+    fn planner_grace(&self) -> SimDuration {
+        if self.faults.is_some() {
+            self.cfg.monitor.t_thres
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
     fn handle_delivery(&mut self, tid: TransferId) {
         let now = self.now();
         let delivery = self.net.complete(tid, now);
         self.pump();
         let spec = delivery.spec;
+        // Fault injection: the wire time was paid, but the payload may be
+        // discarded — no passive measurement, no gossip, no dispatch.
+        if let Some(inj) = &self.faults {
+            let doomed_probe = self.doomed_probes.remove(&tid);
+            let kind = match &delivery.payload.payload {
+                Payload::Probe => TrafficKind::Probe,
+                Payload::Data(_) => TrafficKind::Data,
+                Payload::OperatorState { .. } => TrafficKind::OperatorState,
+                _ => TrafficKind::Control,
+            };
+            if doomed_probe || inj.drop_delivery(kind, tid.as_u64()) {
+                self.handle_lost_message(delivery.payload, spec, kind);
+                return;
+            }
+        }
         // Passive monitoring at both endpoints.
         let elapsed = delivery.elapsed();
-        let measured = self.caches[spec.src.index()].observe_transfer(
-            spec.src, spec.dst, spec.bytes, elapsed, now,
-        );
-        self.caches[spec.dst.index()].observe_transfer(
-            spec.src, spec.dst, spec.bytes, elapsed, now,
-        );
+        let measured = self.caches[spec.src.index()]
+            .observe_transfer(spec.src, spec.dst, spec.bytes, elapsed, now);
+        self.caches[spec.dst.index()]
+            .observe_transfer(spec.src, spec.dst, spec.bytes, elapsed, now);
         if measured {
             let bw = spec.bytes as f64 / elapsed.as_secs_f64();
             self.forecasters[spec.src.index()].observe(spec.src, spec.dst, bw, now);
             self.forecasters[spec.dst.index()].observe(spec.src, spec.dst, bw, now);
         }
         self.dispatch_message(delivery.payload);
+    }
+
+    /// A delivered transfer's payload was destroyed by fault injection.
+    /// Accounts the loss and arms the sender-side recovery: data and
+    /// control messages are retransmitted after a backoff (up to
+    /// `retry.max_retries` times), a lost operator-state transfer rolls
+    /// the move back at the old host, and a lost probe simply never
+    /// reports (the measurement channel is allowed to be lossy).
+    fn handle_lost_message(&mut self, msg: Message, spec: TransferSpec, kind: TrafficKind) {
+        let now = self.now();
+        self.net.record_drop(spec.bytes);
+        self.audit.record(AuditEvent::MessageLost {
+            at: now,
+            from: spec.src,
+            to: spec.dst,
+            kind,
+            attempt: msg.attempt,
+        });
+        match &msg.payload {
+            Payload::Probe => {}
+            Payload::OperatorState {
+                op,
+                after_iteration,
+                ..
+            } => {
+                // The new host never saw the state packet; after the
+                // detection timeout the old host unfreezes the operator
+                // and resumes under the old placement.
+                let (op, after_iteration) = (*op, *after_iteration);
+                self.queue.schedule_in(
+                    self.cfg.retry.backoff(msg.attempt),
+                    Ev::MoveRollback {
+                        node: msg.dst_node,
+                        op,
+                        after_iteration,
+                    },
+                );
+            }
+            _ => {
+                if msg.attempt < self.cfg.retry.max_retries {
+                    self.queue.schedule_in(
+                        self.cfg.retry.backoff(msg.attempt),
+                        Ev::Retransmit(Box::new(msg)),
+                    );
+                }
+                // Past max_retries the message is abandoned; the run may
+                // stall until the safety cap, which `run` reports as
+                // `completed = false` rather than wedging.
+            }
+        }
+    }
+
+    /// A lost message's backoff expired: refresh its routing (the
+    /// destination operator may have moved) and gossip, then resend.
+    fn handle_retransmit(&mut self, mut msg: Message) {
+        let now = self.now();
+        msg.attempt += 1;
+        let src_node = match &msg.payload {
+            Payload::Demand(d) => Some(d.consumer),
+            Payload::Data(d) => Some(d.producer),
+            _ => None,
+        };
+        let from_host = src_node
+            .map(|n| self.nodes[n.index()].host)
+            .unwrap_or(msg.src_host);
+        let to_host = self.nodes[msg.dst_node.index()].host;
+        msg.src_host = from_host;
+        msg.dst_host = to_host;
+        msg.piggyback = piggyback::collect(&self.caches[from_host.index()], now);
+        msg.locations = self
+            .local_mode
+            .then(|| self.vectors[from_host.index()].clone());
+        let priority = match msg.payload {
+            Payload::BarrierReport { .. }
+            | Payload::BarrierCommit { .. }
+            | Payload::BarrierAbort { .. } => Priority::High,
+            _ => Priority::Normal,
+        };
+        if from_host == to_host {
+            self.queue.schedule_now(Ev::Local(Box::new(msg)));
+            return;
+        }
+        let bytes = msg.wire_bytes(self.cfg.operator_state_bytes);
+        self.net.submit_retransmit(
+            TransferSpec {
+                src: from_host,
+                dst: to_host,
+                bytes,
+                priority,
+            },
+            msg,
+        );
+        self.pump();
+    }
+
+    /// Rolls a failed move back: the operator unfreezes at its old host
+    /// (its state never left — only the copy in transit was lost), resumes
+    /// demanding, and replays anything buffered during the attempt. A
+    /// later placement decision is free to retry the move.
+    fn handle_move_rollback(&mut self, node: NodeId, op: OperatorId, after_iteration: u32) {
+        let now = self.now();
+        let host = {
+            let rt = &mut self.nodes[node.index()];
+            debug_assert!(rt.frozen, "rollback of a move that is not in flight");
+            rt.frozen = false;
+            rt.host
+        };
+        self.audit
+            .record(AuditEvent::RelocationAborted { at: now, op, host });
+        if after_iteration < self.n_iterations {
+            self.send_demands(node, after_iteration + 1);
+        }
+        let buffered = std::mem::take(&mut self.nodes[node.index()].buffered);
+        for msg in buffered {
+            self.deliver_to_node(msg);
+        }
+        self.try_dispatch(node);
     }
 
     /// Absorbs a message's gossip and routes it to its destination node,
@@ -576,7 +798,15 @@ impl Engine {
                 op,
                 after_iteration,
                 plan,
-            } => self.complete_relocation(node, op, after_iteration, msg.src_host, msg.dst_host, &plan),
+            } => self.complete_relocation(
+                node,
+                op,
+                after_iteration,
+                msg.src_host,
+                msg.dst_host,
+                &plan,
+            ),
+            Payload::BarrierAbort { version } => self.handle_barrier_abort(node, version),
             // A probe's only effect is the passive measurement taken when
             // its transfer completed (already recorded in handle_delivery).
             Payload::Probe => {}
@@ -694,8 +924,7 @@ impl Engine {
                 .reduce(|a, b| a.larger(b))
                 .expect("at least one input");
             let iteration = rt.gather_iter;
-            let duration =
-                SimDuration::from_secs_f64(compose_secs(out_dims, PAPER_SECS_PER_PIXEL));
+            let duration = SimDuration::from_secs_f64(compose_secs(out_dims, PAPER_SECS_PER_PIXEL));
             self.request_cpu(
                 host,
                 ComputeJob {
@@ -908,7 +1137,10 @@ impl Engine {
         debug_assert_eq!(restored.op, op);
         {
             let rt = &mut self.nodes[node.index()];
-            debug_assert!(rt.frozen, "operator state arrived without a move in progress");
+            debug_assert!(
+                rt.frozen,
+                "operator state arrived without a move in progress"
+            );
             debug_assert_eq!(restored.last_dispatched, rt.last_dispatched);
             rt.frozen = false;
             rt.host = new_host;
@@ -958,7 +1190,8 @@ impl Engine {
             &self.forecasters[client.index()],
             self.net.links(),
             now,
-        );
+        )
+        .with_grace(self.planner_grace());
         let cost_before = self.cfg.objective.evaluate(
             &self.tree,
             &self.roster,
@@ -979,6 +1212,7 @@ impl Engine {
             self.net.links(),
             &self.roster,
             now,
+            self.faults.as_ref(),
         );
         let changed = result.placement != self.committed_placement;
         self.audit.record(AuditEvent::PlannerRan {
@@ -989,7 +1223,12 @@ impl Engine {
         });
         if changed {
             let moves = self.committed_placement.diff(&result.placement).len();
-            let version = self.committed_version + 1;
+            // Versions count proposals, not commits: an aborted proposal's
+            // version is never reused. Without faults every proposal
+            // commits before the next is created, so this is identical to
+            // `committed_version + 1`.
+            let version = self.proposal_counter + 1;
+            self.proposal_counter = version;
             self.audit.record(AuditEvent::ChangeoverProposed {
                 at: now,
                 version,
@@ -1000,7 +1239,59 @@ impl Engine {
                 placement: result.placement,
                 reports: BTreeMap::new(),
             });
+            // Under fault injection a report can be lost past its retry
+            // budget; the timeout guarantees the barrier cannot wedge the
+            // run. Clean runs arm no timer (zero perturbation).
+            if self.faults.is_some() {
+                self.queue.schedule_in(
+                    self.cfg.retry.barrier_timeout,
+                    Ev::BarrierTimeout { version },
+                );
+            }
         }
+    }
+
+    /// The barrier patience timer fired. If the proposal it was armed for
+    /// is still pending, abandon it: keep the old placement, tell every
+    /// server (suspended or about to be) to resume, and let a later
+    /// planning tick try again.
+    fn handle_barrier_timeout(&mut self, version: u32) {
+        let still_pending = self.proposal.as_ref().is_some_and(|p| p.version == version);
+        if !still_pending {
+            return;
+        }
+        self.proposal = None;
+        self.audit.record(AuditEvent::ChangeoverAborted {
+            at: self.now(),
+            version,
+        });
+        let client = self.tree.root();
+        for i in 0..self.tree.nodes().len() {
+            let node = NodeId::new(i);
+            if matches!(self.tree.node(node).kind, NodeKind::Server(_)) {
+                self.send(
+                    client,
+                    node,
+                    Payload::BarrierAbort { version },
+                    Priority::High,
+                    None,
+                );
+            }
+        }
+    }
+
+    /// A server learns a proposal was abandoned: resume if it suspended
+    /// for it, and remember the version so a stale in-flight copy of the
+    /// proposal (riding an older demand) cannot re-suspend it.
+    fn handle_barrier_abort(&mut self, node: NodeId, version: u32) {
+        {
+            let rt = &mut self.nodes[node.index()];
+            if rt.seen_proposal_version <= version {
+                rt.seen_proposal_version = version;
+                rt.suspended = false;
+            }
+        }
+        self.try_dispatch(node);
     }
 
     fn send_barrier_report(&mut self, node: NodeId, server: usize, iteration: u32, version: u32) {
@@ -1129,7 +1420,8 @@ impl Engine {
                 continue;
             }
             let ctx = self.local_context(node, host);
-            let view = PlannerView::monitored(&self.caches[host.index()], self.net.links(), now);
+            let view = PlannerView::monitored(&self.caches[host.index()], self.net.links(), now)
+                .with_grace(self.planner_grace());
             let decision = best_local_site(&ctx, view, &self.cfg.cost_model);
             if decision.moves() {
                 self.audit.record(AuditEvent::LocalDecision {
@@ -1171,11 +1463,8 @@ impl Engine {
         fixed.push(host);
         let mut extras = Vec::new();
         if self.extra_candidates > 0 {
-            let mut remaining: Vec<HostId> = self
-                .roster
-                .hosts()
-                .filter(|h| !fixed.contains(h))
-                .collect();
+            let mut remaining: Vec<HostId> =
+                self.roster.hosts().filter(|h| !fixed.contains(h)).collect();
             for _ in 0..self.extra_candidates.min(remaining.len()) {
                 let idx = self.rng.range_usize(remaining.len());
                 extras.push(remaining.swap_remove(idx));
@@ -1210,7 +1499,10 @@ impl Engine {
             );
             rt.disk_requested = iteration;
         }
-        let dims = self.workload.server(server).image_dims(iteration as usize - 1);
+        let dims = self
+            .workload
+            .server(server)
+            .image_dims(iteration as usize - 1);
         let job = DiskJob {
             node,
             iteration,
@@ -1225,12 +1517,8 @@ impl Engine {
         debug_assert!(self.disk_current[host.index()].is_none());
         let duration = self.cfg.disk.read_duration(job.dims.bytes());
         self.disk_current[host.index()] = Some(job);
-        self.queue.schedule_in(
-            duration,
-            Ev::DiskDone {
-                host: host.index(),
-            },
-        );
+        self.queue
+            .schedule_in(duration, Ev::DiskDone { host: host.index() });
     }
 
     fn handle_disk_done(&mut self, host: usize) {
@@ -1260,12 +1548,8 @@ impl Engine {
     fn start_cpu(&mut self, host: HostId, job: ComputeJob) {
         debug_assert!(self.cpu_current[host.index()].is_none());
         self.cpu_current[host.index()] = Some(job);
-        self.queue.schedule_in(
-            job.duration,
-            Ev::ComputeDone {
-                host: host.index(),
-            },
-        );
+        self.queue
+            .schedule_in(job.duration, Ev::ComputeDone { host: host.index() });
     }
 
     fn handle_compute_done(&mut self, host: usize) {
@@ -1301,9 +1585,7 @@ impl Engine {
         let mut pairs = Vec::new();
         for a in self.roster.hosts() {
             for b in self.roster.hosts() {
-                if a < b
-                    && self.caches[client.index()].lookup(a, b, now).is_none()
-                {
+                if a < b && self.caches[client.index()].lookup(a, b, now).is_none() {
                     pairs.push((a, b));
                 }
             }
@@ -1327,8 +1609,9 @@ impl Engine {
             payload: Payload::Probe,
             piggyback: piggyback::collect(&self.caches[a.index()], now),
             locations: None,
+            attempt: 0,
         };
-        self.net.submit(
+        let tid = self.net.submit(
             TransferSpec {
                 src: a,
                 dst: b,
@@ -1337,6 +1620,17 @@ impl Engine {
             },
             msg,
         );
+        // The black-hole verdict is rolled once, at submission, and
+        // applied to both sides of the probe: the measurement never
+        // materialises (see `seed_cache_from_probes`) and the wire copy
+        // is discarded at delivery.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.blackholes_probe(a, b, now))
+        {
+            self.doomed_probes.insert(tid);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1354,7 +1648,14 @@ impl Engine {
     ) {
         let from_host = self.nodes[from_node.index()].host;
         let to_host = self.nodes[to_node.index()].host;
-        self.send_to_host(to_node, from_host, to_host, payload, priority, notify_sender);
+        self.send_to_host(
+            to_node,
+            from_host,
+            to_host,
+            payload,
+            priority,
+            notify_sender,
+        );
     }
 
     fn send_to_host(
@@ -1377,6 +1678,7 @@ impl Engine {
             locations: self
                 .local_mode
                 .then(|| self.vectors[from_host.index()].clone()),
+            attempt: 0,
         };
         if from_host == to_host {
             // Co-located delivery: no NIC, no startup cost. The sender
@@ -1413,15 +1715,23 @@ impl Engine {
 /// stay in the prober's cache (client-side), as the paper's on-demand
 /// monitoring would leave them. They are timestamped `now` and so expire
 /// after `T_thres` like any other measurement.
+///
+/// Under fault injection a black-holed probe yields no measurement: the
+/// verdict is rolled on the same `(pair, now)` key that dooms the wire
+/// copy in [`Engine::submit_probe`], so the two sides always agree.
 fn seed_cache_from_probes(
     cache: &mut BandwidthCache,
     links: &LinkTable,
     roster: &HostRoster,
     now: SimTime,
+    faults: Option<&FaultInjector>,
 ) {
     for a in roster.hosts() {
         for b in roster.hosts() {
             if a < b {
+                if faults.is_some_and(|f| f.blackholes_probe(a, b, now)) {
+                    continue;
+                }
                 if let Some(tr) = links.trace(a, b) {
                     cache.observe(a, b, tr.bandwidth_at(now), now);
                 }

@@ -60,11 +60,8 @@ impl Experiment {
     ///
     /// Panics if the pool is empty.
     pub fn from_pool(n_servers: usize, pool: &[Arc<BandwidthTrace>], seed: u64) -> Self {
-        let links = LinkTable::random_from_pool(
-            n_servers + 1,
-            pool,
-            derive_seed2(seed, STREAM_LINKS, 0),
-        );
+        let links =
+            LinkTable::random_from_pool(n_servers + 1, pool, derive_seed2(seed, STREAM_LINKS, 0));
         let template = EngineConfig::new(n_servers, Algorithm::DownloadAll)
             .with_seed(derive_seed2(seed, STREAM_WORKLOAD, 0));
         Experiment { links, template }

@@ -11,7 +11,7 @@ use wadc_monitor::forecast::Forecaster;
 use wadc_net::link::LinkTable;
 use wadc_plan::bandwidth::BandwidthView;
 use wadc_plan::ids::HostId;
-use wadc_sim::time::SimTime;
+use wadc_sim::time::{SimDuration, SimTime};
 
 /// How a placement decision sees the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -41,6 +41,7 @@ pub struct PlannerView<'a> {
     forecaster: Option<&'a Forecaster>,
     links: &'a LinkTable,
     now: SimTime,
+    grace: SimDuration,
 }
 
 impl<'a> PlannerView<'a> {
@@ -51,6 +52,7 @@ impl<'a> PlannerView<'a> {
             forecaster: None,
             links,
             now,
+            grace: SimDuration::ZERO,
         }
     }
 
@@ -61,6 +63,7 @@ impl<'a> PlannerView<'a> {
             forecaster: None,
             links,
             now,
+            grace: SimDuration::ZERO,
         }
     }
 
@@ -72,7 +75,18 @@ impl<'a> PlannerView<'a> {
             forecaster: Some(forecaster),
             links,
             now,
+            grace: SimDuration::ZERO,
         }
+    }
+
+    /// Accepts cache entries up to `grace` past their normal `T_thres`
+    /// expiry. Under fault injection measurements stop arriving (lost
+    /// probes, dead links); a stale value is a better planning input than
+    /// pretending the pair was never measured. Zero grace (the default)
+    /// leaves behaviour untouched.
+    pub fn with_grace(mut self, grace: SimDuration) -> Self {
+        self.grace = grace;
+        self
     }
 
     /// Builds the view selected by `mode`.
@@ -102,7 +116,7 @@ impl BandwidthView for PlannerView<'_> {
             }
         }
         if let Some(cache) = self.cache {
-            if let Some(bw) = cache.lookup(a, b, self.now) {
+            if let Some(bw) = cache.lookup_within(a, b, self.now, self.grace) {
                 return Some(bw);
             }
         }
@@ -153,6 +167,20 @@ mod tests {
         c.observe(h(0), h(2), 1.0, SimTime::ZERO);
         let v = PlannerView::monitored(&c, &l, SimTime::from_secs(100));
         assert_eq!(v.bandwidth(h(0), h(2)), Some(200.0));
+    }
+
+    #[test]
+    fn grace_keeps_stale_entries_usable() {
+        let l = links();
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(2), 1.0, SimTime::ZERO);
+        let at = SimTime::from_secs(100);
+        // Without grace the 100 s old entry has expired → probe.
+        let strict = PlannerView::monitored(&c, &l, at);
+        assert_eq!(strict.bandwidth(h(0), h(2)), Some(200.0));
+        // With a wide grace the stale measurement is still consulted.
+        let lenient = PlannerView::monitored(&c, &l, at).with_grace(SimDuration::from_secs(100));
+        assert_eq!(lenient.bandwidth(h(0), h(2)), Some(1.0));
     }
 
     #[test]

@@ -291,7 +291,14 @@ mod tests {
         }
         let set = ReplicaSet::new(vec![vec![h(0), h(2)], vec![h(1)]]).unwrap();
         let model = CostModel::for_image_bytes(16.0 * 1024.0);
-        let plan = choose_replicas(&tree, &set, 4, h(3), links.oracle_at(Default::default()), &model);
+        let plan = choose_replicas(
+            &tree,
+            &set,
+            4,
+            h(3),
+            links.oracle_at(Default::default()),
+            &model,
+        );
         assert_eq!(plan.bindings[0], h(2));
 
         let cfg = EngineConfig::new(2, Algorithm::OneShot).with_workload(WorkloadParams {

@@ -30,10 +30,16 @@ impl std::fmt::Display for MoveError {
         match self {
             MoveError::SameHost => write!(f, "move to the operator's current host"),
             MoveError::HoldingOutput => {
-                write!(f, "light-move violation: operator holds an undelivered output")
+                write!(
+                    f,
+                    "light-move violation: operator holds an undelivered output"
+                )
             }
             MoveError::GatherInProgress => {
-                write!(f, "light-move violation: operator has gathered inputs in flight")
+                write!(
+                    f,
+                    "light-move violation: operator has gathered inputs in flight"
+                )
             }
         }
     }

@@ -121,7 +121,11 @@ mod tests {
         assert_eq!(reg.code_bytes_for_move(h(2)), 50_000);
         reg.install(h(2));
         assert_eq!(reg.code_bytes_for_move(h(2)), 0);
-        assert_eq!(reg.code_bytes_for_move(h(3)), 50_000, "other hosts unaffected");
+        assert_eq!(
+            reg.code_bytes_for_move(h(3)),
+            50_000,
+            "other hosts unaffected"
+        );
         assert_eq!(reg.installed_count(), 1);
     }
 

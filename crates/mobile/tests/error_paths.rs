@@ -1,0 +1,129 @@
+//! Error paths of the move protocol, exercised from the outside the way
+//! the engine's fault machinery hits them: refused move requests (the
+//! light-move requirement) and corrupted state packets arriving at the
+//! destination.
+
+use wadc_mobile::protocol::{LightPointWitness, MoveError, MoveProtocol};
+use wadc_mobile::registry::{CodeRegistry, MobilityMode};
+use wadc_mobile::state::{DecodeError, OperatorState, ENCODED_LEN};
+use wadc_plan::ids::{HostId, OperatorId};
+
+fn h(i: usize) -> HostId {
+    HostId::new(i)
+}
+
+fn protocol() -> MoveProtocol {
+    MoveProtocol::new(CodeRegistry::new(MobilityMode::MobileObjects, 10_000))
+}
+
+fn busy_state() -> OperatorState {
+    OperatorState {
+        op: OperatorId::new(3),
+        last_dispatched: 17,
+        later_marks: 2,
+        dispatches_this_epoch: 5,
+        consumer_on_cp: false,
+        on_cp: true,
+    }
+}
+
+#[test]
+fn same_host_move_is_refused() {
+    let err = protocol()
+        .plan_move(&busy_state(), h(1), h(1), LightPointWitness::clean())
+        .unwrap_err();
+    assert_eq!(err, MoveError::SameHost);
+    assert!(err.to_string().contains("current host"));
+}
+
+#[test]
+fn held_output_violates_the_light_move_requirement() {
+    let err = protocol()
+        .plan_move(
+            &busy_state(),
+            h(0),
+            h(1),
+            LightPointWitness {
+                holds_output: true,
+                has_gathered_inputs: false,
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, MoveError::HoldingOutput);
+    assert!(err.to_string().contains("light-move"));
+}
+
+#[test]
+fn gathered_inputs_violate_the_light_move_requirement() {
+    // Held output is checked before gathered inputs, so a fully busy
+    // operator reports the output violation; inputs alone report theirs.
+    let p = protocol();
+    let both = LightPointWitness {
+        holds_output: true,
+        has_gathered_inputs: true,
+    };
+    assert_eq!(
+        p.plan_move(&busy_state(), h(0), h(1), both).unwrap_err(),
+        MoveError::HoldingOutput
+    );
+    let inputs_only = LightPointWitness {
+        holds_output: false,
+        has_gathered_inputs: true,
+    };
+    let err = p
+        .plan_move(&busy_state(), h(0), h(1), inputs_only)
+        .unwrap_err();
+    assert_eq!(err, MoveError::GatherInProgress);
+    assert!(err.to_string().contains("light-move"));
+}
+
+#[test]
+fn refused_moves_leave_the_registry_untouched() {
+    let p = protocol();
+    let _ = p.plan_move(&busy_state(), h(0), h(0), LightPointWitness::clean());
+    assert_eq!(p.registry().installed_count(), 0);
+}
+
+#[test]
+fn corrupted_payload_fails_the_checksum() {
+    let mut p = protocol();
+    let mut plan = p
+        .plan_move(&busy_state(), h(0), h(1), LightPointWitness::clean())
+        .unwrap();
+    // Flip one payload bit past the magic + version prefix.
+    plan.state_packet[8] ^= 0x01;
+    assert_eq!(
+        p.complete_move(&plan).unwrap_err(),
+        DecodeError::ChecksumMismatch
+    );
+    // The failed completion must not have recorded a code install.
+    assert_eq!(p.registry().installed_count(), 0);
+}
+
+#[test]
+fn truncated_packet_is_rejected() {
+    let mut p = protocol();
+    let mut plan = p
+        .plan_move(&busy_state(), h(0), h(1), LightPointWitness::clean())
+        .unwrap();
+    assert_eq!(plan.state_packet.len(), ENCODED_LEN);
+    plan.state_packet.truncate(ENCODED_LEN - 1);
+    assert_eq!(p.complete_move(&plan).unwrap_err(), DecodeError::Truncated);
+}
+
+#[test]
+fn intact_plan_still_completes_after_failed_attempts() {
+    // A retry with an uncorrupted copy succeeds, mirroring the engine's
+    // rollback-then-retry recovery: the failure is in the packet, not the
+    // protocol state.
+    let mut p = protocol();
+    let plan = p
+        .plan_move(&busy_state(), h(0), h(1), LightPointWitness::clean())
+        .unwrap();
+    let mut corrupted = plan.clone();
+    corrupted.state_packet[8] ^= 0x01;
+    assert!(p.complete_move(&corrupted).is_err());
+    let restored = p.complete_move(&plan).unwrap();
+    assert_eq!(restored, busy_state());
+    assert_eq!(p.registry().installed_count(), 1);
+}

@@ -106,13 +106,7 @@ impl BandwidthCache {
         let key = norm(a, b);
         let newer = self.entries.get(&key).is_none_or(|m| at >= m.at);
         if newer {
-            self.entries.insert(
-                key,
-                Measurement {
-                    bytes_per_sec,
-                    at,
-                },
-            );
+            self.entries.insert(key, Measurement { bytes_per_sec, at });
         }
     }
 
@@ -137,8 +131,25 @@ impl BandwidthCache {
     /// The cached bandwidth for a pair, or `None` if absent or older than
     /// `T_thres` relative to `now`.
     pub fn lookup(&self, a: HostId, b: HostId, now: SimTime) -> Option<f64> {
+        self.lookup_within(a, b, now, SimDuration::ZERO)
+    }
+
+    /// [`BandwidthCache::lookup`] with an extra staleness allowance: the
+    /// entry survives until `T_thres + grace` past its measurement time.
+    ///
+    /// Under fault injection probes are black-holed and measurements stop
+    /// arriving; rather than wedging the planner with an empty view, the
+    /// engine widens the window and plans on stale-but-plausible values
+    /// (graceful degradation). A `grace` of zero is exactly `lookup`.
+    pub fn lookup_within(
+        &self,
+        a: HostId,
+        b: HostId,
+        now: SimTime,
+        grace: SimDuration,
+    ) -> Option<f64> {
         let m = self.entries.get(&norm(a, b))?;
-        (now.saturating_since(m.at) <= self.config.t_thres).then_some(m.bytes_per_sec)
+        (now.saturating_since(m.at) <= self.config.t_thres + grace).then_some(m.bytes_per_sec)
     }
 
     /// The raw measurement for a pair regardless of expiry.
@@ -179,7 +190,11 @@ impl BandwidthCache {
     /// A [`BandwidthView`] of the cache frozen at `now`, for handing to the
     /// placement algorithms.
     pub fn view_at(&self, now: SimTime) -> CacheView<'_> {
-        CacheView { cache: self, now }
+        CacheView {
+            cache: self,
+            now,
+            grace: SimDuration::ZERO,
+        }
     }
 }
 
@@ -188,6 +203,16 @@ impl BandwidthCache {
 pub struct CacheView<'a> {
     cache: &'a BandwidthCache,
     now: SimTime,
+    grace: SimDuration,
+}
+
+impl CacheView<'_> {
+    /// Widens the expiry window by `grace` (see
+    /// [`BandwidthCache::lookup_within`]).
+    pub fn with_grace(mut self, grace: SimDuration) -> Self {
+        self.grace = grace;
+        self
+    }
 }
 
 impl BandwidthView for CacheView<'_> {
@@ -195,7 +220,7 @@ impl BandwidthView for CacheView<'_> {
         if a == b {
             return None;
         }
-        self.cache.lookup(a, b, self.now)
+        self.cache.lookup_within(a, b, self.now, self.grace)
     }
 }
 
@@ -275,6 +300,31 @@ mod tests {
         assert_eq!(c.purge_expired(SimTime::from_secs(120)), 1);
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn grace_window_extends_expiry() {
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(1), 5.0, SimTime::from_secs(100));
+        let late = SimTime::from_secs(160); // 60 s old, past T_thres = 40 s
+        assert_eq!(c.lookup(h(0), h(1), late), None);
+        assert_eq!(
+            c.lookup_within(h(0), h(1), late, SimDuration::from_secs(40)),
+            Some(5.0)
+        );
+        assert_eq!(
+            c.lookup_within(h(0), h(1), late, SimDuration::from_secs(10)),
+            None
+        );
+        // Zero grace is exactly `lookup`.
+        let t = SimTime::from_secs(140);
+        assert_eq!(
+            c.lookup_within(h(0), h(1), t, SimDuration::ZERO),
+            c.lookup(h(0), h(1), t)
+        );
+        // The view variant matches.
+        let v = c.view_at(late).with_grace(SimDuration::from_secs(40));
+        assert_eq!(v.bandwidth(h(0), h(1)), Some(5.0));
     }
 
     #[test]

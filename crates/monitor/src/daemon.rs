@@ -56,9 +56,11 @@ impl ProbeScheduler {
             .into_iter()
             .enumerate()
             .map(|(i, pair)| {
-                let jitter =
-                    derive_seed2(seed, pair.0.index() as u64, pair.1.index() as u64 ^ i as u64)
-                        % interval.as_micros().max(1);
+                let jitter = derive_seed2(
+                    seed,
+                    pair.0.index() as u64,
+                    pair.1.index() as u64 ^ i as u64,
+                ) % interval.as_micros().max(1);
                 Entry {
                     pair,
                     next_due: SimTime::ZERO + SimDuration::from_micros(jitter),
@@ -147,11 +149,8 @@ mod tests {
     #[test]
     fn jitter_staggers_first_probes() {
         let s = ProbeScheduler::all_pairs(6, SimDuration::from_secs(60), 5);
-        let first_times: std::collections::HashSet<u64> = s
-            .entries
-            .iter()
-            .map(|e| e.next_due.as_micros())
-            .collect();
+        let first_times: std::collections::HashSet<u64> =
+            s.entries.iter().map(|e| e.next_due.as_micros()).collect();
         assert!(
             first_times.len() > s.pair_count() / 2,
             "initial probes should be spread, not in phase"
@@ -160,11 +159,7 @@ mod tests {
 
     #[test]
     fn late_polling_catches_up_without_bursts() {
-        let mut s = ProbeScheduler::new(
-            vec![(h(0), h(1))],
-            SimDuration::from_secs(10),
-            0,
-        );
+        let mut s = ProbeScheduler::new(vec![(h(0), h(1))], SimDuration::from_secs(10), 0);
         // Poll very late: the pair is due once, then rescheduled beyond now.
         let due = s.due(SimTime::from_secs(100));
         assert_eq!(due.len(), 1);

@@ -120,7 +120,11 @@ fn piggyback_budget_and_idempotence() {
             .iter()
             .map(|e| receiver.measurement(e.a, e.b))
             .collect();
-        assert_eq!(absorb(&mut receiver, &payload), 0, "second absorb is a no-op");
+        assert_eq!(
+            absorb(&mut receiver, &payload),
+            0,
+            "second absorb is a no-op"
+        );
         for (e, before) in payload.entries.iter().zip(snapshot) {
             assert_eq!(receiver.measurement(e.a, e.b), before);
         }

@@ -1,0 +1,562 @@
+//! Deterministic fault injection: link outages, host blackouts, message
+//! loss, probe black-holing and operator-move failures.
+//!
+//! The paper's protocols assume reliable delivery and always-on hosts.
+//! This module supplies the hostile counterpart: a declarative
+//! [`FaultPlan`] that the engine compiles into a [`FaultInjector`].
+//! Every stochastic decision is a pure function of the run seed (via
+//! [`derive_seed2`]) and a stable key — never of wall-clock state — so a
+//! faulty run is exactly as reproducible as a clean one: same seed +
+//! same plan ⇒ same schedule of drops, same digest.
+//!
+//! An **empty plan is zero-perturbation**: the engine skips every fault
+//! hook when [`FaultPlan::is_empty`] holds, so clean runs stay
+//! byte-identical to the golden fixtures recorded before this module
+//! existed.
+
+use wadc_plan::ids::HostId;
+use wadc_sim::rng::{derive_seed, derive_seed2, Rng64};
+use wadc_sim::time::{SimDuration, SimTime};
+
+/// A scheduled outage of one link (or of every link at once).
+///
+/// While an outage is active the link carries nothing: transfers already
+/// in flight complete (the bytes were committed to the wire), but no new
+/// transfer starts on the link until the window closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// The affected host pair (unordered), or `None` for a total
+    /// partition of every link.
+    pub link: Option<(HostId, HostId)>,
+    /// Start of the outage window (inclusive).
+    pub from: SimTime,
+    /// End of the outage window (exclusive). Use [`SimTime::MAX`] for a
+    /// permanent failure.
+    pub until: SimTime,
+}
+
+/// A host going dark: no transfer to or from it starts inside the
+/// window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostBlackout {
+    /// The host that pauses.
+    pub host: HostId,
+    /// Start of the blackout (inclusive).
+    pub from: SimTime,
+    /// End of the blackout (exclusive).
+    pub until: SimTime,
+}
+
+/// Generator parameters for stochastic outages, expanded deterministically
+/// from the run seed when the plan is compiled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomOutages {
+    /// Number of outage episodes to draw.
+    pub count: usize,
+    /// Mean episode duration; actual durations are exponentially
+    /// distributed around it.
+    pub mean_duration: SimDuration,
+    /// Episode start times are drawn uniformly from `[0, window)`.
+    pub window: SimDuration,
+}
+
+/// The coarse traffic classes the injector distinguishes when rolling
+/// for message loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrafficKind {
+    /// Image payloads flowing up the combination tree.
+    Data,
+    /// Demands, barrier reports/commits/aborts and other small control
+    /// messages.
+    Control,
+    /// Active bandwidth probes.
+    Probe,
+    /// A relocating operator's state packet.
+    OperatorState,
+}
+
+impl TrafficKind {
+    /// A stable small integer for digests and audit folding.
+    pub fn tag(self) -> u64 {
+        match self {
+            TrafficKind::Data => 0,
+            TrafficKind::Control => 1,
+            TrafficKind::Probe => 2,
+            TrafficKind::OperatorState => 3,
+        }
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficKind::Data => "data",
+            TrafficKind::Control => "control",
+            TrafficKind::Probe => "probe",
+            TrafficKind::OperatorState => "state",
+        }
+    }
+}
+
+/// A declarative description of every fault a run should suffer.
+///
+/// The default plan is empty — no faults — and the engine treats an
+/// empty plan as "fault machinery entirely absent", preserving golden
+/// digests bit for bit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Scheduled link outages and partitions.
+    pub outages: Vec<LinkOutage>,
+    /// Scheduled host pauses.
+    pub blackouts: Vec<HostBlackout>,
+    /// Stochastic outages derived from the run seed.
+    pub random_outages: Option<RandomOutages>,
+    /// Probability in `[0, 1]` that any data/control message is lost in
+    /// transit (rolled independently per transfer).
+    pub loss: f64,
+    /// Probability in `[0, 1]` that an active bandwidth probe is
+    /// black-holed: it consumes wire time but never reports.
+    pub probe_blackhole: f64,
+    /// Probability in `[0, 1]` that an operator-state transfer fails,
+    /// forcing the move to be rolled back at the old host.
+    pub move_failure: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` if the plan injects nothing, in which case the engine
+    /// bypasses the fault machinery entirely.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.blackouts.is_empty()
+            && self.random_outages.is_none()
+            && self.loss == 0.0
+            && self.probe_blackhole == 0.0
+            && self.move_failure == 0.0
+    }
+
+    /// Sets the per-message loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// Sets the probe black-hole probability.
+    pub fn with_probe_blackhole(mut self, p: f64) -> Self {
+        self.probe_blackhole = p;
+        self
+    }
+
+    /// Sets the operator-move failure probability.
+    pub fn with_move_failure(mut self, p: f64) -> Self {
+        self.move_failure = p;
+        self
+    }
+
+    /// Adds a scheduled outage of the link between `a` and `b`.
+    pub fn outage(mut self, a: HostId, b: HostId, from: SimTime, until: SimTime) -> Self {
+        self.outages.push(LinkOutage {
+            link: Some((a, b)),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a total partition: every link is down inside the window.
+    pub fn outage_all(mut self, from: SimTime, until: SimTime) -> Self {
+        self.outages.push(LinkOutage {
+            link: None,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a host blackout window.
+    pub fn blackout(mut self, host: HostId, from: SimTime, until: SimTime) -> Self {
+        self.blackouts.push(HostBlackout { host, from, until });
+        self
+    }
+
+    /// Requests `count` seed-derived random outages.
+    pub fn with_random_outages(
+        mut self,
+        count: usize,
+        mean_duration: SimDuration,
+        window: SimDuration,
+    ) -> Self {
+        self.random_outages = Some(RandomOutages {
+            count,
+            mean_duration,
+            window,
+        });
+        self
+    }
+
+    /// Checks the plan for malformed probabilities and windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("probe_blackhole", self.probe_blackhole),
+            ("move_failure", self.move_failure),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault plan: {name} probability {p} not in [0, 1]"));
+            }
+        }
+        for o in &self.outages {
+            if o.from >= o.until {
+                return Err(format!(
+                    "fault plan: outage window [{:?}, {:?}) is empty",
+                    o.from, o.until
+                ));
+            }
+            if let Some((a, b)) = o.link {
+                if a == b {
+                    return Err(format!("fault plan: outage of self-link at host {a:?}"));
+                }
+            }
+        }
+        for b in &self.blackouts {
+            if b.from >= b.until {
+                return Err(format!(
+                    "fault plan: blackout window [{:?}, {:?}) is empty",
+                    b.from, b.until
+                ));
+            }
+        }
+        if let Some(r) = &self.random_outages {
+            if r.count > 0 && (r.mean_duration.is_zero() || r.window.is_zero()) {
+                return Err(
+                    "fault plan: random outages need a nonzero mean duration and window".into(),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+// Salt constants for the per-decision hash streams. Distinct salts keep
+// the loss, probe and move rolls statistically independent even when
+// they share a transfer key.
+const SALT_LOSS: u64 = 0x4c4f_5353; // "LOSS"
+const SALT_PROBE: u64 = 0x5052_4f42; // "PROB"
+const SALT_MOVE: u64 = 0x4d4f_5645; // "MOVE"
+const SALT_GEN: u64 = 0x4f55_5447; // "OUTG"
+
+/// Maps a 64-bit hash to a uniform float in `[0, 1)` using the top 53
+/// bits, the standard exact-double construction.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The compiled, queryable form of a [`FaultPlan`].
+///
+/// Construction expands stochastic outages into concrete windows and
+/// precomputes the sorted list of fault transitions so the engine can
+/// schedule wake-ups exactly at the instants the fault state changes.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+    loss: f64,
+    probe_blackhole: f64,
+    move_failure: f64,
+    outages: Vec<LinkOutage>,
+    blackouts: Vec<HostBlackout>,
+    transitions: Vec<SimTime>,
+}
+
+impl FaultInjector {
+    /// Compiles `plan` for a world of `n_hosts` hosts, deriving every
+    /// stochastic choice from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] or if random
+    /// outages are requested for a world of fewer than two hosts.
+    pub fn new(plan: &FaultPlan, seed: u64, n_hosts: usize) -> Self {
+        plan.validate().expect("fault plan must be well-formed");
+        let mut outages = plan.outages.clone();
+        if let Some(r) = &plan.random_outages {
+            assert!(
+                r.count == 0 || n_hosts >= 2,
+                "random outages need at least two hosts"
+            );
+            let mut rng = Rng64::seed_from_u64(derive_seed(seed, SALT_GEN));
+            for _ in 0..r.count {
+                let a = rng.range_usize(n_hosts);
+                let b = {
+                    let other = rng.range_usize(n_hosts - 1);
+                    if other >= a {
+                        other + 1
+                    } else {
+                        other
+                    }
+                };
+                let start = SimDuration::from_micros(rng.range_u64(0, r.window.as_micros().max(1)));
+                // Exponential duration around the mean via inverse CDF.
+                let u = rng.f64();
+                let scale = -(1.0 - u).ln();
+                let dur =
+                    SimDuration::from_secs_f64((r.mean_duration.as_secs_f64() * scale).max(1e-6));
+                outages.push(LinkOutage {
+                    link: Some((HostId::new(a), HostId::new(b))),
+                    from: SimTime::ZERO + start,
+                    until: SimTime::ZERO + start + dur,
+                });
+            }
+        }
+        let mut transitions: Vec<SimTime> = outages
+            .iter()
+            .flat_map(|o| [o.from, o.until])
+            .chain(plan.blackouts.iter().flat_map(|b| [b.from, b.until]))
+            .filter(|t| *t != SimTime::MAX)
+            .collect();
+        transitions.sort();
+        transitions.dedup();
+        FaultInjector {
+            seed,
+            loss: plan.loss,
+            probe_blackhole: plan.probe_blackhole,
+            move_failure: plan.move_failure,
+            outages,
+            blackouts: plan.blackouts.clone(),
+            transitions,
+        }
+    }
+
+    /// `true` if the injector can ever perturb a run.
+    pub fn enabled(&self) -> bool {
+        self.loss > 0.0
+            || self.probe_blackhole > 0.0
+            || self.move_failure > 0.0
+            || !self.outages.is_empty()
+            || !self.blackouts.is_empty()
+    }
+
+    /// `true` if no new transfer may start between `a` and `b` at `now`
+    /// (either the link is partitioned or an endpoint is blacked out).
+    pub fn link_blocked(&self, a: HostId, b: HostId, now: SimTime) -> bool {
+        let in_window = |from: SimTime, until: SimTime| from <= now && now < until;
+        self.outages.iter().any(|o| {
+            in_window(o.from, o.until)
+                && o.link
+                    .is_none_or(|(x, y)| (x == a && y == b) || (x == b && y == a))
+        }) || self
+            .blackouts
+            .iter()
+            .any(|bl| in_window(bl.from, bl.until) && (bl.host == a || bl.host == b))
+    }
+
+    /// The next instant strictly after `now` at which the outage /
+    /// blackout state changes, if any. The engine schedules a wake-up
+    /// there so transfers queued behind a dead link start the moment it
+    /// revives.
+    pub fn next_transition_after(&self, now: SimTime) -> Option<SimTime> {
+        self.transitions.iter().copied().find(|t| *t > now)
+    }
+
+    /// Rolls whether the transfer identified by `key` (a stable per-send
+    /// unique id) of class `kind` is lost in transit. Deterministic: the
+    /// same seed and key always roll the same way. A retransmission gets
+    /// a fresh key — and therefore an independent roll.
+    pub fn drop_delivery(&self, kind: TrafficKind, key: u64) -> bool {
+        let (salt, p) = match kind {
+            TrafficKind::Data | TrafficKind::Control => (SALT_LOSS, self.loss),
+            TrafficKind::Probe => (SALT_LOSS, self.loss),
+            TrafficKind::OperatorState => (SALT_MOVE, self.loss.max(self.move_failure)),
+        };
+        p > 0.0 && unit(derive_seed2(self.seed, salt, key)) < p
+    }
+
+    /// Rolls whether the probe sent between `a` and `b` at `now` is
+    /// black-holed. The engine must consult this exactly once per probe
+    /// and apply the verdict consistently to both the wire traffic and
+    /// the measurement.
+    pub fn blackholes_probe(&self, a: HostId, b: HostId, now: SimTime) -> bool {
+        if self.probe_blackhole == 0.0 {
+            return false;
+        }
+        let key = now
+            .as_micros()
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(((a.index() as u64) << 32) | b.index() as u64);
+        unit(derive_seed2(self.seed, SALT_PROBE, key)) < self.probe_blackhole
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        let inj = FaultInjector::new(&plan, 42, 4);
+        assert!(!inj.enabled());
+        assert!(!inj.link_blocked(h(0), h(1), SimTime::from_secs(10)));
+        assert!(inj.next_transition_after(SimTime::ZERO).is_none());
+        assert!(!inj.drop_delivery(TrafficKind::Data, 7));
+    }
+
+    #[test]
+    fn builders_populate_the_plan() {
+        let plan = FaultPlan::none()
+            .with_loss(0.1)
+            .with_probe_blackhole(0.2)
+            .with_move_failure(0.3)
+            .outage(h(0), h(1), SimTime::from_secs(5), SimTime::from_secs(9))
+            .blackout(h(2), SimTime::from_secs(1), SimTime::from_secs(2));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.outages.len(), 1);
+        assert_eq!(plan.blackouts.len(), 1);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities_and_windows() {
+        assert!(FaultPlan::none().with_loss(1.5).validate().is_err());
+        assert!(FaultPlan::none().with_loss(-0.1).validate().is_err());
+        let empty_window =
+            FaultPlan::none().outage(h(0), h(1), SimTime::from_secs(5), SimTime::from_secs(5));
+        assert!(empty_window.validate().is_err());
+        let self_link = FaultPlan::none().outage(h(1), h(1), SimTime::ZERO, SimTime::from_secs(1));
+        assert!(self_link.validate().is_err());
+        let bad_blackout =
+            FaultPlan::none().blackout(h(0), SimTime::from_secs(9), SimTime::from_secs(3));
+        assert!(bad_blackout.validate().is_err());
+    }
+
+    #[test]
+    fn outage_blocks_exactly_its_window_and_pair() {
+        let plan =
+            FaultPlan::none().outage(h(0), h(1), SimTime::from_secs(10), SimTime::from_secs(20));
+        let inj = FaultInjector::new(&plan, 1, 4);
+        assert!(inj.enabled());
+        assert!(!inj.link_blocked(h(0), h(1), SimTime::from_secs(9)));
+        assert!(inj.link_blocked(h(0), h(1), SimTime::from_secs(10)));
+        assert!(inj.link_blocked(h(1), h(0), SimTime::from_secs(15)));
+        assert!(!inj.link_blocked(h(0), h(1), SimTime::from_secs(20)));
+        assert!(!inj.link_blocked(h(0), h(2), SimTime::from_secs(15)));
+        assert_eq!(
+            inj.next_transition_after(SimTime::ZERO),
+            Some(SimTime::from_secs(10))
+        );
+        assert_eq!(
+            inj.next_transition_after(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(20))
+        );
+        assert_eq!(inj.next_transition_after(SimTime::from_secs(20)), None);
+    }
+
+    #[test]
+    fn total_partition_blocks_every_link() {
+        let plan = FaultPlan::none().outage_all(SimTime::from_secs(1), SimTime::from_secs(2));
+        let inj = FaultInjector::new(&plan, 1, 5);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    assert!(inj.link_blocked(h(a), h(b), SimTime::from_secs(1)));
+                }
+            }
+        }
+        assert!(!inj.link_blocked(h(0), h(1), SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn blackout_blocks_every_link_of_the_host() {
+        let plan = FaultPlan::none().blackout(h(2), SimTime::from_secs(3), SimTime::from_secs(7));
+        let inj = FaultInjector::new(&plan, 1, 4);
+        assert!(inj.link_blocked(h(2), h(0), SimTime::from_secs(3)));
+        assert!(inj.link_blocked(h(1), h(2), SimTime::from_secs(6)));
+        assert!(!inj.link_blocked(h(0), h(1), SimTime::from_secs(5)));
+        assert!(!inj.link_blocked(h(2), h(0), SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn permanent_outage_produces_no_terminal_transition() {
+        let plan = FaultPlan::none().outage_all(SimTime::from_secs(5), SimTime::MAX);
+        let inj = FaultInjector::new(&plan, 1, 3);
+        assert!(inj.link_blocked(h(0), h(1), SimTime::from_secs(1_000_000)));
+        assert_eq!(
+            inj.next_transition_after(SimTime::ZERO),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(inj.next_transition_after(SimTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn loss_rolls_are_deterministic_and_calibrated() {
+        let inj = FaultInjector::new(&FaultPlan::none().with_loss(0.25), 99, 4);
+        let a: Vec<bool> = (0..4000)
+            .map(|k| inj.drop_delivery(TrafficKind::Data, k))
+            .collect();
+        let b: Vec<bool> = (0..4000)
+            .map(|k| inj.drop_delivery(TrafficKind::Data, k))
+            .collect();
+        assert_eq!(a, b, "same seed + key must roll identically");
+        let hits = a.iter().filter(|x| **x).count();
+        // 4000 Bernoulli(0.25) trials: expect ~1000, allow a wide margin.
+        assert!((800..1200).contains(&hits), "got {hits} drops");
+        // A different seed rolls a different schedule.
+        let other = FaultInjector::new(&FaultPlan::none().with_loss(0.25), 100, 4);
+        let c: Vec<bool> = (0..4000)
+            .map(|k| other.drop_delivery(TrafficKind::Data, k))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn move_failure_applies_only_to_operator_state() {
+        let inj = FaultInjector::new(&FaultPlan::none().with_move_failure(1.0), 7, 4);
+        assert!(inj.drop_delivery(TrafficKind::OperatorState, 1));
+        assert!(!inj.drop_delivery(TrafficKind::Data, 1));
+        assert!(!inj.drop_delivery(TrafficKind::Control, 1));
+    }
+
+    #[test]
+    fn probe_blackhole_is_deterministic_per_probe() {
+        let inj = FaultInjector::new(&FaultPlan::none().with_probe_blackhole(0.5), 11, 4);
+        let now = SimTime::from_secs(40);
+        let first = inj.blackholes_probe(h(0), h(1), now);
+        assert_eq!(first, inj.blackholes_probe(h(0), h(1), now));
+        let hits = (0..2000)
+            .filter(|i| inj.blackholes_probe(h(0), h(1), SimTime::from_secs(*i)))
+            .count();
+        assert!((800..1200).contains(&hits), "got {hits} black-holes");
+    }
+
+    #[test]
+    fn random_outages_expand_deterministically() {
+        let plan = FaultPlan::none().with_random_outages(
+            8,
+            SimDuration::from_secs(30),
+            SimDuration::from_mins(10),
+        );
+        let a = FaultInjector::new(&plan, 5, 6);
+        let b = FaultInjector::new(&plan, 5, 6);
+        assert_eq!(a.outages, b.outages);
+        assert_eq!(a.outages.len(), 8);
+        for o in &a.outages {
+            let (x, y) = o.link.expect("random outages are per-link");
+            assert_ne!(x, y);
+            assert!(x.index() < 6 && y.index() < 6);
+            assert!(o.from < o.until);
+        }
+        let c = FaultInjector::new(&plan, 6, 6);
+        assert_ne!(a.outages, c.outages);
+    }
+}

@@ -9,7 +9,10 @@
 //! - [`network::Network`] — half-duplex single-NIC hosts, 50 ms message
 //!   startup, priority queueing of control traffic, exact transfer times
 //!   integrated over the time-varying traces,
-//! - [`disk::DiskModel`] — the 3 MB/s server disk.
+//! - [`disk::DiskModel`] — the 3 MB/s server disk,
+//! - [`faults::FaultPlan`] — deterministic, seed-derived fault injection:
+//!   link outages, host blackouts, message loss, probe black-holing and
+//!   operator-move failures.
 //!
 //! # Examples
 //!
@@ -27,9 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod disk;
+pub mod faults;
 pub mod link;
 pub mod network;
 
 pub use disk::DiskModel;
+pub use faults::{FaultInjector, FaultPlan, HostBlackout, LinkOutage, TrafficKind};
 pub use link::{LinkTable, OracleView};
-pub use network::{Delivery, NetStats, Network, NetworkParams, StartedTransfer, TransferId, TransferSpec};
+pub use network::{
+    Delivery, NetStats, Network, NetworkParams, StartedTransfer, TransferId, TransferSpec,
+};

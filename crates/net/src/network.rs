@@ -22,6 +22,7 @@ use wadc_sim::resource::Priority;
 use wadc_sim::stats::TimeWeighted;
 use wadc_sim::time::{SimDuration, SimTime};
 
+use crate::faults::FaultInjector;
 use crate::link::LinkTable;
 
 /// Handle to a submitted transfer.
@@ -149,6 +150,15 @@ pub struct NetStats {
     pub bytes_delivered: u64,
     /// Completed transfers that were high priority.
     pub high_priority_completed: u64,
+    /// Retransmissions (also counted in `submitted`).
+    pub retransmits: u64,
+    /// Bytes resubmitted by retransmissions (also in `bytes_submitted`).
+    pub bytes_retransmitted: u64,
+    /// Transfers whose payload was discarded by fault injection after the
+    /// wire time was paid (also counted in `completed`).
+    pub dropped: u64,
+    /// Bytes carried by dropped transfers (also in `bytes_delivered`).
+    pub bytes_dropped: u64,
 }
 
 /// The network: pending queue, in-flight transfers, NIC occupancy.
@@ -187,6 +197,7 @@ pub struct Network<P> {
     in_flight: HashMap<TransferId, InFlight<P>>,
     next_id: u64,
     stats: NetStats,
+    faults: Option<FaultInjector>,
 }
 
 impl<P> Network<P> {
@@ -205,7 +216,14 @@ impl<P> Network<P> {
             in_flight: HashMap::new(),
             next_id: 0,
             stats: NetStats::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault injector: links it reports as blocked stop
+    /// admitting new transfers (in-flight transfers still complete).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
     }
 
     /// The link table.
@@ -246,6 +264,25 @@ impl<P> Network<P> {
         id
     }
 
+    /// Submits a retransmission: identical to [`Network::submit`] but also
+    /// accounted under [`NetStats::retransmits`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Network::submit`].
+    pub fn submit_retransmit(&mut self, spec: TransferSpec, payload: P) -> TransferId {
+        self.stats.retransmits += 1;
+        self.stats.bytes_retransmitted += spec.bytes;
+        self.submit(spec, payload)
+    }
+
+    /// Accounts a completed transfer whose payload fault injection
+    /// discarded: the wire time was paid, the message never arrived.
+    pub fn record_drop(&mut self, bytes: u64) {
+        self.stats.dropped += 1;
+        self.stats.bytes_dropped += bytes;
+    }
+
     /// Starts every pending transfer whose endpoints are both free, in
     /// priority order (high first, FIFO within a class). Returns the
     /// started transfers with their completion times; the caller schedules
@@ -264,6 +301,17 @@ impl<P> Network<P> {
         let capacity = self.params.nic_capacity;
         while i < self.pending.len() {
             let spec = self.pending[i].spec;
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.link_blocked(spec.src, spec.dst, now))
+            {
+                // Outage or blackout: the transfer waits without occupying
+                // a NIC; the engine polls again at the next fault
+                // transition.
+                i += 1;
+                continue;
+            }
             if self.nic_busy[spec.src.index()] < capacity
                 && self.nic_busy[spec.dst.index()] < capacity
             {
@@ -550,5 +598,53 @@ mod tests {
     #[should_panic(expected = "co-located")]
     fn rejects_self_transfer() {
         net(2, 1000.0).submit(spec(1, 1, 10), 0);
+    }
+
+    #[test]
+    fn outage_defers_transfer_until_link_revives() {
+        use crate::faults::FaultPlan;
+        let mut n = net(2, 1000.0);
+        let plan = FaultPlan::none().outage(h(0), h(1), SimTime::ZERO, SimTime::from_secs(10));
+        n.set_faults(FaultInjector::new(&plan, 1, 2));
+        n.submit(spec(0, 1, 1000), 7);
+        assert!(n.poll_start(SimTime::ZERO).is_empty(), "link is down");
+        assert!(n.poll_start(SimTime::from_secs(9)).is_empty(), "still down");
+        assert!(!n.nic_busy(h(0)), "blocked transfer holds no NIC");
+        let s = n.poll_start(SimTime::from_secs(10));
+        assert_eq!(s.len(), 1, "starts the instant the outage ends");
+        assert_eq!(
+            s[0].completes_at,
+            SimTime::from_secs(10) + SimDuration::from_millis(1050)
+        );
+    }
+
+    #[test]
+    fn blackout_blocks_only_the_dark_hosts_transfers() {
+        use crate::faults::FaultPlan;
+        let mut n = net(3, 1000.0);
+        let plan = FaultPlan::none().blackout(h(2), SimTime::ZERO, SimTime::from_secs(5));
+        n.set_faults(FaultInjector::new(&plan, 1, 3));
+        n.submit(spec(0, 2, 1000), 1);
+        n.submit(spec(0, 1, 1000), 2);
+        let s = n.poll_start(SimTime::ZERO);
+        assert_eq!(s.len(), 1, "only the transfer avoiding host 2 starts");
+        let d = n.complete(s[0].id, s[0].completes_at);
+        assert_eq!(d.payload, 2);
+    }
+
+    #[test]
+    fn retransmit_and_drop_accounting() {
+        let mut n = net(2, 1000.0);
+        n.submit(spec(0, 1, 500), 1);
+        n.submit_retransmit(spec(0, 1, 500), 2);
+        let s = n.poll_start(SimTime::ZERO);
+        let first = n.complete(s[0].id, s[0].completes_at);
+        n.record_drop(first.spec.bytes);
+        let st = n.stats();
+        assert_eq!(st.submitted, 2, "retransmits are counted in submitted");
+        assert_eq!(st.retransmits, 1);
+        assert_eq!(st.bytes_retransmitted, 500);
+        assert_eq!(st.dropped, 1);
+        assert_eq!(st.bytes_dropped, 500);
     }
 }

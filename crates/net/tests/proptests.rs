@@ -105,7 +105,11 @@ fn all_transfers_complete_exactly_once() {
                     src: HostId::new(src),
                     dst: HostId::new(dst),
                     bytes,
-                    priority: if high { Priority::High } else { Priority::Normal },
+                    priority: if high {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    },
                 },
                 i,
             );
@@ -140,7 +144,11 @@ fn strict_priority_order_on_serial_link() {
                     src: HostId::new(0),
                     dst: HostId::new(1),
                     bytes: 100,
-                    priority: if high { Priority::High } else { Priority::Normal },
+                    priority: if high {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    },
                 },
                 i,
             );

@@ -6,7 +6,6 @@
 //! missing — the monitoring system only knows pairs it has observed — and
 //! the cost model decides what to assume for unknown links.
 
-
 use crate::ids::HostId;
 
 /// Read access to (estimated) pairwise bandwidth, bytes per second.
@@ -78,7 +77,10 @@ impl BwMatrix {
     ///
     /// Panics if either host is out of range or `a == b`.
     pub fn set(&mut self, a: HostId, b: HostId, bytes_per_sec: f64) {
-        assert!(a.index() < self.n && b.index() < self.n, "host out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "host out of range"
+        );
         assert_ne!(a, b, "no self-links");
         self.vals[a.index() * self.n + b.index()] = Some(bytes_per_sec);
         self.vals[b.index() * self.n + a.index()] = Some(bytes_per_sec);
@@ -90,7 +92,10 @@ impl BwMatrix {
     ///
     /// Panics if either host is out of range.
     pub fn clear(&mut self, a: HostId, b: HostId) {
-        assert!(a.index() < self.n && b.index() < self.n, "host out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "host out of range"
+        );
         self.vals[a.index() * self.n + b.index()] = None;
         self.vals[b.index() * self.n + a.index()] = None;
     }

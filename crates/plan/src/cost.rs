@@ -7,7 +7,6 @@
 //! parameters: 50 ms message startup, 3 MB/s disk, 7 µs/pixel composition,
 //! 128 KB expected images.
 
-
 use crate::bandwidth::BandwidthView;
 use crate::ids::HostId;
 

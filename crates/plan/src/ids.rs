@@ -8,11 +8,8 @@
 
 use std::fmt;
 
-
 /// A participating host (a server machine or the client machine).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct HostId(usize);
 
 impl HostId {
@@ -34,9 +31,7 @@ impl fmt::Display for HostId {
 }
 
 /// A node of the combination tree (server leaf, operator, or client root).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(usize);
 
 impl NodeId {
@@ -59,9 +54,7 @@ impl fmt::Display for NodeId {
 
 /// A combination operator: an internal node of the tree, and the unit of
 /// relocation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct OperatorId(usize);
 
 impl OperatorId {

@@ -168,7 +168,10 @@ impl TreeAssembler {
         let idx = self.push(crate::tree::TreeNode {
             kind: crate::tree::NodeKind::Operator(op),
             parent: None,
-            children: vec![crate::ids::NodeId::new(left), crate::ids::NodeId::new(right)],
+            children: vec![
+                crate::ids::NodeId::new(left),
+                crate::ids::NodeId::new(right),
+            ],
             level,
         });
         self.operator_nodes.push(crate::ids::NodeId::new(idx));

@@ -5,7 +5,6 @@
 //! host each server's data lives on, and which host is the client — so a
 //! placement only has freedom over the operators, exactly as in the paper.
 
-
 use crate::ids::{HostId, NodeId, OperatorId};
 use crate::tree::{CombinationTree, NodeKind};
 

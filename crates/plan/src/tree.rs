@@ -7,7 +7,6 @@
 //! (maximally bushy) and the **left-deep tree** (linear, the shape of
 //! classic database query plans — Figure 5).
 
-
 use crate::ids::{NodeId, OperatorId};
 
 /// What a tree node is.

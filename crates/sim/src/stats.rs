@@ -6,7 +6,6 @@
 //! distribution summaries (used for the sorted speedup curves of the paper's
 //! Figure 6/10 style plots).
 
-
 use crate::time::SimTime;
 
 /// Streaming mean/variance/min/max over individual observations.

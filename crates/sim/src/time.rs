@@ -10,7 +10,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-
 /// An instant in simulated time, counted in microseconds from simulation start.
 ///
 /// # Examples
@@ -22,9 +21,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(t.as_micros(), 2_000_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(2));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, counted in microseconds.
@@ -37,9 +34,7 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(50) * 3;
 /// assert_eq!(d.as_secs_f64(), 0.15);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -324,10 +319,7 @@ mod tests {
 
     #[test]
     fn scalar_ops() {
-        assert_eq!(
-            SimDuration::from_secs(3) * 4,
-            SimDuration::from_secs(12)
-        );
+        assert_eq!(SimDuration::from_secs(3) * 4, SimDuration::from_secs(12));
         assert_eq!(SimDuration::from_secs(12) / 4, SimDuration::from_secs(3));
     }
 }

@@ -84,7 +84,11 @@ fn resource_serves_all_in_priority_order() {
         let mut r: Resource<usize> = Resource::new();
         let mut immediately_served = Vec::new();
         for (i, &high) in prios.iter().enumerate() {
-            let p = if high { Priority::High } else { Priority::Normal };
+            let p = if high {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
             if let Some(item) = r.request(i, p) {
                 immediately_served.push(item);
             }

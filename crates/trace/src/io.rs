@@ -128,9 +128,11 @@ impl<'a> Parser<'a> {
     fn number(&mut self) -> Result<f64, String> {
         self.skip_ws();
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|&b| {
-            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-        }) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
             self.pos += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.pos])

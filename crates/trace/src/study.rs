@@ -263,7 +263,10 @@ mod tests {
     fn brazil_pairs_are_slowest_class() {
         let study = BandwidthStudy::default_study(3);
         let hosts = study.hosts();
-        let brazil = hosts.iter().position(|h| h.region == Region::Brazil).unwrap();
+        let brazil = hosts
+            .iter()
+            .position(|h| h.region == Region::Brazil)
+            .unwrap();
         let us_east: Vec<usize> = hosts
             .iter()
             .enumerate()

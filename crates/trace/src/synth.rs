@@ -177,7 +177,8 @@ pub fn generate(params: &SynthParams, duration: SimDuration, seed: u64) -> Bandw
     } else {
         0.0
     };
-    let regime_innov_sigma = (params.regime_sigma * (1.0 - regime_rho * regime_rho).sqrt()).max(0.0);
+    let regime_innov_sigma =
+        (params.regime_sigma * (1.0 - regime_rho * regime_rho).sqrt()).max(0.0);
 
     // Start both processes at their stationary distributions so traces
     // have no warm-up bias.

@@ -1,0 +1,220 @@
+//! Layer 4: the chaos suite — invariants and determinism under injected
+//! faults.
+//!
+//! The fault-injection subsystem ([`wadc_net::faults`]) promises that a
+//! faulty run is still a *valid* run: every protocol invariant the clean
+//! suite checks must also hold when messages are lost, links go dark, or
+//! operator moves fail — only the fault-specific bookkeeping events
+//! (losses, rollbacks, barrier aborts) are added. It also promises that a
+//! fault plan is part of the deterministic input: the same `(seed, config,
+//! plan)` must reproduce the same run bit for bit.
+//!
+//! [`run_chaos_suite`] drives a small scenario matrix — message loss, a
+//! finite link outage, a host blackout, failing operator moves, and all of
+//! them at once — across all four placement algorithms on the quick world,
+//! running each cell twice (determinism) and through the full invariant
+//! checker. A run need not *complete* under faults (a collapsed network
+//! ends at the safety cap), but it must never wedge, and whatever audit
+//! trail it leaves must conform.
+
+use wadc_core::engine::{Algorithm, EngineConfig, RunResult};
+use wadc_core::experiment::Experiment;
+use wadc_net::faults::FaultPlan;
+use wadc_plan::ids::HostId;
+use wadc_sim::time::{SimDuration, SimTime};
+
+use crate::determinism::RunDigests;
+use crate::invariants::check_run;
+
+/// One cell of the chaos matrix: a named fault plan run under one
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The scenario's name (e.g. `"loss"`, `"blackout"`).
+    pub scenario: &'static str,
+    /// The algorithm it ran under.
+    pub algorithm: &'static str,
+    /// Whether the workload finished before the safety cap.
+    pub completed: bool,
+    /// Messages fault injection destroyed.
+    pub dropped: u64,
+    /// Messages the engine resent.
+    pub retransmits: u64,
+    /// The (reproduced) run digests.
+    pub digests: RunDigests,
+}
+
+impl std::fmt::Display for ChaosOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} {:<12} completed={:<5} dropped={:<4} retransmits={:<4} {}",
+            self.scenario,
+            self.algorithm,
+            self.completed,
+            self.dropped,
+            self.retransmits,
+            self.digests
+        )
+    }
+}
+
+/// The scenario matrix: every fault class alone, then combined.
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "loss",
+            FaultPlan::none().with_loss(0.1).with_probe_blackhole(0.1),
+        ),
+        (
+            "outage",
+            // One link dark for two minutes mid-run.
+            FaultPlan::none().outage(
+                HostId::new(0),
+                HostId::new(1),
+                SimTime::from_secs(30),
+                SimTime::from_secs(150),
+            ),
+        ),
+        (
+            "blackout",
+            // A server host unreachable for a minute.
+            FaultPlan::none().blackout(
+                HostId::new(2),
+                SimTime::from_secs(20),
+                SimTime::from_secs(80),
+            ),
+        ),
+        ("move-failure", FaultPlan::none().with_move_failure(1.0)),
+        (
+            "combined",
+            FaultPlan::none()
+                .with_loss(0.05)
+                .with_probe_blackhole(0.2)
+                .with_move_failure(0.5)
+                .blackout(
+                    HostId::new(1),
+                    SimTime::from_secs(40),
+                    SimTime::from_secs(100),
+                )
+                .with_random_outages(3, SimDuration::from_secs(45), SimDuration::from_secs(600)),
+        ),
+    ]
+}
+
+/// The four algorithms under test.
+fn algorithms() -> [Algorithm; 4] {
+    [
+        Algorithm::DownloadAll,
+        Algorithm::OneShot,
+        Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        },
+        Algorithm::Local {
+            period: SimDuration::from_secs(30),
+            extra_candidates: 0,
+        },
+    ]
+}
+
+fn check_cell(
+    cfg: &EngineConfig,
+    scenario: &'static str,
+    algorithm: Algorithm,
+    first: &RunResult,
+    second: &RunResult,
+) -> Result<ChaosOutcome, String> {
+    let digests = RunDigests::of(first);
+    if digests != RunDigests::of(second) {
+        return Err(format!(
+            "chaos[{scenario}/{}]: identical (seed, config, plan) diverged: \
+             first {digests}, second {}",
+            algorithm.name(),
+            RunDigests::of(second)
+        ));
+    }
+    let violations = check_run(cfg, first);
+    if !violations.is_empty() {
+        return Err(format!(
+            "chaos[{scenario}/{}]: {} invariant violation(s):\n{}",
+            algorithm.name(),
+            violations.len(),
+            violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        ));
+    }
+    Ok(ChaosOutcome {
+        scenario,
+        algorithm: algorithm.name(),
+        completed: first.completed,
+        dropped: first.net_stats.dropped,
+        retransmits: first.net_stats.retransmits,
+        digests,
+    })
+}
+
+/// Runs the full chaos matrix and returns one outcome per cell.
+///
+/// # Errors
+///
+/// Returns the first cell that diverges between two identical runs or
+/// breaks a protocol invariant.
+pub fn run_chaos_suite(n_servers: usize, seed: u64) -> Result<Vec<ChaosOutcome>, String> {
+    let mut outcomes = Vec::new();
+    for (scenario, plan) in scenarios() {
+        let mut exp = Experiment::quick(n_servers, seed);
+        exp.template_mut().faults = plan;
+        for algorithm in algorithms() {
+            let mut cfg = exp.template().clone();
+            cfg.algorithm = algorithm;
+            let first = exp.run(algorithm);
+            let second = exp.run(algorithm);
+            outcomes.push(check_cell(&cfg, scenario, algorithm, &first, &second)?);
+        }
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_matrix_conforms_and_reproduces() {
+        let outcomes = run_chaos_suite(4, 42).unwrap();
+        assert_eq!(outcomes.len(), scenarios().len() * algorithms().len());
+        // The loss scenario must actually exercise the machinery: with 10%
+        // loss on every class something gets dropped, and every dropped
+        // non-probe message gets resent.
+        let lossy: Vec<_> = outcomes.iter().filter(|o| o.scenario == "loss").collect();
+        assert!(lossy.iter().any(|o| o.dropped > 0), "loss never dropped");
+        assert!(
+            lossy.iter().any(|o| o.retransmits > 0),
+            "loss never retransmitted"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_differ_from_clean_runs() {
+        let exp = Experiment::quick(4, 42);
+        let clean = exp.run(Algorithm::OneShot);
+        let mut faulty_exp = Experiment::quick(4, 42);
+        faulty_exp.template_mut().faults = FaultPlan::none().with_loss(0.2);
+        let faulty = faulty_exp.run(Algorithm::OneShot);
+        assert!(faulty.net_stats.dropped > 0, "20% loss dropped nothing");
+        assert_ne!(clean.digest(), faulty.digest());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_no_op() {
+        let clean = Experiment::quick(4, 7).run(Algorithm::OneShot);
+        let mut gated = Experiment::quick(4, 7);
+        gated.template_mut().faults = FaultPlan::none();
+        let second = gated.run(Algorithm::OneShot);
+        assert_eq!(clean.digest(), second.digest());
+        assert_eq!(clean.audit.digest(), second.audit.digest());
+    }
+}

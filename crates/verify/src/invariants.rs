@@ -7,7 +7,7 @@
 //! relocation traces we obtained from the simulations". Every broken rule
 //! becomes one [`Violation`]; a correct engine produces none.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use wadc_app::workload::Workload;
 use wadc_core::engine::audit::AuditEvent;
@@ -51,6 +51,7 @@ pub fn check_run(cfg: &EngineConfig, result: &RunResult) -> Vec<Violation> {
     check_barrier_protocol(cfg, result, &mut v);
     check_residency(cfg, result, &mut v);
     check_byte_conservation(cfg, result, &mut v);
+    check_loss_accounting(result, &mut v);
     v
 }
 
@@ -164,9 +165,18 @@ fn check_counters(result: &RunResult, v: &mut Vec<Violation>) {
 /// Each algorithm may emit only its own event types: download-all never
 /// plans, one-shot plans exactly once at time zero and never adapts,
 /// global never takes local decisions, local never runs the barrier.
+///
+/// Fault events ([`AuditEvent::is_fault_event`]) are excluded first: a
+/// download-all run under injected loss still must not *adapt*, but it may
+/// well *lose messages*.
 fn check_algorithm_scope(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
-    let events = result.audit.events();
-    let has = |pred: fn(&AuditEvent) -> bool| events.iter().any(pred);
+    let events: Vec<&AuditEvent> = result
+        .audit
+        .events()
+        .iter()
+        .filter(|e| !e.is_fault_event())
+        .collect();
+    let has = |pred: fn(&AuditEvent) -> bool| events.iter().any(|e| pred(e));
     let barrier = |e: &AuditEvent| {
         matches!(
             e,
@@ -181,22 +191,24 @@ fn check_algorithm_scope(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Vio
                 v.push(Violation::new(
                     "scope-download-all",
                     format!(
-                        "download-all must not adapt, audit has {} events",
+                        "download-all must not adapt, audit has {} adaptation events",
                         events.len()
                     ),
                 ));
             }
         }
         Algorithm::OneShot => {
-            let planner_ok = matches!(
-                events,
-                [AuditEvent::PlannerRan { at, .. }] if *at == SimTime::ZERO
-            );
+            let planner_ok = events.len() == 1
+                && matches!(
+                    events[0],
+                    AuditEvent::PlannerRan { at, .. } if *at == SimTime::ZERO
+                );
             if !planner_ok {
                 v.push(Violation::new(
                     "scope-one-shot",
                     format!(
-                        "one-shot must log exactly one PlannerRan at t=0, audit has {} events",
+                        "one-shot must log exactly one PlannerRan at t=0, audit has {} \
+                         adaptation events",
                         events.len()
                     ),
                 ));
@@ -221,16 +233,21 @@ fn check_algorithm_scope(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Vio
     }
 }
 
-/// The global barrier: versions commit in order 1, 2, ...; each version is
+/// The global barrier: versions commit in increasing order; each version is
 /// proposed before any server suspends for it; all servers suspend exactly
 /// once before the commit; the committed switch iteration is one past the
-/// newest reported iteration.
+/// newest reported iteration. Under fault injection a proposal may time out
+/// and be aborted instead of committed — version gaps in the commit
+/// sequence are legal only when every skipped version was aborted, an
+/// aborted version must never commit, and a committed version must never
+/// abort.
 fn check_barrier_protocol(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
     struct Round {
         proposed_at: SimTime,
         reports: HashMap<usize, u32>,
     }
     let mut rounds: HashMap<u32, Round> = HashMap::new();
+    let mut aborted: HashSet<u32> = HashSet::new();
     let mut last_committed = 0u32;
     for e in result.audit.events() {
         match *e {
@@ -280,11 +297,29 @@ fn check_barrier_protocol(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Vi
                 switch_iteration,
                 ..
             } => {
-                if version != last_committed + 1 {
+                if aborted.contains(&version) {
+                    v.push(Violation::new(
+                        "barrier-ordering",
+                        format!("version {version} committed after it was aborted"),
+                    ));
+                }
+                if version <= last_committed {
                     v.push(Violation::new(
                         "barrier-ordering",
                         format!("version {version} committed after version {last_committed}"),
                     ));
+                } else {
+                    for skipped in last_committed + 1..version {
+                        if !aborted.contains(&skipped) {
+                            v.push(Violation::new(
+                                "barrier-ordering",
+                                format!(
+                                    "version {version} committed, skipping version {skipped} \
+                                     which was never aborted"
+                                ),
+                            ));
+                        }
+                    }
                 }
                 last_committed = version;
                 match rounds.get(&version) {
@@ -317,6 +352,26 @@ fn check_barrier_protocol(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Vi
                     }
                 }
             }
+            AuditEvent::ChangeoverAborted { version, .. } => {
+                if !rounds.contains_key(&version) {
+                    v.push(Violation::new(
+                        "barrier-ordering",
+                        format!("version {version} aborted without a proposal"),
+                    ));
+                }
+                if version <= last_committed {
+                    v.push(Violation::new(
+                        "barrier-ordering",
+                        format!("version {version} aborted after a later or equal commit"),
+                    ));
+                }
+                if !aborted.insert(version) {
+                    v.push(Violation::new(
+                        "barrier-ordering",
+                        format!("version {version} aborted twice"),
+                    ));
+                }
+            }
             _ => {}
         }
     }
@@ -325,10 +380,14 @@ fn check_barrier_protocol(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Vi
 /// Operator residency and light-move timing: relocations of one operator
 /// never overlap, each finish lands on the host the start named, each
 /// relocation chains from where the previous one left the operator, and
-/// the state transfer takes at least the per-message startup cost.
+/// the state transfer takes at least the per-message startup cost. A
+/// fault-injected rollback ([`AuditEvent::RelocationAborted`]) must match
+/// an in-flight relocation and leave the operator on the move's origin
+/// host.
 fn check_residency(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
     struct InFlight {
         started_at: SimTime,
+        from: HostId,
         to: HostId,
     }
     let mut in_flight: HashMap<OperatorId, InFlight> = HashMap::new();
@@ -358,7 +417,14 @@ fn check_residency(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation
                         ),
                     ));
                 }
-                if let Some(prev) = in_flight.insert(op, InFlight { started_at: at, to }) {
+                if let Some(prev) = in_flight.insert(
+                    op,
+                    InFlight {
+                        started_at: at,
+                        from,
+                        to,
+                    },
+                ) {
                     v.push(Violation::new(
                         "residency",
                         format!(
@@ -413,6 +479,27 @@ fn check_residency(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation
                 }
                 resident.insert(op, host);
             }
+            AuditEvent::RelocationAborted { op, host, .. } => {
+                match in_flight.remove(&op) {
+                    None => v.push(Violation::new(
+                        "residency",
+                        format!("operator {op:?} rolled back a relocation it never started"),
+                    )),
+                    Some(fl) => {
+                        if host != fl.from {
+                            v.push(Violation::new(
+                                "residency",
+                                format!(
+                                    "operator {op:?} rolled back to {host:?}, move originated \
+                                     on {:?}",
+                                    fl.from
+                                ),
+                            ));
+                        }
+                    }
+                }
+                resident.insert(op, host);
+            }
             _ => {}
         }
     }
@@ -453,6 +540,37 @@ fn check_byte_conservation(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<V
             ),
         ));
     }
+    // Fault accounting is bounded by the totals it is carved out of:
+    // drops happen at delivery time (so every dropped message also counts
+    // as completed) and every retransmission is itself a submission.
+    for (name, part, whole, total) in [
+        ("dropped messages", st.dropped, st.completed, "completed"),
+        (
+            "dropped bytes",
+            st.bytes_dropped,
+            st.bytes_delivered,
+            "delivered",
+        ),
+        (
+            "retransmitted messages",
+            st.retransmits,
+            st.submitted,
+            "submitted",
+        ),
+        (
+            "retransmitted bytes",
+            st.bytes_retransmitted,
+            st.bytes_submitted,
+            "submitted",
+        ),
+    ] {
+        if part > whole {
+            v.push(Violation::new(
+                "byte-conservation",
+                format!("{part} {name} exceed the {whole} {total}"),
+            ));
+        }
+    }
     if st.completed == st.submitted && st.bytes_delivered != st.bytes_submitted {
         v.push(Violation::new(
             "byte-conservation",
@@ -478,6 +596,27 @@ fn check_byte_conservation(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<V
                 ),
             ));
         }
+    }
+}
+
+/// Fault accounting: the network's drop counter and the audit log's
+/// [`AuditEvent::MessageLost`] records are two views of the same losses
+/// and must agree exactly.
+fn check_loss_accounting(result: &RunResult, v: &mut Vec<Violation>) {
+    let audited = result
+        .audit
+        .events()
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::MessageLost { .. }))
+        .count() as u64;
+    if audited != result.net_stats.dropped {
+        v.push(Violation::new(
+            "loss-accounting",
+            format!(
+                "audit log has {audited} MessageLost events but net_stats.dropped = {}",
+                result.net_stats.dropped
+            ),
+        ));
     }
 }
 

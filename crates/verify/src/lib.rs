@@ -21,6 +21,11 @@
 //!   infinite adaptation period degenerates to one-shot, constant-bandwidth
 //!   worlds agree with the analytic cost model, and scaling every link by
 //!   `k` speeds network-bound runs by about `k`.
+//! - [`chaos`] — the same invariants and determinism demands under
+//!   injected faults ([`wadc_net::faults`]): a matrix of message loss,
+//!   link outages, host blackouts and failing operator moves across all
+//!   four algorithms, each cell run twice and replayed through the
+//!   invariant checker.
 //!
 //! The `wadc verify` subcommand drives all three layers from the command
 //! line; `--quick` runs the fixture comparison only (the CI gate).
@@ -28,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod determinism;
 pub mod differential;
 pub mod golden;
 pub mod invariants;
 pub mod worlds;
 
+pub use chaos::{run_chaos_suite, ChaosOutcome};
 pub use determinism::{check_determinism, RunDigests};
 pub use invariants::{assert_clean, check_run, Violation};

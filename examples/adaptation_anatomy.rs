@@ -52,7 +52,10 @@ fn main() {
     for e in r.audit.events() {
         match e {
             AuditEvent::ChangeoverProposed { at, version, moves } => {
-                println!("t={:>6.0}s  propose v{version} ({moves} moves)", at.as_secs_f64());
+                println!(
+                    "t={:>6.0}s  propose v{version} ({moves} moves)",
+                    at.as_secs_f64()
+                );
                 shown = 1;
             }
             AuditEvent::ServerSuspended {
@@ -75,7 +78,9 @@ fn main() {
                 );
                 shown = 2;
             }
-            AuditEvent::RelocationStarted { at, op, from, to, .. } if shown == 2 => {
+            AuditEvent::RelocationStarted {
+                at, op, from, to, ..
+            } if shown == 2 => {
                 println!("t={:>6.0}s  {op} departs {from} for {to}", at.as_secs_f64())
             }
             AuditEvent::RelocationFinished { at, op, host } if shown == 2 => {

@@ -11,11 +11,11 @@
 //! cargo run --release --example hurricane_composition
 //! ```
 
-use wadc::sim::rng::Rng64;
 use wadc::app::compose::{compose, compose_secs, SelectRule, PAPER_SECS_PER_PIXEL};
 use wadc::app::image::{Image, SizeDistribution};
 use wadc::plan::ids::NodeId;
 use wadc::plan::tree::{CombinationTree, NodeKind};
+use wadc::sim::rng::Rng64;
 
 fn main() {
     let n_servers = 8;

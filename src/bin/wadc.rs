@@ -7,6 +7,7 @@
 //! wadc trace [--pair A,B] [--seed S] [--window-hours H]
 //! wadc plan  [--servers N] [--seed S] [--objective critical-path|contended]
 //! wadc verify [--quick] [--seed S] [--print-golden]
+//! wadc chaos [--loss P] [--probe-blackhole P] [--move-failure P] [--outages N] [--seed S]
 //! ```
 
 use std::collections::HashMap;
@@ -15,6 +16,7 @@ use wadc::core::algorithms::one_shot::{one_shot_placement, Objective};
 use wadc::core::engine::{Algorithm, AuditEvent};
 use wadc::core::experiment::Experiment;
 use wadc::core::study::{run_study_parallel, StudyParams};
+use wadc::net::faults::{FaultPlan, TrafficKind};
 use wadc::plan::cost::CostModel;
 use wadc::plan::critical_path::{critical_path, nic_occupancy};
 use wadc::plan::ids::OperatorId;
@@ -23,6 +25,7 @@ use wadc::plan::tree::{CombinationTree, TreeShape};
 use wadc::sim::time::{SimDuration, SimTime};
 use wadc::trace::stats::summarize;
 use wadc::trace::study::BandwidthStudy;
+use wadc::verify::chaos::run_chaos_suite;
 use wadc::verify::determinism::check_determinism;
 use wadc::verify::differential::run_suite;
 use wadc::verify::golden;
@@ -30,7 +33,7 @@ use wadc::verify::invariants::check_run;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wadc <run|study|trace|plan|verify> [flags]
+        "usage: wadc <run|study|trace|plan|verify|chaos> [flags]
 
 run    simulate one configuration under one algorithm
          --servers N (8)  --algorithm download-all|one-shot|global|local (global)
@@ -44,8 +47,13 @@ plan   compute and print a one-shot placement for a random world
          --servers N (8)  --seed S (1998)  --config I (0)
          --objective critical-path|contended (critical-path)
 verify check engine conformance: golden digests, determinism, invariants,
-       and (without --quick) the differential/metamorphic suite
-         --quick  --seed S (42)  --print-golden (regenerate the fixture)"
+       and (without --quick) the differential and chaos suites
+         --quick  --seed S (42)  --print-golden (regenerate the fixture)
+chaos  simulate one configuration under an injected fault plan and report
+       recovery statistics against the clean run of the same world
+         --loss P (0.05)  --probe-blackhole P (0)  --move-failure P (0)
+         --outages N (0)  --outage-mins M (5)
+         plus every `run` flag (--servers, --algorithm, --seed, ...)"
     );
     std::process::exit(2)
 }
@@ -200,6 +208,25 @@ fn cmd_run(flags: HashMap<String, String>) {
                 AuditEvent::RelocationFinished { at, op, host } => {
                     println!("{:>8.0}s {op} resumed at {host}", at.as_secs_f64())
                 }
+                AuditEvent::MessageLost {
+                    at,
+                    from,
+                    to,
+                    kind,
+                    attempt,
+                } => println!(
+                    "{:>8.0}s lost {} {from} -> {to} (attempt {attempt})",
+                    at.as_secs_f64(),
+                    kind.label()
+                ),
+                AuditEvent::RelocationAborted { at, op, host } => println!(
+                    "{:>8.0}s {op} move failed, rolled back to {host}",
+                    at.as_secs_f64()
+                ),
+                AuditEvent::ChangeoverAborted { at, version } => println!(
+                    "{:>8.0}s change-over v{version} timed out, aborted",
+                    at.as_secs_f64()
+                ),
             }
         }
     }
@@ -391,6 +418,16 @@ fn cmd_verify(flags: HashMap<String, String>) {
                 .into_iter()
                 .map(|f| format!("differential: {f}")),
         );
+
+        println!("chaos: loss, outage, blackout, move failure x all four algorithms...");
+        match run_chaos_suite(4, seed) {
+            Ok(outcomes) => {
+                for o in outcomes {
+                    println!("  {o}");
+                }
+            }
+            Err(e) => failures.push(format!("chaos: {e}")),
+        }
     }
 
     if failures.is_empty() {
@@ -402,6 +439,79 @@ fn cmd_verify(flags: HashMap<String, String>) {
         eprintln!("verify: {} check(s) failed", failures.len());
         std::process::exit(1);
     }
+}
+
+fn cmd_chaos(flags: HashMap<String, String>) {
+    let mut exp = build_experiment(&flags);
+    let algorithm = algorithm_from(&flags);
+    let loss = flag(&flags, "--loss", 0.05f64);
+    let probe_blackhole = flag(&flags, "--probe-blackhole", 0.0f64);
+    let move_failure = flag(&flags, "--move-failure", 0.0f64);
+    let outages = flag(&flags, "--outages", 0usize);
+    let mut plan = FaultPlan::none()
+        .with_loss(loss)
+        .with_probe_blackhole(probe_blackhole)
+        .with_move_failure(move_failure);
+    if outages > 0 {
+        plan = plan.with_random_outages(
+            outages,
+            SimDuration::from_mins(flag(&flags, "--outage-mins", 5u64)),
+            SimDuration::from_hours(1),
+        );
+    }
+    if let Err(e) = plan.validate() {
+        eprintln!("invalid fault plan: {e}");
+        usage();
+    }
+    println!(
+        "chaos: {} servers x {} images under {} | loss {:.0}% probe-blackhole {:.0}% \
+         move-failure {:.0}% outages {}",
+        exp.template().n_servers,
+        exp.template().workload.images_per_server,
+        algorithm.name(),
+        loss * 100.0,
+        probe_blackhole * 100.0,
+        move_failure * 100.0,
+        outages
+    );
+    let clean = exp.run(algorithm);
+    exp.template_mut().faults = plan;
+    let r = exp.run(algorithm);
+    println!(
+        "completed: {} | total {:.0} s | clean run {:.0} s ({:+.1}%)",
+        r.completed,
+        r.completion_time.as_secs_f64(),
+        clean.completion_time.as_secs_f64(),
+        100.0 * (r.completion_time.as_secs_f64() / clean.completion_time.as_secs_f64() - 1.0)
+    );
+    let st = &r.net_stats;
+    println!(
+        "dropped {} of {} messages ({} bytes) | retransmits {} ({} bytes)",
+        st.dropped, st.completed, st.bytes_dropped, st.retransmits, st.bytes_retransmitted
+    );
+    let mut by_kind = [0u64; 4];
+    let mut rollbacks = 0u64;
+    let mut aborts = 0u64;
+    for e in r.audit.events() {
+        match e {
+            AuditEvent::MessageLost { kind, .. } => by_kind[kind.tag() as usize] += 1,
+            AuditEvent::RelocationAborted { .. } => rollbacks += 1,
+            AuditEvent::ChangeoverAborted { .. } => aborts += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "losses by class: {} {} | {} {} | {} {} | {} {}",
+        TrafficKind::Data.label(),
+        by_kind[TrafficKind::Data.tag() as usize],
+        TrafficKind::Control.label(),
+        by_kind[TrafficKind::Control.tag() as usize],
+        TrafficKind::Probe.label(),
+        by_kind[TrafficKind::Probe.tag() as usize],
+        TrafficKind::OperatorState.label(),
+        by_kind[TrafficKind::OperatorState.tag() as usize],
+    );
+    println!("move rollbacks {rollbacks} | barrier aborts {aborts}");
 }
 
 fn main() {
@@ -416,6 +526,7 @@ fn main() {
         "trace" => cmd_trace(flags),
         "plan" => cmd_plan(flags),
         "verify" => cmd_verify(flags),
+        "chaos" => cmd_chaos(flags),
         _ => usage(),
     }
 }

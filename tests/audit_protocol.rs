@@ -3,8 +3,8 @@
 
 use wadc::core::engine::{Algorithm, AuditEvent};
 use wadc::core::experiment::Experiment;
-use wadc::sim::time::SimTime;
 use wadc::sim::time::SimDuration;
+use wadc::sim::time::SimTime;
 
 fn global_run(seed: u64) -> wadc::core::engine::RunResult {
     Experiment::quick(6, seed).run(Algorithm::Global {
@@ -40,9 +40,9 @@ fn every_global_relocation_follows_a_commit() {
         for (i, e) in events.iter().enumerate() {
             if let AuditEvent::RelocationStarted { at, .. } = e {
                 // Some commit happened earlier (or at the same instant).
-                let committed_before = events[..=i].iter().any(|x| {
-                    matches!(x, AuditEvent::ChangeoverCommitted { at: c, .. } if c <= at)
-                });
+                let committed_before = events[..=i]
+                    .iter()
+                    .any(|x| matches!(x, AuditEvent::ChangeoverCommitted { at: c, .. } if c <= at));
                 assert!(
                     committed_before,
                     "seed {seed}: relocation without a prior commit"

@@ -4,13 +4,15 @@
 
 use std::sync::Arc;
 
-use wadc::core::engine::{Algorithm, AuditEvent, Engine, EngineConfig};
 use wadc::app::image::SizeDistribution;
 use wadc::app::workload::WorkloadParams;
+use wadc::core::engine::{Algorithm, AuditEvent, Engine, EngineConfig};
+use wadc::net::faults::FaultPlan;
 use wadc::net::link::LinkTable;
 use wadc::plan::ids::HostId;
 use wadc::sim::time::{SimDuration, SimTime};
 use wadc::trace::model::BandwidthTrace;
+use wadc::verify::invariants::assert_clean;
 
 fn tiny_workload(images: usize) -> WorkloadParams {
     WorkloadParams {
@@ -83,9 +85,9 @@ fn global_reroutes_around_the_collapse_and_beats_static() {
         one_shot.completion_time
     );
     // And the audit log shows adaptation happened after the collapse.
-    let adapted_after_collapse = global.audit.events().iter().any(|e| {
-        matches!(e, AuditEvent::RelocationStarted { at, .. } if *at > SimTime::from_secs(15))
-    });
+    let adapted_after_collapse = global.audit.events().iter().any(
+        |e| matches!(e, AuditEvent::RelocationStarted { at, .. } if *at > SimTime::from_secs(15)),
+    );
     assert!(
         adapted_after_collapse || global.relocations > 0,
         "expected post-collapse relocation"
@@ -129,6 +131,124 @@ fn safety_cap_aborts_hopeless_runs() {
 }
 
 #[test]
+fn permanent_total_collapse_cannot_wedge_any_algorithm() {
+    // Every link goes dark 5 s in and never comes back. No algorithm can
+    // finish, but every one must still *terminate* — partial progress, a
+    // clean audit trail, and no wedged event loop.
+    for alg in [
+        Algorithm::DownloadAll,
+        Algorithm::OneShot,
+        Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        },
+        Algorithm::Local {
+            period: SimDuration::from_secs(30),
+            extra_candidates: 1,
+        },
+    ] {
+        let mut cfg = EngineConfig::new(4, alg).with_workload(tiny_workload(30));
+        cfg.seed = 3;
+        cfg.max_sim_time = SimDuration::from_mins(10);
+        cfg.faults = FaultPlan::none().outage_all(SimTime::from_secs(5), SimTime::MAX);
+        let r = Engine::new(cfg.clone(), collapsing_links(10.0)).run();
+        assert!(
+            !r.completed,
+            "{} finished through a dead network",
+            alg.name()
+        );
+        assert!(
+            r.images_delivered < 30,
+            "{} delivered everything without links",
+            alg.name()
+        );
+        assert_clean(&cfg, &r);
+    }
+}
+
+#[test]
+fn finite_host_blackout_recovers_and_completes() {
+    // One server host is unreachable for 50 s mid-run; transfers to and
+    // from it queue up, drain when it returns, and the run completes.
+    let mut cfg = EngineConfig::new(
+        4,
+        Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        },
+    )
+    .with_workload(tiny_workload(20));
+    cfg.seed = 3;
+    cfg.faults = FaultPlan::none().blackout(
+        HostId::new(2),
+        SimTime::from_secs(10),
+        SimTime::from_secs(60),
+    );
+    let r = Engine::new(cfg.clone(), collapsing_links(10.0)).run();
+    assert!(r.completed, "blackout must only delay, not kill, the run");
+    assert_eq!(r.images_delivered, 20);
+    assert_clean(&cfg, &r);
+}
+
+#[test]
+fn failed_moves_roll_back_and_the_run_still_completes() {
+    // Every operator-state transfer is injected to fail: the collapse
+    // still provokes relocation attempts, each one must roll back to its
+    // origin host, and the computation must finish under the old
+    // placement.
+    let mut cfg = EngineConfig::new(
+        4,
+        Algorithm::Global {
+            period: SimDuration::from_secs(20),
+        },
+    )
+    .with_workload(tiny_workload(40));
+    cfg.seed = 5;
+    cfg.faults = FaultPlan::none().with_move_failure(1.0);
+    let r = Engine::new(cfg.clone(), collapsing_links(15.0)).run();
+    assert!(r.completed, "rollbacks must not wedge the computation");
+    assert_eq!(r.images_delivered, 40);
+    let rollbacks = r
+        .audit
+        .events()
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::RelocationAborted { .. }))
+        .count();
+    let finishes = r
+        .audit
+        .events()
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::RelocationFinished { .. }))
+        .count();
+    assert!(rollbacks > 0, "the collapse must trigger at least one move");
+    assert_eq!(finishes, 0, "every move was injected to fail");
+    assert_clean(&cfg, &r);
+}
+
+#[test]
+fn lossy_runs_reproduce_bit_for_bit() {
+    // The fault plan is part of the deterministic input: two runs of the
+    // same (seed, config, plan) under 10% loss agree digest for digest.
+    let run = || {
+        let mut cfg = EngineConfig::new(
+            4,
+            Algorithm::Local {
+                period: SimDuration::from_secs(30),
+                extra_candidates: 1,
+            },
+        )
+        .with_workload(tiny_workload(20));
+        cfg.seed = 7;
+        cfg.faults = FaultPlan::none().with_loss(0.1).with_probe_blackhole(0.3);
+        Engine::new(cfg, collapsing_links(10.0)).run()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.net_stats.dropped > 0, "10% loss dropped nothing");
+    assert_eq!(a.net_stats.retransmits, b.net_stats.retransmits);
+    assert_eq!(a.audit.digest(), b.audit.digest());
+    assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
 fn asymmetric_cliff_traces_do_not_break_monitoring() {
     // A link that oscillates violently between cliff edges exercises the
     // cache/piggyback path with extreme measurements.
@@ -150,9 +270,12 @@ fn asymmetric_cliff_traces_do_not_break_monitoring() {
         }
     }
     links.set(HostId::new(1), HostId::new(4), cliff);
-    let mut cfg = EngineConfig::new(4, Algorithm::Global {
-        period: SimDuration::from_secs(10),
-    })
+    let mut cfg = EngineConfig::new(
+        4,
+        Algorithm::Global {
+            period: SimDuration::from_secs(10),
+        },
+    )
     .with_workload(tiny_workload(25));
     cfg.seed = 9;
     let r = Engine::new(cfg, links).run();
