@@ -24,6 +24,40 @@ fn bench_event_queue(h: &mut Harness) {
             acc
         });
     }
+    // The network layer's real access pattern: schedules mixed with true
+    // cancels (timeout disarms) and pops, exercising the indexed heap's
+    // O(log n) cancel path rather than lazy deletion.
+    for n in [1_000u64, 10_000] {
+        h.bench(&format!("schedule_cancel_pop_mix_{n}"), || {
+            let mut q = EventQueue::new();
+            let mut pending = Vec::new();
+            for i in 0..n {
+                let t = (i.wrapping_mul(2654435761)) % 1_000_000;
+                pending.push(q.schedule(SimTime::from_micros(t), i));
+            }
+            let mut acc = 0u64;
+            let mut i = 0u64;
+            while let Some((_, _, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+                i += 1;
+                // Cancel one in-flight event for every four pops.
+                if i.is_multiple_of(4) {
+                    let k = (i.wrapping_mul(0x9E3779B97F4A7C15) as usize) % pending.len();
+                    q.cancel(pending.swap_remove(k));
+                }
+                // Reschedule two for every three pops (steady churn).
+                if i.is_multiple_of(3) {
+                    let base = q.now().as_micros();
+                    pending.push(q.schedule(SimTime::from_micros(base + i % 977), n + i));
+                    pending.push(q.schedule(SimTime::from_micros(base + i % 3191), 2 * n + i));
+                }
+                if i >= 4 * n {
+                    break;
+                }
+            }
+            acc
+        });
+    }
 }
 
 fn bench_resource(h: &mut Harness) {

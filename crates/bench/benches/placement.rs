@@ -6,7 +6,7 @@ use wadc_core::algorithms::local_step::{best_local_site, LocalContext};
 use wadc_core::algorithms::one_shot::one_shot_placement;
 use wadc_plan::bandwidth::BwMatrix;
 use wadc_plan::cost::CostModel;
-use wadc_plan::critical_path::placement_cost;
+use wadc_plan::critical_path::{placement_cost, IncrementalCriticalPath};
 use wadc_plan::ids::HostId;
 use wadc_plan::placement::{HostRoster, Placement};
 use wadc_plan::tree::CombinationTree;
@@ -27,6 +27,46 @@ fn bench_critical_path(h: &mut Harness) {
         let p = Placement::download_all(&tree, &roster);
         h.bench(&format!("evaluate_{n}_servers"), || {
             placement_cost(&tree, &roster, &p, &bw, &model)
+        });
+    }
+}
+
+/// The placement search's inner question — "what would the root cost be if
+/// this operator moved there?" — answered two ways: a full tree recompute
+/// versus the incremental evaluator's O(depth) root-ward probe. Both scan
+/// the same (operator × host) grid, so the ratio is the probe's speedup.
+fn bench_incremental_probe(h: &mut Harness) {
+    h.group("incremental_probe");
+    for n in [16usize, 32] {
+        let tree = CombinationTree::complete_binary(n).unwrap();
+        let roster = HostRoster::one_host_per_server(n);
+        let bw = varied_bw(n + 1);
+        let model = CostModel::paper_defaults();
+        let placement = Placement::download_all(&tree, &roster);
+        h.bench(&format!("full_recompute_{n}_servers"), || {
+            let mut p = placement.clone();
+            let mut acc = 0.0f64;
+            for i in 0..tree.operator_count() {
+                let op = wadc_plan::ids::OperatorId::new(i);
+                let original = p.site(op);
+                for host in roster.hosts() {
+                    p.set_site(op, host);
+                    acc += placement_cost(&tree, &roster, &p, &bw, &model);
+                }
+                p.set_site(op, original);
+            }
+            acc
+        });
+        h.bench(&format!("incremental_{n}_servers"), || {
+            let eval = IncrementalCriticalPath::new(&tree, &roster, &placement, &bw, &model);
+            let mut acc = 0.0f64;
+            for i in 0..tree.operator_count() {
+                let op = wadc_plan::ids::OperatorId::new(i);
+                for host in roster.hosts() {
+                    acc += eval.cost_if_moved(op, host);
+                }
+            }
+            acc
         });
     }
 }
@@ -69,6 +109,7 @@ fn bench_local_step(h: &mut Harness) {
 fn main() {
     let mut h = Harness::new();
     bench_critical_path(&mut h);
+    bench_incremental_probe(&mut h);
     bench_one_shot(&mut h);
     bench_local_step(&mut h);
 }

@@ -1,0 +1,292 @@
+//! Perf-regression harness: wall-clock throughput of the three measured
+//! hot paths — the DES kernel's event queue, the placement search, and
+//! monotone bandwidth-trace lookups — plus a reduced paper-main study as
+//! an end-to-end proxy.
+//!
+//! ```sh
+//! cargo run --release -p wadc-bench --bin perf [--quick] [--reps N] [--seed S] [--json PATH]
+//! ```
+//!
+//! Emits `BENCH_perf.json` (override with `--json`): an array of benches,
+//! each `{name, iterations, median_secs, mean_secs, events_per_sec}` where
+//! `events_per_sec` is the bench's natural unit of work (kernel events,
+//! placement searches, trace queries, engine runs) divided by the median
+//! wall time of one iteration. Timings are informational — the harness
+//! fails only on panic, so CI can run it at reduced scale without flaking
+//! on machine noise.
+//!
+//! The workloads are deterministic (fixed seeds, no wall-clock feedback),
+//! so two builds of the same scale do the same work and their numbers are
+//! directly comparable.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wadc_bench::json::Json;
+use wadc_core::algorithms::one_shot_placement;
+use wadc_core::study::{run_study, StudyParams};
+use wadc_plan::bandwidth::BwMatrix;
+use wadc_plan::cost::CostModel;
+use wadc_plan::placement::HostRoster;
+use wadc_plan::tree::CombinationTree;
+use wadc_sim::event::EventQueue;
+use wadc_sim::rng::Rng64;
+use wadc_sim::stats::median;
+use wadc_sim::time::{SimDuration, SimTime};
+use wadc_trace::model::BandwidthTrace;
+
+struct Args {
+    quick: bool,
+    reps: usize,
+    seed: u64,
+    json: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        reps: 5,
+        seed: 1998,
+        json: PathBuf::from("BENCH_perf.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--reps" => args.reps = value("--reps").parse().expect("integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("integer"),
+            "--json" => args.json = PathBuf::from(value("--json")),
+            other => panic!("unknown flag {other}; known: --quick --reps --seed --json"),
+        }
+    }
+    args
+}
+
+/// One bench's timings: `reps` wall-clock measurements of an iteration
+/// that performs `units` units of work.
+struct Bench {
+    name: &'static str,
+    units: u64,
+    secs: Vec<f64>,
+}
+
+impl Bench {
+    fn median_secs(&self) -> f64 {
+        median(&self.secs).unwrap_or(0.0)
+    }
+
+    fn mean_secs(&self) -> f64 {
+        self.secs.iter().sum::<f64>() / self.secs.len().max(1) as f64
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        let m = self.median_secs();
+        if m > 0.0 {
+            self.units as f64 / m
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_bench(name: &'static str, reps: usize, mut iter: impl FnMut() -> u64) -> Bench {
+    let mut secs = Vec::with_capacity(reps);
+    let mut units = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        units = iter();
+        secs.push(t0.elapsed().as_secs_f64());
+    }
+    let b = Bench { name, units, secs };
+    println!(
+        "{:32} {:>10.1} units/s  (median {:.4} s, mean {:.4} s, {} reps)",
+        b.name,
+        b.events_per_sec(),
+        b.median_secs(),
+        b.mean_secs(),
+        b.secs.len()
+    );
+    b
+}
+
+/// Kernel throughput without cancellations: schedule a pool, then a long
+/// pop-one/schedule-one steady state — the engine's common case.
+fn event_queue_schedule_pop(n: usize, seed: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = Rng64::seed_from_u64(seed);
+    let pool = (n / 8).max(64);
+    for i in 0..pool {
+        q.schedule(SimTime::from_micros(rng.range_u64(1, 1_000_000)), i as u64);
+    }
+    let mut ops = pool as u64;
+    for _ in 0..n {
+        let (_, _, v) = q.pop().expect("pool is never empty");
+        q.schedule_in(SimDuration::from_micros(rng.range_u64(1, 1_000_000)), v);
+        ops += 2;
+    }
+    while q.pop().is_some() {
+        ops += 1;
+    }
+    std::hint::black_box(q.now());
+    ops
+}
+
+/// Kernel throughput with true cancellation pressure: every iteration pops
+/// one event, schedules two, and cancels one remembered handle — the
+/// retry/timeout pattern the fault-recovery machinery generates.
+fn event_queue_mix(n: usize, seed: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut ids = Vec::with_capacity(n + 64);
+    for i in 0..64u64 {
+        ids.push(q.schedule(SimTime::from_micros(rng.range_u64(1, 10_000_000)), i));
+    }
+    let mut ops = ids.len() as u64;
+    for i in 0..n {
+        if q.pop().is_some() {
+            ops += 1;
+        }
+        for _ in 0..2 {
+            let at = q.now() + SimDuration::from_micros(rng.range_u64(1, 10_000_000));
+            ids.push(q.schedule(at, i as u64));
+            ops += 1;
+        }
+        let victim = ids.swap_remove(rng.range_usize(ids.len()));
+        q.cancel(victim);
+        ops += 1;
+    }
+    while q.pop().is_some() {
+        ops += 1;
+    }
+    std::hint::black_box(q.now());
+    ops
+}
+
+/// Full one-shot placement searches over `configs` distinct bandwidth
+/// matrices on an `n`-server complete binary tree.
+fn placement_search(n: usize, configs: usize, seed: u64) -> u64 {
+    let tree = CombinationTree::complete_binary(n).expect("power-of-two server count");
+    let roster = HostRoster::one_host_per_server(n);
+    let model = CostModel::paper_defaults();
+    let hosts = roster.host_count();
+    let mut acc = 0.0f64;
+    for cfg in 0..configs {
+        let mut rng = Rng64::seed_from_u64(seed ^ (cfg as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut bw = BwMatrix::new(hosts);
+        for a in 0..hosts {
+            for b in (a + 1)..hosts {
+                bw.set(
+                    wadc_plan::ids::HostId::new(a),
+                    wadc_plan::ids::HostId::new(b),
+                    rng.range_f64(2_000.0, 2_000_000.0),
+                );
+            }
+        }
+        let r = one_shot_placement(&tree, &roster, &bw, &model);
+        acc += r.cost;
+    }
+    std::hint::black_box(acc);
+    configs as u64
+}
+
+/// Nearly monotone `transfer_duration` queries against one long
+/// multi-segment trace — the access pattern of the network layer's link
+/// lookups during a run.
+fn trace_transfers(queries: usize, segments: usize, seed: u64) -> u64 {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut steps = Vec::with_capacity(segments);
+    let mut t = 0.0f64;
+    for _ in 0..segments {
+        steps.push((t, rng.range_f64(4_000.0, 4_000_000.0)));
+        t += rng.range_f64(10.0, 60.0);
+    }
+    let trace = BandwidthTrace::from_steps(&steps).expect("valid synthetic trace");
+    let horizon = SimTime::from_secs_f64(t);
+    let mut at = SimTime::ZERO;
+    let mut acc = 0u64;
+    for _ in 0..queries {
+        at += SimDuration::from_micros(rng.range_u64(100_000, 30_000_000));
+        if at > horizon {
+            at = SimTime::ZERO; // wrap, as a fresh run's transfers do
+        }
+        let d = trace.transfer_duration(262_144, at);
+        acc = acc.wrapping_add(d.as_micros());
+    }
+    std::hint::black_box(acc);
+    queries as u64
+}
+
+/// A reduced paper-main study: the end-to-end number every other bench
+/// feeds into. Uses the sequential driver so the measurement is not
+/// scheduler-dependent.
+fn study_reduced(configs: usize, seed: u64) -> u64 {
+    let mut p = StudyParams::paper_main(seed);
+    p.n_configs = configs;
+    p.trace_window = SimDuration::from_hours(2);
+    p.workload.images_per_server = 16;
+    let runs_per_config = 1 + p.algorithms.len() as u64; // + download-all
+    let results = run_study(&p);
+    std::hint::black_box(results.outcomes.len());
+    configs as u64 * runs_per_config
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = if args.quick { "quick" } else { "full" };
+    println!("perf harness ({scale} scale, seed {})", args.seed);
+
+    // Sizes chosen so the full run finishes in well under a minute per rep
+    // even on the pre-optimization code paths.
+    let (ev_n, mix_n, ps_cfgs, tq_n, study_cfgs) = if args.quick {
+        (20_000, 2_000, 2, 20_000, 1)
+    } else {
+        (200_000, 20_000, 8, 200_000, 4)
+    };
+    let seed = args.seed;
+    let reps = args.reps;
+    let study_reps = reps.min(2);
+
+    let benches = [
+        run_bench("event_queue_schedule_pop", reps, || {
+            event_queue_schedule_pop(ev_n, seed)
+        }),
+        run_bench("event_queue_mix", reps, || event_queue_mix(mix_n, seed)),
+        run_bench("placement_search_8", reps, || {
+            placement_search(8, ps_cfgs, seed)
+        }),
+        run_bench("placement_search_24", reps, || {
+            placement_search(24, ps_cfgs.div_ceil(2), seed)
+        }),
+        run_bench("trace_transfers", reps, || {
+            trace_transfers(tq_n, 2_000, seed)
+        }),
+        run_bench("study_reduced", study_reps, || {
+            study_reduced(study_cfgs, seed)
+        }),
+    ];
+
+    let rows: Vec<Json> = benches
+        .iter()
+        .map(|b| {
+            Json::obj()
+                .field("name", b.name)
+                .field("iterations", b.secs.len())
+                .field("units_per_iteration", b.units)
+                .field("median_secs", b.median_secs())
+                .field("mean_secs", b.mean_secs())
+                .field("events_per_sec", b.events_per_sec())
+        })
+        .collect();
+    let json = Json::obj()
+        .field("schema", "wadc-bench-perf-v1")
+        .field("mode", scale)
+        .field("seed", args.seed)
+        .field("benches", rows);
+    std::fs::write(&args.json, json.to_string_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.json.display()));
+    println!("results archived to {}", args.json.display());
+}

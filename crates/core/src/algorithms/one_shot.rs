@@ -9,9 +9,12 @@
 //! all-at-the-client is the re-planning step of the global algorithm
 //! (paper §2.2).
 
-use wadc_plan::bandwidth::BandwidthView;
+use wadc_plan::bandwidth::{BandwidthView, DenseView};
 use wadc_plan::cost::CostModel;
-use wadc_plan::critical_path::{contended_placement_cost, critical_path, placement_cost};
+use wadc_plan::critical_path::{
+    contended_placement_cost, nic_occupancy, placement_cost, IncrementalCriticalPath,
+};
+use wadc_plan::ids::{HostId, OperatorId};
 use wadc_plan::placement::{HostRoster, Placement};
 use wadc_plan::tree::CombinationTree;
 
@@ -86,34 +89,58 @@ pub fn improve_placement_by(
     model: &CostModel,
     objective: Objective,
 ) -> SearchResult {
+    // Snapshot the (possibly layered, hash-backed) view into a dense
+    // matrix once: the scan below queries the same few host pairs
+    // thousands of times. The snapshot returns exactly the same values,
+    // so the search's decisions are unchanged.
+    let dense = DenseView::snapshot(roster.host_count(), view);
     let mut current = initial;
-    let mut cost = objective.evaluate(tree, roster, &current, view, model);
+    let mut eval = IncrementalCriticalPath::new(tree, roster, &current, &dense, model);
+    let nic_max = |placement: &Placement| {
+        nic_occupancy(tree, roster, placement, &dense, model)
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    };
+    let mut cost = match objective {
+        Objective::CriticalPath => eval.root_cost(),
+        Objective::Contended => eval.root_cost().max(nic_max(&current)),
+    };
     let mut iterations = 0;
+    let mut cp_ops: Vec<OperatorId> = Vec::new();
     loop {
         iterations += 1;
-        let cp = critical_path(tree, roster, &current, view, model);
+        eval.critical_operators(&mut cp_ops);
         // Scan every (operator on K) × (alternative host) pair; remember
-        // the cheapest alternative placement found this round.
+        // the cheapest alternative move found this round. Candidates are
+        // scored by an O(depth) incremental probe instead of a full
+        // recompute; the probe is bit-identical to the full evaluation.
         let mut best_cost = cost;
-        let mut best: Option<Placement> = None;
-        for op in cp.operators(tree) {
+        let mut best: Option<(OperatorId, HostId)> = None;
+        for &op in &cp_ops {
             let original = current.site(op);
             for host in roster.hosts() {
                 if host == original {
                     continue;
                 }
-                current.set_site(op, host);
-                let c = objective.evaluate(tree, roster, &current, view, model);
+                let c = match objective {
+                    Objective::CriticalPath => eval.cost_if_moved(op, host),
+                    Objective::Contended => {
+                        current.set_site(op, host);
+                        let nic = nic_max(&current);
+                        current.set_site(op, original);
+                        eval.cost_if_moved(op, host).max(nic)
+                    }
+                };
                 if c < best_cost * (1.0 - MIN_IMPROVEMENT) {
                     best_cost = c;
-                    best = Some(current.clone());
+                    best = Some((op, host));
                 }
             }
-            current.set_site(op, original);
         }
         match best {
-            Some(p) => {
-                current = p;
+            Some((op, host)) => {
+                current.set_site(op, host);
+                eval.apply_move(op, host);
                 cost = best_cost;
             }
             None => {
@@ -165,6 +192,7 @@ pub fn one_shot_placement(
 mod tests {
     use super::*;
     use wadc_plan::bandwidth::BwMatrix;
+    use wadc_plan::critical_path::critical_path;
     use wadc_plan::ids::HostId;
 
     fn h(i: usize) -> HostId {

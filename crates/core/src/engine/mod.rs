@@ -250,6 +250,35 @@ pub struct Engine {
     /// Probes rolled as black-holed at submission: their transfer still
     /// occupies the wire, but delivery discards them unmeasured.
     doomed_probes: BTreeSet<TransferId>,
+    /// Reusable buffers for the local algorithm's per-operator decision so
+    /// the epoch hot loop allocates nothing once warmed up.
+    local_scratch: LocalScratch,
+}
+
+/// Scratch storage for [`Engine::fill_local_context`]: the context handed
+/// to [`best_local_site`] plus the working vectors used to draw the extra
+/// random candidates. Reused across decisions; contents are rebuilt from
+/// scratch each call, so stale data cannot leak between operators.
+#[derive(Debug)]
+struct LocalScratch {
+    ctx: LocalContext,
+    fixed: Vec<HostId>,
+    remaining: Vec<HostId>,
+}
+
+impl Default for LocalScratch {
+    fn default() -> Self {
+        LocalScratch {
+            ctx: LocalContext {
+                producers: Vec::new(),
+                consumer: HostId::new(0),
+                current: HostId::new(0),
+                extra_candidates: Vec::new(),
+            },
+            fixed: Vec::new(),
+            remaining: Vec::new(),
+        }
+    }
 }
 
 impl Engine {
@@ -443,6 +472,7 @@ impl Engine {
             }),
             faults,
             doomed_probes: BTreeSet::new(),
+            local_scratch: LocalScratch::default(),
             cfg,
             tree,
             roster,
@@ -1419,10 +1449,10 @@ impl Engine {
             if !on_cp || frozen {
                 continue;
             }
-            let ctx = self.local_context(node, host);
+            self.fill_local_context(node, host);
             let view = PlannerView::monitored(&self.caches[host.index()], self.net.links(), now)
                 .with_grace(self.planner_grace());
-            let decision = best_local_site(&ctx, view, &self.cfg.cost_model);
+            let decision = best_local_site(&self.local_scratch.ctx, view, &self.cfg.cost_model);
             if decision.moves() {
                 self.audit.record(AuditEvent::LocalDecision {
                     at: now,
@@ -1436,10 +1466,16 @@ impl Engine {
         }
     }
 
-    /// Builds the operator's local view: producer and consumer locations
-    /// from the host's location vector (servers and the client are pinned
-    /// by the roster), plus `k` random extra candidates.
-    fn local_context(&mut self, node: NodeId, host: HostId) -> LocalContext {
+    /// Builds the operator's local view into `self.local_scratch.ctx`:
+    /// producer and consumer locations from the host's location vector
+    /// (servers and the client are pinned by the roster), plus `k` random
+    /// extra candidates. Fills reusable buffers instead of allocating —
+    /// the epoch wavefront calls this for every critical-path operator.
+    fn fill_local_context(&mut self, node: NodeId, host: HostId) {
+        // Take the scratch out so its buffers can be filled while reading
+        // the rest of the engine; `take` swaps in empty (non-allocating)
+        // vectors, so no per-call allocation happens either way.
+        let mut scratch = std::mem::take(&mut self.local_scratch);
         let believed = |engine: &Engine, peer: NodeId| -> HostId {
             match engine.tree.node(peer).kind {
                 NodeKind::Server(s) => engine.roster.server_host(s),
@@ -1447,35 +1483,38 @@ impl Engine {
                 NodeKind::Operator(op) => engine.vectors[host.index()].location(op),
             }
         };
-        let producers: Vec<HostId> = self
-            .tree
-            .node(node)
-            .children
-            .iter()
-            .map(|&c| believed(self, c))
-            .collect();
-        let consumer = believed(
+        scratch.ctx.producers.clear();
+        scratch.ctx.producers.extend(
+            self.tree
+                .node(node)
+                .children
+                .iter()
+                .map(|&c| believed(self, c)),
+        );
+        scratch.ctx.consumer = believed(
             self,
             self.tree.node(node).parent.expect("operators have parents"),
         );
-        let mut fixed: Vec<HostId> = producers.clone();
-        fixed.push(consumer);
-        fixed.push(host);
-        let mut extras = Vec::new();
+        scratch.ctx.current = host;
+        scratch.fixed.clear();
+        scratch.fixed.extend_from_slice(&scratch.ctx.producers);
+        scratch.fixed.push(scratch.ctx.consumer);
+        scratch.fixed.push(host);
+        scratch.ctx.extra_candidates.clear();
         if self.extra_candidates > 0 {
-            let mut remaining: Vec<HostId> =
-                self.roster.hosts().filter(|h| !fixed.contains(h)).collect();
-            for _ in 0..self.extra_candidates.min(remaining.len()) {
-                let idx = self.rng.range_usize(remaining.len());
-                extras.push(remaining.swap_remove(idx));
+            scratch.remaining.clear();
+            scratch
+                .remaining
+                .extend(self.roster.hosts().filter(|h| !scratch.fixed.contains(h)));
+            for _ in 0..self.extra_candidates.min(scratch.remaining.len()) {
+                let idx = self.rng.range_usize(scratch.remaining.len());
+                scratch
+                    .ctx
+                    .extra_candidates
+                    .push(scratch.remaining.swap_remove(idx));
             }
         }
-        LocalContext {
-            producers,
-            consumer,
-            current: host,
-            extra_candidates: extras,
-        }
+        self.local_scratch = scratch;
     }
 
     // ------------------------------------------------------------------

@@ -22,6 +22,8 @@ use wadc_sim::resource::Priority;
 use wadc_sim::stats::TimeWeighted;
 use wadc_sim::time::{SimDuration, SimTime};
 
+use wadc_trace::model::TraceCursor;
+
 use crate::faults::FaultInjector;
 use crate::link::LinkTable;
 
@@ -198,6 +200,11 @@ pub struct Network<P> {
     next_id: u64,
     stats: NetStats,
     faults: Option<FaultInjector>,
+    /// One trace-lookup cursor per unordered host pair (both directions of
+    /// a link share a trace, so they share a cursor). Transfer start times
+    /// on a link advance nearly monotonically, which the cursors turn into
+    /// O(1) segment lookups; results are identical to cursor-free lookups.
+    link_cursors: Vec<TraceCursor>,
 }
 
 impl<P> Network<P> {
@@ -217,7 +224,18 @@ impl<P> Network<P> {
             next_id: 0,
             stats: NetStats::default(),
             faults: None,
+            link_cursors: vec![TraceCursor::new(); n * n],
         }
+    }
+
+    /// The shared cursor of the unordered pair `(a, b)`.
+    fn cursor_index(&self, a: HostId, b: HostId) -> usize {
+        let (lo, hi) = if a.index() <= b.index() {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
+        lo * self.nic_busy.len() + hi
     }
 
     /// Attaches a fault injector: links it reports as blocked stop
@@ -320,11 +338,17 @@ impl<P> Network<P> {
                 self.nic_busy[spec.dst.index()] += 1;
                 self.touch_usage(spec, now);
                 let data_start = now + self.params.startup;
+                let cursor_idx = self.cursor_index(spec.src, spec.dst);
                 let trace = self
                     .links
                     .trace(spec.src, spec.dst)
                     .expect("validated at submit");
-                let completes_at = data_start + trace.transfer_duration(spec.bytes, data_start);
+                let completes_at = data_start
+                    + trace.transfer_duration_with(
+                        &mut self.link_cursors[cursor_idx],
+                        spec.bytes,
+                        data_start,
+                    );
                 self.in_flight.insert(
                     p.id,
                     InFlight {

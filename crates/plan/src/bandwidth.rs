@@ -123,6 +123,49 @@ impl BandwidthView for BwMatrix {
     }
 }
 
+/// A dense one-shot snapshot of another [`BandwidthView`].
+///
+/// Search loops query the same small host set thousands of times per
+/// planner run; layered views (forecaster over cache over oracle probe)
+/// pay a hash lookup or worse per query. A `DenseView` materialises every
+/// ordered pair once up front, so each subsequent query is a single array
+/// read. It stores both directions independently and therefore returns
+/// exactly what the snapshotted view returned, asymmetries included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseView {
+    n: usize,
+    vals: Vec<Option<f64>>,
+}
+
+impl DenseView {
+    /// Captures `view` over hosts `0..n`.
+    pub fn snapshot(n: usize, view: impl BandwidthView) -> Self {
+        let mut vals = vec![None; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    vals[a * n + b] = view.bandwidth(HostId::new(a), HostId::new(b));
+                }
+            }
+        }
+        DenseView { n, vals }
+    }
+
+    /// Number of hosts the snapshot covers.
+    pub fn host_count(&self) -> usize {
+        self.n
+    }
+}
+
+impl BandwidthView for DenseView {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        if a == b || a.index() >= self.n || b.index() >= self.n {
+            return None;
+        }
+        self.vals[a.index() * self.n + b.index()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +211,38 @@ mod tests {
     #[should_panic(expected = "no self-links")]
     fn set_self_link_panics() {
         BwMatrix::new(2).set(HostId::new(0), HostId::new(0), 1.0);
+    }
+
+    #[test]
+    fn dense_snapshot_matches_source_exactly() {
+        let m = BwMatrix::from_fn(4, |a, b| (3 + a.index() * 5 + b.index()) as f64);
+        let d = DenseView::snapshot(4, &m);
+        assert_eq!(d.host_count(), 4);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(
+                    d.bandwidth(HostId::new(a), HostId::new(b)),
+                    m.bandwidth(HostId::new(a), HostId::new(b))
+                );
+            }
+        }
+        // Out of range behaves like any view.
+        assert_eq!(d.bandwidth(HostId::new(0), HostId::new(9)), None);
+    }
+
+    #[test]
+    fn dense_snapshot_preserves_asymmetry() {
+        // A view that is (artificially) asymmetric must snapshot per
+        // direction — the search only ever queries child→parent pairs.
+        struct Asym;
+        impl BandwidthView for Asym {
+            fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+                (a != b).then(|| (a.index() * 10 + b.index()) as f64)
+            }
+        }
+        let d = DenseView::snapshot(3, Asym);
+        assert_eq!(d.bandwidth(HostId::new(1), HostId::new(2)), Some(12.0));
+        assert_eq!(d.bandwidth(HostId::new(2), HostId::new(1)), Some(21.0));
     }
 
     #[test]

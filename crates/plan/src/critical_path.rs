@@ -12,7 +12,7 @@
 
 use crate::bandwidth::BandwidthView;
 use crate::cost::CostModel;
-use crate::ids::{NodeId, OperatorId};
+use crate::ids::{HostId, NodeId, OperatorId};
 use crate::placement::{HostRoster, Placement};
 use crate::tree::{CombinationTree, NodeKind};
 
@@ -50,11 +50,6 @@ pub fn subtree_costs(
     for node_id in tree.postorder() {
         let node = tree.node(node_id);
         let here = placement.node_host(tree, roster, node_id);
-        let own = match node.kind {
-            NodeKind::Server(_) => model.disk_secs,
-            NodeKind::Operator(_) => model.compute_secs,
-            NodeKind::Client => 0.0,
-        };
         let slowest_input = node
             .children
             .iter()
@@ -63,9 +58,20 @@ pub fn subtree_costs(
                 model.edge_cost(&view, child_host, here) + cost[c.index()]
             })
             .fold(0.0f64, f64::max);
-        cost[node_id.index()] = own + slowest_input;
+        cost[node_id.index()] = own_cost(node.kind, model) + slowest_input;
     }
     cost
+}
+
+/// A node's own processing cost under the model: disk at servers,
+/// composition at operators, nothing at the client.
+#[inline]
+fn own_cost(kind: NodeKind, model: &CostModel) -> f64 {
+    match kind {
+        NodeKind::Server(_) => model.disk_secs,
+        NodeKind::Operator(_) => model.compute_secs,
+        NodeKind::Client => 0.0,
+    }
 }
 
 /// Computes the critical path of a placed tree under the cost model.
@@ -287,6 +293,183 @@ pub fn contended_placement_cost(
     cp.max(nic)
 }
 
+/// An incremental evaluator of the critical-path objective.
+///
+/// [`subtree_costs`] makes every candidate evaluation O(nodes), with a
+/// fresh allocation, a postorder traversal, and a `node_host` resolution
+/// per node — and the search loops evaluate every (critical-path operator
+/// × host) pair per iteration. But a node's subtree cost depends only on
+/// hosts *within its subtree*, so moving one operator can only change the
+/// costs on that operator's root-ward path. This evaluator caches the
+/// subtree costs and a flat `Vec<HostId>`-indexed placement view, making
+/// a candidate evaluation O(depth) with no allocation and no hashing.
+///
+/// Every arithmetic expression matches [`subtree_costs`] operation for
+/// operation (same children order, same `f64::max` folds), so the costs it
+/// returns are **bit-identical** to a full recompute — the search makes
+/// exactly the decisions it made before, which the golden-digest
+/// determinism gate requires.
+#[derive(Debug, Clone)]
+pub struct IncrementalCriticalPath<'a, V> {
+    tree: &'a CombinationTree,
+    view: V,
+    model: &'a CostModel,
+    /// Host of every tree node (servers and client resolved through the
+    /// roster once, operators tracked across [`Self::apply_move`]).
+    node_hosts: Vec<HostId>,
+    /// Cached subtree cost of every node, always equal to what
+    /// [`subtree_costs`] would return for the current placement.
+    costs: Vec<f64>,
+}
+
+impl<'a, V: BandwidthView> IncrementalCriticalPath<'a, V> {
+    /// Builds the evaluator for `placement`, computing the full subtree
+    /// costs once.
+    pub fn new(
+        tree: &'a CombinationTree,
+        roster: &HostRoster,
+        placement: &Placement,
+        view: V,
+        model: &'a CostModel,
+    ) -> Self {
+        let node_hosts: Vec<HostId> = (0..tree.nodes().len())
+            .map(|i| placement.node_host(tree, roster, NodeId::new(i)))
+            .collect();
+        let mut eval = IncrementalCriticalPath {
+            tree,
+            view,
+            model,
+            node_hosts,
+            costs: vec![0.0f64; tree.nodes().len()],
+        };
+        for node_id in tree.postorder() {
+            let here = eval.node_hosts[node_id.index()];
+            eval.costs[node_id.index()] = eval.node_cost(node_id, here);
+        }
+        eval
+    }
+
+    /// Recomputes one node's subtree cost from its (cached) children,
+    /// assuming the node itself sits on `here`. Mirrors the corresponding
+    /// step of [`subtree_costs`] exactly.
+    fn node_cost(&self, node_id: NodeId, here: HostId) -> f64 {
+        let node = self.tree.node(node_id);
+        let slowest_input = node
+            .children
+            .iter()
+            .map(|&c| {
+                let child_host = self.node_hosts[c.index()];
+                self.model.edge_cost(&self.view, child_host, here) + self.costs[c.index()]
+            })
+            .fold(0.0f64, f64::max);
+        own_cost(node.kind, self.model) + slowest_input
+    }
+
+    /// The critical-path cost of the current placement (the root's subtree
+    /// cost), equal to [`placement_cost`].
+    pub fn root_cost(&self) -> f64 {
+        self.costs[self.tree.root().index()]
+    }
+
+    /// The cached subtree costs, indexable by [`NodeId::index`]; equal to
+    /// [`subtree_costs`] for the current placement.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Host of every tree node under the current placement, indexable by
+    /// [`NodeId::index`].
+    pub fn node_hosts(&self) -> &[HostId] {
+        &self.node_hosts
+    }
+
+    /// The root cost the placement would have if `op` moved to `host`,
+    /// without committing the move: re-evaluates only the moved node and
+    /// its ancestors, O(depth).
+    pub fn cost_if_moved(&self, op: OperatorId, host: HostId) -> f64 {
+        let moved = self.tree.operator_node(op);
+        let mut cur = moved;
+        let mut cur_cost = self.node_cost(moved, host);
+        while let Some(parent) = self.tree.node(cur).parent {
+            let here = self.node_hosts[parent.index()];
+            let slowest_input = self
+                .tree
+                .node(parent)
+                .children
+                .iter()
+                .map(|&c| {
+                    let (child_host, child_cost) = if c == cur {
+                        let h = if c == moved {
+                            host
+                        } else {
+                            self.node_hosts[c.index()]
+                        };
+                        (h, cur_cost)
+                    } else {
+                        (self.node_hosts[c.index()], self.costs[c.index()])
+                    };
+                    self.model.edge_cost(&self.view, child_host, here) + child_cost
+                })
+                .fold(0.0f64, f64::max);
+            cur_cost = own_cost(self.tree.node(parent).kind, self.model) + slowest_input;
+            cur = parent;
+        }
+        cur_cost
+    }
+
+    /// Commits a move of `op` to `host`, updating the cached costs along
+    /// the moved node's root-ward path.
+    pub fn apply_move(&mut self, op: OperatorId, host: HostId) {
+        let moved = self.tree.operator_node(op);
+        self.node_hosts[moved.index()] = host;
+        self.costs[moved.index()] = self.node_cost(moved, host);
+        let mut cur = moved;
+        while let Some(parent) = self.tree.node(cur).parent {
+            let here = self.node_hosts[parent.index()];
+            self.costs[parent.index()] = self.node_cost(parent, here);
+            cur = parent;
+        }
+    }
+
+    /// The operators on the current critical path, bottom-up, written into
+    /// `out` (cleared first) so search loops can reuse the buffer. Follows
+    /// the same walk — including `max_by`'s keep-the-last tie handling —
+    /// as [`critical_path`], so the reported operators are identical.
+    pub fn critical_operators(&self, out: &mut Vec<OperatorId>) {
+        out.clear();
+        let mut cur = self.tree.root();
+        loop {
+            if let Some(op) = self.tree.operator_at(cur) {
+                out.push(op);
+            }
+            let node = self.tree.node(cur);
+            if node.children.is_empty() {
+                break;
+            }
+            let here = self.node_hosts[cur.index()];
+            let next = node
+                .children
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let ca = self
+                        .model
+                        .edge_cost(&self.view, self.node_hosts[a.index()], here)
+                        + self.costs[a.index()];
+                    let cb = self
+                        .model
+                        .edge_cost(&self.view, self.node_hosts[b.index()], here)
+                        + self.costs[b.index()];
+                    ca.partial_cmp(&cb).expect("costs are finite")
+                })
+                .expect("non-leaf has children");
+            cur = next;
+        }
+        // The walk collected top-down; the search scans bottom-up.
+        out.reverse();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +663,93 @@ mod tests {
         let p = Placement::download_all(&tree, &roster);
         let est = pipeline_estimate(&tree, &roster, &p, &bw, &model);
         assert!(est.interval_secs >= model.compute_secs);
+    }
+
+    #[test]
+    fn incremental_probe_is_bit_identical_to_full_recompute() {
+        // The evaluator must return *exactly* the f64 the full recompute
+        // returns — not approximately — or search decisions (and hence the
+        // golden digests) could drift. Exercise every (operator, host)
+        // probe from several placements on binary and left-deep trees.
+        for tree in [
+            CombinationTree::complete_binary(8).unwrap(),
+            CombinationTree::left_deep(6).unwrap(),
+        ] {
+            let n = tree.server_nodes().len();
+            let roster = HostRoster::one_host_per_server(n);
+            let model = CostModel::paper_defaults();
+            let bw = BwMatrix::from_fn(roster.host_count(), |a, b| {
+                3_000.0 + ((a.index() * 13 + b.index() * 7) % 53) as f64 * 4_000.0
+            });
+            let mut placement = Placement::download_all(&tree, &roster);
+            for round in 0..4 {
+                let eval = IncrementalCriticalPath::new(&tree, &roster, &placement, &bw, &model);
+                assert_eq!(
+                    eval.root_cost(),
+                    placement_cost(&tree, &roster, &placement, &bw, &model)
+                );
+                let mut probe = placement.clone();
+                for i in 0..tree.operator_count() {
+                    let op = OperatorId::new(i);
+                    let original = probe.site(op);
+                    for host in roster.hosts() {
+                        probe.set_site(op, host);
+                        let full = placement_cost(&tree, &roster, &probe, &bw, &model);
+                        assert_eq!(
+                            eval.cost_if_moved(op, host),
+                            full,
+                            "probe {op}→{host} diverges from full recompute"
+                        );
+                    }
+                    probe.set_site(op, original);
+                }
+                // Mutate the placement for the next round.
+                let op = OperatorId::new(round % tree.operator_count());
+                let host = HostId::new((round * 3 + 1) % roster.host_count());
+                placement.set_site(op, host);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_apply_matches_fresh_evaluator() {
+        let (tree, roster, model) = setup(8);
+        let bw = BwMatrix::from_fn(9, |a, b| {
+            2_000.0 + ((a.index() * 41 + b.index() * 3) % 29) as f64 * 9_000.0
+        });
+        let mut placement = Placement::download_all(&tree, &roster);
+        let mut eval = IncrementalCriticalPath::new(&tree, &roster, &placement, &bw, &model);
+        for step in 0..12 {
+            let op = OperatorId::new(step % tree.operator_count());
+            let host = HostId::new((step * 5 + 2) % roster.host_count());
+            placement.set_site(op, host);
+            eval.apply_move(op, host);
+            let fresh = IncrementalCriticalPath::new(&tree, &roster, &placement, &bw, &model);
+            assert_eq!(eval.costs(), fresh.costs(), "stale cache after step {step}");
+            assert_eq!(eval.node_hosts(), fresh.node_hosts());
+            assert_eq!(
+                eval.root_cost(),
+                placement_cost(&tree, &roster, &placement, &bw, &model)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_critical_operators_match_critical_path() {
+        let (tree, roster, model) = setup(8);
+        // Include ties (uniform bandwidth) to pin the tie-breaking walk.
+        for bw in [
+            BwMatrix::from_fn(9, |_, _| 64_000.0),
+            BwMatrix::from_fn(9, |a, b| 10_000.0 + (a.index() * 7 + b.index() * 13) as f64),
+        ] {
+            let mut placement = Placement::download_all(&tree, &roster);
+            placement.set_site(OperatorId::new(1), HostId::new(2));
+            let eval = IncrementalCriticalPath::new(&tree, &roster, &placement, &bw, &model);
+            let mut ops = Vec::new();
+            eval.critical_operators(&mut ops);
+            let cp = critical_path(&tree, &roster, &placement, &bw, &model);
+            assert_eq!(ops, cp.operators(&tree));
+        }
     }
 
     #[test]

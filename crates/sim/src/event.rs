@@ -4,48 +4,54 @@
 //! non-decreasing time order. Ties are broken by scheduling order (a
 //! monotonically increasing sequence number), which makes the execution
 //! order a *total* order and hence the whole simulation deterministic.
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+//!
+//! # Implementation
+//!
+//! The queue is an indexed 4-ary min-heap over a slab of scheduled
+//! entries. The heap stores slot indices ordered by `(time, seq)`; each
+//! slab entry remembers its current heap position, so [`EventQueue::cancel`]
+//! removes the entry from the middle of the heap in O(log n) — there is no
+//! tombstone set to consult on every pop, and no hashing anywhere on the
+//! schedule/pop/cancel paths. Slots are recycled through a free list;
+//! a stale handle (the event already fired or was cancelled) is detected
+//! by comparing the handle's sequence number against the slot's current
+//! occupant.
 
 use crate::time::{SimDuration, SimTime};
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Ordering and equality follow the scheduling sequence number, so ids
+/// compare in scheduling order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    /// Scheduling sequence number; compared first, and unique per event.
+    seq: u64,
+    /// Slab slot the event occupied when scheduled.
+    slot: u32,
+}
 
 impl EventId {
     /// Returns the raw sequence number backing this id.
     pub fn as_u64(self) -> u64 {
-        self.0
+        self.seq
     }
 }
 
+/// Branching factor of the heap. A wider node trades deeper comparisons
+/// per `sift_down` level for a much shallower tree, which wins for the
+/// pop-heavy workload of a DES kernel.
+const D: usize = 4;
+
+/// A slab entry. `payload: None` marks a free slot (its index is on the
+/// free list and `seq`/`pos` are stale).
 #[derive(Debug)]
-struct Scheduled<E> {
+struct Slot<E> {
     at: SimTime,
-    id: EventId,
-    payload: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops first.
-        (other.at, other.id).cmp(&(self.at, self.id))
-    }
+    seq: u64,
+    /// Current index in `EventQueue::heap`.
+    pos: u32,
+    payload: Option<E>,
 }
 
 /// A deterministic future event list over payload type `E`.
@@ -64,8 +70,10 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<EventId>,
+    /// Slot indices, heap-ordered by the slots' `(at, seq)`.
+    heap: Vec<u32>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
@@ -80,8 +88,9 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -95,12 +104,65 @@ impl<E> EventQueue<E> {
 
     /// Number of live (not cancelled) events still scheduled.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len()
     }
 
     /// Returns `true` if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.heap.is_empty()
+    }
+
+    /// The heap ordering key of the slot at heap position `pos`.
+    #[inline]
+    fn key_at(&self, pos: usize) -> (SimTime, u64) {
+        let s = &self.slots[self.heap[pos] as usize];
+        (s.at, s.seq)
+    }
+
+    /// Moves the entry at heap position `pos` rootward while it precedes
+    /// its parent; returns its final position.
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        while pos > 0 {
+            let parent = (pos - 1) / D;
+            if self.key_at(pos) < self.key_at(parent) {
+                self.heap.swap(pos, parent);
+                self.slots[self.heap[pos] as usize].pos = pos as u32;
+                self.slots[self.heap[parent] as usize].pos = parent as u32;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        pos
+    }
+
+    /// Moves the entry at heap position `pos` leafward while any child
+    /// precedes it.
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let first = pos * D + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + D).min(self.heap.len());
+            let mut best = first;
+            let mut best_key = self.key_at(first);
+            for c in (first + 1)..last {
+                let k = self.key_at(c);
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if best_key < self.key_at(pos) {
+                self.heap.swap(pos, best);
+                self.slots[self.heap[pos] as usize].pos = pos as u32;
+                self.slots[self.heap[best] as usize].pos = best as u32;
+                pos = best;
+            } else {
+                break;
+            }
+        }
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -114,10 +176,31 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         debug_assert!(at >= self.now, "scheduling event in the past");
         let at = at.max(self.now);
-        let id = EventId(self.next_seq);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, id, payload });
-        id
+        let pos = self.heap.len() as u32;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let entry = &mut self.slots[s as usize];
+                entry.at = at;
+                entry.seq = seq;
+                entry.pos = pos;
+                entry.payload = Some(payload);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    at,
+                    seq,
+                    pos,
+                    payload: Some(payload),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(slot);
+        self.sift_up(self.heap.len() - 1);
+        EventId { seq, slot }
     }
 
     /// Schedules `payload` to fire `delay` after the current time.
@@ -135,46 +218,52 @@ impl<E> EventQueue<E> {
     /// still pending (and will now never fire), `false` if it had already
     /// fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        match self.slots.get(id.slot as usize) {
+            // The slot is free, or recycled by a later event: the handle's
+            // event already fired or was already cancelled.
+            Some(s) if s.payload.is_some() && s.seq == id.seq => {}
+            _ => return false,
         }
-        // We cannot cheaply know whether the id is still in the heap, so track
-        // the cancellation and filter on pop; double-cancel is a no-op.
-        if self.cancelled.contains(&id) {
-            return false;
+        let pos = self.slots[id.slot as usize].pos as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos < self.heap.len() {
+            self.slots[self.heap[pos] as usize].pos = pos as u32;
+            // The entry moved into the hole came from a leaf; it may belong
+            // either rootward or leafward of the hole.
+            if self.sift_up(pos) == pos {
+                self.sift_down(pos);
+            }
         }
-        // Only mark ids that might still be queued.
-        let live = self.heap.iter().any(|s| s.id == id);
-        if live {
-            self.cancelled.insert(id);
-        }
-        live
+        let entry = &mut self.slots[id.slot as usize];
+        entry.payload = None;
+        self.free.push(id.slot);
+        true
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
-        while let Some(s) = self.heap.pop() {
-            if self.cancelled.remove(&s.id) {
-                continue;
-            }
-            self.now = s.at;
-            return Some((s.at, s.id, s.payload));
+        let &root = self.heap.first()?;
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        self.heap.pop();
+        if !self.heap.is_empty() {
+            self.slots[self.heap[0] as usize].pos = 0;
+            self.sift_down(0);
         }
-        None
+        let entry = &mut self.slots[root as usize];
+        let at = entry.at;
+        let seq = entry.seq;
+        let payload = entry.payload.take().expect("scheduled slot has a payload");
+        self.free.push(root);
+        self.now = at;
+        Some((at, EventId { seq, slot: root }, payload))
     }
 
     /// Returns the timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            match self.heap.peek() {
-                None => return None,
-                Some(s) if self.cancelled.contains(&s.id) => {
-                    let s = self.heap.pop().expect("peeked element exists");
-                    self.cancelled.remove(&s.id);
-                }
-                Some(s) => return Some(s.at),
-            }
-        }
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&s| self.slots[s as usize].at)
     }
 }
 
@@ -231,6 +320,19 @@ mod tests {
         let a = q.schedule(SimTime::from_secs(1), ());
         q.pop();
         assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_slot_reuse_returns_false() {
+        // After an event fires, its slab slot is recycled by the next
+        // schedule; the stale handle must not cancel the new occupant.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "old");
+        q.pop();
+        q.schedule(SimTime::from_secs(2), "new");
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().2, "new");
     }
 
     #[test]
@@ -295,5 +397,59 @@ mod tests {
         q.schedule_in(SimDuration::from_secs(5), "second");
         let (t, _, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn matches_reference_model_under_random_churn() {
+        // Drive the indexed heap and a naive sorted-list model with the
+        // same deterministic schedule/cancel/pop mix; every pop must agree
+        // on (time, seq, payload). This pins the exact total order the
+        // golden digests depend on.
+        use crate::rng::Rng64;
+
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: Vec<(SimTime, u64, u64)> = Vec::new(); // (at, seq, payload)
+        let mut ids: Vec<EventId> = Vec::new();
+        let mut rng = Rng64::seed_from_u64(0xC0FFEE);
+        for step in 0..5_000u64 {
+            match rng.range_usize(4) {
+                // Schedule (twice as likely as the other ops).
+                0 | 1 => {
+                    let at = q.now() + SimDuration::from_micros(rng.range_u64(0, 1_000));
+                    let id = q.schedule(at, step);
+                    model.push((at.max(q.now()), id.as_u64(), step));
+                    ids.push(id);
+                }
+                // Cancel a remembered id (possibly already fired).
+                2 if !ids.is_empty() => {
+                    let id = ids.swap_remove(rng.range_usize(ids.len()));
+                    let in_model = model.iter().position(|&(_, seq, _)| seq == id.as_u64());
+                    assert_eq!(q.cancel(id), in_model.is_some());
+                    if let Some(i) = in_model {
+                        model.swap_remove(i);
+                    }
+                }
+                // Pop.
+                _ => {
+                    model.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+                    let expected = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    let got = q.pop().map(|(at, id, e)| (at, id.as_u64(), e));
+                    assert_eq!(got, expected, "divergence at step {step}");
+                }
+            }
+            assert_eq!(q.len(), model.len());
+            model.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+            assert_eq!(q.peek_time(), model.first().map(|&(at, _, _)| at));
+        }
+        // Drain: order must match the model exactly.
+        model.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        let drained: Vec<(SimTime, u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(at, id, e)| (at, id.as_u64(), e))
+            .collect();
+        assert_eq!(drained, model);
     }
 }

@@ -3,7 +3,7 @@
 
 use wadc_sim::rng::{derive_seed2, Rng64};
 use wadc_sim::time::{SimDuration, SimTime};
-use wadc_trace::model::{BandwidthTrace, Sample};
+use wadc_trace::model::{BandwidthTrace, Sample, TraceCursor};
 use wadc_trace::synth::{generate, SynthParams};
 
 const CASES: u64 = 48;
@@ -123,6 +123,129 @@ fn extract_preserves_lookup() {
             seg.bandwidth_at(SimTime::ZERO + o),
             trace.bandwidth_at(from + o)
         );
+    }
+}
+
+/// A valid trace with integer bandwidths on integer-second boundaries, so
+/// per-segment capacities (`bw * secs`) are exactly representable and
+/// boundary-aligned splits incur no floating-point slack.
+fn arb_integer_trace(rng: &mut Rng64) -> BandwidthTrace {
+    let n = rng.range_usize(19) + 2;
+    let mut t = 0u64;
+    let samples = (0..n)
+        .map(|_| {
+            let s = Sample {
+                at: SimTime::from_secs(t),
+                bytes_per_sec: rng.range_u64(100, 1_000_000) as f64,
+            };
+            t += rng.range_u64(1, 599);
+            s
+        })
+        .collect();
+    BandwidthTrace::from_samples(samples).expect("constructed valid")
+}
+
+/// Integration terminates (returns at all) and is exact from every
+/// boundary-adjacent start, including starts on, just before, just after
+/// every sample boundary and far beyond the last sample — the region the
+/// old `Some(_) => idx += 1` edge-case branch claimed to guard.
+#[test]
+fn duration_terminates_from_boundary_starts() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let trace = arb_trace(&mut rng);
+        let bytes = rng.range_u64(1, 999_999_999_999); // up to ~1 TB
+        let mut starts: Vec<SimTime> = Vec::new();
+        for s in trace.samples() {
+            starts.push(s.at);
+            starts.push(s.at + SimDuration::from_micros(1));
+            if s.at > SimTime::ZERO {
+                starts.push(s.at - SimDuration::from_micros(1));
+            }
+        }
+        starts.push(trace.last_sample_time() + SimDuration::from_hours(1_000));
+        for start in starts {
+            let d = trace.transfer_duration(bytes, start);
+            assert!(d > SimDuration::ZERO, "positive bytes take positive time");
+            // Starting later can only change the duration by what the
+            // bandwidth steps allow; it must stay within the closed-form
+            // bounds of the slowest and fastest sampled bandwidth.
+            let lo = bytes as f64 / trace.max_bandwidth();
+            let hi = bytes as f64 / trace.min_bandwidth();
+            let secs = d.as_secs_f64();
+            assert!(
+                secs >= lo - 1e-6 && secs <= hi + 1e-6,
+                "duration {secs} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+/// Splitting a transfer exactly at a segment boundary is exact: the first
+/// part fills the segments up to the boundary, the rest starts on the
+/// boundary, and the durations add up to the unsplit transfer within
+/// microsecond rounding.
+#[test]
+fn duration_is_additive_across_segment_boundaries() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let trace = arb_integer_trace(&mut rng);
+        let samples = trace.samples();
+        // Split at a random interior boundary; start on an earlier boundary.
+        let k = rng.range_usize(samples.len() - 1) + 1;
+        let start_idx = rng.range_usize(k);
+        let start = samples[start_idx].at;
+        let boundary = samples[k].at;
+        // Bytes that exactly fill [start, boundary): integer by construction.
+        let mut first = 0.0f64;
+        for i in start_idx..k {
+            let seg_end = samples[i + 1].at;
+            let seg_start = if i == start_idx { start } else { samples[i].at };
+            first += samples[i].bytes_per_sec * (seg_end - seg_start).as_secs_f64();
+        }
+        let first = first as u64;
+        let second = rng.range_u64(1, 99_999_999);
+        let total = first + second;
+        let d_first = trace.transfer_duration(first, start);
+        // The first part ends exactly on the boundary.
+        assert_eq!(start + d_first, boundary, "case {case}");
+        let d_second = trace.transfer_duration(second, boundary);
+        let d_whole = trace.transfer_duration(total, start);
+        let diff = (d_first + d_second).as_secs_f64() - d_whole.as_secs_f64();
+        assert!(
+            diff.abs() < 3e-6,
+            "boundary split {first}+{second} from {start}: {diff}"
+        );
+    }
+}
+
+/// Cursor-based lookups agree exactly with the plain methods over the
+/// network layer's access pattern: mostly monotone, with occasional
+/// backward jumps (new transfers racing old ones on a shared link).
+#[test]
+fn cursor_duration_matches_plain_duration() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let trace = arb_trace(&mut rng);
+        let mut cursor = TraceCursor::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..64 {
+            if rng.range_usize(8) == 0 {
+                // Occasional backward jump.
+                t = SimTime::from_secs(rng.range_u64(0, 1 + t.as_micros() / 1_000_000));
+            } else {
+                t += SimDuration::from_micros(rng.range_u64(0, 600_000_000));
+            }
+            let bytes = rng.range_u64(0, 9_999_999);
+            assert_eq!(
+                trace.transfer_duration_with(&mut cursor, bytes, t),
+                trace.transfer_duration(bytes, t)
+            );
+            assert_eq!(
+                trace.bandwidth_at_with(&mut cursor, t),
+                trace.bandwidth_at(t)
+            );
+        }
     }
 }
 
