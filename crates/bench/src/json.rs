@@ -1,223 +1,8 @@
-//! A minimal JSON value for figure archives.
+//! The workspace JSON value, re-exported.
 //!
-//! The figure binaries archive their series with `--json PATH`. This
-//! module is the whole serializer: a value enum, `From` conversions for
-//! the types the figures emit, and a pretty printer. It exists so the
-//! workspace carries no external serialization dependency.
+//! The serializer the figure archives use began life in this module and
+//! moved to [`wadc_obs::json`] when the trace exporters needed it too.
+//! This re-export keeps the `wadc_bench::json::Json` path (and every
+//! figure binary) working unchanged.
 
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number; non-finite values render as `null`.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An empty object, to be populated with [`Json::field`].
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Adds a key to an object, builder style.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `self` is not an object.
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
-            other => panic!("field() on non-object {other:?}"),
-        }
-        self
-    }
-
-    /// Renders with two-space indentation and a trailing newline, the
-    /// layout the figure archives have always used.
-    pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
-        self.render(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // Display of f64 is the shortest exact round-trip form.
-                    out.push_str(&format!("{n}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => escape_into(s, out),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, indent + 1);
-                    item.render(out, indent + 1);
-                }
-                newline_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, indent + 1);
-                    escape_into(key, out);
-                    out.push_str(": ");
-                    value.render(out, indent + 1);
-                }
-                newline_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn newline_indent(out: &mut String, indent: usize) {
-    out.push('\n');
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<f64> for Json {
-    fn from(n: f64) -> Json {
-        Json::Num(n)
-    }
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-macro_rules! from_int {
-    ($($t:ty),*) => {$(
-        impl From<$t> for Json {
-            fn from(n: $t) -> Json {
-                Json::Num(n as f64)
-            }
-        }
-    )*};
-}
-from_int!(i32, i64, u32, u64, usize);
-
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(items: Vec<T>) -> Json {
-        Json::Arr(items.into_iter().map(Into::into).collect())
-    }
-}
-
-impl<T: Clone + Into<Json>> From<&[T]> for Json {
-    fn from(items: &[T]) -> Json {
-        Json::Arr(items.iter().cloned().map(Into::into).collect())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_structure() {
-        let v = Json::obj()
-            .field("figure", 2)
-            .field("pair", vec!["a", "b"])
-            .field("series", vec![1.5, 2.0])
-            .field("summary", Json::obj().field("mean", 1.75));
-        let text = v.to_string_pretty();
-        assert!(text.starts_with("{\n  \"figure\": 2,"));
-        assert!(text.contains("\"pair\": [\n    \"a\",\n    \"b\"\n  ]"));
-        assert!(text.contains("\"summary\": {\n    \"mean\": 1.75\n  }"));
-        assert!(text.ends_with("}\n"));
-    }
-
-    #[test]
-    fn integers_render_without_decimal_point() {
-        assert_eq!(Json::from(300usize).to_string_pretty(), "300\n");
-        assert_eq!(Json::from(2.5).to_string_pretty(), "2.5\n");
-    }
-
-    #[test]
-    fn round_trip_precision() {
-        // Display of f64 is shortest-round-trip: parsing it back is exact.
-        let x = 0.1 + 0.2;
-        let text = Json::Num(x).to_string_pretty();
-        assert_eq!(text.trim().parse::<f64>().unwrap(), x);
-    }
-
-    #[test]
-    fn escapes_strings() {
-        let v = Json::from("a\"b\\c\nd");
-        assert_eq!(v.to_string_pretty(), "\"a\\\"b\\\\c\\nd\"\n");
-    }
-
-    #[test]
-    fn non_finite_is_null() {
-        assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null\n");
-        assert_eq!(Json::Num(f64::INFINITY).to_string_pretty(), "null\n");
-    }
-
-    #[test]
-    fn empty_containers_stay_compact() {
-        assert_eq!(Json::obj().to_string_pretty(), "{}\n");
-        assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]\n");
-    }
-}
+pub use wadc_obs::json::Json;

@@ -33,11 +33,16 @@ use wadc_mobile::state::OperatorState as MobileState;
 use wadc_monitor::cache::BandwidthCache;
 use wadc_monitor::daemon::ProbeScheduler;
 use wadc_monitor::forecast::Forecaster;
+use wadc_monitor::observe::EstimateGauges;
 use wadc_monitor::piggyback;
 use wadc_monitor::vector::LocationVector;
 use wadc_net::faults::{FaultInjector, TrafficKind};
 use wadc_net::link::LinkTable;
 use wadc_net::network::{Network, TransferId, TransferSpec};
+use wadc_obs::metrics::SeriesKind;
+use wadc_obs::recorder::{
+    EventArgs, EventKind, Obs, SeriesId, SeriesName, SpanArgs, SpanId, SpanKind, TrackId, TrackName,
+};
 use wadc_plan::ids::{HostId, NodeId, OperatorId};
 use wadc_plan::placement::{HostRoster, Placement};
 use wadc_plan::tree::{CombinationTree, NodeKind};
@@ -253,6 +258,55 @@ pub struct Engine {
     /// Reusable buffers for the local algorithm's per-operator decision so
     /// the epoch hot loop allocates nothing once warmed up.
     local_scratch: LocalScratch,
+    /// Observability sink; disabled unless [`Engine::attach_obs`] was
+    /// called. Purely passive — see `attach_obs` for the neutrality
+    /// guarantee.
+    obs: Obs,
+    /// Track/series handles and open-span bookkeeping for the attached
+    /// recorder. `None` exactly when `obs` is disabled.
+    obs_state: Option<Box<ObsState>>,
+}
+
+/// Handles into the attached recorder plus the currently open spans the
+/// audit bridge must close later. Boxed so the disabled path costs one
+/// null pointer in [`Engine`].
+#[derive(Debug)]
+struct ObsState {
+    run_span: SpanId,
+    client_track: TrackId,
+    planner_track: TrackId,
+    /// One track per operator, indexed by operator id.
+    op_tracks: Vec<TrackId>,
+    /// Residency gauge per operator (value = current host index).
+    op_sites: Vec<SeriesId>,
+    /// Client-side iteration span currently open, if any.
+    iter_span: SpanId,
+    /// Barrier change-over span currently open, if any.
+    changeover_span: SpanId,
+    /// In-flight relocation span per operator.
+    reloc_spans: Vec<SpanId>,
+    s_queue_depth: SeriesId,
+    s_drops: SeriesId,
+    s_retransmits: SeriesId,
+    gauges: EstimateGauges,
+    /// Next time the decimated sampling tick fires.
+    next_sample: SimTime,
+}
+
+/// How often the run loop samples queue depth and bandwidth gauges. The
+/// tick piggybacks on whatever event the loop is already processing — it
+/// never schedules anything, so sampling cannot perturb the run.
+const OBS_SAMPLE_EVERY: SimDuration = SimDuration::from_secs(5);
+
+/// The traffic class a payload travels as, used both for fault injection
+/// and for per-class accounting.
+fn traffic_kind(payload: &Payload) -> TrafficKind {
+    match payload {
+        Payload::Probe => TrafficKind::Probe,
+        Payload::Data(_) => TrafficKind::Data,
+        Payload::OperatorState { .. } => TrafficKind::OperatorState,
+        _ => TrafficKind::Control,
+    }
 }
 
 /// Scratch storage for [`Engine::fill_local_context`]: the context handed
@@ -473,6 +527,8 @@ impl Engine {
             faults,
             doomed_probes: BTreeSet::new(),
             local_scratch: LocalScratch::default(),
+            obs: Obs::disabled(),
+            obs_state: None,
             cfg,
             tree,
             roster,
@@ -483,6 +539,252 @@ impl Engine {
             caches,
             forecasters,
             vectors,
+        }
+    }
+
+    /// Attaches an observability recorder (see [`wadc_obs`]): registers
+    /// tracks and series, opens the run span, and replays adaptation
+    /// events recorded during construction (the initial placement search)
+    /// so the trace covers the whole run.
+    ///
+    /// Instrumentation is purely observational — it draws no randomness,
+    /// schedules no events and feeds nothing back into the simulation —
+    /// so traced and untraced runs of the same `(seed, config)` produce
+    /// byte-identical digests. A disabled `obs` is a no-op.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        if !obs.recording() {
+            return;
+        }
+        self.net.set_obs(obs.clone());
+        let now = self.now();
+        let run_track = obs.track(TrackName::Run);
+        let planner_track = obs.track(TrackName::Planner);
+        let client_track = obs.track(TrackName::Client);
+        let n_ops = self.tree.operator_count();
+        let op_tracks: Vec<TrackId> = (0..n_ops)
+            .map(|i| obs.track(TrackName::Operator(i as u32)))
+            .collect();
+        let op_sites: Vec<SeriesId> = (0..n_ops)
+            .map(|i| obs.series(SeriesKind::Gauge, SeriesName::OperatorSite(i as u32)))
+            .collect();
+        let s_queue_depth = obs.series(SeriesKind::TimeWeighted, SeriesName::QueueDepth);
+        let s_drops = obs.series(SeriesKind::Counter, SeriesName::Drops);
+        let s_retransmits = obs.series(SeriesKind::Counter, SeriesName::Retransmits);
+        let gauges = EstimateGauges::new(&obs, self.roster.host_count());
+        let run_span = obs.open_span(run_track, SpanKind::Run, now, SpanArgs::default());
+        for (i, series) in op_sites.iter().enumerate() {
+            let node = self.tree.operator_node(OperatorId::new(i));
+            obs.sample(*series, now, self.nodes[node.index()].host.index() as f64);
+        }
+        self.obs = obs;
+        self.obs_state = Some(Box::new(ObsState {
+            run_span,
+            client_track,
+            planner_track,
+            op_tracks,
+            op_sites,
+            iter_span: SpanId::INVALID,
+            changeover_span: SpanId::INVALID,
+            reloc_spans: vec![SpanId::INVALID; n_ops],
+            s_queue_depth,
+            s_drops,
+            s_retransmits,
+            gauges,
+            next_sample: now,
+        }));
+        let replay: Vec<AuditEvent> = self.audit.events().to_vec();
+        for e in &replay {
+            self.obs_audit(e);
+        }
+    }
+
+    /// Records an adaptation event in the audit log and mirrors it into
+    /// the attached recorder (if any).
+    fn record_audit(&mut self, event: AuditEvent) {
+        if self.obs_state.is_some() {
+            self.obs_audit(&event);
+        }
+        self.audit.record(event);
+    }
+
+    /// Bridges one [`AuditEvent`] into spans and instants: change-overs
+    /// and relocations become spans (closed `ok = false` when aborted),
+    /// everything else becomes a point event; relocation outcomes also
+    /// move the operator's residency gauge.
+    fn obs_audit(&mut self, e: &AuditEvent) {
+        let obs = self.obs.clone();
+        let Some(st) = self.obs_state.as_deref_mut() else {
+            return;
+        };
+        match *e {
+            AuditEvent::PlannerRan {
+                at,
+                cost_before,
+                cost_after,
+                changed,
+            } => obs.instant(
+                st.planner_track,
+                EventKind::PlannerRan,
+                at,
+                EventArgs {
+                    a: changed as u64,
+                    b: 0,
+                    x: cost_before,
+                    y: cost_after,
+                },
+            ),
+            AuditEvent::ChangeoverProposed { at, version, moves } => {
+                st.changeover_span = obs.open_span(
+                    st.planner_track,
+                    SpanKind::Changeover,
+                    at,
+                    SpanArgs {
+                        a: version as u64,
+                        b: moves as u64,
+                        c: 0,
+                        d: 0,
+                    },
+                );
+            }
+            AuditEvent::ChangeoverCommitted { at, .. } => {
+                let span = std::mem::replace(&mut st.changeover_span, SpanId::INVALID);
+                if span != SpanId::INVALID {
+                    obs.close_span(span, at, true);
+                }
+            }
+            AuditEvent::ChangeoverAborted { at, .. } => {
+                let span = std::mem::replace(&mut st.changeover_span, SpanId::INVALID);
+                if span != SpanId::INVALID {
+                    obs.close_span(span, at, false);
+                }
+            }
+            AuditEvent::ServerSuspended {
+                at,
+                server,
+                reported_iteration,
+                version,
+            } => obs.instant(
+                st.planner_track,
+                EventKind::ServerSuspended,
+                at,
+                EventArgs {
+                    a: server as u64,
+                    b: version as u64,
+                    x: reported_iteration as f64,
+                    y: 0.0,
+                },
+            ),
+            AuditEvent::LocalDecision {
+                at, op, from, to, ..
+            } => obs.instant(
+                st.op_tracks[op.index()],
+                EventKind::LocalDecision,
+                at,
+                EventArgs {
+                    a: from.index() as u64,
+                    b: to.index() as u64,
+                    x: 0.0,
+                    y: 0.0,
+                },
+            ),
+            AuditEvent::RelocationStarted {
+                at, op, from, to, ..
+            } => {
+                st.reloc_spans[op.index()] = obs.open_span(
+                    st.op_tracks[op.index()],
+                    SpanKind::Relocation,
+                    at,
+                    SpanArgs {
+                        a: op.index() as u64,
+                        b: from.index() as u64,
+                        c: to.index() as u64,
+                        d: 0,
+                    },
+                );
+            }
+            AuditEvent::RelocationFinished { at, op, host } => {
+                let span = std::mem::replace(&mut st.reloc_spans[op.index()], SpanId::INVALID);
+                if span != SpanId::INVALID {
+                    obs.close_span(span, at, true);
+                }
+                obs.sample(st.op_sites[op.index()], at, host.index() as f64);
+            }
+            AuditEvent::RelocationAborted { at, op, host } => {
+                let span = std::mem::replace(&mut st.reloc_spans[op.index()], SpanId::INVALID);
+                if span != SpanId::INVALID {
+                    obs.close_span(span, at, false);
+                }
+                obs.sample(st.op_sites[op.index()], at, host.index() as f64);
+            }
+            AuditEvent::MessageLost {
+                at,
+                from,
+                kind,
+                attempt,
+                ..
+            } => {
+                let track = obs.track(TrackName::Host(from.index() as u32));
+                obs.instant(
+                    track,
+                    EventKind::MessageLost,
+                    at,
+                    EventArgs {
+                        a: kind.tag(),
+                        b: attempt as u64,
+                        x: 0.0,
+                        y: 0.0,
+                    },
+                );
+                obs.add(st.s_drops, at, 1.0);
+            }
+        }
+    }
+
+    /// The decimated sampling tick: at most once per [`OBS_SAMPLE_EVERY`]
+    /// of simulated time, records the event-queue depth and the per-link
+    /// true/estimated bandwidth gauges. Piggybacks on the event the run
+    /// loop just processed; never schedules anything.
+    fn obs_sample_tick(&mut self, now: SimTime) {
+        match self.obs_state.as_deref() {
+            Some(st) if now >= st.next_sample => {}
+            _ => return,
+        }
+        let st = self.obs_state.as_deref_mut().expect("checked above");
+        st.next_sample = now + OBS_SAMPLE_EVERY;
+        let obs = self.obs.clone();
+        obs.sample(st.s_queue_depth, now, self.queue.len() as f64);
+        let client = self.roster.client();
+        let view = self.net.links().oracle_at(now);
+        st.gauges
+            .sample(&obs, &self.caches[client.index()], &view, now);
+    }
+
+    /// Opens the client-side iteration span (the client just demanded
+    /// partition `iteration`).
+    fn obs_open_iteration(&mut self, iteration: u32, now: SimTime) {
+        if let Some(st) = self.obs_state.as_deref_mut() {
+            st.iter_span = self.obs.open_span(
+                st.client_track,
+                SpanKind::Iteration,
+                now,
+                SpanArgs {
+                    a: iteration as u64,
+                    b: 0,
+                    c: 0,
+                    d: 0,
+                },
+            );
+        }
+    }
+
+    /// Closes the open iteration span, if any (the partition arrived, or
+    /// the run ended with one outstanding).
+    fn obs_close_iteration(&mut self, now: SimTime, ok: bool) {
+        if let Some(st) = self.obs_state.as_deref_mut() {
+            let span = std::mem::replace(&mut st.iter_span, SpanId::INVALID);
+            if span != SpanId::INVALID {
+                self.obs.close_span(span, now, ok);
+            }
         }
     }
 
@@ -520,10 +822,25 @@ impl Engine {
                 break;
             }
             self.handle(ev);
+            self.obs_sample_tick(t);
             if self.arrivals.len() as u32 >= self.n_iterations {
                 completed = true;
                 break;
             }
+        }
+
+        if self.obs_state.is_some() {
+            let end = self.now();
+            // An incomplete run leaves the last iteration open; close it
+            // `ok = false` so the trace shows where the run stalled.
+            self.obs_close_iteration(end, false);
+            let st = self.obs_state.as_deref().expect("checked above");
+            // One final queue-depth sample at the exact high-water mark:
+            // zero time remains, so the weighted mean is untouched while
+            // the tally's max becomes the true peak.
+            self.obs
+                .sample(st.s_queue_depth, end, self.queue.high_water() as f64);
+            self.obs.close_span(st.run_span, end, completed);
         }
 
         let completion_time = self
@@ -632,12 +949,7 @@ impl Engine {
         // discarded — no passive measurement, no gossip, no dispatch.
         if let Some(inj) = &self.faults {
             let doomed_probe = self.doomed_probes.remove(&tid);
-            let kind = match &delivery.payload.payload {
-                Payload::Probe => TrafficKind::Probe,
-                Payload::Data(_) => TrafficKind::Data,
-                Payload::OperatorState { .. } => TrafficKind::OperatorState,
-                _ => TrafficKind::Control,
-            };
+            let kind = spec.kind;
             if doomed_probe || inj.drop_delivery(kind, tid.as_u64()) {
                 self.handle_lost_message(delivery.payload, spec, kind);
                 return;
@@ -665,8 +977,8 @@ impl Engine {
     /// reports (the measurement channel is allowed to be lossy).
     fn handle_lost_message(&mut self, msg: Message, spec: TransferSpec, kind: TrafficKind) {
         let now = self.now();
-        self.net.record_drop(spec.bytes);
-        self.audit.record(AuditEvent::MessageLost {
+        self.net.record_drop(&spec);
+        self.record_audit(AuditEvent::MessageLost {
             at: now,
             from: spec.src,
             to: spec.dst,
@@ -733,17 +1045,34 @@ impl Engine {
             | Payload::BarrierAbort { .. } => Priority::High,
             _ => Priority::Normal,
         };
+        if let Some(st) = self.obs_state.as_deref() {
+            let track = self.obs.track(TrackName::Host(from_host.index() as u32));
+            self.obs.add(st.s_retransmits, now, 1.0);
+            self.obs.instant(
+                track,
+                EventKind::Retransmit,
+                now,
+                EventArgs {
+                    a: traffic_kind(&msg.payload).tag(),
+                    b: msg.attempt as u64,
+                    x: 0.0,
+                    y: 0.0,
+                },
+            );
+        }
         if from_host == to_host {
             self.queue.schedule_now(Ev::Local(Box::new(msg)));
             return;
         }
         let bytes = msg.wire_bytes(self.cfg.operator_state_bytes);
+        let kind = traffic_kind(&msg.payload);
         self.net.submit_retransmit(
             TransferSpec {
                 src: from_host,
                 dst: to_host,
                 bytes,
                 priority,
+                kind,
             },
             msg,
         );
@@ -762,8 +1091,7 @@ impl Engine {
             rt.frozen = false;
             rt.host
         };
-        self.audit
-            .record(AuditEvent::RelocationAborted { at: now, op, host });
+        self.record_audit(AuditEvent::RelocationAborted { at: now, op, host });
         if after_iteration < self.n_iterations {
             self.send_demands(node, after_iteration + 1);
         }
@@ -878,7 +1206,7 @@ impl Engine {
         }
         let _ = src_host;
         if let Some((server, iteration, version)) = report {
-            self.audit.record(AuditEvent::ServerSuspended {
+            self.record_audit(AuditEvent::ServerSuspended {
                 at: self.now(),
                 server,
                 reported_iteration: iteration,
@@ -907,6 +1235,7 @@ impl Engine {
                 self.arrivals.len() + 1,
                 "client received partitions out of order"
             );
+            self.obs_close_iteration(now, true);
             self.arrivals.push(now);
             self.nodes[node.index()].later_child = Some(0);
             if d.iteration < self.n_iterations {
@@ -1055,6 +1384,10 @@ impl Engine {
         if iteration > self.n_iterations {
             return;
         }
+        if node == self.tree.root() && self.obs_state.is_some() {
+            let now = self.now();
+            self.obs_open_iteration(iteration, now);
+        }
         let children = self.tree.node(node).children.clone();
         let (later_child, on_cp, seen_version) = {
             let rt = &mut self.nodes[node.index()];
@@ -1129,7 +1462,7 @@ impl Engine {
             .expect("engine only relocates at light points");
         self.nodes[node.index()].frozen = true;
         self.relocations += 1;
-        self.audit.record(AuditEvent::RelocationStarted {
+        self.record_audit(AuditEvent::RelocationStarted {
             at: self.now(),
             op,
             from,
@@ -1175,7 +1508,7 @@ impl Engine {
             rt.frozen = false;
             rt.host = new_host;
         }
-        self.audit.record(AuditEvent::RelocationFinished {
+        self.record_audit(AuditEvent::RelocationFinished {
             at: self.now(),
             op,
             host: new_host,
@@ -1245,7 +1578,7 @@ impl Engine {
             self.faults.as_ref(),
         );
         let changed = result.placement != self.committed_placement;
-        self.audit.record(AuditEvent::PlannerRan {
+        self.record_audit(AuditEvent::PlannerRan {
             at: now,
             cost_before,
             cost_after: result.cost,
@@ -1259,7 +1592,7 @@ impl Engine {
             // `committed_version + 1`.
             let version = self.proposal_counter + 1;
             self.proposal_counter = version;
-            self.audit.record(AuditEvent::ChangeoverProposed {
+            self.record_audit(AuditEvent::ChangeoverProposed {
                 at: now,
                 version,
                 moves,
@@ -1291,7 +1624,7 @@ impl Engine {
             return;
         }
         self.proposal = None;
-        self.audit.record(AuditEvent::ChangeoverAborted {
+        self.record_audit(AuditEvent::ChangeoverAborted {
             at: self.now(),
             version,
         });
@@ -1357,7 +1690,7 @@ impl Engine {
         self.committed_placement = p.placement.clone();
         self.committed_version = p.version;
         self.changeovers += 1;
-        self.audit.record(AuditEvent::ChangeoverCommitted {
+        self.record_audit(AuditEvent::ChangeoverCommitted {
             at: self.now(),
             version: p.version,
             switch_iteration,
@@ -1454,7 +1787,7 @@ impl Engine {
                 .with_grace(self.planner_grace());
             let decision = best_local_site(&self.local_scratch.ctx, view, &self.cfg.cost_model);
             if decision.moves() {
-                self.audit.record(AuditEvent::LocalDecision {
+                self.record_audit(AuditEvent::LocalDecision {
                     at: now,
                     op,
                     level,
@@ -1656,6 +1989,7 @@ impl Engine {
                 dst: b,
                 bytes: self.cfg.probe_bytes,
                 priority: Priority::Normal,
+                kind: TrafficKind::Probe,
             },
             msg,
         );
@@ -1727,12 +2061,14 @@ impl Engine {
             return;
         }
         let bytes = msg.wire_bytes(self.cfg.operator_state_bytes);
+        let kind = traffic_kind(&msg.payload);
         self.net.submit(
             TransferSpec {
                 src: from_host,
                 dst: to_host,
                 bytes,
                 priority,
+                kind,
             },
             msg,
         );

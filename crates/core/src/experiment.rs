@@ -161,6 +161,17 @@ impl Experiment {
         Engine::new(cfg, self.links.clone()).run()
     }
 
+    /// Runs `algorithm` with an observability recorder attached (see
+    /// [`wadc_obs`]). Instrumentation is purely passive, so the result —
+    /// including its digest — is identical to [`Experiment::run`].
+    pub fn run_observed(&self, algorithm: Algorithm, obs: wadc_obs::recorder::Obs) -> RunResult {
+        let mut cfg = self.template.clone();
+        cfg.algorithm = algorithm;
+        let mut engine = Engine::new(cfg, self.links.clone());
+        engine.attach_obs(obs);
+        engine.run()
+    }
+
     /// Runs `algorithm` with an explicitly constructed combination tree
     /// (e.g. a bandwidth-aware ordering) instead of the template's shape.
     pub fn run_with_tree(

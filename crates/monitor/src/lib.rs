@@ -41,11 +41,13 @@
 pub mod cache;
 pub mod daemon;
 pub mod forecast;
+pub mod observe;
 pub mod piggyback;
 pub mod vector;
 
 pub use cache::{BandwidthCache, CacheView, Measurement, MonitorConfig};
 pub use daemon::ProbeScheduler;
 pub use forecast::{Forecaster, Predictor};
+pub use observe::EstimateGauges;
 pub use piggyback::{Piggyback, PiggybackEntry};
 pub use vector::LocationVector;

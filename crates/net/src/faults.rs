@@ -76,6 +76,14 @@ pub enum TrafficKind {
 }
 
 impl TrafficKind {
+    /// Every kind, in [`TrafficKind::tag`] order.
+    pub const ALL: [TrafficKind; 4] = [
+        TrafficKind::Data,
+        TrafficKind::Control,
+        TrafficKind::Probe,
+        TrafficKind::OperatorState,
+    ];
+
     /// A stable small integer for digests and audit folding.
     pub fn tag(self) -> u64 {
         match self {

@@ -38,5 +38,6 @@ pub use disk::DiskModel;
 pub use faults::{FaultInjector, FaultPlan, HostBlackout, LinkOutage, TrafficKind};
 pub use link::{LinkTable, OracleView};
 pub use network::{
-    Delivery, NetStats, Network, NetworkParams, StartedTransfer, TransferId, TransferSpec,
+    Delivery, KindStats, NetStats, Network, NetworkParams, StartedTransfer, TransferId,
+    TransferSpec,
 };

@@ -16,7 +16,12 @@
 //! its event queue, and reports completions back.
 
 use std::collections::HashMap;
+use std::fmt;
 
+use wadc_obs::metrics::SeriesKind;
+use wadc_obs::recorder::{
+    Obs, SeriesId, SeriesName, SpanArgs, SpanId, SpanKind, TrackId, TrackName,
+};
 use wadc_plan::ids::HostId;
 use wadc_sim::resource::Priority;
 use wadc_sim::stats::TimeWeighted;
@@ -24,7 +29,7 @@ use wadc_sim::time::{SimDuration, SimTime};
 
 use wadc_trace::model::TraceCursor;
 
-use crate::faults::FaultInjector;
+use crate::faults::{FaultInjector, TrafficKind};
 use crate::link::LinkTable;
 
 /// Handle to a submitted transfer.
@@ -90,6 +95,8 @@ pub struct TransferSpec {
     pub bytes: u64,
     /// Queueing priority.
     pub priority: Priority,
+    /// Traffic class, for per-class accounting and trace labels.
+    pub kind: TrafficKind,
 }
 
 #[derive(Debug)]
@@ -104,6 +111,9 @@ struct InFlight<P> {
     spec: TransferSpec,
     started: SimTime,
     payload: P,
+    /// Open trace span on the source host's track ([`SpanId::INVALID`]
+    /// when observation is off).
+    span: SpanId,
 }
 
 /// A transfer that just entered service; the caller must schedule its
@@ -138,6 +148,23 @@ impl<P> Delivery<P> {
     }
 }
 
+/// Per-[`TrafficKind`] message and byte counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindStats {
+    /// Messages of this class submitted.
+    pub submitted: u64,
+    /// Bytes of this class submitted.
+    pub bytes_submitted: u64,
+    /// Messages of this class delivered.
+    pub delivered: u64,
+    /// Bytes of this class delivered.
+    pub bytes_delivered: u64,
+    /// Messages of this class discarded by fault injection.
+    pub dropped: u64,
+    /// Bytes carried by dropped messages of this class.
+    pub bytes_dropped: u64,
+}
+
 /// Aggregate transfer statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NetStats {
@@ -161,6 +188,86 @@ pub struct NetStats {
     pub dropped: u64,
     /// Bytes carried by dropped transfers (also in `bytes_delivered`).
     pub bytes_dropped: u64,
+    /// Per-traffic-class breakdown, indexed by [`TrafficKind::tag`].
+    /// Not folded into run digests — the aggregate counters above remain
+    /// the digest surface.
+    pub by_kind: [KindStats; 4],
+}
+
+impl NetStats {
+    /// The counters for one traffic class.
+    pub fn kind(&self, kind: TrafficKind) -> &KindStats {
+        &self.by_kind[kind.tag() as usize]
+    }
+
+    fn kind_mut(&mut self, kind: TrafficKind) -> &mut KindStats {
+        &mut self.by_kind[kind.tag() as usize]
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+impl fmt::Display for NetStats {
+    /// A multi-line human-readable summary: aggregate counters, a
+    /// per-traffic-class breakdown, and (only when present) loss and
+    /// retransmission lines.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "network: {} transfers submitted ({}), {} delivered ({}), {} high-priority",
+            self.submitted,
+            fmt_bytes(self.bytes_submitted),
+            self.completed,
+            fmt_bytes(self.bytes_delivered),
+            self.high_priority_completed,
+        )?;
+        for kind in TrafficKind::ALL {
+            let k = self.kind(kind);
+            if k.submitted == 0 && k.delivered == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<7}: {} msgs ({}) submitted, {} msgs ({}) delivered",
+                kind.label(),
+                k.submitted,
+                fmt_bytes(k.bytes_submitted),
+                k.delivered,
+                fmt_bytes(k.bytes_delivered),
+            )?;
+        }
+        if self.dropped > 0 {
+            let by_class: Vec<String> = TrafficKind::ALL
+                .iter()
+                .map(|&kind| format!("{} {}", kind.label(), self.kind(kind).dropped))
+                .collect();
+            writeln!(
+                f,
+                "losses by class: {} ({} total, {})",
+                by_class.join(" | "),
+                self.dropped,
+                fmt_bytes(self.bytes_dropped),
+            )?;
+        }
+        if self.retransmits > 0 {
+            writeln!(
+                f,
+                "retransmits: {} ({})",
+                self.retransmits,
+                fmt_bytes(self.bytes_retransmitted),
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// The network: pending queue, in-flight transfers, NIC occupancy.
@@ -180,7 +287,13 @@ pub struct NetStats {
 /// links.set(HostId::new(0), HostId::new(1), Arc::new(BandwidthTrace::constant(1000.0)));
 /// let mut net: Network<&str> = Network::new(NetworkParams::paper_defaults(), links);
 /// net.submit(
-///     TransferSpec { src: HostId::new(0), dst: HostId::new(1), bytes: 1000, priority: Priority::Normal },
+///     TransferSpec {
+///         src: HostId::new(0),
+///         dst: HostId::new(1),
+///         bytes: 1000,
+///         priority: Priority::Normal,
+///         kind: wadc_net::TrafficKind::Data,
+///     },
 ///     "hello",
 /// );
 /// let started = net.poll_start(SimTime::ZERO);
@@ -205,6 +318,13 @@ pub struct Network<P> {
     /// on a link advance nearly monotonically, which the cursors turn into
     /// O(1) segment lookups; results are identical to cursor-free lookups.
     link_cursors: Vec<TraceCursor>,
+    /// Observation sink; disabled by default.
+    obs: Obs,
+    /// One trace track per host (filled by [`Network::set_obs`]).
+    host_tracks: Vec<TrackId>,
+    s_in_flight_bytes: SeriesId,
+    s_pending: SeriesId,
+    in_flight_bytes: u64,
 }
 
 impl<P> Network<P> {
@@ -225,6 +345,11 @@ impl<P> Network<P> {
             stats: NetStats::default(),
             faults: None,
             link_cursors: vec![TraceCursor::new(); n * n],
+            obs: Obs::disabled(),
+            host_tracks: Vec::new(),
+            s_in_flight_bytes: SeriesId::INVALID,
+            s_pending: SeriesId::INVALID,
+            in_flight_bytes: 0,
         }
     }
 
@@ -242,6 +367,25 @@ impl<P> Network<P> {
     /// admitting new transfers (in-flight transfers still complete).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = Some(faults);
+    }
+
+    /// Attaches an observation sink: transfers become spans on the source
+    /// host's track, and in-flight bytes / pending depth become
+    /// time-weighted gauges. Purely passive — attaching a recorder changes
+    /// no scheduling decision and no digest.
+    ///
+    /// Transfer spans are recorded only at NIC capacity 1 (the paper's
+    /// model), where at most one outgoing transfer per host exists at a
+    /// time and spans on one track therefore never overlap; at higher
+    /// capacities the gauges still record.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let n = self.nic_busy.len();
+        self.host_tracks = (0..n)
+            .map(|h| obs.track(TrackName::Host(h as u32)))
+            .collect();
+        self.s_in_flight_bytes = obs.series(SeriesKind::TimeWeighted, SeriesName::InFlightBytes);
+        self.s_pending = obs.series(SeriesKind::TimeWeighted, SeriesName::PendingTransfers);
+        self.obs = obs;
     }
 
     /// The link table.
@@ -278,6 +422,9 @@ impl<P> Network<P> {
         self.next_id += 1;
         self.stats.submitted += 1;
         self.stats.bytes_submitted += spec.bytes;
+        let k = self.stats.kind_mut(spec.kind);
+        k.submitted += 1;
+        k.bytes_submitted += spec.bytes;
         self.pending.push(Pending { id, spec, payload });
         id
     }
@@ -296,9 +443,12 @@ impl<P> Network<P> {
 
     /// Accounts a completed transfer whose payload fault injection
     /// discarded: the wire time was paid, the message never arrived.
-    pub fn record_drop(&mut self, bytes: u64) {
+    pub fn record_drop(&mut self, spec: &TransferSpec) {
         self.stats.dropped += 1;
-        self.stats.bytes_dropped += bytes;
+        self.stats.bytes_dropped += spec.bytes;
+        let k = self.stats.kind_mut(spec.kind);
+        k.dropped += 1;
+        k.bytes_dropped += spec.bytes;
     }
 
     /// Starts every pending transfer whose endpoints are both free, in
@@ -349,12 +499,42 @@ impl<P> Network<P> {
                         spec.bytes,
                         data_start,
                     );
+                let span = if self.obs.recording() {
+                    self.in_flight_bytes += spec.bytes;
+                    self.obs
+                        .sample(self.s_in_flight_bytes, now, self.in_flight_bytes as f64);
+                    self.obs
+                        .sample(self.s_pending, now, self.pending.len() as f64);
+                    if capacity == 1 {
+                        let track = self
+                            .host_tracks
+                            .get(spec.src.index())
+                            .copied()
+                            .unwrap_or(TrackId(0));
+                        self.obs.open_span(
+                            track,
+                            SpanKind::Transfer,
+                            now,
+                            SpanArgs {
+                                a: spec.src.index() as u64,
+                                b: spec.dst.index() as u64,
+                                c: spec.bytes,
+                                d: spec.kind.tag(),
+                            },
+                        )
+                    } else {
+                        SpanId::INVALID
+                    }
+                } else {
+                    SpanId::INVALID
+                };
                 self.in_flight.insert(
                     p.id,
                     InFlight {
                         spec,
                         started: now,
                         payload: p.payload,
+                        span,
                     },
                 );
                 started.push(StartedTransfer {
@@ -385,8 +565,17 @@ impl<P> Network<P> {
         self.touch_usage(f.spec, now);
         self.stats.completed += 1;
         self.stats.bytes_delivered += f.spec.bytes;
+        let k = self.stats.kind_mut(f.spec.kind);
+        k.delivered += 1;
+        k.bytes_delivered += f.spec.bytes;
         if f.spec.priority == Priority::High {
             self.stats.high_priority_completed += 1;
+        }
+        if self.obs.recording() {
+            self.in_flight_bytes = self.in_flight_bytes.saturating_sub(f.spec.bytes);
+            self.obs
+                .sample(self.s_in_flight_bytes, now, self.in_flight_bytes as f64);
+            self.obs.close_span(f.span, now, true);
         }
         Delivery {
             id,
@@ -458,6 +647,7 @@ mod tests {
             dst: h(dst),
             bytes,
             priority: Priority::Normal,
+            kind: TrafficKind::Data,
         }
     }
 
@@ -663,12 +853,104 @@ mod tests {
         n.submit_retransmit(spec(0, 1, 500), 2);
         let s = n.poll_start(SimTime::ZERO);
         let first = n.complete(s[0].id, s[0].completes_at);
-        n.record_drop(first.spec.bytes);
+        n.record_drop(&first.spec);
         let st = n.stats();
         assert_eq!(st.submitted, 2, "retransmits are counted in submitted");
         assert_eq!(st.retransmits, 1);
         assert_eq!(st.bytes_retransmitted, 500);
         assert_eq!(st.dropped, 1);
         assert_eq!(st.bytes_dropped, 500);
+        assert_eq!(st.kind(TrafficKind::Data).dropped, 1);
+    }
+
+    #[test]
+    fn per_kind_counters_split_by_class() {
+        let mut n = net(4, 1000.0);
+        n.submit(spec(0, 1, 400), 1);
+        let mut probe = spec(2, 3, 64);
+        probe.kind = TrafficKind::Probe;
+        n.submit(probe, 2);
+        let s = n.poll_start(SimTime::ZERO);
+        for t in s {
+            n.complete(t.id, t.completes_at);
+        }
+        let st = n.stats();
+        assert_eq!(st.kind(TrafficKind::Data).submitted, 1);
+        assert_eq!(st.kind(TrafficKind::Data).bytes_delivered, 400);
+        assert_eq!(st.kind(TrafficKind::Probe).delivered, 1);
+        assert_eq!(st.kind(TrafficKind::Probe).bytes_submitted, 64);
+        assert_eq!(st.kind(TrafficKind::Control).submitted, 0);
+        // Per-kind totals tie out with the aggregates.
+        let sum: u64 = st.by_kind.iter().map(|k| k.bytes_delivered).sum();
+        assert_eq!(sum, st.bytes_delivered);
+    }
+
+    #[test]
+    fn display_summarises_and_hides_empty_sections() {
+        let mut n = net(2, 1000.0);
+        n.submit(spec(0, 1, 2048), 1);
+        let s = n.poll_start(SimTime::ZERO);
+        n.complete(s[0].id, s[0].completes_at);
+        let text = n.stats().to_string();
+        assert!(text.contains("1 transfers submitted (2.0 KB)"));
+        assert!(text.contains("data   : 1 msgs (2.0 KB) submitted"));
+        assert!(!text.contains("losses by class"), "no losses → no line");
+        assert!(!text.contains("retransmits"), "no retransmits → no line");
+        let mut dropped = n.stats();
+        dropped.dropped = 2;
+        dropped.by_kind[0].dropped = 1;
+        dropped.by_kind[2].dropped = 1;
+        let text = dropped.to_string();
+        assert!(text.contains("losses by class: data 1 | control 0 | probe 1 | state 0"));
+    }
+
+    #[test]
+    fn traced_run_records_transfer_spans_and_gauges() {
+        use wadc_obs::recorder::SpanKind;
+        use wadc_obs::tracer::Tracer;
+
+        let (obs, tracer) = Tracer::install();
+        let mut n = net(2, 1000.0);
+        n.set_obs(obs);
+        n.submit(spec(0, 1, 1000), 7);
+        let s = n.poll_start(SimTime::ZERO);
+        n.complete(s[0].id, s[0].completes_at);
+        let tr = tracer.borrow();
+        let spans = tr.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::Transfer);
+        assert_eq!(spans[0].args.c, 1000);
+        assert_eq!(spans[0].close, Some(SimTime::from_millis(1050)));
+        tr.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_behave_identically() {
+        use wadc_obs::tracer::Tracer;
+
+        let drive = |with_obs: bool| {
+            let mut n = net(3, 1000.0);
+            if with_obs {
+                let (obs, _tracer) = Tracer::install();
+                n.set_obs(obs);
+            }
+            n.submit(spec(0, 2, 1000), 1);
+            n.submit(spec(1, 2, 800), 2);
+            let mut done: Vec<(u32, SimTime)> = Vec::new();
+            let mut now = SimTime::ZERO;
+            loop {
+                let started = n.poll_start(now);
+                if started.is_empty() && n.in_flight_count() == 0 {
+                    break;
+                }
+                if let Some(t) = started.first().copied() {
+                    now = t.completes_at;
+                    let d = n.complete(t.id, now);
+                    done.push((d.payload, d.completed));
+                }
+            }
+            (done, n.stats())
+        };
+        assert_eq!(drive(false), drive(true));
     }
 }

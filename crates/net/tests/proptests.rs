@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 
+use wadc_net::faults::TrafficKind;
 use wadc_net::link::LinkTable;
 use wadc_net::network::{Network, NetworkParams, StartedTransfer, TransferSpec};
 use wadc_plan::ids::HostId;
@@ -110,6 +111,7 @@ fn all_transfers_complete_exactly_once() {
                     } else {
                         Priority::Normal
                     },
+                    kind: TrafficKind::Data,
                 },
                 i,
             );
@@ -149,6 +151,7 @@ fn strict_priority_order_on_serial_link() {
                     } else {
                         Priority::Normal
                     },
+                    kind: TrafficKind::Data,
                 },
                 i,
             );
@@ -180,6 +183,7 @@ fn capacity_is_monotone() {
                         dst: HostId::new(dst),
                         bytes,
                         priority: Priority::Normal,
+                        kind: TrafficKind::Data,
                     },
                     i,
                 );

@@ -1,0 +1,341 @@
+//! Trace exporters: Chrome trace-format JSON and a JSONL stream.
+//!
+//! The Chrome trace format ("Trace Event Format") is the JSON schema
+//! understood by `chrome://tracing` and by Perfetto's legacy importer:
+//! an object with a `traceEvents` array whose elements carry `ph` (phase:
+//! `B`/`E` span begin/end, `i` instant, `C` counter, `M` metadata), `ts`
+//! (microseconds), `pid`/`tid` (we map tracks to thread ids of one
+//! process) and free-form `args`. Because the [`Tracer`] records entries
+//! in simulated-time order, the exported stream is emitted in one pass
+//! with no sorting.
+
+use std::io::{self, Write};
+
+use wadc_sim::time::SimTime;
+
+use crate::json::Json;
+use crate::recorder::{EventArgs, EventKind, SpanKind, TrackId};
+use crate::tracer::{Entry, SpanRec, Tracer};
+
+/// Labels for the numeric traffic-kind tag carried in transfer span args
+/// (slot `d`), matching `wadc_net::TrafficKind::tag()`.
+const KIND_LABELS: [&str; 4] = ["data", "control", "probe", "state"];
+
+fn kind_label(tag: u64) -> &'static str {
+    KIND_LABELS.get(tag as usize).copied().unwrap_or("other")
+}
+
+/// Human label for one span, rendered at export time only.
+pub fn span_label(rec: &SpanRec) -> String {
+    let a = rec.args;
+    match rec.kind {
+        SpanKind::Run => "run".to_string(),
+        SpanKind::Iteration => format!("iteration {}", a.a),
+        SpanKind::Transfer => format!("{} {}→{} ({} B)", kind_label(a.d), a.a, a.b, a.c),
+        SpanKind::Changeover => format!("changeover v{} ({} moves)", a.a, a.b),
+        SpanKind::Relocation => format!("move op {}: {}→{}", a.a, a.b, a.c),
+    }
+}
+
+fn micros(at: SimTime) -> Json {
+    Json::Num(at.as_micros() as f64)
+}
+
+fn event_args(kind: EventKind, args: EventArgs) -> Json {
+    match kind {
+        EventKind::PlannerRan => Json::obj()
+            .field("cost_before", args.x)
+            .field("cost_after", args.y)
+            .field("changed", args.a != 0),
+        EventKind::LocalDecision => Json::obj().field("op", args.a).field("target", args.b),
+        EventKind::ServerSuspended => Json::obj().field("server", args.a),
+        EventKind::MessageLost | EventKind::Retransmit => Json::obj()
+            .field("kind", kind_label(args.a))
+            .field("dst", args.b),
+    }
+}
+
+/// Builds the Chrome trace-format document for a recorded run.
+///
+/// Spans become `B`/`E` pairs on per-track threads, point events become
+/// `i` instants, and metric samples become `C` counter events. Track
+/// names are attached with `thread_name` metadata records, so Perfetto
+/// shows one named lane per host / operator plus the run-level lanes.
+pub fn chrome_trace(tracer: &Tracer) -> Json {
+    let mut events = Vec::new();
+    events.push(
+        Json::obj()
+            .field("name", "process_name")
+            .field("ph", "M")
+            .field("pid", 0)
+            .field("tid", 0)
+            .field("args", Json::obj().field("name", "wadc")),
+    );
+    for (i, name) in tracer.tracks().iter().enumerate() {
+        events.push(
+            Json::obj()
+                .field("name", "thread_name")
+                .field("ph", "M")
+                .field("pid", 0)
+                .field("tid", i)
+                .field("args", Json::obj().field("name", name.to_string())),
+        );
+        events.push(
+            Json::obj()
+                .field("name", "thread_sort_index")
+                .field("ph", "M")
+                .field("pid", 0)
+                .field("tid", i)
+                .field("args", Json::obj().field("sort_index", i)),
+        );
+    }
+    for entry in tracer.entries() {
+        match *entry {
+            Entry::Open { span, at } => {
+                let rec = &tracer.spans()[span.0 as usize];
+                events.push(
+                    Json::obj()
+                        .field("name", span_label(rec))
+                        .field("cat", rec.kind.label())
+                        .field("ph", "B")
+                        .field("ts", micros(at))
+                        .field("pid", 0)
+                        .field("tid", rec.track.0),
+                );
+            }
+            Entry::Close { span, at, ok } => {
+                let rec = &tracer.spans()[span.0 as usize];
+                events.push(
+                    Json::obj()
+                        .field("ph", "E")
+                        .field("ts", micros(at))
+                        .field("pid", 0)
+                        .field("tid", rec.track.0)
+                        .field("args", Json::obj().field("ok", ok)),
+                );
+            }
+            Entry::Instant {
+                track,
+                kind,
+                at,
+                args,
+            } => {
+                events.push(
+                    Json::obj()
+                        .field("name", kind.label())
+                        .field("cat", "event")
+                        .field("ph", "i")
+                        .field("s", "t")
+                        .field("ts", micros(at))
+                        .field("pid", 0)
+                        .field("tid", track.0)
+                        .field("args", event_args(kind, args)),
+                );
+            }
+            Entry::Sample { series, at, value } => {
+                let Some(info) = tracer.registry().get(series) else {
+                    continue;
+                };
+                events.push(
+                    Json::obj()
+                        .field("name", info.name.to_string())
+                        .field("ph", "C")
+                        .field("ts", micros(at))
+                        .field("pid", 0)
+                        .field("tid", 0)
+                        .field("args", Json::obj().field("value", value)),
+                );
+            }
+        }
+    }
+    Json::obj()
+        .field("traceEvents", Json::Arr(events))
+        .field("displayTimeUnit", "ms")
+}
+
+fn track_name(tracer: &Tracer, track: TrackId) -> String {
+    tracer
+        .tracks()
+        .get(track.0 as usize)
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| format!("track {}", track.0))
+}
+
+/// Writes the recorded entries as a JSONL stream: one compact JSON object
+/// per line, in timestamp order, self-describing (`type`, `track`/
+/// `series` names resolved, seconds-denominated timestamps).
+pub fn write_jsonl<W: Write>(tracer: &Tracer, w: &mut W) -> io::Result<()> {
+    for entry in tracer.entries() {
+        let line = match *entry {
+            Entry::Open { span, at } => {
+                let rec = &tracer.spans()[span.0 as usize];
+                Json::obj()
+                    .field("type", "open")
+                    .field("t", at.as_secs_f64())
+                    .field("track", track_name(tracer, rec.track))
+                    .field("kind", rec.kind.label())
+                    .field("span", span.0)
+                    .field("name", span_label(rec))
+            }
+            Entry::Close { span, at, ok } => Json::obj()
+                .field("type", "close")
+                .field("t", at.as_secs_f64())
+                .field(
+                    "track",
+                    track_name(tracer, tracer.spans()[span.0 as usize].track),
+                )
+                .field("span", span.0)
+                .field("ok", ok),
+            Entry::Instant {
+                track,
+                kind,
+                at,
+                args,
+            } => Json::obj()
+                .field("type", "event")
+                .field("t", at.as_secs_f64())
+                .field("track", track_name(tracer, track))
+                .field("kind", kind.label())
+                .field("args", event_args(kind, args)),
+            Entry::Sample { series, at, value } => {
+                let Some(info) = tracer.registry().get(series) else {
+                    continue;
+                };
+                Json::obj()
+                    .field("type", "sample")
+                    .field("t", at.as_secs_f64())
+                    .field("series", info.name.to_string())
+                    .field("value", value)
+            }
+        };
+        writeln!(w, "{}", line.to_string_compact())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SeriesKind;
+    use crate::recorder::{Recorder, SeriesName, SpanArgs, TrackName};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sample_tracer() -> Tracer {
+        let mut tr = Tracer::new();
+        let host = tr.track(TrackName::Host(0));
+        let s = tr.open_span(
+            host,
+            SpanKind::Transfer,
+            t(1),
+            SpanArgs {
+                a: 0,
+                b: 2,
+                c: 4096,
+                d: 0,
+            },
+        );
+        tr.instant(
+            host,
+            EventKind::MessageLost,
+            t(2),
+            EventArgs {
+                a: 1,
+                b: 2,
+                ..Default::default()
+            },
+        );
+        let sid = tr.series(SeriesKind::TimeWeighted, SeriesName::QueueDepth);
+        tr.sample(sid, t(2), 5.0);
+        tr.close_span(s, t(3), true);
+        tr
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_pairs_and_metadata() {
+        let tr = sample_tracer();
+        let doc = chrome_trace(&tr);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "B").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "E").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "C").count(), 1);
+        assert!(phases.contains(&"M"));
+        // Timestamps are microseconds.
+        let b = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .unwrap();
+        assert_eq!(b.get("ts").and_then(Json::as_num), Some(1_000_000.0));
+        assert_eq!(
+            b.get("name").and_then(Json::as_str),
+            Some("data 0→2 (4096 B)")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        let doc = chrome_trace(&sample_tracer());
+        let text = doc.to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let tr = sample_tracer();
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), tr.entries().len());
+        for line in lines {
+            let v = Json::parse(line).unwrap();
+            assert!(v.get("type").is_some());
+            assert!(v.get("t").is_some());
+        }
+    }
+
+    #[test]
+    fn span_labels_render_each_kind() {
+        let rec = |kind, args| SpanRec {
+            track: TrackId(0),
+            kind,
+            open: t(0),
+            close: None,
+            args,
+            ok: true,
+        };
+        assert_eq!(span_label(&rec(SpanKind::Run, SpanArgs::default())), "run");
+        assert_eq!(
+            span_label(&rec(
+                SpanKind::Relocation,
+                SpanArgs {
+                    a: 2,
+                    b: 1,
+                    c: 4,
+                    d: 0
+                }
+            )),
+            "move op 2: 1→4"
+        );
+        assert_eq!(
+            span_label(&rec(
+                SpanKind::Changeover,
+                SpanArgs {
+                    a: 3,
+                    b: 2,
+                    c: 0,
+                    d: 0
+                }
+            )),
+            "changeover v3 (2 moves)"
+        );
+    }
+}

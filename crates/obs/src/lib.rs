@@ -1,0 +1,67 @@
+//! # wadc-obs — observability for the simulation
+//!
+//! The paper's whole argument is about *when* adaptation fires and *what
+//! it costs*: pending-data light points, barrier change-overs, bandwidth
+//! estimates lagging ground truth. This crate is the window into a run:
+//!
+//! - [`recorder`] — the [`Recorder`](recorder::Recorder) sink trait, the
+//!   zero-allocation no-op implementation, and the cloneable
+//!   [`Obs`](recorder::Obs) handle instrumented components hold,
+//! - [`tracer`] — the in-memory [`Tracer`](tracer::Tracer): hierarchical
+//!   spans (run → iteration → transfer / change-over / relocation) and
+//!   point events, recorded as compact structs stamped with
+//!   [`SimTime`](wadc_sim::time::SimTime),
+//! - [`metrics`] — a registry of named time-series (counter, gauge,
+//!   time-weighted gauge built on [`wadc_sim::stats`]),
+//! - [`json`] — the workspace's dependency-free JSON value, writer and
+//!   parser,
+//! - [`export`] — JSONL stream and Chrome trace-format exporters (the
+//!   latter loads in Perfetto / `chrome://tracing`),
+//! - [`report`] — a human-readable end-of-run report.
+//!
+//! # Digest neutrality
+//!
+//! Instrumentation observes; it never participates. Recorders draw no
+//! random numbers, schedule no events and feed nothing back into the
+//! simulation, so the golden digests in `tests/golden/digests.txt` are
+//! byte-identical whether tracing is enabled or not. The disabled path is
+//! a single `Option` check per call site — no virtual dispatch, no
+//! allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use wadc_obs::recorder::{Obs, SpanArgs, SpanKind, TrackName};
+//! use wadc_obs::tracer::Tracer;
+//! use wadc_sim::time::SimTime;
+//!
+//! let (obs, tracer) = Tracer::install();
+//! let track = obs.track(TrackName::Host(0));
+//! let span = obs.open_span(track, SpanKind::Transfer, SimTime::ZERO, SpanArgs::default());
+//! obs.close_span(span, SimTime::from_secs(2), true);
+//! assert_eq!(tracer.borrow().spans().len(), 1);
+//!
+//! // A disabled handle records nothing and costs one branch per call.
+//! let off = Obs::disabled();
+//! assert!(!off.recording());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod tracer;
+
+pub use export::{chrome_trace, write_jsonl};
+pub use json::Json;
+pub use metrics::{Registry, SeriesInfo, SeriesKind};
+pub use recorder::{
+    EventArgs, EventKind, NoopRecorder, Obs, Recorder, SeriesName, SpanArgs, SpanId, SpanKind,
+    TrackId, TrackName,
+};
+pub use report::render_report;
+pub use tracer::{Entry, SpanRec, Tracer};

@@ -1,0 +1,172 @@
+//! The metrics registry: named time-series with streaming aggregates.
+//!
+//! Series are registered once (by well-known [`SeriesName`]) and then fed
+//! by id. Each series keeps streaming aggregates only — a [`Tally`] over
+//! sampled values, a [`TimeWeighted`] signal, and a running total — so the
+//! registry's memory is independent of run length. The full sample stream
+//! lives in the tracer's entry log (see [`crate::tracer::Entry::Sample`]),
+//! from which the exporters and the report reconstruct histories on
+//! demand.
+
+use wadc_sim::stats::{Tally, TimeWeighted};
+use wadc_sim::time::SimTime;
+
+use crate::recorder::{SeriesId, SeriesName};
+
+/// How a series aggregates its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotone running total of deltas (e.g. drops, retransmits).
+    Counter,
+    /// Point-sampled value; summarised by a per-sample [`Tally`].
+    Gauge,
+    /// Piecewise-constant signal; summarised time-weighted (e.g. queue
+    /// depth, in-flight bytes), built on [`wadc_sim::stats::TimeWeighted`].
+    TimeWeighted,
+}
+
+/// One registered series with its streaming aggregates.
+#[derive(Debug, Clone)]
+pub struct SeriesInfo {
+    /// The series' well-known name.
+    pub name: SeriesName,
+    /// The aggregation mode.
+    pub kind: SeriesKind,
+    /// Per-sample statistics (gauges and time-weighted series).
+    pub tally: Tally,
+    /// Time-weighted signal (meaningful for [`SeriesKind::TimeWeighted`]).
+    pub weighted: TimeWeighted,
+    /// Most recent value (gauges) / current signal (time-weighted).
+    pub last: f64,
+    /// Running total of deltas (counters).
+    pub total: f64,
+}
+
+/// The registry of named time-series.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    series: Vec<SeriesInfo>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Looks up or creates the series `name`. The `kind` of an existing
+    /// series is not changed by re-registration.
+    pub fn register(&mut self, kind: SeriesKind, name: SeriesName) -> SeriesId {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            return SeriesId(i as u32);
+        }
+        let id = SeriesId(self.series.len() as u32);
+        self.series.push(SeriesInfo {
+            name,
+            kind,
+            tally: Tally::new(),
+            weighted: TimeWeighted::new(SimTime::ZERO, 0.0),
+            last: 0.0,
+            total: 0.0,
+        });
+        id
+    }
+
+    /// Records an absolute value at `at`.
+    pub fn sample(&mut self, id: SeriesId, at: SimTime, value: f64) {
+        let Some(s) = self.series.get_mut(id.0 as usize) else {
+            return;
+        };
+        s.tally.record(value);
+        if s.kind == SeriesKind::TimeWeighted {
+            s.weighted.set(at, value);
+        }
+        s.last = value;
+    }
+
+    /// Adds `delta` at `at` (counters; also shifts time-weighted signals).
+    pub fn add(&mut self, id: SeriesId, at: SimTime, delta: f64) {
+        let Some(s) = self.series.get_mut(id.0 as usize) else {
+            return;
+        };
+        s.total += delta;
+        match s.kind {
+            SeriesKind::TimeWeighted => {
+                s.weighted.add(at, delta);
+                s.last = s.weighted.current();
+            }
+            _ => s.last += delta,
+        }
+    }
+
+    /// All registered series, in registration order (`SeriesId` order).
+    pub fn all(&self) -> &[SeriesInfo] {
+        &self.series
+    }
+
+    /// The series with the given id, if registered.
+    pub fn get(&self, id: SeriesId) -> Option<&SeriesInfo> {
+        self.series.get(id.0 as usize)
+    }
+
+    /// Finds a series by name.
+    pub fn find(&self, name: SeriesName) -> Option<(SeriesId, &SeriesInfo)> {
+        self.series
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| (SeriesId(i as u32), &self.series[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_dedupes_by_name() {
+        let mut r = Registry::new();
+        let a = r.register(SeriesKind::Counter, SeriesName::Drops);
+        let b = r.register(SeriesKind::Counter, SeriesName::Drops);
+        assert_eq!(a, b);
+        assert_eq!(r.all().len(), 1);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut r = Registry::new();
+        let id = r.register(SeriesKind::Counter, SeriesName::Retransmits);
+        r.add(id, SimTime::from_secs(1), 1.0);
+        r.add(id, SimTime::from_secs(2), 2.0);
+        assert_eq!(r.get(id).unwrap().total, 3.0);
+    }
+
+    #[test]
+    fn gauge_tallies_samples() {
+        let mut r = Registry::new();
+        let id = r.register(SeriesKind::Gauge, SeriesName::EstAbsRelError);
+        r.sample(id, SimTime::from_secs(1), 0.2);
+        r.sample(id, SimTime::from_secs(2), 0.4);
+        let s = r.get(id).unwrap();
+        assert_eq!(s.tally.count(), 2);
+        assert!((s.tally.mean() - 0.3).abs() < 1e-12);
+        assert_eq!(s.last, 0.4);
+    }
+
+    #[test]
+    fn time_weighted_gauge_uses_signal_time() {
+        let mut r = Registry::new();
+        let id = r.register(SeriesKind::TimeWeighted, SeriesName::QueueDepth);
+        r.sample(id, SimTime::from_secs(10), 4.0); // 0.0 held for 10 s
+        let s = r.get(id).unwrap();
+        assert!((s.weighted.mean(SimTime::from_secs(20)) - 2.0).abs() < 1e-12);
+        assert_eq!(s.last, 4.0);
+    }
+
+    #[test]
+    fn unknown_id_is_ignored() {
+        let mut r = Registry::new();
+        r.sample(SeriesId::INVALID, SimTime::ZERO, 1.0);
+        r.add(SeriesId(7), SimTime::ZERO, 1.0);
+        assert!(r.all().is_empty());
+    }
+}

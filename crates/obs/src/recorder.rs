@@ -1,0 +1,419 @@
+//! The [`Recorder`] sink trait and the [`Obs`] handle.
+//!
+//! Instrumented components (the engine, the network, the monitor) hold a
+//! cloneable [`Obs`] handle. When observation is disabled the handle is
+//! `None` inside and every call is a single branch — no virtual dispatch,
+//! no allocation, nothing recorded. When enabled, calls forward to a
+//! shared [`Recorder`] (in practice the [`Tracer`](crate::tracer::Tracer)).
+//!
+//! All identifiers are small copyable integers and all argument structs
+//! are fixed-size — recording never allocates per event either; labels
+//! are rendered only at export time.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use wadc_sim::time::SimTime;
+
+use crate::metrics::SeriesKind;
+
+/// Identifies a track: a horizontal lane in the trace viewer on which
+/// spans nest. One per host, per operator, plus the run-level lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrackId(pub u32);
+
+/// Identifies an open (or closed) span within a recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// The id handed out when recording is disabled; closing it is a no-op.
+    pub const INVALID: SpanId = SpanId(u32::MAX);
+}
+
+/// Well-known track names. A fixed enum (rather than strings) keeps the
+/// recording path allocation-free; display names are rendered at export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackName {
+    /// The whole-run lane (one span from kick-off to completion).
+    Run,
+    /// The planner / change-over lane.
+    Planner,
+    /// The client's iteration lane.
+    Client,
+    /// One lane per host; transfers appear on the source host's lane.
+    Host(u32),
+    /// One lane per operator; relocations appear here.
+    Operator(u32),
+}
+
+impl fmt::Display for TrackName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackName::Run => write!(f, "run"),
+            TrackName::Planner => write!(f, "planner"),
+            TrackName::Client => write!(f, "client"),
+            TrackName::Host(h) => write!(f, "host {h}"),
+            TrackName::Operator(k) => write!(f, "op {k}"),
+        }
+    }
+}
+
+/// Well-known time-series names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesName {
+    /// Event-queue depth sampled from the engine's main loop.
+    QueueDepth,
+    /// Bytes currently on the wire (all in-flight transfers).
+    InFlightBytes,
+    /// Transfers queued behind busy NICs.
+    PendingTransfers,
+    /// Retransmissions submitted (counter).
+    Retransmits,
+    /// Messages dropped by fault injection (counter).
+    Drops,
+    /// True bandwidth of the link between hosts `.0` and `.1` (bytes/s).
+    TrueBandwidth(u32, u32),
+    /// The client cache's estimate for the same link (bytes/s).
+    EstBandwidth(u32, u32),
+    /// `|estimate - truth| / truth`, sampled whenever an estimate exists.
+    EstAbsRelError,
+    /// Current site (host index) of operator `.0`.
+    OperatorSite(u32),
+}
+
+impl fmt::Display for SeriesName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeriesName::QueueDepth => write!(f, "sim.queue_depth"),
+            SeriesName::InFlightBytes => write!(f, "net.in_flight_bytes"),
+            SeriesName::PendingTransfers => write!(f, "net.pending_transfers"),
+            SeriesName::Retransmits => write!(f, "net.retransmits"),
+            SeriesName::Drops => write!(f, "net.drops"),
+            SeriesName::TrueBandwidth(a, b) => write!(f, "bw.true.{a}-{b}"),
+            SeriesName::EstBandwidth(a, b) => write!(f, "bw.est.{a}-{b}"),
+            SeriesName::EstAbsRelError => write!(f, "bw.est_abs_rel_error"),
+            SeriesName::OperatorSite(k) => write!(f, "op.{k}.site"),
+        }
+    }
+}
+
+/// Identifies a registered time-series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(pub u32);
+
+impl SeriesId {
+    /// The id handed out when recording is disabled.
+    pub const INVALID: SeriesId = SeriesId(u32::MAX);
+}
+
+/// Span kinds, mirroring the hierarchy run → iteration →
+/// transfer / change-over / relocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole run.
+    Run,
+    /// One client iteration (demand out → combined image back).
+    Iteration,
+    /// One network transfer, on the source host's track.
+    Transfer,
+    /// A barrier change-over, proposal to commit/abort.
+    Changeover,
+    /// One operator relocation, departure to arrival (or rollback).
+    Relocation,
+}
+
+impl SpanKind {
+    /// Short category label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Iteration => "iteration",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Changeover => "changeover",
+            SpanKind::Relocation => "relocation",
+        }
+    }
+}
+
+/// Point-event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The global planner ran (args: `x` = cost before, `y` = cost after,
+    /// `a` = 1 if the plan changed).
+    PlannerRan,
+    /// A local light-point decision fired (`a` = operator, `b` = target host).
+    LocalDecision,
+    /// A server was suspended for a change-over (`a` = server index).
+    ServerSuspended,
+    /// A message was dropped by fault injection (`a` = traffic-kind tag,
+    /// `b` = destination host).
+    MessageLost,
+    /// A retransmission was submitted (`a` = traffic-kind tag).
+    Retransmit,
+}
+
+impl EventKind {
+    /// Short label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::PlannerRan => "planner_ran",
+            EventKind::LocalDecision => "local_decision",
+            EventKind::ServerSuspended => "server_suspended",
+            EventKind::MessageLost => "message_lost",
+            EventKind::Retransmit => "retransmit",
+        }
+    }
+}
+
+/// Fixed-size numeric payload attached to a span. The meaning of each
+/// slot depends on the [`SpanKind`]; unused slots stay zero.
+///
+/// - `Transfer`: `a` = src host, `b` = dst host, `c` = bytes,
+///   `d` = traffic-kind tag.
+/// - `Iteration`: `a` = iteration number.
+/// - `Relocation`: `a` = operator, `b` = from host, `c` = to host.
+/// - `Changeover`: `a` = plan version, `b` = number of moves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanArgs {
+    /// First slot.
+    pub a: u64,
+    /// Second slot.
+    pub b: u64,
+    /// Third slot.
+    pub c: u64,
+    /// Fourth slot.
+    pub d: u64,
+}
+
+/// Fixed-size numeric payload attached to a point event; see the
+/// documentation of each [`EventKind`] for slot meanings.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventArgs {
+    /// First integer slot.
+    pub a: u64,
+    /// Second integer slot.
+    pub b: u64,
+    /// First float slot.
+    pub x: f64,
+    /// Second float slot.
+    pub y: f64,
+}
+
+/// A sink for structured observations. Implementations must be purely
+/// passive: no randomness, no feedback into the simulation, so that a
+/// run's event ordering and digests are identical with any recorder (or
+/// none) attached.
+pub trait Recorder {
+    /// Looks up or creates the track with the given name. Repeated calls
+    /// with the same name return the same id.
+    fn track(&mut self, name: TrackName) -> TrackId;
+
+    /// Opens a span on a track. Spans on one track must nest: the next
+    /// close on the track matches the most recent open.
+    fn open_span(&mut self, track: TrackId, kind: SpanKind, at: SimTime, args: SpanArgs) -> SpanId;
+
+    /// Closes a span. `ok = false` marks an aborted / rolled-back span.
+    fn close_span(&mut self, id: SpanId, at: SimTime, ok: bool);
+
+    /// Records a point event on a track.
+    fn instant(&mut self, track: TrackId, kind: EventKind, at: SimTime, args: EventArgs);
+
+    /// Looks up or creates a time-series. Repeated calls with the same
+    /// name return the same id.
+    fn series(&mut self, kind: SeriesKind, name: SeriesName) -> SeriesId;
+
+    /// Records an absolute value for a gauge or time-weighted series.
+    fn sample(&mut self, series: SeriesId, at: SimTime, value: f64);
+
+    /// Adds a delta to a counter series.
+    fn add(&mut self, series: SeriesId, at: SimTime, delta: f64);
+}
+
+/// The no-op recorder: every method returns immediately without touching
+/// memory. [`Obs::disabled`] short-circuits before any virtual call, so
+/// this type exists mainly to document the contract and for tests that
+/// want a `Recorder` value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn track(&mut self, _name: TrackName) -> TrackId {
+        TrackId(0)
+    }
+    fn open_span(
+        &mut self,
+        _track: TrackId,
+        _kind: SpanKind,
+        _at: SimTime,
+        _args: SpanArgs,
+    ) -> SpanId {
+        SpanId::INVALID
+    }
+    fn close_span(&mut self, _id: SpanId, _at: SimTime, _ok: bool) {}
+    fn instant(&mut self, _track: TrackId, _kind: EventKind, _at: SimTime, _args: EventArgs) {}
+    fn series(&mut self, _kind: SeriesKind, _name: SeriesName) -> SeriesId {
+        SeriesId::INVALID
+    }
+    fn sample(&mut self, _series: SeriesId, _at: SimTime, _value: f64) {}
+    fn add(&mut self, _series: SeriesId, _at: SimTime, _delta: f64) {}
+}
+
+/// The cloneable handle instrumented components hold.
+///
+/// `Obs::disabled()` (also `Default`) carries no recorder: every call is
+/// one `Option` check and returns a sentinel id. `Obs::new(recorder)`
+/// shares a recorder between all clones of the handle, so the engine, the
+/// network and the monitor all write into the same trace.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Rc<RefCell<dyn Recorder>>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("recording", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A handle that records nothing; the free default.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A handle writing into `recorder`; clones share the same sink.
+    pub fn new(recorder: Rc<RefCell<dyn Recorder>>) -> Obs {
+        Obs {
+            inner: Some(recorder),
+        }
+    }
+
+    /// `true` if a recorder is attached. Call sites with non-trivial
+    /// argument preparation should gate on this first.
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// See [`Recorder::track`]. Returns `TrackId(0)` when disabled.
+    #[inline]
+    pub fn track(&self, name: TrackName) -> TrackId {
+        match &self.inner {
+            Some(r) => r.borrow_mut().track(name),
+            None => TrackId(0),
+        }
+    }
+
+    /// See [`Recorder::open_span`]. Returns [`SpanId::INVALID`] when disabled.
+    #[inline]
+    pub fn open_span(&self, track: TrackId, kind: SpanKind, at: SimTime, args: SpanArgs) -> SpanId {
+        match &self.inner {
+            Some(r) => r.borrow_mut().open_span(track, kind, at, args),
+            None => SpanId::INVALID,
+        }
+    }
+
+    /// See [`Recorder::close_span`]. Closing [`SpanId::INVALID`] is a no-op.
+    #[inline]
+    pub fn close_span(&self, id: SpanId, at: SimTime, ok: bool) {
+        if let Some(r) = &self.inner {
+            if id != SpanId::INVALID {
+                r.borrow_mut().close_span(id, at, ok);
+            }
+        }
+    }
+
+    /// See [`Recorder::instant`].
+    #[inline]
+    pub fn instant(&self, track: TrackId, kind: EventKind, at: SimTime, args: EventArgs) {
+        if let Some(r) = &self.inner {
+            r.borrow_mut().instant(track, kind, at, args);
+        }
+    }
+
+    /// See [`Recorder::series`]. Returns [`SeriesId::INVALID`] when disabled.
+    #[inline]
+    pub fn series(&self, kind: SeriesKind, name: SeriesName) -> SeriesId {
+        match &self.inner {
+            Some(r) => r.borrow_mut().series(kind, name),
+            None => SeriesId::INVALID,
+        }
+    }
+
+    /// See [`Recorder::sample`].
+    #[inline]
+    pub fn sample(&self, series: SeriesId, at: SimTime, value: f64) {
+        if let Some(r) = &self.inner {
+            if series != SeriesId::INVALID {
+                r.borrow_mut().sample(series, at, value);
+            }
+        }
+    }
+
+    /// See [`Recorder::add`].
+    #[inline]
+    pub fn add(&self, series: SeriesId, at: SimTime, delta: f64) {
+        if let Some(r) = &self.inner {
+            if series != SeriesId::INVALID {
+                r.borrow_mut().add(series, at, delta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_returns_sentinels() {
+        let obs = Obs::disabled();
+        assert!(!obs.recording());
+        assert_eq!(obs.track(TrackName::Run), TrackId(0));
+        let s = obs.open_span(
+            TrackId(0),
+            SpanKind::Run,
+            SimTime::ZERO,
+            SpanArgs::default(),
+        );
+        assert_eq!(s, SpanId::INVALID);
+        // All of these must be inert.
+        obs.close_span(s, SimTime::ZERO, true);
+        obs.instant(
+            TrackId(0),
+            EventKind::PlannerRan,
+            SimTime::ZERO,
+            EventArgs::default(),
+        );
+        let sid = obs.series(SeriesKind::Counter, SeriesName::Drops);
+        assert_eq!(sid, SeriesId::INVALID);
+        obs.add(sid, SimTime::ZERO, 1.0);
+        obs.sample(sid, SimTime::ZERO, 1.0);
+    }
+
+    #[test]
+    fn noop_recorder_is_inert() {
+        let mut r = NoopRecorder;
+        assert_eq!(r.track(TrackName::Host(3)), TrackId(0));
+        let s = r.open_span(
+            TrackId(0),
+            SpanKind::Transfer,
+            SimTime::ZERO,
+            SpanArgs::default(),
+        );
+        assert_eq!(s, SpanId::INVALID);
+        r.close_span(s, SimTime::ZERO, true);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(TrackName::Host(3).to_string(), "host 3");
+        assert_eq!(TrackName::Operator(1).to_string(), "op 1");
+        assert_eq!(SeriesName::TrueBandwidth(0, 2).to_string(), "bw.true.0-2");
+        assert_eq!(SeriesName::OperatorSite(4).to_string(), "op.4.site");
+    }
+}

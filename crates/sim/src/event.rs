@@ -76,6 +76,7 @@ pub struct EventQueue<E> {
     free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -93,6 +94,7 @@ impl<E> EventQueue<E> {
             free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            high_water: 0,
         }
     }
 
@@ -110,6 +112,16 @@ impl<E> EventQueue<E> {
     /// Returns `true` if no live events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The deepest the queue has ever been: the maximum of [`len`] over
+    /// every schedule so far. Maintained unconditionally (one compare per
+    /// schedule) so observability hooks can read it without having been
+    /// attached from the start.
+    ///
+    /// [`len`]: EventQueue::len
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// The heap ordering key of the slot at heap position `pos`.
@@ -199,6 +211,7 @@ impl<E> EventQueue<E> {
             }
         };
         self.heap.push(slot);
+        self.high_water = self.high_water.max(self.heap.len());
         self.sift_up(self.heap.len() - 1);
         EventId { seq, slot }
     }
@@ -451,5 +464,22 @@ mod tests {
             .map(|(at, id, e)| (at, id.as_u64(), e))
             .collect();
         assert_eq!(drained, model);
+    }
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        for i in 0..5 {
+            q.schedule(SimTime::from_secs(i + 1), i as u32);
+        }
+        assert_eq!(q.high_water(), 5);
+        q.pop();
+        q.pop();
+        // Draining never lowers the high-water mark ...
+        assert_eq!(q.high_water(), 5);
+        q.schedule(SimTime::from_secs(60), 9);
+        // ... and refilling below the peak leaves it unchanged.
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.high_water(), 5);
     }
 }

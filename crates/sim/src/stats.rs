@@ -325,6 +325,36 @@ mod tests {
     }
 
     #[test]
+    fn time_weighted_zero_duration_intervals() {
+        let mut u = TimeWeighted::new(SimTime::from_secs(5), 3.0);
+        // Before any time passes, the mean degenerates to the current value.
+        assert_eq!(u.mean(SimTime::from_secs(5)), 3.0);
+        // A same-instant change contributes zero weight: the overwritten
+        // value never shows up in the mean.
+        u.set(SimTime::from_secs(5), 7.0);
+        assert_eq!(u.current(), 7.0);
+        assert_eq!(u.mean(SimTime::from_secs(5)), 7.0);
+        assert!((u.mean(SimTime::from_secs(15)) - 7.0).abs() < 1e-12);
+        // Querying before the start saturates to a zero-length window.
+        assert_eq!(u.mean(SimTime::ZERO), 7.0);
+    }
+
+    #[test]
+    fn histogram_single_bucket() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        for x in [-0.5, 0.0, 0.5, 0.999, 1.0] {
+            h.record(x);
+        }
+        assert_eq!(h.buckets(), &[3]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        // Every in-range quantile lands on the lone bucket's midpoint.
+        assert_eq!(h.quantile(0.5), Some(0.5));
+        assert_eq!(h.quantile(0.1), Some(0.0)); // inside the underflow mass
+    }
+
+    #[test]
     fn histogram_buckets_and_edges() {
         let mut h = Histogram::new(0.0, 10.0, 10);
         for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {

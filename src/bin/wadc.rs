@@ -2,7 +2,9 @@
 //! simulator.
 //!
 //! ```sh
-//! wadc run   [--servers N] [--algorithm A] [--period-mins M] [--shape S] [--seed S] [--images N] [--audit]
+//! wadc run   [--servers N] [--algorithm A] [--period-mins M] [--shape S] [--seed S] [--images N]
+//!            [--audit] [--json] [--trace-out t.json] [--jsonl-out t.jsonl]
+//! wadc report [--servers N] [--algorithm A] [--seed S] [--images N]
 //! wadc study [--configs N] [--servers N] [--seed S] [--threads T]
 //! wadc trace [--pair A,B] [--seed S] [--window-hours H]
 //! wadc plan  [--servers N] [--seed S] [--objective critical-path|contended]
@@ -16,7 +18,8 @@ use wadc::core::algorithms::one_shot::{one_shot_placement, Objective};
 use wadc::core::engine::{Algorithm, AuditEvent};
 use wadc::core::experiment::Experiment;
 use wadc::core::study::{run_study_parallel, StudyParams};
-use wadc::net::faults::{FaultPlan, TrafficKind};
+use wadc::net::faults::FaultPlan;
+use wadc::obs::{chrome_trace, render_report, write_jsonl, Json, Tracer};
 use wadc::plan::cost::CostModel;
 use wadc::plan::critical_path::{critical_path, nic_occupancy};
 use wadc::plan::ids::OperatorId;
@@ -33,12 +36,18 @@ use wadc::verify::invariants::check_run;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wadc <run|study|trace|plan|verify|chaos> [flags]
+        "usage: wadc <run|report|study|trace|plan|verify|chaos> [flags]
 
 run    simulate one configuration under one algorithm
          --servers N (8)  --algorithm download-all|one-shot|global|local (global)
          --period-mins M (10)  --shape binary|left-deep (binary)
          --seed S (1998)  --config I (0)  --images N (180)  --audit
+         --json (machine-readable result on stdout)
+         --trace-out PATH (Chrome trace JSON, load in Perfetto)
+         --jsonl-out PATH (span/sample stream, one JSON object per line)
+report run one configuration with tracing and print a human-readable
+       run report (adaptation, residency, links, monitoring, faults)
+         plus every `run` flag (--servers, --algorithm, --seed, ...)
 study  run a multi-configuration comparison of all four algorithms
          --configs N (50)  --servers N (8)  --seed S (1998)  --threads T (auto)
 trace  characterise the synthetic bandwidth study
@@ -67,7 +76,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument {key}");
             usage();
         }
-        if key == "--audit" || key == "--quick" || key == "--print-golden" {
+        if key == "--audit" || key == "--quick" || key == "--print-golden" || key == "--json" {
             flags.insert(key, "true".to_string());
             i += 1;
         } else {
@@ -89,6 +98,13 @@ fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, defaul
             eprintln!("invalid value for {key}: {v}");
             usage()
         }),
+    }
+}
+
+fn write_or_die(path: &str, bytes: &[u8]) {
+    if let Err(e) = std::fs::write(path, bytes) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -142,25 +158,69 @@ fn build_experiment(flags: &HashMap<String, String>) -> Experiment {
 fn cmd_run(flags: HashMap<String, String>) {
     let exp = build_experiment(&flags);
     let algorithm = algorithm_from(&flags);
-    println!(
-        "running {} servers x {} images under {}...",
-        exp.template().n_servers,
-        exp.template().workload.images_per_server,
-        algorithm.name()
-    );
+    let json_out = flags.contains_key("--json");
+    let tracing = flags.contains_key("--trace-out") || flags.contains_key("--jsonl-out");
+    if !json_out {
+        println!(
+            "running {} servers x {} images under {}...",
+            exp.template().n_servers,
+            exp.template().workload.images_per_server,
+            algorithm.name()
+        );
+    }
     let baseline = exp.run(Algorithm::DownloadAll);
-    let r = exp.run(algorithm);
-    println!(
-        "completed: {} | total {:.0} s | {:.1} s/image | speedup over download-all {:.2}x",
-        r.completed,
-        r.completion_time.as_secs_f64(),
-        r.mean_interarrival_secs(),
-        r.speedup_over(&baseline)
-    );
-    println!(
-        "planner runs {} | change-overs {} | relocations {} | wire bytes {}",
-        r.planner_runs, r.changeovers, r.relocations, r.net_stats.bytes_delivered
-    );
+    let tracer = tracing.then(Tracer::install);
+    let r = match &tracer {
+        Some((obs, _)) => exp.run_observed(algorithm, obs.clone()),
+        None => exp.run(algorithm),
+    };
+    if let Some((_, tracer)) = &tracer {
+        let tracer = tracer.borrow();
+        if let Some(path) = flags.get("--trace-out") {
+            write_or_die(path, chrome_trace(&tracer).to_string_compact().as_bytes());
+            if !json_out {
+                println!("wrote Chrome trace to {path} (load at https://ui.perfetto.dev)");
+            }
+        }
+        if let Some(path) = flags.get("--jsonl-out") {
+            let mut buf = Vec::new();
+            write_jsonl(&tracer, &mut buf).expect("writing to memory cannot fail");
+            write_or_die(path, &buf);
+            if !json_out {
+                println!("wrote span/sample stream to {path}");
+            }
+        }
+    }
+    if json_out {
+        println!(
+            "{}",
+            Json::obj()
+                .field("algorithm", algorithm.name())
+                .field("completed", r.completed)
+                .field("completion_secs", r.completion_time.as_secs_f64())
+                .field("images_delivered", r.images_delivered)
+                .field("mean_interarrival_secs", r.mean_interarrival_secs())
+                .field("speedup_over_download_all", r.speedup_over(&baseline))
+                .field("planner_runs", r.planner_runs)
+                .field("changeovers", r.changeovers)
+                .field("relocations", r.relocations)
+                .field("bytes_delivered", r.net_stats.bytes_delivered)
+                .field("digest", r.digest_hex())
+                .to_string_pretty()
+        );
+    } else {
+        println!(
+            "completed: {} | total {:.0} s | {:.1} s/image | speedup over download-all {:.2}x",
+            r.completed,
+            r.completion_time.as_secs_f64(),
+            r.mean_interarrival_secs(),
+            r.speedup_over(&baseline)
+        );
+        println!(
+            "planner runs {} | change-overs {} | relocations {} | wire bytes {}",
+            r.planner_runs, r.changeovers, r.relocations, r.net_stats.bytes_delivered
+        );
+    }
     if flags.contains_key("--audit") {
         println!("\naudit log ({} events):", r.audit.len());
         for e in r.audit.events() {
@@ -229,6 +289,17 @@ fn cmd_run(flags: HashMap<String, String>) {
                 ),
             }
         }
+    }
+}
+
+fn cmd_report(flags: HashMap<String, String>) {
+    let exp = build_experiment(&flags);
+    let algorithm = algorithm_from(&flags);
+    let (obs, tracer) = Tracer::install();
+    let r = exp.run_observed(algorithm, obs);
+    print!("{}", render_report(&tracer.borrow()));
+    if !r.completed {
+        println!("warning: run hit the safety cap before delivering every image");
     }
 }
 
@@ -484,33 +555,16 @@ fn cmd_chaos(flags: HashMap<String, String>) {
         clean.completion_time.as_secs_f64(),
         100.0 * (r.completion_time.as_secs_f64() / clean.completion_time.as_secs_f64() - 1.0)
     );
-    let st = &r.net_stats;
-    println!(
-        "dropped {} of {} messages ({} bytes) | retransmits {} ({} bytes)",
-        st.dropped, st.completed, st.bytes_dropped, st.retransmits, st.bytes_retransmitted
-    );
-    let mut by_kind = [0u64; 4];
+    print!("{}", r.net_stats);
     let mut rollbacks = 0u64;
     let mut aborts = 0u64;
     for e in r.audit.events() {
         match e {
-            AuditEvent::MessageLost { kind, .. } => by_kind[kind.tag() as usize] += 1,
             AuditEvent::RelocationAborted { .. } => rollbacks += 1,
             AuditEvent::ChangeoverAborted { .. } => aborts += 1,
             _ => {}
         }
     }
-    println!(
-        "losses by class: {} {} | {} {} | {} {} | {} {}",
-        TrafficKind::Data.label(),
-        by_kind[TrafficKind::Data.tag() as usize],
-        TrafficKind::Control.label(),
-        by_kind[TrafficKind::Control.tag() as usize],
-        TrafficKind::Probe.label(),
-        by_kind[TrafficKind::Probe.tag() as usize],
-        TrafficKind::OperatorState.label(),
-        by_kind[TrafficKind::OperatorState.tag() as usize],
-    );
     println!("move rollbacks {rollbacks} | barrier aborts {aborts}");
 }
 
@@ -522,6 +576,7 @@ fn main() {
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "run" => cmd_run(flags),
+        "report" => cmd_report(flags),
         "study" => cmd_study(flags),
         "trace" => cmd_trace(flags),
         "plan" => cmd_plan(flags),

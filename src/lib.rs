@@ -18,6 +18,7 @@
 //! | [`app`] | the satellite-image composition workload |
 //! | [`core`] | the placement algorithms and the adaptive execution engine |
 //! | [`mobile`] | operator-mobility substrate: code registry, state packets, move protocol |
+//! | [`obs`] | observability: span/event tracing, metrics, trace exporters, run reports |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use wadc_core as core;
 pub use wadc_mobile as mobile;
 pub use wadc_monitor as monitor;
 pub use wadc_net as net;
+pub use wadc_obs as obs;
 pub use wadc_plan as plan;
 pub use wadc_sim as sim;
 pub use wadc_trace as trace;

@@ -1,0 +1,199 @@
+//! Observability integration tests: the exported Chrome trace obeys the
+//! trace-event schema, the span stream is well-formed, and — the hard
+//! constraint — attaching a tracer never changes what the simulation
+//! does (golden digests stay byte-identical with tracing on or off).
+
+use std::collections::HashMap;
+
+use wadc::core::engine::Algorithm;
+use wadc::core::experiment::Experiment;
+use wadc::net::faults::FaultPlan;
+use wadc::obs::{chrome_trace, render_report, write_jsonl, Entry, Json, Tracer};
+use wadc::sim::time::SimDuration;
+
+fn algorithms() -> [Algorithm; 4] {
+    let thirty = SimDuration::from_secs(30);
+    [
+        Algorithm::DownloadAll,
+        Algorithm::OneShot,
+        Algorithm::Global { period: thirty },
+        Algorithm::Local {
+            period: thirty,
+            extra_candidates: 0,
+        },
+    ]
+}
+
+#[test]
+fn tracing_is_digest_neutral_for_every_algorithm() {
+    let exp = Experiment::quick(4, 7);
+    for algorithm in algorithms() {
+        let plain = exp.run(algorithm);
+        let (obs, tracer) = Tracer::install();
+        let traced = exp.run_observed(algorithm, obs);
+        assert_eq!(
+            plain.digest_hex(),
+            traced.digest_hex(),
+            "{}: tracing must not perturb the run",
+            algorithm.name()
+        );
+        assert_eq!(plain.audit.digest(), traced.audit.digest());
+        assert_eq!(plain.arrivals, traced.arrivals);
+        // The tracer actually saw the run it did not perturb.
+        assert!(!tracer.borrow().entries().is_empty());
+    }
+}
+
+#[test]
+fn tracing_is_digest_neutral_under_faults() {
+    let mut exp = Experiment::quick(4, 11);
+    exp.template_mut().faults = FaultPlan::none().with_loss(0.2);
+    let algorithm = Algorithm::Global {
+        period: SimDuration::from_secs(30),
+    };
+    let plain = exp.run(algorithm);
+    let (obs, _tracer) = Tracer::install();
+    let traced = exp.run_observed(algorithm, obs);
+    assert_eq!(plain.digest_hex(), traced.digest_hex());
+}
+
+#[test]
+fn chrome_trace_round_trips_and_passes_schema() {
+    let exp = Experiment::quick(4, 3);
+    let (obs, tracer) = Tracer::install();
+    let r = exp.run_observed(
+        Algorithm::Global {
+            period: SimDuration::from_secs(10),
+        },
+        obs,
+    );
+    assert!(r.completed);
+    let tracer = tracer.borrow();
+    let doc = chrome_trace(&tracer);
+
+    // The document must survive its own serialisation (both layouts).
+    let reparsed = Json::parse(&doc.to_string_compact()).expect("compact parses");
+    Json::parse(&doc.to_string_pretty()).expect("pretty parses");
+
+    let events = reparsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert_eq!(
+        reparsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+
+    // Per-track stack discipline and monotone timestamps, as Perfetto
+    // would enforce them.
+    let mut depth: HashMap<i64, i64> = HashMap::new();
+    let mut last_ts: HashMap<i64, f64> = HashMap::new();
+    let mut saw = (false, false, false, false); // B, E, i, C
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        if ph != "E" {
+            // End events need no name; everything else must be labelled.
+            assert!(ev.get("name").and_then(Json::as_str).is_some(), "name");
+        }
+        assert!(ev.get("pid").and_then(Json::as_num).is_some(), "pid");
+        let tid = ev.get("tid").and_then(Json::as_num).expect("tid") as i64;
+        if ph == "M" {
+            continue;
+        }
+        let ts = ev.get("ts").and_then(Json::as_num).expect("ts");
+        assert!(ts >= 0.0);
+        let prev = last_ts.entry(tid).or_insert(ts);
+        assert!(ts >= *prev, "timestamps monotone per track");
+        *prev = ts;
+        match ph {
+            "B" => {
+                saw.0 = true;
+                *depth.entry(tid).or_insert(0) += 1;
+            }
+            "E" => {
+                saw.1 = true;
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "E without matching B on tid {tid}");
+            }
+            "i" => {
+                saw.2 = true;
+                assert_eq!(ev.get("s").and_then(Json::as_str), Some("t"));
+            }
+            "C" => saw.3 = true,
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(saw.0 && saw.1, "trace must contain span begin/end pairs");
+    assert!(saw.3, "trace must contain counter samples");
+    for (tid, d) in depth {
+        assert_eq!(d, 0, "unbalanced spans on tid {tid}");
+    }
+
+    // The sibling exporters work on the same trace.
+    let mut jsonl = Vec::new();
+    write_jsonl(&tracer, &mut jsonl).expect("jsonl into memory");
+    let text = String::from_utf8(jsonl).expect("utf-8");
+    for line in text.lines() {
+        Json::parse(line).expect("every jsonl line parses");
+    }
+    let report = render_report(&tracer);
+    assert!(report.contains("wadc run report"));
+    assert!(report.contains("operator residency"));
+}
+
+/// Property test for the exported span stream: across seeds and
+/// algorithms, every close matches the most recently opened span on its
+/// track and timestamps never go backwards on any track. Checked
+/// independently of `Tracer::check_well_formed`, which is also asserted.
+#[test]
+fn span_stream_is_well_formed_across_seeds() {
+    let thirty = SimDuration::from_secs(30);
+    for seed in 0..5u64 {
+        for algorithm in [
+            Algorithm::Global { period: thirty },
+            Algorithm::Local {
+                period: thirty,
+                extra_candidates: 1,
+            },
+        ] {
+            let mut exp = Experiment::quick(4, seed);
+            if seed % 2 == 1 {
+                // Odd seeds run lossy so abort/rollback closes are covered.
+                exp.template_mut().faults = FaultPlan::none().with_loss(0.15);
+            }
+            let (obs, tracer) = Tracer::install();
+            exp.run_observed(algorithm, obs);
+            let tr = tracer.borrow();
+            tr.check_well_formed().expect("tracer self-check");
+
+            let n_tracks = tr.tracks().len();
+            let mut stacks: Vec<Vec<usize>> = vec![Vec::new(); n_tracks];
+            let mut last_at = vec![wadc::sim::time::SimTime::ZERO; n_tracks];
+            for entry in tr.entries() {
+                match *entry {
+                    Entry::Open { span, at } => {
+                        let track = tr.spans()[span.0 as usize].track.0 as usize;
+                        assert!(at >= last_at[track], "seed {seed}: time went backwards");
+                        last_at[track] = at;
+                        stacks[track].push(span.0 as usize);
+                    }
+                    Entry::Close { span, at, .. } => {
+                        let track = tr.spans()[span.0 as usize].track.0 as usize;
+                        assert!(at >= last_at[track], "seed {seed}: time went backwards");
+                        last_at[track] = at;
+                        let top = stacks[track]
+                            .pop()
+                            .expect("close without an open span on its track");
+                        assert_eq!(
+                            top, span.0 as usize,
+                            "seed {seed}: close must match the most recent open on its track"
+                        );
+                    }
+                    Entry::Instant { .. } | Entry::Sample { .. } => {}
+                }
+            }
+        }
+    }
+}
