@@ -1,19 +1,28 @@
 //! Perf-regression harness: wall-clock throughput of the three measured
 //! hot paths — the DES kernel's event queue, the placement search, and
-//! monotone bandwidth-trace lookups — plus a reduced paper-main study as
-//! an end-to-end proxy.
+//! monotone bandwidth-trace lookups — plus a reduced paper-main study and
+//! the quick study as end-to-end proxies.
 //!
 //! ```sh
-//! cargo run --release -p wadc-bench --bin perf [--quick] [--reps N] [--seed S] [--json PATH]
+//! cargo run --release -p wadc-bench --bin perf \
+//!     [--quick] [--reps N] [--seed S] [--json PATH] [--alloc-gate]
 //! ```
 //!
-//! Emits `BENCH_perf.json` (override with `--json`): an array of benches,
-//! each `{name, iterations, median_secs, mean_secs, events_per_sec}` where
-//! `events_per_sec` is the bench's natural unit of work (kernel events,
-//! placement searches, trace queries, engine runs) divided by the median
-//! wall time of one iteration. Timings are informational — the harness
-//! fails only on panic, so CI can run it at reduced scale without flaking
-//! on machine noise.
+//! Emits `BENCH_perf.json` (override with `--json`): schema
+//! `wadc-bench-perf-v2`, an array of benches keeping every v1 timing
+//! field (`name`, `iterations`, `units_per_iteration`, `median_secs`,
+//! `mean_secs`, `events_per_sec`) and adding allocation traffic measured
+//! by the [`wadc_bench::alloc`] counting allocator over the *final*
+//! repetition — the steady state, after every pool and cache is warm:
+//! `allocs`, `frees`, `bytes_allocated`, `peak_bytes`, `allocs_per_unit`.
+//!
+//! Timings are informational — the harness fails only on panic, so CI can
+//! run it at reduced scale without flaking on machine noise. Allocation
+//! counts are *deterministic* (fixed seeds, single-threaded measurement),
+//! so `--alloc-gate` turns them into a hard regression gate: if the
+//! steady-state allocations per unit of work in the study benches exceed
+//! the committed thresholds, the run exits nonzero. That keeps the
+//! panics-not-timings rule — the gate never looks at a clock.
 //!
 //! The workloads are deterministic (fixed seeds, no wall-clock feedback),
 //! so two builds of the same scale do the same work and their numbers are
@@ -22,6 +31,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use wadc_bench::alloc::{AllocScope, AllocStats, CountingAlloc};
 use wadc_bench::json::Json;
 use wadc_core::algorithms::one_shot_placement;
 use wadc_core::study::{run_study, StudyParams};
@@ -35,11 +45,26 @@ use wadc_sim::stats::median;
 use wadc_sim::time::{SimDuration, SimTime};
 use wadc_trace::model::BandwidthTrace;
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Steady-state allocation budgets for the end-to-end study benches, in
+/// allocations per unit of work (one unit = one engine run). Checked by
+/// `--alloc-gate`. The values are the post-pooling measurements with
+/// roughly 2× headroom — far below the pre-pooling baseline (see
+/// `results/BENCH_perf_baseline_pr5.json`), so an accidental
+/// reintroduction of per-message or per-poll allocation churn trips the
+/// gate long before it costs wall-clock time. Raise them only with a
+/// matching analysis in DESIGN.md §6b.
+const MAX_ALLOCS_PER_RUN_STUDY_QUICK: f64 = 60_000.0;
+const MAX_ALLOCS_PER_RUN_STUDY_REDUCED: f64 = 1_000_000.0;
+
 struct Args {
     quick: bool,
     reps: usize,
     seed: u64,
     json: PathBuf,
+    alloc_gate: bool,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +73,7 @@ fn parse_args() -> Args {
         reps: 5,
         seed: 1998,
         json: PathBuf::from("BENCH_perf.json"),
+        alloc_gate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,21 +83,26 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--quick" => args.quick = true,
+            "--alloc-gate" => args.alloc_gate = true,
             "--reps" => args.reps = value("--reps").parse().expect("integer"),
             "--seed" => args.seed = value("--seed").parse().expect("integer"),
             "--json" => args.json = PathBuf::from(value("--json")),
-            other => panic!("unknown flag {other}; known: --quick --reps --seed --json"),
+            other => {
+                panic!("unknown flag {other}; known: --quick --reps --seed --json --alloc-gate")
+            }
         }
     }
     args
 }
 
 /// One bench's timings: `reps` wall-clock measurements of an iteration
-/// that performs `units` units of work.
+/// that performs `units` units of work, plus the allocation traffic of
+/// the final repetition (the steady state).
 struct Bench {
     name: &'static str,
     units: u64,
     secs: Vec<f64>,
+    alloc: AllocStats,
 }
 
 impl Bench {
@@ -91,24 +122,37 @@ impl Bench {
             0.0
         }
     }
+
+    fn allocs_per_unit(&self) -> f64 {
+        self.alloc.allocs as f64 / self.units.max(1) as f64
+    }
 }
 
 fn run_bench(name: &'static str, reps: usize, mut iter: impl FnMut() -> u64) -> Bench {
     let mut secs = Vec::with_capacity(reps);
     let mut units = 0;
+    let mut alloc = AllocStats::default();
     for _ in 0..reps.max(1) {
+        let scope = AllocScope::begin();
         let t0 = Instant::now();
         units = iter();
         secs.push(t0.elapsed().as_secs_f64());
+        alloc = scope.finish();
     }
-    let b = Bench { name, units, secs };
+    let b = Bench {
+        name,
+        units,
+        secs,
+        alloc,
+    };
     println!(
-        "{:32} {:>10.1} units/s  (median {:.4} s, mean {:.4} s, {} reps)",
+        "{:32} {:>10.1} units/s  (median {:.4} s, mean {:.4} s, {} reps, {:.1} allocs/unit)",
         b.name,
         b.events_per_sec(),
         b.median_secs(),
         b.mean_secs(),
-        b.secs.len()
+        b.secs.len(),
+        b.allocs_per_unit(),
     );
     b
 }
@@ -234,6 +278,18 @@ fn study_reduced(configs: usize, seed: u64) -> u64 {
     configs as u64 * runs_per_config
 }
 
+/// The full quick-study configuration — identical at both harness scales,
+/// so its allocation counts are mode-stable and can carry a committed
+/// regression threshold. This is where study-level sharing (one world per
+/// config instead of four) shows up.
+fn study_quick(seed: u64) -> u64 {
+    let p = StudyParams::quick(seed);
+    let runs_per_config = 1 + p.algorithms.len() as u64; // + download-all
+    let results = run_study(&p);
+    std::hint::black_box(results.outcomes.len());
+    p.n_configs as u64 * runs_per_config
+}
+
 fn main() {
     let args = parse_args();
     let scale = if args.quick { "quick" } else { "full" };
@@ -267,6 +323,7 @@ fn main() {
         run_bench("study_reduced", study_reps, || {
             study_reduced(study_cfgs, seed)
         }),
+        run_bench("study_quick", study_reps, || study_quick(seed)),
     ];
 
     let rows: Vec<Json> = benches
@@ -279,14 +336,47 @@ fn main() {
                 .field("median_secs", b.median_secs())
                 .field("mean_secs", b.mean_secs())
                 .field("events_per_sec", b.events_per_sec())
+                .field("allocs", b.alloc.allocs)
+                .field("frees", b.alloc.frees)
+                .field("bytes_allocated", b.alloc.bytes_allocated)
+                .field("peak_bytes", b.alloc.peak_bytes)
+                .field("allocs_per_unit", b.allocs_per_unit())
         })
         .collect();
     let json = Json::obj()
-        .field("schema", "wadc-bench-perf-v1")
+        .field("schema", "wadc-bench-perf-v2")
         .field("mode", scale)
         .field("seed", args.seed)
         .field("benches", rows);
     std::fs::write(&args.json, json.to_string_pretty())
         .unwrap_or_else(|e| panic!("writing {}: {e}", args.json.display()));
     println!("results archived to {}", args.json.display());
+
+    if args.alloc_gate {
+        let mut failed = false;
+        for b in &benches {
+            let limit = match b.name {
+                "study_quick" => MAX_ALLOCS_PER_RUN_STUDY_QUICK,
+                "study_reduced" => MAX_ALLOCS_PER_RUN_STUDY_REDUCED,
+                _ => continue,
+            };
+            let got = b.allocs_per_unit();
+            if got > limit {
+                eprintln!(
+                    "alloc gate FAIL: {} at {:.1} allocs/run exceeds budget {:.1}",
+                    b.name, got, limit
+                );
+                failed = true;
+            } else {
+                println!(
+                    "alloc gate ok:   {} at {:.1} allocs/run (budget {:.1})",
+                    b.name, got, limit
+                );
+            }
+        }
+        if failed {
+            eprintln!("steady-state allocation regression — see DESIGN.md §6b");
+            std::process::exit(1);
+        }
+    }
 }
