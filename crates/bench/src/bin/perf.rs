@@ -56,8 +56,8 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// reintroduction of per-message or per-poll allocation churn trips the
 /// gate long before it costs wall-clock time. Raise them only with a
 /// matching analysis in DESIGN.md §6b.
-const MAX_ALLOCS_PER_RUN_STUDY_QUICK: f64 = 60_000.0;
-const MAX_ALLOCS_PER_RUN_STUDY_REDUCED: f64 = 1_000_000.0;
+const MAX_ALLOCS_PER_RUN_STUDY_QUICK: f64 = 350.0;
+const MAX_ALLOCS_PER_RUN_STUDY_REDUCED: f64 = 500.0;
 
 struct Args {
     quick: bool,

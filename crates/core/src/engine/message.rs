@@ -173,6 +173,94 @@ impl Message {
     }
 }
 
+/// A free list of message boxes (plus spare location vectors) so the
+/// engine's steady state sends without touching the global allocator.
+///
+/// Every message the engine transmits is heap-boxed (the event queue and
+/// the network hold them by pointer). Without pooling, each send allocates
+/// a fresh box, a piggyback entry buffer, and — in local mode — a location
+/// vector, all of which die at delivery. The pool recycles them:
+/// [`MsgPool::acquire`] hands out a blank message reusing a released box's
+/// buffers, and [`MsgPool::release`] takes a delivered box back, parking
+/// its location vector on a side list so the `Option` round-trips without
+/// reallocating.
+///
+/// Pooling is *observationally inert*: a recycled message is field-reset on
+/// acquire, so run digests are bit-identical with a cold or warm pool. The
+/// pool can also outlive an engine ([`Engine::run_reclaim`]) and warm the
+/// next run of the same study config.
+///
+/// [`Engine::run_reclaim`]: super::Engine::run_reclaim
+#[derive(Debug, Default)]
+pub struct MsgPool {
+    // The boxes ARE the pooled resource: acquire/release trade stable
+    // allocations, never messages by value.
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<Message>>,
+    vectors: Vec<LocationVector>,
+}
+
+impl MsgPool {
+    /// An empty (cold) pool.
+    pub fn new() -> Self {
+        MsgPool::default()
+    }
+
+    /// Number of parked message boxes.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Returns `true` if the pool holds no recycled boxes.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Hands out a message box with every field blanked (payload
+    /// [`Payload::Probe`], no locations, attempt 0). The piggyback entry
+    /// buffer keeps its capacity; senders overwrite it via
+    /// `piggyback::collect_into`.
+    pub fn acquire(&mut self) -> Box<Message> {
+        match self.free.pop() {
+            Some(mut msg) => {
+                msg.notify_sender = None;
+                msg.payload = Payload::Probe;
+                msg.piggyback.entries.clear();
+                debug_assert!(msg.locations.is_none(), "release strips locations");
+                msg.attempt = 0;
+                msg
+            }
+            None => Box::new(Message {
+                src_host: HostId::new(0),
+                dst_host: HostId::new(0),
+                dst_node: NodeId::new(0),
+                notify_sender: None,
+                payload: Payload::Probe,
+                piggyback: Piggyback::empty(),
+                locations: None,
+                attempt: 0,
+            }),
+        }
+    }
+
+    /// Hands out a spare location vector for `Message::locations`;
+    /// callers overwrite it with [`LocationVector::copy_from`].
+    pub fn acquire_vector(&mut self) -> LocationVector {
+        self.vectors
+            .pop()
+            .unwrap_or_else(|| LocationVector::new(Vec::new()))
+    }
+
+    /// Returns a delivered box to the free list. The location vector (if
+    /// any) is parked separately so its buffers survive the `Option`.
+    pub fn release(&mut self, mut msg: Box<Message>) {
+        if let Some(v) = msg.locations.take() {
+            self.vectors.push(v);
+        }
+        self.free.push(msg);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +344,24 @@ mod tests {
         m.piggyback = collect(&cache, SimTime::ZERO);
         m.locations = Some(LocationVector::new(vec![HostId::new(0); 3]));
         assert_eq!(m.wire_bytes(0), HEADER_BYTES + 24 + 36);
+    }
+
+    #[test]
+    fn pool_recycles_boxes_and_vectors() {
+        let mut pool = MsgPool::new();
+        assert!(pool.is_empty());
+        let mut msg = pool.acquire();
+        msg.payload = Payload::BarrierAbort { version: 3 };
+        msg.attempt = 7;
+        msg.locations = Some(LocationVector::new(vec![HostId::new(4); 2]));
+        pool.release(msg);
+        assert_eq!(pool.len(), 1);
+        let recycled = pool.acquire();
+        assert!(pool.is_empty());
+        assert_eq!(recycled.payload, Payload::Probe, "acquire blanks the box");
+        assert_eq!(recycled.attempt, 0);
+        assert!(recycled.locations.is_none());
+        let v = pool.acquire_vector();
+        assert_eq!(v.len(), 2, "the parked vector's buffers come back");
     }
 }

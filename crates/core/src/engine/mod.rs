@@ -23,6 +23,7 @@ pub mod config;
 pub mod message;
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use wadc_app::compose::{compose_secs, PAPER_SECS_PER_PIXEL};
 use wadc_app::image::ImageDims;
@@ -38,7 +39,7 @@ use wadc_monitor::piggyback;
 use wadc_monitor::vector::LocationVector;
 use wadc_net::faults::{FaultInjector, TrafficKind};
 use wadc_net::link::LinkTable;
-use wadc_net::network::{Network, TransferId, TransferSpec};
+use wadc_net::network::{Network, StartedTransfer, TransferId, TransferSpec};
 use wadc_obs::metrics::SeriesKind;
 use wadc_obs::recorder::{
     EventArgs, EventKind, Obs, SeriesId, SeriesName, SpanArgs, SpanId, SpanKind, TrackId, TrackName,
@@ -54,11 +55,11 @@ use wadc_sim::time::{SimDuration, SimTime};
 
 use crate::algorithms::local_step::{best_local_site, LocalContext};
 use crate::algorithms::one_shot::improve_placement_by;
-use crate::knowledge::PlannerView;
+use crate::knowledge::{KnowledgeMode, PlannerView};
 
 pub use audit::{AuditEvent, AuditLog};
 pub use config::{Algorithm, EngineConfig, RetryPolicy, RunResult};
-pub use message::{DataMsg, Demand, Message, Payload, PlacementUpdate};
+pub use message::{DataMsg, Demand, Message, MsgPool, Payload, PlacementUpdate};
 
 /// Events driving the engine.
 #[derive(Debug)]
@@ -135,7 +136,9 @@ struct NodeRt {
     /// `true` while the operator's state is in transit between hosts.
     frozen: bool,
     /// Messages that arrived during a relocation, replayed on arrival.
-    buffered: Vec<Message>,
+    /// Boxes, not values: they re-enter delivery and return to the pool.
+    #[allow(clippy::vec_box)]
+    buffered: Vec<Box<Message>>,
     output: Option<OutputItem>,
     pending_demand: Option<u32>,
     gather_iter: u32,
@@ -218,10 +221,12 @@ pub struct Engine {
     cfg: EngineConfig,
     tree: CombinationTree,
     roster: HostRoster,
-    workload: Workload,
+    /// Shared so a study config's four runs synthesize it once; an
+    /// engine built standalone owns the only reference.
+    workload: Arc<Workload>,
     n_iterations: u32,
     queue: EventQueue<Ev>,
-    net: Network<Message>,
+    net: Network<Box<Message>>,
     nodes: Vec<NodeRt>,
     caches: Vec<BandwidthCache>,
     forecasters: Vec<Forecaster>,
@@ -238,6 +243,12 @@ pub struct Engine {
     proposal_counter: u32,
     proposal: Option<Proposal>,
     local_mode: bool,
+    /// Whether the planner reads NWS forecasts
+    /// ([`KnowledgeMode::Forecast`]). When it does not, the forecasters
+    /// are never consulted, so passive monitoring skips feeding them —
+    /// their statistics were the engine's dominant steady-state
+    /// allocation cost.
+    forecasting: bool,
     epoch_len: SimDuration,
     epoch_index: u64,
     extra_candidates: usize,
@@ -258,6 +269,13 @@ pub struct Engine {
     /// Reusable buffers for the local algorithm's per-operator decision so
     /// the epoch hot loop allocates nothing once warmed up.
     local_scratch: LocalScratch,
+    /// Free list of message boxes; the steady-state send path draws from
+    /// it instead of the allocator. See [`MsgPool`].
+    msg_pool: MsgPool,
+    /// Reusable buffer for [`Engine::pump`]'s started-transfer batch.
+    started_scratch: Vec<StartedTransfer>,
+    /// Reusable buffer for [`Engine::emit_probe_traffic`]'s pair sweep.
+    probe_pairs: Vec<(HostId, HostId)>,
     /// Observability sink; disabled unless [`Engine::attach_obs`] was
     /// called. Purely passive — see `attach_obs` for the neutrality
     /// guarantee.
@@ -366,6 +384,32 @@ impl Engine {
         Engine::new_with_parts(cfg, links, tree, roster)
     }
 
+    /// Like [`Engine::new`], but reusing a prebuilt workload instead of
+    /// synthesizing one. The workload **must** equal
+    /// `Workload::generate(&cfg.workload, cfg.n_servers, derive_seed(cfg.seed, 1))`
+    /// — the caller (normally [`crate::experiment::Experiment`]) is
+    /// vouching that it was generated from exactly this config, so runs
+    /// stay bit-identical to the self-generating constructors. Within one
+    /// study config the four runs differ only in `cfg.algorithm`, which
+    /// the workload does not depend on, so they can all share one `Arc`.
+    pub fn new_shared(cfg: EngineConfig, links: LinkTable, workload: Arc<Workload>) -> Self {
+        let tree = CombinationTree::build(cfg.tree_shape, cfg.n_servers)
+            .expect("engine shapes are buildable and n_servers >= 2");
+        Engine::new_with_tree_shared(cfg, links, tree, workload)
+    }
+
+    /// [`Engine::new_with_tree`] with a prebuilt workload (see
+    /// [`Engine::new_shared`] for the caller's obligation).
+    pub fn new_with_tree_shared(
+        cfg: EngineConfig,
+        links: LinkTable,
+        tree: CombinationTree,
+        workload: Arc<Workload>,
+    ) -> Self {
+        let roster = HostRoster::one_host_per_server(cfg.n_servers);
+        Engine::build(cfg, links, tree, roster, Some(workload))
+    }
+
     /// The fully general constructor: explicit tree *and* roster. The
     /// roster may place several servers on one host or bind servers to
     /// replica hosts chosen by [`crate::replication`]; the link table must
@@ -380,6 +424,16 @@ impl Engine {
         links: LinkTable,
         tree: CombinationTree,
         roster: HostRoster,
+    ) -> Self {
+        Engine::build(cfg, links, tree, roster, None)
+    }
+
+    fn build(
+        cfg: EngineConfig,
+        links: LinkTable,
+        tree: CombinationTree,
+        roster: HostRoster,
+        shared_workload: Option<Arc<Workload>>,
     ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("{e}");
@@ -401,7 +455,13 @@ impl Engine {
         );
         assert!(links.is_complete(), "every link needs a bandwidth trace");
 
-        let workload = Workload::generate(&cfg.workload, cfg.n_servers, derive_seed(cfg.seed, 1));
+        let workload = shared_workload.unwrap_or_else(|| {
+            Arc::new(Workload::generate(
+                &cfg.workload,
+                cfg.n_servers,
+                derive_seed(cfg.seed, 1),
+            ))
+        });
         let n_iterations = cfg.workload.images_per_server as u32;
         let n_hosts = roster.host_count();
         // Seed stream 4 is reserved for fault injection (1 = workload,
@@ -511,6 +571,7 @@ impl Engine {
             proposal_counter: 0,
             proposal: None,
             local_mode,
+            forecasting: cfg.knowledge == KnowledgeMode::Forecast,
             epoch_len,
             epoch_index: 0,
             extra_candidates,
@@ -527,6 +588,9 @@ impl Engine {
             faults,
             doomed_probes: BTreeSet::new(),
             local_scratch: LocalScratch::default(),
+            msg_pool: MsgPool::new(),
+            started_scratch: Vec::new(),
+            probe_pairs: Vec::new(),
             obs: Obs::disabled(),
             obs_state: None,
             cfg,
@@ -788,9 +852,23 @@ impl Engine {
         }
     }
 
+    /// Seeds the engine's message pool with boxes recycled from an
+    /// earlier run (see [`MsgPool`]). Purely an allocation optimisation:
+    /// results are bit-identical with a cold or warm pool.
+    pub fn adopt_pool(&mut self, pool: MsgPool) {
+        self.msg_pool = pool;
+    }
+
     /// Runs the simulation to completion (or the safety cap) and returns
     /// the results.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_reclaim().0
+    }
+
+    /// [`Engine::run`], additionally handing the message pool back so the
+    /// next run (via [`Engine::adopt_pool`]) starts warm instead of
+    /// re-allocating its message boxes.
+    pub fn run_reclaim(mut self) -> (RunResult, MsgPool) {
         // Kick off: the client demands the first partition; on-line
         // algorithms arm their timers.
         match self.cfg.algorithm {
@@ -854,7 +932,8 @@ impl Engine {
             interarrival.record((a - prev).as_secs_f64());
             prev = a;
         }
-        RunResult {
+        let pool = std::mem::take(&mut self.msg_pool);
+        let result = RunResult {
             completed,
             completion_time,
             images_delivered: self.arrivals.len(),
@@ -865,7 +944,8 @@ impl Engine {
             planner_runs: self.planner_runs,
             net_stats: self.net.stats(),
             audit: self.audit,
-        }
+        };
+        (result, pool)
     }
 
     // ------------------------------------------------------------------
@@ -875,14 +955,14 @@ impl Engine {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Deliver(tid) => self.handle_delivery(tid),
-            Ev::Local(msg) => self.dispatch_message(*msg),
+            Ev::Local(msg) => self.dispatch_message(msg),
             Ev::DiskDone { host } => self.handle_disk_done(host),
             Ev::ComputeDone { host } => self.handle_compute_done(host),
             Ev::GlobalTimer => self.handle_global_timer(),
             Ev::EpochTick => self.handle_epoch_tick(),
             Ev::MonitorTick => self.handle_monitor_tick(),
             Ev::FaultTick => self.handle_fault_tick(),
-            Ev::Retransmit(msg) => self.handle_retransmit(*msg),
+            Ev::Retransmit(msg) => self.handle_retransmit(msg),
             Ev::BarrierTimeout { version } => self.handle_barrier_timeout(version),
             Ev::MoveRollback {
                 node,
@@ -961,7 +1041,7 @@ impl Engine {
             .observe_transfer(spec.src, spec.dst, spec.bytes, elapsed, now);
         self.caches[spec.dst.index()]
             .observe_transfer(spec.src, spec.dst, spec.bytes, elapsed, now);
-        if measured {
+        if measured && self.forecasting {
             let bw = spec.bytes as f64 / elapsed.as_secs_f64();
             self.forecasters[spec.src.index()].observe(spec.src, spec.dst, bw, now);
             self.forecasters[spec.dst.index()].observe(spec.src, spec.dst, bw, now);
@@ -975,7 +1055,7 @@ impl Engine {
     /// `retry.max_retries` times), a lost operator-state transfer rolls
     /// the move back at the old host, and a lost probe simply never
     /// reports (the measurement channel is allowed to be lossy).
-    fn handle_lost_message(&mut self, msg: Message, spec: TransferSpec, kind: TrafficKind) {
+    fn handle_lost_message(&mut self, msg: Box<Message>, spec: TransferSpec, kind: TrafficKind) {
         let now = self.now();
         self.net.record_drop(&spec);
         self.record_audit(AuditEvent::MessageLost {
@@ -986,7 +1066,7 @@ impl Engine {
             attempt: msg.attempt,
         });
         match &msg.payload {
-            Payload::Probe => {}
+            Payload::Probe => self.msg_pool.release(msg),
             Payload::OperatorState {
                 op,
                 after_iteration,
@@ -1004,24 +1084,26 @@ impl Engine {
                         after_iteration,
                     },
                 );
+                self.msg_pool.release(msg);
             }
             _ => {
                 if msg.attempt < self.cfg.retry.max_retries {
-                    self.queue.schedule_in(
-                        self.cfg.retry.backoff(msg.attempt),
-                        Ev::Retransmit(Box::new(msg)),
-                    );
+                    // The box rides into the retransmit event unchanged.
+                    self.queue
+                        .schedule_in(self.cfg.retry.backoff(msg.attempt), Ev::Retransmit(msg));
+                } else {
+                    // Past max_retries the message is abandoned; the run
+                    // may stall until the safety cap, which `run` reports
+                    // as `completed = false` rather than wedging.
+                    self.msg_pool.release(msg);
                 }
-                // Past max_retries the message is abandoned; the run may
-                // stall until the safety cap, which `run` reports as
-                // `completed = false` rather than wedging.
             }
         }
     }
 
     /// A lost message's backoff expired: refresh its routing (the
     /// destination operator may have moved) and gossip, then resend.
-    fn handle_retransmit(&mut self, mut msg: Message) {
+    fn handle_retransmit(&mut self, mut msg: Box<Message>) {
         let now = self.now();
         msg.attempt += 1;
         let src_node = match &msg.payload {
@@ -1035,10 +1117,18 @@ impl Engine {
         let to_host = self.nodes[msg.dst_node.index()].host;
         msg.src_host = from_host;
         msg.dst_host = to_host;
-        msg.piggyback = piggyback::collect(&self.caches[from_host.index()], now);
-        msg.locations = self
-            .local_mode
-            .then(|| self.vectors[from_host.index()].clone());
+        piggyback::collect_into(&self.caches[from_host.index()], now, &mut msg.piggyback);
+        if self.local_mode {
+            // Refresh in place: the stale vector's buffers are reused.
+            let mut v = msg
+                .locations
+                .take()
+                .unwrap_or_else(|| self.msg_pool.acquire_vector());
+            v.copy_from(&self.vectors[from_host.index()]);
+            msg.locations = Some(v);
+        } else {
+            msg.locations = None;
+        }
         let priority = match msg.payload {
             Payload::BarrierReport { .. }
             | Payload::BarrierCommit { .. }
@@ -1061,7 +1151,7 @@ impl Engine {
             );
         }
         if from_host == to_host {
-            self.queue.schedule_now(Ev::Local(Box::new(msg)));
+            self.queue.schedule_now(Ev::Local(msg));
             return;
         }
         let bytes = msg.wire_bytes(self.cfg.operator_state_bytes);
@@ -1105,16 +1195,18 @@ impl Engine {
     /// Absorbs a message's gossip and routes it to its destination node,
     /// then fires the sender-side notification (the light-move point for
     /// data dispatches).
-    fn dispatch_message(&mut self, msg: Message) {
+    fn dispatch_message(&mut self, msg: Box<Message>) {
         let dst_host = msg.dst_host;
         piggyback::absorb(&mut self.caches[dst_host.index()], &msg.piggyback);
-        for e in &msg.piggyback.entries {
-            self.forecasters[dst_host.index()].observe(
-                e.a,
-                e.b,
-                e.measurement.bytes_per_sec,
-                e.measurement.at,
-            );
+        if self.forecasting {
+            for e in &msg.piggyback.entries {
+                self.forecasters[dst_host.index()].observe(
+                    e.a,
+                    e.b,
+                    e.measurement.bytes_per_sec,
+                    e.measurement.at,
+                );
+            }
         }
         if let Some(v) = &msg.locations {
             if self.local_mode {
@@ -1132,15 +1224,21 @@ impl Engine {
         }
     }
 
-    fn deliver_to_node(&mut self, msg: Message) {
+    fn deliver_to_node(&mut self, mut msg: Box<Message>) {
         let node = msg.dst_node;
         let rt = &mut self.nodes[node.index()];
         if rt.frozen && !matches!(msg.payload, Payload::OperatorState { .. }) {
             rt.buffered.push(msg);
             return;
         }
-        match msg.payload.clone() {
-            Payload::Demand(d) => self.handle_demand(node, d, msg.src_host),
+        // The message is consumed here: take the payload out and recycle
+        // the box before handling, so the handlers' sends can reuse it.
+        let src_host = msg.src_host;
+        let dst_host = msg.dst_host;
+        let payload = std::mem::replace(&mut msg.payload, Payload::Probe);
+        self.msg_pool.release(msg);
+        match payload {
+            Payload::Demand(d) => self.handle_demand(node, d, src_host),
             Payload::Data(d) => self.handle_data(node, d),
             Payload::BarrierReport {
                 server,
@@ -1156,14 +1254,7 @@ impl Engine {
                 op,
                 after_iteration,
                 plan,
-            } => self.complete_relocation(
-                node,
-                op,
-                after_iteration,
-                msg.src_host,
-                msg.dst_host,
-                &plan,
-            ),
+            } => self.complete_relocation(node, op, after_iteration, src_host, dst_host, &plan),
             Payload::BarrierAbort { version } => self.handle_barrier_abort(node, version),
             // A probe's only effect is the passive measurement taken when
             // its transfer completed (already recorded in handle_delivery).
@@ -1268,20 +1359,25 @@ impl Engine {
         };
         if ready {
             let rt = &mut self.nodes[node.index()];
-            let slots: Vec<InputSlot> = rt.inputs.iter().map(|s| s.expect("all present")).collect();
-            // Mark the later producer (ties: the higher index, i.e. the one
-            // whose message was processed last).
-            let later = slots
-                .iter()
-                .enumerate()
-                .max_by_key(|(i, s)| (s.arrived, *i))
-                .map(|(i, _)| i);
+            // One pass over the slots: mark the later producer (ties: the
+            // higher index, i.e. the one whose message was processed last)
+            // and fold the output dimensions.
+            let mut later = None;
+            let mut later_arrived = SimTime::ZERO;
+            let mut out_dims: Option<ImageDims> = None;
+            for (i, slot) in rt.inputs.iter().enumerate() {
+                let s = slot.expect("all present");
+                out_dims = Some(match out_dims {
+                    Some(d) => d.larger(s.dims),
+                    None => s.dims,
+                });
+                if later.is_none() || s.arrived >= later_arrived {
+                    later = Some(i);
+                    later_arrived = s.arrived;
+                }
+            }
             rt.later_child = later;
-            let out_dims = slots
-                .iter()
-                .map(|s| s.dims)
-                .reduce(|a, b| a.larger(b))
-                .expect("at least one input");
+            let out_dims = out_dims.expect("at least one input");
             let iteration = rt.gather_iter;
             let duration = SimDuration::from_secs_f64(compose_secs(out_dims, PAPER_SECS_PER_PIXEL));
             self.request_cpu(
@@ -1388,7 +1484,7 @@ impl Engine {
             let now = self.now();
             self.obs_open_iteration(iteration, now);
         }
-        let children = self.tree.node(node).children.clone();
+        let n_children = self.tree.node(node).children.len();
         let (later_child, on_cp, seen_version) = {
             let rt = &mut self.nodes[node.index()];
             rt.gather_iter = iteration;
@@ -1404,7 +1500,8 @@ impl Engine {
                 placement: p.placement.clone(),
             })
         });
-        for (ci, child) in children.into_iter().enumerate() {
+        for ci in 0..n_children {
+            let child = self.tree.node(node).children[ci];
             self.send(
                 node,
                 child,
@@ -1954,7 +2051,8 @@ impl Engine {
             return;
         }
         let client = self.roster.client();
-        let mut pairs = Vec::new();
+        let mut pairs = std::mem::take(&mut self.probe_pairs);
+        pairs.clear();
         for a in self.roster.hosts() {
             for b in self.roster.hosts() {
                 if a < b && self.caches[client.index()].lookup(a, b, now).is_none() {
@@ -1962,9 +2060,10 @@ impl Engine {
                 }
             }
         }
-        for (a, b) in pairs {
+        for &(a, b) in &pairs {
             self.submit_probe(a, b, now);
         }
+        self.probe_pairs = pairs;
         self.pump();
     }
 
@@ -1973,16 +2072,11 @@ impl Engine {
         if self.cfg.probe_bytes == 0 {
             return;
         }
-        let msg = Message {
-            src_host: a,
-            dst_host: b,
-            dst_node: self.tree.root(),
-            notify_sender: None,
-            payload: Payload::Probe,
-            piggyback: piggyback::collect(&self.caches[a.index()], now),
-            locations: None,
-            attempt: 0,
-        };
+        let mut msg = self.msg_pool.acquire();
+        msg.src_host = a;
+        msg.dst_host = b;
+        msg.dst_node = self.tree.root();
+        piggyback::collect_into(&self.caches[a.index()], now, &mut msg.piggyback);
         let tid = self.net.submit(
             TransferSpec {
                 src: a,
@@ -2041,23 +2135,23 @@ impl Engine {
         notify_sender: Option<NodeId>,
     ) {
         let now = self.now();
-        let msg = Message {
-            src_host: from_host,
-            dst_host: to_host,
-            dst_node: to_node,
-            notify_sender,
-            payload,
-            piggyback: piggyback::collect(&self.caches[from_host.index()], now),
-            locations: self
-                .local_mode
-                .then(|| self.vectors[from_host.index()].clone()),
-            attempt: 0,
-        };
+        let mut msg = self.msg_pool.acquire();
+        msg.src_host = from_host;
+        msg.dst_host = to_host;
+        msg.dst_node = to_node;
+        msg.notify_sender = notify_sender;
+        msg.payload = payload;
+        piggyback::collect_into(&self.caches[from_host.index()], now, &mut msg.piggyback);
+        if self.local_mode {
+            let mut v = self.msg_pool.acquire_vector();
+            v.copy_from(&self.vectors[from_host.index()]);
+            msg.locations = Some(v);
+        }
         if from_host == to_host {
             // Co-located delivery: no NIC, no startup cost. The sender
             // notification (light point) fires when the message arrives,
             // exactly as for remote transfers.
-            self.queue.schedule_now(Ev::Local(Box::new(msg)));
+            self.queue.schedule_now(Ev::Local(msg));
             return;
         }
         let bytes = msg.wire_bytes(self.cfg.operator_state_bytes);
@@ -2079,10 +2173,12 @@ impl Engine {
     /// completions.
     fn pump(&mut self) {
         let now = self.now();
-        for started in self.net.poll_start(now) {
-            self.queue
-                .schedule(started.completes_at, Ev::Deliver(started.id));
+        let mut started = std::mem::take(&mut self.started_scratch);
+        self.net.poll_start_into(now, &mut started);
+        for s in &started {
+            self.queue.schedule(s.completes_at, Ev::Deliver(s.id));
         }
+        self.started_scratch = started;
     }
 }
 

@@ -6,20 +6,20 @@
 //! shape — and runs each algorithm against that identical world, which is
 //! how the paper computes its speedups.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use wadc_app::image::SizeDistribution;
-use wadc_app::workload::WorkloadParams;
+use wadc_app::workload::{Workload, WorkloadParams};
 use wadc_net::link::LinkTable;
 use wadc_plan::tree::TreeShape;
-use wadc_sim::rng::derive_seed2;
+use wadc_sim::rng::{derive_seed, derive_seed2};
 use wadc_sim::time::SimDuration;
 use wadc_trace::model::BandwidthTrace;
 use wadc_trace::study::BandwidthStudy;
 use wadc_trace::synth::{generate, SynthParams};
 
 use crate::algorithms::one_shot::Objective;
-use crate::engine::{Algorithm, Engine, EngineConfig, RunResult};
+use crate::engine::{Algorithm, Engine, EngineConfig, MsgPool, RunResult};
 use crate::knowledge::KnowledgeMode;
 
 /// Stream labels for seed derivation (arbitrary, fixed constants).
@@ -42,6 +42,12 @@ const STREAM_WORKLOAD: u64 = 11;
 pub struct Experiment {
     links: LinkTable,
     template: EngineConfig,
+    /// Lazily synthesized once per experiment and shared (`Arc`) across
+    /// every run of it: the workload depends only on the template's
+    /// workload params, server count and seed — all fixed here — so the
+    /// four runs of a study config need not generate it four times.
+    /// Invalidated whenever the template is mutated.
+    workload: OnceLock<Arc<Workload>>,
 }
 
 impl Experiment {
@@ -49,7 +55,11 @@ impl Experiment {
     /// template. The template's `algorithm` field is replaced by
     /// [`Experiment::run`].
     pub fn new(links: LinkTable, template: EngineConfig) -> Self {
-        Experiment { links, template }
+        Experiment {
+            links,
+            template,
+            workload: OnceLock::new(),
+        }
     }
 
     /// The paper's construction: assign traces from `pool` uniformly at
@@ -64,7 +74,7 @@ impl Experiment {
             LinkTable::random_from_pool(n_servers + 1, pool, derive_seed2(seed, STREAM_LINKS, 0));
         let template = EngineConfig::new(n_servers, Algorithm::DownloadAll)
             .with_seed(derive_seed2(seed, STREAM_WORKLOAD, 0));
-        Experiment { links, template }
+        Experiment::new(links, template)
     }
 
     /// Builds configuration number `index` of a paper-style study: traces
@@ -77,14 +87,27 @@ impl Experiment {
         master_seed: u64,
     ) -> Self {
         let pool = study.noon_trace_pool(window);
+        Experiment::from_study_pool(n_servers, &pool, index, master_seed)
+    }
+
+    /// [`Experiment::from_study`] with the study's noon-aligned trace pool
+    /// already extracted, so a study driver can pay for the pool once and
+    /// build every configuration from it. Seed derivation is identical to
+    /// `from_study` — the two constructors produce the same world.
+    pub fn from_study_pool(
+        n_servers: usize,
+        pool: &[Arc<BandwidthTrace>],
+        index: u64,
+        master_seed: u64,
+    ) -> Self {
         let links = LinkTable::random_from_pool(
             n_servers + 1,
-            &pool,
+            pool,
             derive_seed2(master_seed, STREAM_LINKS, index),
         );
         let template = EngineConfig::new(n_servers, Algorithm::DownloadAll)
             .with_seed(derive_seed2(master_seed, STREAM_WORKLOAD, index));
-        Experiment { links, template }
+        Experiment::new(links, template)
     }
 
     /// A deliberately small world for unit tests and doctests: a handful
@@ -129,6 +152,7 @@ impl Experiment {
     /// estimates follow the workload's mean image size.
     pub fn with_workload(mut self, workload: WorkloadParams) -> Self {
         self.template = self.template.with_workload(workload);
+        self.workload = OnceLock::new();
         self
     }
 
@@ -138,9 +162,26 @@ impl Experiment {
     }
 
     /// Mutable access to the configuration template, for parameters
-    /// without a dedicated builder.
+    /// without a dedicated builder. Conservatively drops the cached
+    /// shared workload (the caller may change its seed or params).
     pub fn template_mut(&mut self) -> &mut EngineConfig {
+        self.workload = OnceLock::new();
         &mut self.template
+    }
+
+    /// The lazily-built workload every run of this experiment shares. It
+    /// is exactly what each engine would otherwise synthesize for itself,
+    /// so sharing changes nothing observable.
+    fn shared_workload(&self) -> Arc<Workload> {
+        self.workload
+            .get_or_init(|| {
+                Arc::new(Workload::generate(
+                    &self.template.workload,
+                    self.template.n_servers,
+                    derive_seed(self.template.seed, 1),
+                ))
+            })
+            .clone()
     }
 
     /// The experiment's link table.
@@ -158,7 +199,22 @@ impl Experiment {
     pub fn run(&self, algorithm: Algorithm) -> RunResult {
         let mut cfg = self.template.clone();
         cfg.algorithm = algorithm;
-        Engine::new(cfg, self.links.clone()).run()
+        Engine::new_shared(cfg, self.links.clone(), self.shared_workload()).run()
+    }
+
+    /// [`Experiment::run`] with a caller-owned message pool: the engine
+    /// draws its message boxes from `pool` and hands them back when the
+    /// run ends, so a sequence of runs (e.g. the four runs of one study
+    /// configuration) reaches a zero-allocation steady state on the send
+    /// path. Results are bit-identical to [`Experiment::run`].
+    pub fn run_pooled(&self, algorithm: Algorithm, pool: &mut MsgPool) -> RunResult {
+        let mut cfg = self.template.clone();
+        cfg.algorithm = algorithm;
+        let mut engine = Engine::new_shared(cfg, self.links.clone(), self.shared_workload());
+        engine.adopt_pool(std::mem::take(pool));
+        let (result, reclaimed) = engine.run_reclaim();
+        *pool = reclaimed;
+        result
     }
 
     /// Runs `algorithm` with an observability recorder attached (see
@@ -167,7 +223,7 @@ impl Experiment {
     pub fn run_observed(&self, algorithm: Algorithm, obs: wadc_obs::recorder::Obs) -> RunResult {
         let mut cfg = self.template.clone();
         cfg.algorithm = algorithm;
-        let mut engine = Engine::new(cfg, self.links.clone());
+        let mut engine = Engine::new_shared(cfg, self.links.clone(), self.shared_workload());
         engine.attach_obs(obs);
         engine.run()
     }
@@ -181,7 +237,7 @@ impl Experiment {
     ) -> RunResult {
         let mut cfg = self.template.clone();
         cfg.algorithm = algorithm;
-        Engine::new_with_tree(cfg, self.links.clone(), tree).run()
+        Engine::new_with_tree_shared(cfg, self.links.clone(), tree, self.shared_workload()).run()
     }
 }
 
@@ -272,6 +328,30 @@ mod tests {
             badly_worse, 0,
             "one-shot should never hurt noticeably at this scale"
         );
+    }
+
+    #[test]
+    fn shared_workload_matches_self_generated() {
+        // The experiment hands every engine its cached Arc<Workload>; an
+        // engine built directly regenerates it. Same digest either way.
+        let exp = Experiment::quick(4, 21);
+        let shared = exp.run(Algorithm::OneShot);
+        let mut cfg = exp.template().clone();
+        cfg.algorithm = Algorithm::OneShot;
+        let fresh = Engine::new(cfg, exp.links().clone()).run();
+        assert_eq!(shared.digest(), fresh.digest());
+    }
+
+    #[test]
+    fn pooled_runs_match_cold_runs() {
+        let exp = Experiment::quick(4, 22);
+        let mut pool = MsgPool::new();
+        let warmup = exp.run_pooled(Algorithm::OneShot, &mut pool);
+        assert!(!pool.is_empty(), "a completed run parks its messages");
+        let warm = exp.run_pooled(Algorithm::OneShot, &mut pool);
+        let cold = exp.run(Algorithm::OneShot);
+        assert_eq!(warmup.digest(), cold.digest());
+        assert_eq!(warm.digest(), cold.digest());
     }
 
     #[test]

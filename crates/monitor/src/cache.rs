@@ -159,14 +159,23 @@ impl BandwidthCache {
 
     /// All unexpired measurements at `now`, newest first.
     pub fn fresh_entries(&self, now: SimTime) -> Vec<((HostId, HostId), Measurement)> {
-        let mut v: Vec<_> = self
-            .entries
-            .iter()
-            .filter(|(_, m)| now.saturating_since(m.at) <= self.config.t_thres)
-            .map(|(&k, &m)| (k, m))
-            .collect();
+        let mut v: Vec<_> = self.iter_fresh(now).collect();
         v.sort_by(|x, y| y.1.at.cmp(&x.1.at).then_with(|| x.0.cmp(&y.0)));
         v
+    }
+
+    /// Unexpired measurements at `now` in arbitrary (map) order, without
+    /// allocating. Callers that need the newest-first order must sort;
+    /// `(at, pair)` keys are unique, so any comparison sort yields the
+    /// same sequence as [`BandwidthCache::fresh_entries`].
+    pub fn iter_fresh(
+        &self,
+        now: SimTime,
+    ) -> impl Iterator<Item = ((HostId, HostId), Measurement)> + '_ {
+        self.entries
+            .iter()
+            .filter(move |(_, m)| now.saturating_since(m.at) <= self.config.t_thres)
+            .map(|(&k, &m)| (k, m))
     }
 
     /// Drops entries expired at `now`; returns how many were dropped.

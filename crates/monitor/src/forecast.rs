@@ -41,22 +41,40 @@ impl Predictor {
         match self {
             Predictor::LastValue => *window.back().expect("non-empty window"),
             Predictor::WindowMean => window.iter().sum::<f64>() / window.len() as f64,
-            Predictor::WindowMedian => {
-                let mut v: Vec<f64> = window.iter().copied().collect();
-                v.sort_by(|a, b| a.partial_cmp(b).expect("finite bandwidths"));
-                let n = v.len();
-                if n % 2 == 1 {
-                    v[n / 2]
-                } else {
-                    (v[n / 2 - 1] + v[n / 2]) / 2.0
-                }
-            }
+            Predictor::WindowMedian => window_median(window),
             Predictor::Ewma => ewma,
         }
     }
 }
 
 const EWMA_ALPHA: f64 = 0.3;
+
+/// Median of the window, identical to sorting a copy and taking the
+/// middle — but through a stack buffer, because `observe` recomputes
+/// every predictor on every measurement and a heap allocation here was
+/// the engine's single hottest allocation site. Windows larger than the
+/// buffer (none of the shipped configurations) fall back to the heap.
+fn window_median(window: &VecDeque<f64>) -> f64 {
+    let mut buf = [0.0f64; 64];
+    let n = window.len();
+    let mut heap: Vec<f64>;
+    let v: &mut [f64] = if n <= buf.len() {
+        let s = &mut buf[..n];
+        for (d, x) in s.iter_mut().zip(window.iter()) {
+            *d = *x;
+        }
+        s
+    } else {
+        heap = window.iter().copied().collect();
+        &mut heap
+    };
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite bandwidths"));
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
 
 #[derive(Debug, Clone)]
 struct SeriesState {
@@ -120,8 +138,9 @@ impl Forecaster {
     /// ignored.
     pub fn observe(&mut self, a: HostId, b: HostId, bytes_per_sec: f64, at: SimTime) {
         let key = norm(a, b);
+        let window_len = self.window_len;
         let entry = self.series.entry(key).or_insert_with(|| SeriesState {
-            window: VecDeque::new(),
+            window: VecDeque::with_capacity(window_len),
             ewma: bytes_per_sec,
             errors: [0.0; 4],
             pending: None,
@@ -143,11 +162,7 @@ impl Forecaster {
         }
         entry.ewma = EWMA_ALPHA * bytes_per_sec + (1.0 - EWMA_ALPHA) * entry.ewma;
         // Pre-compute what every predictor says next, for scoring.
-        let forecasts: Vec<f64> = Predictor::ALL
-            .iter()
-            .map(|p| p.predict(&entry.window, entry.ewma))
-            .collect();
-        entry.pending = Some([forecasts[0], forecasts[1], forecasts[2], forecasts[3]]);
+        entry.pending = Some(Predictor::ALL.map(|p| p.predict(&entry.window, entry.ewma)));
     }
 
     /// The NWS-style forecast for a pair: the prediction of the predictor

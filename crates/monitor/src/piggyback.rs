@@ -59,15 +59,32 @@ impl Piggyback {
 /// Selects the most recent unexpired values from `cache` (as of `now`) that
 /// fit within the cache's piggyback byte budget.
 pub fn collect(cache: &BandwidthCache, now: SimTime) -> Piggyback {
+    let mut p = Piggyback::empty();
+    collect_into(cache, now, &mut p);
+    p
+}
+
+/// [`collect`] into a caller-owned payload, reusing its entry buffer.
+/// The engine's message pool keeps warm `Piggyback`s, so the per-message
+/// steady state performs no allocation here. The selected entries (and
+/// their order) are exactly [`collect`]'s: `(at, pair)` sort keys are
+/// unique per cache entry, so the unstable sort is deterministic.
+pub fn collect_into(cache: &BandwidthCache, now: SimTime, out: &mut Piggyback) {
     let budget = cache.config().piggyback_budget_bytes;
     let max_entries = budget / ENTRY_WIRE_BYTES;
-    let entries = cache
-        .fresh_entries(now)
-        .into_iter()
-        .take(max_entries)
-        .map(|((a, b), measurement)| PiggybackEntry { a, b, measurement })
-        .collect();
-    Piggyback { entries }
+    out.entries.clear();
+    out.entries.extend(
+        cache
+            .iter_fresh(now)
+            .map(|((a, b), measurement)| PiggybackEntry { a, b, measurement }),
+    );
+    out.entries.sort_unstable_by(|x, y| {
+        y.measurement
+            .at
+            .cmp(&x.measurement.at)
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    out.entries.truncate(max_entries);
 }
 
 /// Merges a received payload into `cache` (newest measurement per pair

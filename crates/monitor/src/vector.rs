@@ -121,6 +121,15 @@ impl LocationVector {
         changed
     }
 
+    /// Makes `self` an exact copy of `other`, reusing this vector's
+    /// existing buffers (`Vec::clone_from` keeps capacity). The message
+    /// pool uses this to stamp a sender's current vector onto a recycled
+    /// message without allocating.
+    pub fn copy_from(&mut self, other: &LocationVector) {
+        self.locations.clone_from(&other.locations);
+        self.stamps.clone_from(&other.stamps);
+    }
+
     /// The paper's dominance predicate: every entry of `self` is ≥ the
     /// corresponding entry of `other`, and at least one is strictly
     /// greater.
@@ -225,6 +234,19 @@ mod tests {
         b.record_move(op(0), h(9)); // stamp 1, stale
         assert!(!a.merge(&b));
         assert_eq!(a.location(op(0)), h(2));
+    }
+
+    #[test]
+    fn copy_from_is_exact_even_across_lengths() {
+        let mut dst = fresh(1);
+        let mut src = fresh(3);
+        src.record_move(op(2), h(7));
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Shrinking works too (buffers are reused, contents exact).
+        let small = fresh(2);
+        dst.copy_from(&small);
+        assert_eq!(dst, small);
     }
 
     #[test]

@@ -460,11 +460,21 @@ impl<P> Network<P> {
     /// stop later transfers between *other* hosts from starting
     /// (work-conserving greedy matching).
     pub fn poll_start(&mut self, now: SimTime) -> Vec<StartedTransfer> {
+        let mut started = Vec::new();
+        self.poll_start_into(now, &mut started);
+        started
+    }
+
+    /// [`Network::poll_start`] into a caller-owned buffer: clears `out`
+    /// and fills it with the started transfers. The engine's steady-state
+    /// pump reuses one buffer across every poll, so the common case — no
+    /// transfer unblocked — allocates nothing.
+    pub fn poll_start_into(&mut self, now: SimTime, out: &mut Vec<StartedTransfer>) {
+        out.clear();
         // Sort stably by priority (High first); submission order is
         // preserved within a class because ids are monotonic.
         self.pending
             .sort_by(|a, b| b.spec.priority.cmp(&a.spec.priority).then(a.id.cmp(&b.id)));
-        let mut started = Vec::new();
         let mut i = 0;
         let capacity = self.params.nic_capacity;
         while i < self.pending.len() {
@@ -537,7 +547,7 @@ impl<P> Network<P> {
                         span,
                     },
                 );
-                started.push(StartedTransfer {
+                out.push(StartedTransfer {
                     id: p.id,
                     completes_at,
                 });
@@ -545,7 +555,6 @@ impl<P> Network<P> {
                 i += 1;
             }
         }
-        started
     }
 
     /// Completes an in-flight transfer: frees both NICs and returns the

@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! wadc run   [--servers N] [--algorithm A] [--period-mins M] [--shape S] [--seed S] [--images N]
-//!            [--audit] [--json] [--trace-out t.json] [--jsonl-out t.jsonl]
+//!            [--threads T] [--audit] [--json] [--trace-out t.json] [--jsonl-out t.jsonl]
 //! wadc report [--servers N] [--algorithm A] [--seed S] [--images N]
 //! wadc study [--configs N] [--servers N] [--seed S] [--threads T]
 //! wadc trace [--pair A,B] [--seed S] [--window-hours H]
@@ -42,6 +42,8 @@ run    simulate one configuration under one algorithm
          --servers N (8)  --algorithm download-all|one-shot|global|local (global)
          --period-mins M (10)  --shape binary|left-deep (binary)
          --seed S (1998)  --config I (0)  --images N (180)  --audit
+         --threads T (auto): run the download-all baseline and the
+           algorithm concurrently (ignored when tracing)
          --json (machine-readable result on stdout)
          --trace-out PATH (Chrome trace JSON, load in Perfetto)
          --jsonl-out PATH (span/sample stream, one JSON object per line)
@@ -168,11 +170,30 @@ fn cmd_run(flags: HashMap<String, String>) {
             algorithm.name()
         );
     }
-    let baseline = exp.run(Algorithm::DownloadAll);
+    let threads = flag(
+        &flags,
+        "--threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
     let tracer = tracing.then(Tracer::install);
-    let r = match &tracer {
-        Some((obs, _)) => exp.run_observed(algorithm, obs.clone()),
-        None => exp.run(algorithm),
+    // The baseline and the algorithm run are independent worlds, so with
+    // a spare thread they run concurrently. Tracing pins everything to
+    // this thread (the recorder is not Send); results are identical
+    // either way — every run is individually seeded.
+    let (baseline, r) = if tracer.is_none() && threads >= 2 {
+        let exp = &exp;
+        std::thread::scope(|scope| {
+            let base = scope.spawn(move || exp.run(Algorithm::DownloadAll));
+            let r = exp.run(algorithm);
+            (base.join().expect("baseline run does not panic"), r)
+        })
+    } else {
+        let baseline = exp.run(Algorithm::DownloadAll);
+        let r = match &tracer {
+            Some((obs, _)) => exp.run_observed(algorithm, obs.clone()),
+            None => exp.run(algorithm),
+        };
+        (baseline, r)
     };
     if let Some((_, tracer)) = &tracer {
         let tracer = tracer.borrow();

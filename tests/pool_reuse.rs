@@ -1,0 +1,79 @@
+//! Message-pool reuse is observationally inert: a run drawing its message
+//! boxes from a warm pool (recycled from earlier runs, even of *different*
+//! algorithms) must be bit-identical to a cold run of the same world.
+
+use wadc::core::engine::{Algorithm, MsgPool};
+use wadc::core::experiment::Experiment;
+use wadc::sim::time::SimDuration;
+
+fn all_algorithms() -> [Algorithm; 4] {
+    [
+        Algorithm::DownloadAll,
+        Algorithm::OneShot,
+        Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        },
+        Algorithm::Local {
+            period: SimDuration::from_secs(30),
+            extra_candidates: 2,
+        },
+    ]
+}
+
+#[test]
+fn warm_pool_runs_are_bit_identical_to_cold_runs() {
+    for seed in [7u64, 1998] {
+        let exp = Experiment::quick(4, seed);
+        let mut pool = MsgPool::new();
+        for alg in all_algorithms() {
+            let cold = exp.run(alg);
+            // The pool is warm with boxes recycled from every previous
+            // algorithm's runs by the time the later iterations get here.
+            let warm_a = exp.run_pooled(alg, &mut pool);
+            let warm_b = exp.run_pooled(alg, &mut pool);
+            for (label, warm) in [("first", &warm_a), ("second", &warm_b)] {
+                assert_eq!(
+                    warm.digest(),
+                    cold.digest(),
+                    "{} warm {} run diverged from cold (seed {seed})",
+                    label,
+                    alg.name()
+                );
+                assert_eq!(warm.arrivals, cold.arrivals, "{}", alg.name());
+                assert_eq!(warm.net_stats, cold.net_stats, "{}", alg.name());
+                assert_eq!(warm.audit.events(), cold.audit.events(), "{}", alg.name());
+            }
+        }
+        assert!(
+            !pool.is_empty(),
+            "completed runs must park their message boxes for reuse"
+        );
+    }
+}
+
+#[test]
+fn pool_survives_lossy_runs_unchanged() {
+    // Retransmissions route boxes through the retry machinery; recycling
+    // them must not perturb results either.
+    let mut exp = Experiment::quick(4, 12);
+    exp.template_mut().faults = wadc::net::faults::FaultPlan::none().with_loss(0.1);
+    let mut pool = MsgPool::new();
+    let cold = exp.run(Algorithm::Global {
+        period: SimDuration::from_secs(30),
+    });
+    let warm_a = exp.run_pooled(
+        Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        },
+        &mut pool,
+    );
+    let warm_b = exp.run_pooled(
+        Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        },
+        &mut pool,
+    );
+    assert_eq!(warm_a.digest(), cold.digest());
+    assert_eq!(warm_b.digest(), cold.digest());
+    assert_eq!(warm_b.net_stats, cold.net_stats);
+}
