@@ -1,7 +1,10 @@
 //! Perf-regression harness: wall-clock throughput of the three measured
 //! hot paths — the DES kernel's event queue, the placement search, and
 //! monotone bandwidth-trace lookups — plus a reduced paper-main study and
-//! the quick study as end-to-end proxies.
+//! the quick study as end-to-end proxies, and the `study_full_t{1,4}`
+//! pair: the paper's full 300-configuration study on the work-stealing
+//! sweep driver at one and four threads, whose runs/sec ratio is the
+//! sweep fabric's scaling headline.
 //!
 //! ```sh
 //! cargo run --release -p wadc-bench --bin perf \
@@ -34,7 +37,7 @@ use std::time::Instant;
 use wadc_bench::alloc::{AllocScope, AllocStats, CountingAlloc};
 use wadc_bench::json::Json;
 use wadc_core::algorithms::one_shot_placement;
-use wadc_core::study::{run_study, StudyParams};
+use wadc_core::study::{run_study, run_study_parallel, StudyParams};
 use wadc_plan::bandwidth::BwMatrix;
 use wadc_plan::cost::CostModel;
 use wadc_plan::placement::HostRoster;
@@ -58,6 +61,12 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// matching analysis in DESIGN.md §6b.
 const MAX_ALLOCS_PER_RUN_STUDY_QUICK: f64 = 350.0;
 const MAX_ALLOCS_PER_RUN_STUDY_REDUCED: f64 = 500.0;
+/// The sweep-driver study benches: per-worker pools mean each worker pays
+/// one cold warmup, so the budget is the sequential per-run budget plus
+/// amortized headroom for `threads` warmups. The thread-count-dependent
+/// slack keeps the gate meaningful per worker without flaking on how the
+/// atomic work index happened to deal configurations to workers.
+const MAX_ALLOCS_PER_RUN_STUDY_FULL: f64 = 700.0;
 
 struct Args {
     quick: bool,
@@ -290,6 +299,33 @@ fn study_quick(seed: u64) -> u64 {
     p.n_configs as u64 * runs_per_config
 }
 
+/// The quick study through the sweep driver at `threads` workers — the
+/// configuration CI gates on (`--alloc-gate` at threads=2): per-worker
+/// pools must hold the same steady-state budget as the sequential run.
+fn study_quick_threaded(seed: u64, threads: usize) -> u64 {
+    let p = StudyParams::quick(seed);
+    let runs_per_config = 1 + p.algorithms.len() as u64; // + download-all
+    let results = run_study_parallel(&p, threads);
+    std::hint::black_box(results.digest());
+    p.n_configs as u64 * runs_per_config
+}
+
+/// The paper's *full* study — every configuration at the full workload
+/// (180 images/server, 24 h trace window) — on the sweep driver. Reported
+/// at threads=1 and threads=4 so `BENCH_perf.json` carries the sweep
+/// fabric's scaling headline (runs/sec); the digest is consumed so the
+/// whole merge is forced. On a multi-core machine the t4/t1 ratio is the
+/// fabric's speedup; on a single-core CI box both variants cost the same
+/// wall-clock and the numbers record that honestly.
+fn study_full(configs: usize, seed: u64, threads: usize) -> u64 {
+    let mut p = StudyParams::paper_main(seed);
+    p.n_configs = configs;
+    let runs_per_config = 1 + p.algorithms.len() as u64; // + download-all
+    let results = run_study_parallel(&p, threads);
+    std::hint::black_box(results.digest());
+    configs as u64 * runs_per_config
+}
+
 fn main() {
     let args = parse_args();
     let scale = if args.quick { "quick" } else { "full" };
@@ -297,14 +333,17 @@ fn main() {
 
     // Sizes chosen so the full run finishes in well under a minute per rep
     // even on the pre-optimization code paths.
-    let (ev_n, mix_n, ps_cfgs, tq_n, study_cfgs) = if args.quick {
-        (20_000, 2_000, 2, 20_000, 1)
+    let (ev_n, mix_n, ps_cfgs, tq_n, study_cfgs, full_cfgs) = if args.quick {
+        (20_000, 2_000, 2, 20_000, 1, 8)
     } else {
-        (200_000, 20_000, 8, 200_000, 4)
+        (200_000, 20_000, 8, 200_000, 4, 300)
     };
     let seed = args.seed;
     let reps = args.reps;
     let study_reps = reps.min(2);
+    // The full study costs ~45 ms per configuration: one rep of the
+    // paper's 300 configurations is the headline, not a median of many.
+    let full_reps = if args.quick { study_reps } else { 1 };
 
     let benches = [
         run_bench("event_queue_schedule_pop", reps, || {
@@ -324,6 +363,15 @@ fn main() {
             study_reduced(study_cfgs, seed)
         }),
         run_bench("study_quick", study_reps, || study_quick(seed)),
+        run_bench("study_quick_t2", study_reps, || {
+            study_quick_threaded(seed, 2)
+        }),
+        run_bench("study_full_t1", full_reps, || {
+            study_full(full_cfgs, seed, 1)
+        }),
+        run_bench("study_full_t4", full_reps, || {
+            study_full(full_cfgs, seed, 4)
+        }),
     ];
 
     let rows: Vec<Json> = benches
@@ -356,8 +404,9 @@ fn main() {
         let mut failed = false;
         for b in &benches {
             let limit = match b.name {
-                "study_quick" => MAX_ALLOCS_PER_RUN_STUDY_QUICK,
+                "study_quick" | "study_quick_t2" => MAX_ALLOCS_PER_RUN_STUDY_QUICK,
                 "study_reduced" => MAX_ALLOCS_PER_RUN_STUDY_REDUCED,
+                "study_full_t1" | "study_full_t4" => MAX_ALLOCS_PER_RUN_STUDY_FULL,
                 _ => continue,
             };
             let got = b.allocs_per_unit();

@@ -45,7 +45,8 @@ pub struct FigArgs {
 
 impl FigArgs {
     /// Parses `std::env::args`, with the paper's 300 configurations as the
-    /// default.
+    /// default. `--threads` is clamped to the machine's available
+    /// parallelism (with a warning) — `0` means "all cores".
     ///
     /// # Panics
     ///
@@ -71,6 +72,11 @@ impl FigArgs {
                 other => panic!("unknown flag {other}; known: --configs --threads --seed --json"),
             }
         }
+        let plan = wadc_core::sweep::clamp_threads(args.threads);
+        if let Some(warning) = &plan.warning {
+            eprintln!("warning: {warning}");
+        }
+        args.threads = plan.threads;
         args
     }
 

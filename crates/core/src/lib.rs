@@ -17,7 +17,10 @@
 //! - [`experiment`] — single-run setup: network configurations built from
 //!   a trace study, paired baseline runs, speedups,
 //! - [`study`] — the paper's 300-configuration evaluation methodology and
-//!   the per-figure series generators.
+//!   the per-figure series generators,
+//! - [`sweep`] — the work-stealing sweep fabric the study (and any other
+//!   indexed job list) runs on: deterministic, index-ordered merges
+//!   regardless of thread count.
 //!
 //! # Examples
 //!
@@ -44,7 +47,9 @@ pub mod experiment;
 pub mod knowledge;
 pub mod replication;
 pub mod study;
+pub mod sweep;
 
 pub use engine::{Algorithm, Engine, EngineConfig, RunResult};
 pub use experiment::Experiment;
 pub use knowledge::KnowledgeMode;
+pub use sweep::SweepDriver;

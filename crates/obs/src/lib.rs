@@ -4,10 +4,10 @@
 //! it costs*: pending-data light points, barrier change-overs, bandwidth
 //! estimates lagging ground truth. This crate is the window into a run:
 //!
-//! - [`recorder`] — the [`Recorder`](recorder::Recorder) sink trait, the
+//! - [`recorder`] — the [`recorder::Recorder`] sink trait, the
 //!   zero-allocation no-op implementation, and the cloneable
-//!   [`Obs`](recorder::Obs) handle instrumented components hold,
-//! - [`tracer`] — the in-memory [`Tracer`](tracer::Tracer): hierarchical
+//!   [`recorder::Obs`] handle instrumented components hold,
+//! - [`tracer`] — the in-memory [`tracer::Tracer`]: hierarchical
 //!   spans (run → iteration → transfer / change-over / relocation) and
 //!   point events, recorded as compact structs stamped with
 //!   [`SimTime`](wadc_sim::time::SimTime),

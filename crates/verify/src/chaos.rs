@@ -19,6 +19,7 @@
 
 use wadc_core::engine::{Algorithm, EngineConfig, RunResult};
 use wadc_core::experiment::Experiment;
+use wadc_core::sweep::SweepDriver;
 use wadc_net::faults::FaultPlan;
 use wadc_plan::ids::HostId;
 use wadc_sim::time::{SimDuration, SimTime};
@@ -28,7 +29,7 @@ use crate::invariants::check_run;
 
 /// One cell of the chaos matrix: a named fault plan run under one
 /// algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaosOutcome {
     /// The scenario's name (e.g. `"loss"`, `"blackout"`).
     pub scenario: &'static str,
@@ -156,6 +157,27 @@ fn check_cell(
     })
 }
 
+/// Runs one cell of the matrix from scratch: builds the quick world,
+/// applies the plan, runs the algorithm twice, checks determinism and
+/// invariants. Every cell is a pure function of `(n_servers, seed,
+/// scenario, algorithm)`, which is what lets the sweep driver run cells
+/// in any order on any thread.
+fn run_cell(
+    n_servers: usize,
+    seed: u64,
+    scenario: &'static str,
+    plan: &FaultPlan,
+    algorithm: Algorithm,
+) -> Result<ChaosOutcome, String> {
+    let mut exp = Experiment::quick(n_servers, seed);
+    exp.template_mut().faults = plan.clone();
+    let mut cfg = exp.template().clone();
+    cfg.algorithm = algorithm;
+    let first = exp.run(algorithm);
+    let second = exp.run(algorithm);
+    check_cell(&cfg, scenario, algorithm, &first, &second)
+}
+
 /// Runs the full chaos matrix and returns one outcome per cell.
 ///
 /// # Errors
@@ -163,19 +185,42 @@ fn check_cell(
 /// Returns the first cell that diverges between two identical runs or
 /// breaks a protocol invariant.
 pub fn run_chaos_suite(n_servers: usize, seed: u64) -> Result<Vec<ChaosOutcome>, String> {
-    let mut outcomes = Vec::new();
-    for (scenario, plan) in scenarios() {
-        let mut exp = Experiment::quick(n_servers, seed);
-        exp.template_mut().faults = plan;
-        for algorithm in algorithms() {
-            let mut cfg = exp.template().clone();
-            cfg.algorithm = algorithm;
-            let first = exp.run(algorithm);
-            let second = exp.run(algorithm);
-            outcomes.push(check_cell(&cfg, scenario, algorithm, &first, &second)?);
-        }
-    }
-    Ok(outcomes)
+    run_chaos_suite_sweep(n_servers, seed, 1)
+}
+
+/// [`run_chaos_suite`] on a [`SweepDriver`]: the 20 scenario × algorithm
+/// cells are sharded across `threads` OS threads and merged in cell
+/// order, so the outcome vector — including which failing cell is
+/// reported first — is identical to the sequential suite's.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed cell that diverges between two identical
+/// runs or breaks a protocol invariant.
+pub fn run_chaos_suite_sweep(
+    n_servers: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<ChaosOutcome>, String> {
+    let cells: Vec<(&'static str, FaultPlan, Algorithm)> = scenarios()
+        .into_iter()
+        .flat_map(|(scenario, plan)| {
+            algorithms()
+                .into_iter()
+                .map(move |algorithm| (scenario, plan.clone(), algorithm))
+        })
+        .collect();
+    SweepDriver::new(threads)
+        .sweep(
+            cells.len(),
+            |_worker| (),
+            |(), i| {
+                let (scenario, plan, algorithm) = &cells[i];
+                run_cell(n_servers, seed, scenario, plan, *algorithm)
+            },
+        )
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]

@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use wadc::core::algorithms::one_shot::{one_shot_placement, Objective};
 use wadc::core::engine::{Algorithm, AuditEvent};
 use wadc::core::experiment::Experiment;
-use wadc::core::study::{run_study_parallel, StudyParams};
+use wadc::core::study::{run_study, run_study_parallel, StudyParams};
+use wadc::core::sweep::clamp_threads;
 use wadc::net::faults::FaultPlan;
 use wadc::obs::{chrome_trace, render_report, write_jsonl, Json, Tracer};
 use wadc::plan::cost::CostModel;
@@ -28,7 +29,7 @@ use wadc::plan::tree::{CombinationTree, TreeShape};
 use wadc::sim::time::{SimDuration, SimTime};
 use wadc::trace::stats::summarize;
 use wadc::trace::study::BandwidthStudy;
-use wadc::verify::chaos::run_chaos_suite;
+use wadc::verify::chaos::run_chaos_suite_sweep;
 use wadc::verify::determinism::check_determinism;
 use wadc::verify::differential::run_suite;
 use wadc::verify::golden;
@@ -43,7 +44,8 @@ run    simulate one configuration under one algorithm
          --period-mins M (10)  --shape binary|left-deep (binary)
          --seed S (1998)  --config I (0)  --images N (180)  --audit
          --threads T (auto): run the download-all baseline and the
-           algorithm concurrently (ignored when tracing)
+           algorithm concurrently (ignored when tracing); 0 or more
+           than the machine's cores clamps with a warning
          --json (machine-readable result on stdout)
          --trace-out PATH (Chrome trace JSON, load in Perfetto)
          --jsonl-out PATH (span/sample stream, one JSON object per line)
@@ -51,6 +53,7 @@ report run one configuration with tracing and print a human-readable
        run report (adaptation, residency, links, monitoring, faults)
          plus every `run` flag (--servers, --algorithm, --seed, ...)
 study  run a multi-configuration comparison of all four algorithms
+         on the work-stealing sweep driver
          --configs N (50)  --servers N (8)  --seed S (1998)  --threads T (auto)
 trace  characterise the synthetic bandwidth study
          --pair A,B (0,7)  --seed S (1998)  --window-hours H (12)
@@ -58,8 +61,12 @@ plan   compute and print a one-shot placement for a random world
          --servers N (8)  --seed S (1998)  --config I (0)
          --objective critical-path|contended (critical-path)
 verify check engine conformance: golden digests, determinism, invariants,
-       and (without --quick) the differential and chaos suites
+       the threads=1 == threads=N sweep gate, and (without --quick) the
+       differential and chaos suites
          --quick  --seed S (42)  --print-golden (regenerate the fixture)
+         --threads T (2): sweep-gate and chaos-matrix thread count
+           (deliberately not clamped to the core count — oversubscribed
+           interleavings are exactly what the gate must survive)
 chaos  simulate one configuration under an injected fault plan and report
        recovery statistics against the clean run of the same world
          --loss P (0.05)  --probe-blackhole P (0)  --move-failure P (0)
@@ -101,6 +108,18 @@ fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, defaul
             usage()
         }),
     }
+}
+
+/// Reads `--threads` (defaulting to every available core) and clamps it
+/// to the machine, surfacing the sweep fabric's warning when the request
+/// was adjusted (`--threads 0`, or more threads than cores).
+fn resolve_threads(flags: &HashMap<String, String>) -> usize {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let plan = clamp_threads(flag(flags, "--threads", default));
+    if let Some(warning) = &plan.warning {
+        eprintln!("warning: {warning}");
+    }
+    plan.threads
 }
 
 fn write_or_die(path: &str, bytes: &[u8]) {
@@ -170,11 +189,7 @@ fn cmd_run(flags: HashMap<String, String>) {
             algorithm.name()
         );
     }
-    let threads = flag(
-        &flags,
-        "--threads",
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
+    let threads = resolve_threads(&flags);
     let tracer = tracing.then(Tracer::install);
     // The baseline and the algorithm run are independent worlds, so with
     // a spare thread they run concurrently. Tracing pins everything to
@@ -328,11 +343,7 @@ fn cmd_study(flags: HashMap<String, String>) {
     let mut params = StudyParams::paper_main(flag(&flags, "--seed", 1998u64));
     params.n_configs = flag(&flags, "--configs", 50usize);
     params.n_servers = flag(&flags, "--servers", 8usize);
-    let threads = flag(
-        &flags,
-        "--threads",
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    );
+    let threads = resolve_threads(&flags);
     println!(
         "running {} configurations x 4 algorithms ({} servers, {} threads)...",
         params.n_configs, params.n_servers, threads
@@ -467,6 +478,10 @@ fn cmd_verify(flags: HashMap<String, String>) {
         return;
     }
     let seed = flag(&flags, "--seed", 42u64);
+    // Not resolve_threads: the verify gate *wants* oversubscription (more
+    // workers than cores still shuffles completion order), so the flag is
+    // taken as given.
+    let threads = flag(&flags, "--threads", 2usize).max(1);
     let mut failures: Vec<String> = Vec::new();
 
     let cases = golden::golden_cases();
@@ -503,6 +518,23 @@ fn cmd_verify(flags: HashMap<String, String>) {
         );
     }
 
+    println!("sweep: quick study, threads=1 vs threads={threads}...");
+    let sweep_params = StudyParams::quick(seed);
+    let sequential = run_study(&sweep_params);
+    let swept = run_study_parallel(&sweep_params, threads);
+    if sequential.digest() == swept.digest() {
+        println!(
+            "  study digest {:016x} identical across thread counts",
+            sequential.digest()
+        );
+    } else {
+        failures.push(format!(
+            "sweep: threads=1 study digest {:016x} != threads={threads} digest {:016x}",
+            sequential.digest(),
+            swept.digest()
+        ));
+    }
+
     if !flags.contains_key("--quick") {
         println!("differential: relabeling, degenerate period, cost model, scaling...");
         failures.extend(
@@ -511,8 +543,11 @@ fn cmd_verify(flags: HashMap<String, String>) {
                 .map(|f| format!("differential: {f}")),
         );
 
-        println!("chaos: loss, outage, blackout, move failure x all four algorithms...");
-        match run_chaos_suite(4, seed) {
+        println!(
+            "chaos: loss, outage, blackout, move failure x all four algorithms \
+             (threads={threads})..."
+        );
+        match run_chaos_suite_sweep(4, seed, threads) {
             Ok(outcomes) => {
                 for o in outcomes {
                     println!("  {o}");
