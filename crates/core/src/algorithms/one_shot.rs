@@ -89,6 +89,29 @@ pub fn improve_placement_by(
     model: &CostModel,
     objective: Objective,
 ) -> SearchResult {
+    improve_placement_masked(tree, roster, initial, view, model, objective, &[])
+}
+
+/// [`improve_placement_by`] over the **surviving-host subgraph**: hosts
+/// in `dead` are never considered as candidate sites. With an empty
+/// `dead` list this is bit-identical to the unmasked search — the clean
+/// path stays golden-digest stable. Masking must happen here, at
+/// candidate enumeration, because the cost model treats unknown
+/// bandwidth as "pessimistic but reachable": a dead host hidden only
+/// from the bandwidth view would still be selectable.
+///
+/// The caller is responsible for handing in an `initial` placement that
+/// no longer resides operators on dead hosts (the engine re-homes
+/// orphans before re-planning).
+pub fn improve_placement_masked(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    initial: Placement,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+    objective: Objective,
+    dead: &[HostId],
+) -> SearchResult {
     // Snapshot the (possibly layered, hash-backed) view into a dense
     // matrix once: the scan below queries the same few host pairs
     // thousands of times. The snapshot returns exactly the same values,
@@ -119,7 +142,7 @@ pub fn improve_placement_by(
         for &op in &cp_ops {
             let original = current.site(op);
             for host in roster.hosts() {
-                if host == original {
+                if host == original || dead.contains(&host) {
                     continue;
                 }
                 let c = match objective {
@@ -303,6 +326,61 @@ mod tests {
         let before = placement_cost(&tree, &roster, &start, &bw, &model);
         let r = improve_placement(&tree, &roster, start, &bw, &model);
         assert!(r.cost <= before + 1e-9);
+    }
+
+    #[test]
+    fn masked_search_never_places_on_dead_hosts() {
+        let (tree, roster, model) = setup(8);
+        // Host 0 has by far the best links — the unmasked search uses it.
+        let bw = BwMatrix::from_fn(9, |a, b| {
+            if a.index() == 0 || b.index() == 0 {
+                900_000.0
+            } else {
+                2_000.0 + ((a.index() * 31 + b.index() * 17) % 97) as f64 * 1_500.0
+            }
+        });
+        let free = improve_placement_masked(
+            &tree,
+            &roster,
+            Placement::download_all(&tree, &roster),
+            &bw,
+            &model,
+            Objective::CriticalPath,
+            &[],
+        );
+        assert!(
+            (0..tree.operator_count())
+                .any(|i| free.placement.site(wadc_plan::ids::OperatorId::new(i)) == h(0)),
+            "unmasked search should exploit the fast host"
+        );
+        let dead = [h(0)];
+        let masked = improve_placement_masked(
+            &tree,
+            &roster,
+            Placement::download_all(&tree, &roster),
+            &bw,
+            &model,
+            Objective::CriticalPath,
+            &dead,
+        );
+        for i in 0..tree.operator_count() {
+            assert_ne!(
+                masked.placement.site(wadc_plan::ids::OperatorId::new(i)),
+                h(0),
+                "operator {i} placed on a dead host"
+            );
+        }
+        // An empty mask is bit-identical to the unmasked search.
+        let unmasked = improve_placement_by(
+            &tree,
+            &roster,
+            Placement::download_all(&tree, &roster),
+            &bw,
+            &model,
+            Objective::CriticalPath,
+        );
+        assert_eq!(free.placement, unmasked.placement);
+        assert_eq!(free.cost.to_bits(), unmasked.cost.to_bits());
     }
 
     #[test]

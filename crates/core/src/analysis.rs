@@ -94,7 +94,10 @@ pub fn summarize_audit(audit: &AuditLog) -> AdaptationSummary {
             AuditEvent::ServerSuspended { .. }
             | AuditEvent::MessageLost { .. }
             | AuditEvent::RelocationAborted { .. }
-            | AuditEvent::ChangeoverAborted { .. } => {}
+            | AuditEvent::ChangeoverAborted { .. }
+            | AuditEvent::HostDeclaredDead { .. }
+            | AuditEvent::OperatorRespawned { .. }
+            | AuditEvent::RunAborted { .. } => {}
         }
     }
 

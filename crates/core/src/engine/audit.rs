@@ -124,6 +124,38 @@ pub enum AuditEvent {
         /// The abandoned proposal version.
         version: u32,
     },
+    /// The failure detector declared a host permanently dead: `detection_k`
+    /// distinct messages to it each exhausted `max_retries`. From this
+    /// instant the engine stops all traffic to the host and fails its
+    /// operators over.
+    HostDeclaredDead {
+        /// When the declaration was made.
+        at: SimTime,
+        /// The host declared dead.
+        host: HostId,
+        /// Distinct abandoned messages that triggered the declaration.
+        evidence: u32,
+    },
+    /// An operator orphaned by a host death was respawned from its origin
+    /// images on a surviving host.
+    OperatorRespawned {
+        /// When the respawned operator resumed.
+        at: SimTime,
+        /// The operator.
+        op: OperatorId,
+        /// The dead host it was orphaned on.
+        from: HostId,
+        /// The surviving host it resumed on.
+        to: HostId,
+    },
+    /// The run stopped early: the client died or the whole combination
+    /// tree collapsed, so continuing was pointless.
+    RunAborted {
+        /// When the abort was declared.
+        at: SimTime,
+        /// Why (a stable static string, e.g. `"client-dead"`).
+        reason: &'static str,
+    },
 }
 
 impl AuditEvent {
@@ -232,6 +264,24 @@ impl AuditEvent {
                 d.write_u64(at.as_micros());
                 d.write_u64(version as u64);
             }
+            AuditEvent::HostDeclaredDead { at, host, evidence } => {
+                d.write_str("dead");
+                d.write_u64(at.as_micros());
+                d.write_usize(host.index());
+                d.write_u64(evidence as u64);
+            }
+            AuditEvent::OperatorRespawned { at, op, from, to } => {
+                d.write_str("respawn");
+                d.write_u64(at.as_micros());
+                d.write_usize(op.index());
+                d.write_usize(from.index());
+                d.write_usize(to.index());
+            }
+            AuditEvent::RunAborted { at, reason } => {
+                d.write_str("aborted-run");
+                d.write_u64(at.as_micros());
+                d.write_str(reason);
+            }
         }
     }
 
@@ -247,7 +297,10 @@ impl AuditEvent {
             | AuditEvent::RelocationFinished { at, .. }
             | AuditEvent::MessageLost { at, .. }
             | AuditEvent::RelocationAborted { at, .. }
-            | AuditEvent::ChangeoverAborted { at, .. } => at,
+            | AuditEvent::ChangeoverAborted { at, .. }
+            | AuditEvent::HostDeclaredDead { at, .. }
+            | AuditEvent::OperatorRespawned { at, .. }
+            | AuditEvent::RunAborted { at, .. } => at,
         }
     }
 
@@ -260,6 +313,9 @@ impl AuditEvent {
             AuditEvent::MessageLost { .. }
                 | AuditEvent::RelocationAborted { .. }
                 | AuditEvent::ChangeoverAborted { .. }
+                | AuditEvent::HostDeclaredDead { .. }
+                | AuditEvent::OperatorRespawned { .. }
+                | AuditEvent::RunAborted { .. }
         )
     }
 }

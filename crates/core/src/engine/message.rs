@@ -108,6 +108,10 @@ pub enum Payload {
         /// The validated, priced move from the mobility substrate
         /// (state packet + any code package for a first visit).
         plan: MovePlan,
+        /// `true` when this is a crash-failover respawn from origin
+        /// images rather than an ordinary relocation: a lost respawn is
+        /// re-placed and resent (there is no old host to roll back to).
+        respawn: bool,
     },
     /// Barrier: the client abandoned a timed-out change-over proposal;
     /// suspended servers resume under the old placement (high priority).
@@ -323,6 +327,7 @@ mod tests {
             op: OperatorId::new(0),
             after_iteration: 7,
             plan,
+            respawn: false,
         });
         assert_eq!(m.wire_bytes(4096), HEADER_BYTES + 4096 + plan_bytes);
         assert_eq!(m.wire_bytes(1024), HEADER_BYTES + 1024 + plan_bytes);

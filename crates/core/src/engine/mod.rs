@@ -44,6 +44,7 @@ use wadc_obs::metrics::SeriesKind;
 use wadc_obs::recorder::{
     EventArgs, EventKind, Obs, SeriesId, SeriesName, SpanArgs, SpanId, SpanKind, TrackId, TrackName,
 };
+use wadc_plan::bandwidth::MaskedView;
 use wadc_plan::ids::{HostId, NodeId, OperatorId};
 use wadc_plan::placement::{HostRoster, Placement};
 use wadc_plan::tree::{CombinationTree, NodeKind};
@@ -54,11 +55,11 @@ use wadc_sim::stats::Tally;
 use wadc_sim::time::{SimDuration, SimTime};
 
 use crate::algorithms::local_step::{best_local_site, LocalContext};
-use crate::algorithms::one_shot::improve_placement_by;
+use crate::algorithms::one_shot::{improve_placement_by, improve_placement_masked};
 use crate::knowledge::{KnowledgeMode, PlannerView};
 
 pub use audit::{AuditEvent, AuditLog};
-pub use config::{Algorithm, EngineConfig, RetryPolicy, RunResult};
+pub use config::{Algorithm, EngineConfig, RetryPolicy, RunOutcome, RunResult};
 pub use message::{DataMsg, Demand, Message, MsgPool, Payload, PlacementUpdate};
 
 /// Events driving the engine.
@@ -162,6 +163,22 @@ struct NodeRt {
     suspended: bool,
     /// Server: highest iteration whose disk read has been requested.
     disk_requested: u32,
+    /// Permanently removed from the tree: its host was declared dead (for
+    /// servers) or every child is pruned / a respawn exhausted its retry
+    /// budget (for operators). A pruned node neither receives demands nor
+    /// blocks its parent's gather. Always `false` in clean runs.
+    pruned: bool,
+    /// A crash-failover respawn of this operator is in flight; stale
+    /// pre-crash move packets and rollbacks must not race it.
+    respawning: bool,
+    /// Copy of the most recently dispatched output, retained so a
+    /// respawned consumer can ask for a replay after the in-flight copy
+    /// died with a crashed host. Never read in clean runs.
+    last_output: Option<OutputItem>,
+    /// Highest gather iteration whose composition was already requested;
+    /// guards [`Engine::maybe_compose`] against double-composing when a
+    /// child is pruned after readiness was reached.
+    composed_iter: u32,
 }
 
 impl NodeRt {
@@ -185,6 +202,10 @@ impl NodeRt {
             seen_proposal_version: 0,
             suspended: false,
             disk_requested: 0,
+            pruned: false,
+            respawning: false,
+            last_output: None,
+            composed_iter: 0,
         }
     }
 }
@@ -263,6 +284,20 @@ pub struct Engine {
     /// `Some` iff the run's fault plan is non-empty; `None` guarantees
     /// zero perturbation of clean runs.
     faults: Option<FaultInjector>,
+    /// Failure detector verdicts: `declared_dead[h]` once host `h` has
+    /// exhausted the retry budget on `detection_k` distinct messages.
+    /// Declaration — not the physical crash — triggers failover and the
+    /// traffic ban; all-false in clean runs.
+    declared_dead: Vec<bool>,
+    /// Detector evidence: retry-exhausted (abandoned) messages per
+    /// destination host, counted only while the sender itself is alive.
+    abandoned: Vec<u32>,
+    hosts_declared_dead: u32,
+    operators_respawned: u32,
+    /// Set once the run cannot produce further useful work (client host
+    /// dead, or every data source lost); the main loop stops immediately
+    /// and the result reports [`RunOutcome::Aborted`].
+    aborted: Option<&'static str>,
     /// Probes rolled as black-holed at submission: their transfer still
     /// occupies the wire, but delivery discards them unmeasured.
     doomed_probes: BTreeSet<TransferId>,
@@ -586,6 +621,11 @@ impl Engine {
                 ProbeScheduler::all_pairs(n_hosts, interval, derive_seed(cfg.seed, 3))
             }),
             faults,
+            declared_dead: vec![false; n_hosts],
+            abandoned: vec![0; n_hosts],
+            hosts_declared_dead: 0,
+            operators_respawned: 0,
+            aborted: None,
             doomed_probes: BTreeSet::new(),
             local_scratch: LocalScratch::default(),
             msg_pool: MsgPool::new(),
@@ -801,6 +841,37 @@ impl Engine {
                 );
                 obs.add(st.s_drops, at, 1.0);
             }
+            AuditEvent::HostDeclaredDead { at, host, evidence } => obs.instant(
+                st.planner_track,
+                EventKind::HostDeclaredDead,
+                at,
+                EventArgs {
+                    a: host.index() as u64,
+                    b: evidence as u64,
+                    x: 0.0,
+                    y: 0.0,
+                },
+            ),
+            AuditEvent::OperatorRespawned { at, op, to, .. } => {
+                obs.instant(
+                    st.op_tracks[op.index()],
+                    EventKind::OperatorRespawned,
+                    at,
+                    EventArgs {
+                        a: op.index() as u64,
+                        b: to.index() as u64,
+                        x: 0.0,
+                        y: 0.0,
+                    },
+                );
+                obs.sample(st.op_sites[op.index()], at, to.index() as f64);
+            }
+            AuditEvent::RunAborted { at, .. } => obs.instant(
+                st.planner_track,
+                EventKind::RunAborted,
+                at,
+                EventArgs::default(),
+            ),
         }
     }
 
@@ -901,6 +972,9 @@ impl Engine {
             }
             self.handle(ev);
             self.obs_sample_tick(t);
+            if self.aborted.is_some() {
+                break;
+            }
             if self.arrivals.len() as u32 >= self.n_iterations {
                 completed = true;
                 break;
@@ -933,8 +1007,23 @@ impl Engine {
             prev = a;
         }
         let pool = std::mem::take(&mut self.msg_pool);
+        // The liveness guarantee: every run ends in exactly one of three
+        // explicit states. `Completed` is reserved for runs that delivered
+        // everything over a fully live host set; anything the failure
+        // detector touched is at best `Degraded`, and a run that lost its
+        // client (or every data source) is `Aborted`.
+        let outcome = if self.aborted.is_some() {
+            RunOutcome::Aborted
+        } else if completed && self.hosts_declared_dead == 0 {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Degraded
+        };
         let result = RunResult {
             completed,
+            outcome,
+            hosts_declared_dead: self.hosts_declared_dead,
+            operators_respawned: self.operators_respawned,
             completion_time,
             images_delivered: self.arrivals.len(),
             interarrival,
@@ -955,7 +1044,16 @@ impl Engine {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Deliver(tid) => self.handle_delivery(tid),
-            Ev::Local(msg) => self.dispatch_message(msg),
+            Ev::Local(msg) => {
+                // A co-located delivery on a crashed (or declared-dead)
+                // host dies with the host: no accounting, no recovery —
+                // there is no wire and no surviving sender.
+                if self.host_down(msg.dst_host) {
+                    self.msg_pool.release(msg);
+                } else {
+                    self.dispatch_message(msg);
+                }
+            }
             Ev::DiskDone { host } => self.handle_disk_done(host),
             Ev::ComputeDone { host } => self.handle_compute_done(host),
             Ev::GlobalTimer => self.handle_global_timer(),
@@ -1025,13 +1123,31 @@ impl Engine {
         let delivery = self.net.complete(tid, now);
         self.pump();
         let spec = delivery.spec;
+        // Post-detection traffic ban: once an endpoint is *declared* dead
+        // the engine stops accounting its traffic entirely — the transfer
+        // still completed (NICs freed above) but the payload is released
+        // with no drop record and no `MessageLost` audit, so the invariant
+        // "no traffic to a dead host after detection" is checkable.
+        if self.declared_dead[spec.src.index()] || self.declared_dead[spec.dst.index()] {
+            self.doomed_probes.remove(&tid);
+            self.msg_pool.release(delivery.payload);
+            return;
+        }
         // Fault injection: the wire time was paid, but the payload may be
         // discarded — no passive measurement, no gossip, no dispatch.
         if let Some(inj) = &self.faults {
             let doomed_probe = self.doomed_probes.remove(&tid);
             let kind = spec.kind;
+            // A permanently crashed endpoint black-holes everything: the
+            // transfer started and paid wire time (crashes do not block
+            // links), but nothing survives at a dead host.
+            let crashed = inj.host_crashed(spec.src, now) || inj.host_crashed(spec.dst, now);
+            if crashed {
+                self.handle_lost_message(delivery.payload, spec, kind, true);
+                return;
+            }
             if doomed_probe || inj.drop_delivery(kind, tid.as_u64()) {
-                self.handle_lost_message(delivery.payload, spec, kind);
+                self.handle_lost_message(delivery.payload, spec, kind, false);
                 return;
             }
         }
@@ -1049,15 +1165,35 @@ impl Engine {
         self.dispatch_message(delivery.payload);
     }
 
-    /// A delivered transfer's payload was destroyed by fault injection.
+    /// A delivered transfer's payload was destroyed by fault injection
+    /// (`crashed` distinguishes a permanently dead endpoint from a
+    /// transient loss — the accounting differs, the recovery does not).
     /// Accounts the loss and arms the sender-side recovery: data and
     /// control messages are retransmitted after a backoff (up to
     /// `retry.max_retries` times), a lost operator-state transfer rolls
-    /// the move back at the old host, and a lost probe simply never
+    /// the move back at the old host (or, for a respawn, retries and
+    /// eventually prunes the subtree), and a lost probe simply never
     /// reports (the measurement channel is allowed to be lossy).
-    fn handle_lost_message(&mut self, msg: Box<Message>, spec: TransferSpec, kind: TrafficKind) {
+    ///
+    /// Retry exhaustion doubles as the failure detector's sensor: a live
+    /// sender abandoning a message is one count of evidence against the
+    /// destination host, and `detection_k` counts declare it dead. The
+    /// detector is honest — it cannot distinguish a crash from repeated
+    /// transient loss, so a false declaration is possible; it is
+    /// deterministic and merely degrades the run.
+    fn handle_lost_message(
+        &mut self,
+        msg: Box<Message>,
+        spec: TransferSpec,
+        kind: TrafficKind,
+        crashed: bool,
+    ) {
         let now = self.now();
-        self.net.record_drop(&spec);
+        if crashed {
+            self.net.record_crash_drop(&spec);
+        } else {
+            self.net.record_drop(&spec);
+        }
         self.record_audit(AuditEvent::MessageLost {
             at: now,
             from: spec.src,
@@ -1067,6 +1203,20 @@ impl Engine {
         });
         match &msg.payload {
             Payload::Probe => self.msg_pool.release(msg),
+            Payload::OperatorState { respawn: true, .. } => {
+                // A lost respawn has no old host to roll back to: retry
+                // through the ordinary retransmit path (which re-targets
+                // if the chosen site has died meanwhile); once the budget
+                // is exhausted the subtree is permanently lost.
+                if msg.attempt < self.cfg.retry.max_retries {
+                    self.queue
+                        .schedule_in(self.cfg.retry.backoff(msg.attempt), Ev::Retransmit(msg));
+                } else {
+                    let node = msg.dst_node;
+                    self.msg_pool.release(msg);
+                    self.prune_subtree(node);
+                }
+            }
             Payload::OperatorState {
                 op,
                 after_iteration,
@@ -1092,12 +1242,38 @@ impl Engine {
                     self.queue
                         .schedule_in(self.cfg.retry.backoff(msg.attempt), Ev::Retransmit(msg));
                 } else {
-                    // Past max_retries the message is abandoned; the run
-                    // may stall until the safety cap, which `run` reports
-                    // as `completed = false` rather than wedging.
+                    // Abandoned. A live sender giving up on a peer is the
+                    // failure detector's evidence; a dead sender's
+                    // messages accuse nobody.
+                    let src_down = self.host_down(spec.src);
                     self.msg_pool.release(msg);
+                    if !src_down {
+                        self.note_exhausted(spec.dst);
+                    }
                 }
             }
+        }
+    }
+
+    /// Whether a host is out of service, either physically (crashed) or by
+    /// detector verdict (declared dead). Always `false` in clean runs.
+    fn host_down(&self, host: HostId) -> bool {
+        self.declared_dead[host.index()]
+            || self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.host_crashed(host, self.now()))
+    }
+
+    /// One count of detector evidence against `dst`; at `detection_k`
+    /// distinct abandoned messages the host is declared dead.
+    fn note_exhausted(&mut self, dst: HostId) {
+        if self.declared_dead[dst.index()] {
+            return;
+        }
+        self.abandoned[dst.index()] += 1;
+        if self.abandoned[dst.index()] >= self.cfg.retry.detection_k {
+            self.declare_dead(dst);
         }
     }
 
@@ -1114,7 +1290,28 @@ impl Engine {
         let from_host = src_node
             .map(|n| self.nodes[n.index()].host)
             .unwrap_or(msg.src_host);
-        let to_host = self.nodes[msg.dst_node.index()].host;
+        let mut to_host = self.nodes[msg.dst_node.index()].host;
+        // A dead sender retransmits nothing.
+        if self.host_down(from_host) {
+            self.msg_pool.release(msg);
+            return;
+        }
+        if self.declared_dead[to_host.index()] {
+            if matches!(msg.payload, Payload::OperatorState { respawn: true, .. }) {
+                // The respawn's chosen site died while the packet was in
+                // flight: fall back to the coordinator itself — the client
+                // is live (its death aborts the run), so the retry always
+                // has a reachable target.
+                let client = self.roster.client();
+                self.nodes[msg.dst_node.index()].host = client;
+                to_host = client;
+            } else {
+                // Post-detection ban: no new traffic toward a declared-dead
+                // host. The message is abandoned without further accounting.
+                self.msg_pool.release(msg);
+                return;
+            }
+        }
         msg.src_host = from_host;
         msg.dst_host = to_host;
         piggyback::collect_into(&self.caches[from_host.index()], now, &mut msg.piggyback);
@@ -1175,6 +1372,11 @@ impl Engine {
     /// later placement decision is free to retry the move.
     fn handle_move_rollback(&mut self, node: NodeId, op: OperatorId, after_iteration: u32) {
         let now = self.now();
+        // A crash-failover respawn supersedes any pre-crash move recovery,
+        // and a pruned subtree has nothing left to roll back.
+        if self.nodes[node.index()].respawning || self.nodes[node.index()].pruned {
+            return;
+        }
         let host = {
             let rt = &mut self.nodes[node.index()];
             debug_assert!(rt.frozen, "rollback of a move that is not in flight");
@@ -1227,6 +1429,12 @@ impl Engine {
     fn deliver_to_node(&mut self, mut msg: Box<Message>) {
         let node = msg.dst_node;
         let rt = &mut self.nodes[node.index()];
+        // A pruned node is no longer part of the computation; anything
+        // still addressed to it is dropped on the floor.
+        if rt.pruned {
+            self.msg_pool.release(msg);
+            return;
+        }
         if rt.frozen && !matches!(msg.payload, Payload::OperatorState { .. }) {
             rt.buffered.push(msg);
             return;
@@ -1254,7 +1462,16 @@ impl Engine {
                 op,
                 after_iteration,
                 plan,
-            } => self.complete_relocation(node, op, after_iteration, src_host, dst_host, &plan),
+                respawn,
+            } => self.complete_relocation(
+                node,
+                op,
+                after_iteration,
+                src_host,
+                dst_host,
+                &plan,
+                respawn,
+            ),
             Payload::BarrierAbort { version } => self.handle_barrier_abort(node, version),
             // A probe's only effect is the passive measurement taken when
             // its transfer completed (already recorded in handle_delivery).
@@ -1269,6 +1486,33 @@ impl Engine {
     fn handle_demand(&mut self, node: NodeId, d: Demand, src_host: HostId) {
         debug_assert_eq!(d.producer, node);
         let is_server = matches!(self.tree.node(node).kind, NodeKind::Server(_));
+        // Crash recovery: a respawned consumer re-demands an iteration
+        // whose in-flight copy died with a host. The producer serves it
+        // again from its retained output (`last_output`); a duplicate of a
+        // still-pending demand is absorbed idempotently. Clean runs never
+        // reach this branch.
+        if self.faults.is_some() {
+            let replay = {
+                let rt = &mut self.nodes[node.index()];
+                if d.iteration <= rt.last_dispatched || rt.pending_demand == Some(d.iteration) {
+                    if rt.output.is_none() {
+                        if let Some(o) = rt.last_output {
+                            if o.iteration == d.iteration {
+                                rt.output = Some(o);
+                            }
+                        }
+                    }
+                    rt.pending_demand = Some(d.iteration);
+                    true
+                } else {
+                    false
+                }
+            };
+            if replay {
+                self.try_dispatch(node);
+                return;
+            }
+        }
         let mut report: Option<(usize, u32, u32)> = None;
         {
             let rt = &mut self.nodes[node.index()];
@@ -1319,7 +1563,13 @@ impl Engine {
     fn handle_data(&mut self, node: NodeId, d: DataMsg) {
         debug_assert_eq!(d.consumer, node);
         let now = self.now();
+        let tolerant = self.faults.is_some();
         if node == self.tree.root() {
+            // Under faults a replayed partition can race its retransmitted
+            // original; duplicates and stale iterations are ignored.
+            if tolerant && d.iteration as usize != self.arrivals.len() + 1 {
+                return;
+            }
             // Client: record the arrival, demand the next partition.
             debug_assert_eq!(
                 d.iteration as usize,
@@ -1334,7 +1584,8 @@ impl Engine {
             }
             return;
         }
-        // Operator: store the input; compose when both have arrived.
+        // Operator: store the input; compose when every live child's
+        // input has arrived.
         let child_idx = self
             .tree
             .node(node)
@@ -1342,9 +1593,13 @@ impl Engine {
             .iter()
             .position(|&c| c == d.producer)
             .expect("data from a non-child");
-        let host;
-        let ready = {
+        {
             let rt = &mut self.nodes[node.index()];
+            if tolerant && (d.iteration != rt.gather_iter || rt.inputs[child_idx].is_some()) {
+                // Stale replay or duplicate from the retransmit/replay
+                // race — the gather has what it needs, ignore.
+                return;
+            }
             debug_assert_eq!(
                 d.iteration, rt.gather_iter,
                 "data for an iteration the operator did not demand"
@@ -1354,57 +1609,97 @@ impl Engine {
                 dims: d.dims,
                 arrived: now,
             });
-            host = rt.host;
-            rt.inputs.iter().all(Option::is_some)
-        };
-        if ready {
-            let rt = &mut self.nodes[node.index()];
-            // One pass over the slots: mark the later producer (ties: the
-            // higher index, i.e. the one whose message was processed last)
-            // and fold the output dimensions.
-            let mut later = None;
-            let mut later_arrived = SimTime::ZERO;
-            let mut out_dims: Option<ImageDims> = None;
-            for (i, slot) in rt.inputs.iter().enumerate() {
-                let s = slot.expect("all present");
-                out_dims = Some(match out_dims {
-                    Some(d) => d.larger(s.dims),
-                    None => s.dims,
-                });
-                if later.is_none() || s.arrived >= later_arrived {
-                    later = Some(i);
-                    later_arrived = s.arrived;
-                }
-            }
-            rt.later_child = later;
-            let out_dims = out_dims.expect("at least one input");
-            let iteration = rt.gather_iter;
-            let duration = SimDuration::from_secs_f64(compose_secs(out_dims, PAPER_SECS_PER_PIXEL));
-            self.request_cpu(
-                host,
-                ComputeJob {
-                    node,
-                    iteration,
-                    dims: out_dims,
-                    duration,
-                },
-            );
         }
+        self.maybe_compose(node);
+    }
+
+    /// Requests the composition for `node`'s current gather once every
+    /// *live* input has arrived: a pruned child's slot counts as
+    /// satisfied, so a gather can complete around a hole in the tree.
+    /// Called both when data arrives and when a child is pruned (pruning
+    /// may be exactly what makes a waiting gather ready). `composed_iter`
+    /// guards against requesting the same composition twice.
+    fn maybe_compose(&mut self, node: NodeId) {
+        if node == self.tree.root() {
+            return;
+        }
+        let n_children = self.tree.node(node).children.len();
+        let (host, iteration) = {
+            let rt = &self.nodes[node.index()];
+            if rt.pruned
+                || rt.frozen
+                || rt.gather_iter <= rt.composed_iter
+                || rt.gather_iter <= rt.last_dispatched
+            {
+                return;
+            }
+            (rt.host, rt.gather_iter)
+        };
+        let mut any_live_input = false;
+        for ci in 0..n_children {
+            if self.nodes[node.index()].inputs[ci].is_some() {
+                any_live_input = true;
+                continue;
+            }
+            let child = self.tree.node(node).children[ci];
+            if self.nodes[child.index()].pruned {
+                continue;
+            }
+            return; // still waiting on a live child
+        }
+        if !any_live_input {
+            return; // a fully orphaned operator composes nothing
+        }
+        let rt = &mut self.nodes[node.index()];
+        // One pass over the slots: mark the later producer (ties: the
+        // higher index, i.e. the one whose message was processed last)
+        // and fold the output dimensions.
+        let mut later = None;
+        let mut later_arrived = SimTime::ZERO;
+        let mut out_dims: Option<ImageDims> = None;
+        for (i, slot) in rt.inputs.iter().enumerate() {
+            let Some(s) = slot else { continue };
+            out_dims = Some(match out_dims {
+                Some(d) => d.larger(s.dims),
+                None => s.dims,
+            });
+            if later.is_none() || s.arrived >= later_arrived {
+                later = Some(i);
+                later_arrived = s.arrived;
+            }
+        }
+        rt.later_child = later;
+        rt.composed_iter = iteration;
+        let out_dims = out_dims.expect("at least one live input");
+        let duration = SimDuration::from_secs_f64(compose_secs(out_dims, PAPER_SECS_PER_PIXEL));
+        self.request_cpu(
+            host,
+            ComputeJob {
+                node,
+                iteration,
+                dims: out_dims,
+                duration,
+            },
+        );
     }
 
     /// Dispatches the held output if a matching demand is pending.
     fn try_dispatch(&mut self, node: NodeId) {
         let (iteration, dims) = {
             let rt = &mut self.nodes[node.index()];
-            if rt.frozen || rt.suspended {
+            if rt.frozen || rt.suspended || rt.pruned {
                 return;
             }
             match (rt.output, rt.pending_demand) {
                 (Some(out), Some(demanded)) if out.iteration == demanded => {
                     rt.output = None;
                     rt.pending_demand = None;
-                    rt.last_dispatched = out.iteration;
+                    // `max`: a replayed dispatch of an older iteration must
+                    // not regress the watermark (clean runs always advance).
+                    rt.last_dispatched = rt.last_dispatched.max(out.iteration);
                     rt.dispatches_this_epoch += 1;
+                    // Retain a copy so a respawned consumer can ask again.
+                    rt.last_output = Some(out);
                     (out.iteration, out.dims)
                 }
                 _ => return,
@@ -1432,6 +1727,14 @@ impl Engine {
     /// The light-move point: fires at the producer when its data dispatch
     /// for `iteration` has fully arrived at the consumer.
     fn light_point(&mut self, node: NodeId, iteration: u32) {
+        // A node whose host has died fires no light points: the process
+        // that would react to the acknowledgement no longer exists. (The
+        // node may later be respawned elsewhere, which restarts its cycle.)
+        if self.faults.is_some()
+            && (self.nodes[node.index()].pruned || self.host_down(self.nodes[node.index()].host))
+        {
+            return;
+        }
         match self.tree.node(node).kind {
             NodeKind::Server(_) => {
                 // Prefetch the next image ("a node requests data from its
@@ -1461,10 +1764,20 @@ impl Engine {
                         }
                     }
                 }
+                // Never move onto a host the detector has written off.
+                if let Some(site) = move_to {
+                    if self.declared_dead[site.index()] {
+                        move_to = None;
+                    }
+                }
                 match move_to {
                     Some(site) => self.begin_relocation(node, site, iteration),
                     None => {
-                        if iteration < self.n_iterations {
+                        // The replay of an old dispatch must not restart a
+                        // gather that is already further along.
+                        let already_demanded = self.faults.is_some()
+                            && self.nodes[node.index()].gather_iter > iteration;
+                        if iteration < self.n_iterations && !already_demanded {
                             self.send_demands(node, iteration + 1);
                         }
                     }
@@ -1502,6 +1815,11 @@ impl Engine {
         });
         for ci in 0..n_children {
             let child = self.tree.node(node).children[ci];
+            // A pruned child will never answer; its slot reads as
+            // satisfied in `maybe_compose` instead.
+            if self.nodes[child.index()].pruned {
+                continue;
+            }
             self.send(
                 node,
                 child,
@@ -1574,12 +1892,14 @@ impl Engine {
                 op,
                 after_iteration,
                 plan,
+                respawn: false,
             },
             Priority::Normal,
             None,
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn complete_relocation(
         &mut self,
         node: NodeId,
@@ -1588,7 +1908,14 @@ impl Engine {
         from_host: HostId,
         new_host: HostId,
         plan: &wadc_mobile::protocol::MovePlan,
+        respawn: bool,
     ) {
+        // A stale pre-crash move packet must not resurrect an operator the
+        // failover machinery is already respawning, and a duplicate
+        // respawn packet has nothing left to install.
+        if self.nodes[node.index()].respawning != respawn {
+            return;
+        }
         // The substrate validates the packet and records the code install.
         let restored = self
             .mobility
@@ -1604,6 +1931,41 @@ impl Engine {
             debug_assert_eq!(restored.last_dispatched, rt.last_dispatched);
             rt.frozen = false;
             rt.host = new_host;
+        }
+        if respawn {
+            {
+                let rt = &mut self.nodes[node.index()];
+                rt.respawning = false;
+                // The interrupted gather restarts from scratch at the new
+                // site: whatever had arrived at the dead host died with it.
+                rt.composed_iter = rt.last_dispatched;
+                rt.output = None;
+            }
+            self.operators_respawned += 1;
+            self.record_audit(AuditEvent::OperatorRespawned {
+                at: self.now(),
+                op,
+                from: plan.from,
+                to: new_host,
+            });
+            if self.local_mode {
+                // The coordinator (client) knows the new site; gossip it.
+                let client = self.roster.client();
+                self.vectors[client.index()].record_move(op, new_host);
+                let updated = self.vectors[client.index()].clone();
+                self.vectors[new_host.index()].merge(&updated);
+            }
+            let resume = {
+                let rt = &self.nodes[node.index()];
+                rt.gather_iter.max(rt.last_dispatched + 1)
+            };
+            self.send_demands(node, resume);
+            let buffered = std::mem::take(&mut self.nodes[node.index()].buffered);
+            for msg in buffered {
+                self.deliver_to_node(msg);
+            }
+            self.try_dispatch(node);
+            return;
         }
         self.record_audit(AuditEvent::RelocationFinished {
             at: self.now(),
@@ -1625,6 +1987,254 @@ impl Engine {
             self.deliver_to_node(msg);
         }
         self.try_dispatch(node);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash detection and failover
+    // ------------------------------------------------------------------
+
+    /// Marks the run as unable to make further progress: the main loop
+    /// stops at the next event boundary and the result reports
+    /// [`RunOutcome::Aborted`]. Idempotent; the first reason wins.
+    fn abort_run(&mut self, reason: &'static str) {
+        if self.aborted.is_some() {
+            return;
+        }
+        self.aborted = Some(reason);
+        self.record_audit(AuditEvent::RunAborted {
+            at: self.now(),
+            reason,
+        });
+    }
+
+    /// Every host currently declared dead. Returns an empty (non-allocated)
+    /// vector in clean runs.
+    fn dead_hosts(&self) -> Vec<HostId> {
+        (0..self.roster.host_count())
+            .map(HostId::new)
+            .filter(|h| self.declared_dead[h.index()])
+            .collect()
+    }
+
+    /// The failure detector's verdict became final for `host`: ban its
+    /// traffic, prune the servers that lived there, and respawn the
+    /// orphaned operators over the surviving-host subgraph. Client death
+    /// aborts the run — there is nobody left to deliver to.
+    fn declare_dead(&mut self, host: HostId) {
+        if self.declared_dead[host.index()] {
+            return;
+        }
+        self.declared_dead[host.index()] = true;
+        self.hosts_declared_dead += 1;
+        let evidence = self.abandoned[host.index()];
+        self.record_audit(AuditEvent::HostDeclaredDead {
+            at: self.now(),
+            host,
+            evidence,
+        });
+        if host == self.roster.client() {
+            self.abort_run("client host declared dead");
+            return;
+        }
+        // A pending change-over rests on pre-crash knowledge; abandon it
+        // and let the next planning tick work from the masked view.
+        self.abort_pending_proposal();
+        // The partitions on the dead host are gone with it.
+        for i in 0..self.tree.nodes().len() {
+            let node = NodeId::new(i);
+            if matches!(self.tree.node(node).kind, NodeKind::Server(_))
+                && self.nodes[node.index()].host == host
+                && !self.nodes[node.index()].pruned
+            {
+                self.prune_node(node);
+            }
+        }
+        if self.aborted.is_some() {
+            return; // pruning collapsed the tree
+        }
+        // Orphaned operators are respawned from origin images at sites
+        // chosen by the placement search over the surviving hosts.
+        let mut orphans: Vec<(NodeId, OperatorId)> = Vec::new();
+        for i in 0..self.tree.operator_count() {
+            let op = OperatorId::new(i);
+            let node = self.tree.operator_node(op);
+            let rt = &self.nodes[node.index()];
+            if rt.host == host && !rt.pruned {
+                orphans.push((node, op));
+            }
+        }
+        if orphans.is_empty() {
+            return;
+        }
+        let now = self.now();
+        let client = self.roster.client();
+        // Re-home the orphans before searching: the masked search never
+        // *selects* a dead host but must not *start* from one either.
+        for &(_, op) in &orphans {
+            self.committed_placement.set_site(op, client);
+        }
+        let dead = self.dead_hosts();
+        self.planner_runs += 1;
+        let (cost_before, result) = {
+            let view = PlannerView::for_mode(
+                self.cfg.knowledge,
+                &self.caches[client.index()],
+                &self.forecasters[client.index()],
+                self.net.links(),
+                now,
+            )
+            .with_grace(self.planner_grace());
+            let masked = MaskedView::new(view, self.roster.host_count(), dead.iter().copied());
+            let cost_before = self.cfg.objective.evaluate(
+                &self.tree,
+                &self.roster,
+                &self.committed_placement,
+                &masked,
+                &self.cfg.cost_model,
+            );
+            let result = improve_placement_masked(
+                &self.tree,
+                &self.roster,
+                self.committed_placement.clone(),
+                &masked,
+                &self.cfg.cost_model,
+                self.cfg.objective,
+                &dead,
+            );
+            (cost_before, result)
+        };
+        let changed = result.placement != self.committed_placement;
+        self.record_audit(AuditEvent::PlannerRan {
+            at: now,
+            cost_before,
+            cost_after: result.cost,
+            changed,
+        });
+        self.committed_placement = result.placement;
+        for &(node, op) in &orphans {
+            let to = self.committed_placement.site(op);
+            self.start_respawn(node, op, to);
+        }
+    }
+
+    /// Ships a fresh copy of `op` (rebuilt from its origin image — the
+    /// dead host's working state is lost) from the client to `to`. The
+    /// node is frozen and re-targeted immediately so in-flight traffic
+    /// buffers at — or retransmits toward — the new site.
+    fn start_respawn(&mut self, node: NodeId, op: OperatorId, to: HostId) {
+        let client = self.roster.client();
+        let (state, after_iteration, origin) = {
+            let rt = &mut self.nodes[node.index()];
+            let state = MobileState {
+                op,
+                last_dispatched: rt.last_dispatched,
+                later_marks: 0,
+                dispatches_this_epoch: 0,
+                consumer_on_cp: false,
+                on_cp: false,
+            };
+            let origin = rt.host;
+            rt.frozen = true;
+            rt.respawning = true;
+            rt.host = to;
+            rt.output = None;
+            rt.later_marks = 0;
+            rt.dispatches_this_epoch = 0;
+            rt.on_cp = false;
+            rt.pending_move = None;
+            rt.next_placement = None;
+            (state, rt.last_dispatched, origin)
+        };
+        let plan = self.mobility.plan_respawn(&state, origin, to);
+        self.send_to_host(
+            node,
+            client,
+            to,
+            Payload::OperatorState {
+                op,
+                after_iteration,
+                plan,
+                respawn: true,
+            },
+            Priority::High,
+            None,
+        );
+    }
+
+    /// Permanently removes `node` from the tree and propagates the hole
+    /// upward: a parent left with no live children is pruned too (all the
+    /// way to aborting the run when the root loses its last child), and a
+    /// parent that was only waiting on this child may now compose.
+    fn prune_node(&mut self, node: NodeId) {
+        if self.nodes[node.index()].pruned {
+            return;
+        }
+        {
+            let rt = &mut self.nodes[node.index()];
+            rt.pruned = true;
+            rt.frozen = false;
+            rt.respawning = false;
+            rt.output = None;
+            rt.pending_demand = None;
+        }
+        let buffered = std::mem::take(&mut self.nodes[node.index()].buffered);
+        for msg in buffered {
+            self.msg_pool.release(msg);
+        }
+        let Some(parent) = self.tree.node(node).parent else {
+            self.abort_run("combination tree fully pruned");
+            return;
+        };
+        let all_gone = self
+            .tree
+            .node(parent)
+            .children
+            .iter()
+            .all(|&c| self.nodes[c.index()].pruned);
+        if all_gone {
+            if parent == self.tree.root() {
+                self.abort_run("all data sources lost");
+            } else {
+                self.prune_node(parent);
+            }
+        } else if !self.nodes[parent.index()].pruned {
+            self.maybe_compose(parent);
+        }
+    }
+
+    /// Prunes `node` and its whole subtree (a respawn that exhausted its
+    /// retry budget takes everything beneath it out of the computation),
+    /// then re-checks the barrier — the quorum may have shrunk past a
+    /// pending proposal's missing reports.
+    fn prune_subtree(&mut self, node: NodeId) {
+        let children = self.tree.node(node).children.clone();
+        for c in children {
+            self.prune_subtree_mark(c);
+        }
+        self.prune_node(node);
+        self.try_commit_barrier();
+    }
+
+    fn prune_subtree_mark(&mut self, node: NodeId) {
+        if self.nodes[node.index()].pruned {
+            return;
+        }
+        {
+            let rt = &mut self.nodes[node.index()];
+            rt.pruned = true;
+            rt.frozen = false;
+            rt.respawning = false;
+            rt.output = None;
+            rt.pending_demand = None;
+        }
+        let buffered = std::mem::take(&mut self.nodes[node.index()].buffered);
+        for msg in buffered {
+            self.msg_pool.release(msg);
+        }
+        let children = self.tree.node(node).children.clone();
+        for c in children {
+            self.prune_subtree_mark(c);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1652,21 +2262,48 @@ impl Engine {
             now,
         )
         .with_grace(self.planner_grace());
-        let cost_before = self.cfg.objective.evaluate(
-            &self.tree,
-            &self.roster,
-            &self.committed_placement,
-            view,
-            &self.cfg.cost_model,
-        );
-        let result = improve_placement_by(
-            &self.tree,
-            &self.roster,
-            self.committed_placement.clone(),
-            view,
-            &self.cfg.cost_model,
-            self.cfg.objective,
-        );
+        // After a declared host death the search runs over the
+        // surviving-host subgraph: stale measurements through the dead
+        // host are masked and its sites excluded from candidacy. Clean
+        // runs take the unmasked path untouched.
+        let dead = self.dead_hosts();
+        let (cost_before, result) = if dead.is_empty() {
+            let cost_before = self.cfg.objective.evaluate(
+                &self.tree,
+                &self.roster,
+                &self.committed_placement,
+                view,
+                &self.cfg.cost_model,
+            );
+            let result = improve_placement_by(
+                &self.tree,
+                &self.roster,
+                self.committed_placement.clone(),
+                view,
+                &self.cfg.cost_model,
+                self.cfg.objective,
+            );
+            (cost_before, result)
+        } else {
+            let masked = MaskedView::new(view, self.roster.host_count(), dead.iter().copied());
+            let cost_before = self.cfg.objective.evaluate(
+                &self.tree,
+                &self.roster,
+                &self.committed_placement,
+                &masked,
+                &self.cfg.cost_model,
+            );
+            let result = improve_placement_masked(
+                &self.tree,
+                &self.roster,
+                self.committed_placement.clone(),
+                &masked,
+                &self.cfg.cost_model,
+                self.cfg.objective,
+                &dead,
+            );
+            (cost_before, result)
+        };
         seed_cache_from_probes(
             &mut self.caches[client.index()],
             self.net.links(),
@@ -1720,7 +2357,19 @@ impl Engine {
         if !still_pending {
             return;
         }
-        self.proposal = None;
+        self.abort_pending_proposal();
+    }
+
+    /// Abandons the pending change-over proposal (if any): keep the old
+    /// placement, tell every surviving server to resume, and let a later
+    /// planning tick try again. Shared between the barrier patience timer
+    /// and host-death declarations (a proposal computed before a crash
+    /// rests on knowledge the crash invalidated).
+    fn abort_pending_proposal(&mut self) {
+        let Some(p) = self.proposal.take() else {
+            return;
+        };
+        let version = p.version;
         self.record_audit(AuditEvent::ChangeoverAborted {
             at: self.now(),
             version,
@@ -1728,7 +2377,9 @@ impl Engine {
         let client = self.tree.root();
         for i in 0..self.tree.nodes().len() {
             let node = NodeId::new(i);
-            if matches!(self.tree.node(node).kind, NodeKind::Server(_)) {
+            if matches!(self.tree.node(node).kind, NodeKind::Server(_))
+                && !self.nodes[node.index()].pruned
+            {
                 self.send(
                     client,
                     node,
@@ -1769,7 +2420,7 @@ impl Engine {
     }
 
     fn handle_barrier_report(&mut self, server: usize, iteration: u32, version: u32) {
-        let all_in = {
+        {
             let Some(p) = self.proposal.as_mut() else {
                 return; // stale report for an abandoned proposal
             };
@@ -1777,9 +2428,41 @@ impl Engine {
                 return;
             }
             p.reports.insert(server, iteration);
-            p.reports.len() == self.cfg.n_servers
+        }
+        self.try_commit_barrier();
+    }
+
+    /// Whether server `s` is out of the computation: its host was declared
+    /// dead or its node pruned. Down servers are excluded from the barrier
+    /// quorum — a dead server's report will never arrive.
+    fn server_is_down(&self, s: usize) -> bool {
+        if self.declared_dead[self.roster.server_host(s).index()] {
+            return true;
+        }
+        self.tree
+            .nodes()
+            .iter()
+            .enumerate()
+            .any(|(i, n)| matches!(n.kind, NodeKind::Server(x) if x == s) && self.nodes[i].pruned)
+    }
+
+    /// Commits the pending change-over once every *live* server has
+    /// reported. In clean runs this is exactly "all `n_servers` reported";
+    /// after a death the quorum shrinks to the survivors, so the barrier
+    /// cannot wait forever on a host that will never answer.
+    fn try_commit_barrier(&mut self) {
+        let all_in = {
+            let Some(p) = self.proposal.as_ref() else {
+                return;
+            };
+            (0..self.cfg.n_servers).all(|s| p.reports.contains_key(&s) || self.server_is_down(s))
         };
         if !all_in {
+            return;
+        }
+        if self.proposal.as_ref().is_some_and(|p| p.reports.is_empty()) {
+            // Every server is gone; there is nothing to switch over.
+            self.abort_pending_proposal();
             return;
         }
         let p = self.proposal.take().expect("checked above");
@@ -1796,7 +2479,7 @@ impl Engine {
         let client = self.tree.root();
         for i in 0..self.tree.nodes().len() {
             let node = NodeId::new(i);
-            if node == client {
+            if node == client || self.nodes[node.index()].pruned {
                 continue;
             }
             self.send(
@@ -1994,9 +2677,23 @@ impl Engine {
         let job = self.disk_current[host]
             .take()
             .expect("disk completion without a job");
+        // Dead silicon: a crashed host finishes nothing, and its queued
+        // jobs never start.
+        if self.host_down(HostId::new(host)) {
+            return;
+        }
+        if self.nodes[job.node.index()].pruned {
+            if let Some(next) = self.disks[host].release() {
+                self.start_disk(HostId::new(host), next);
+            }
+            return;
+        }
         {
+            // Under faults a not-yet-replayed restored output may still be
+            // held; the fresh read wins (newer data supersedes a replay).
+            let tolerant = self.faults.is_some();
             let rt = &mut self.nodes[job.node.index()];
-            debug_assert!(rt.output.is_none(), "server output overwritten");
+            debug_assert!(tolerant || rt.output.is_none(), "server output overwritten");
             rt.output = Some(OutputItem {
                 iteration: job.iteration,
                 dims: job.dims,
@@ -2025,9 +2722,22 @@ impl Engine {
         let job = self.cpu_current[host]
             .take()
             .expect("compute completion without a job");
+        if self.host_down(HostId::new(host)) {
+            return;
+        }
+        if self.nodes[job.node.index()].pruned {
+            if let Some(next) = self.cpus[host].release() {
+                self.start_cpu(HostId::new(host), next);
+            }
+            return;
+        }
         {
+            let tolerant = self.faults.is_some();
             let rt = &mut self.nodes[job.node.index()];
-            debug_assert!(rt.output.is_none(), "operator output overwritten");
+            debug_assert!(
+                tolerant || rt.output.is_none(),
+                "operator output overwritten"
+            );
             rt.output = Some(OutputItem {
                 iteration: job.iteration,
                 dims: job.dims,
@@ -2055,7 +2765,11 @@ impl Engine {
         pairs.clear();
         for a in self.roster.hosts() {
             for b in self.roster.hosts() {
-                if a < b && self.caches[client.index()].lookup(a, b, now).is_none() {
+                if a < b
+                    && !self.declared_dead[a.index()]
+                    && !self.declared_dead[b.index()]
+                    && self.caches[client.index()].lookup(a, b, now).is_none()
+                {
                     pairs.push((a, b));
                 }
             }
@@ -2070,6 +2784,10 @@ impl Engine {
     /// Submits one probe transfer between a host pair.
     fn submit_probe(&mut self, a: HostId, b: HostId, now: SimTime) {
         if self.cfg.probe_bytes == 0 {
+            return;
+        }
+        // Probing a declared-dead host would be traffic to it.
+        if self.declared_dead[a.index()] || self.declared_dead[b.index()] {
             return;
         }
         let mut msg = self.msg_pool.acquire();
@@ -2134,6 +2852,12 @@ impl Engine {
         priority: Priority,
         notify_sender: Option<NodeId>,
     ) {
+        // Post-detection traffic ban: a declared-dead host neither sends
+        // nor receives. The payload is silently discarded — no transfer,
+        // no drop record — so audits can prove the ban held.
+        if self.declared_dead[from_host.index()] || self.declared_dead[to_host.index()] {
+            return;
+        }
         let now = self.now();
         let mut msg = self.msg_pool.acquire();
         msg.src_host = from_host;

@@ -143,6 +143,25 @@ impl MoveProtocol {
         })
     }
 
+    /// Plans the **respawn** of an orphaned operator: its resident host
+    /// died, so a fresh state snapshot — reconstructed from the origin
+    /// images rather than received from the (unreachable) old host — is
+    /// shipped to a surviving host.
+    ///
+    /// Unlike [`MoveProtocol::plan_move`] there is no light-point
+    /// witness (a dead host cannot testify; the reconstructed state *is*
+    /// a light point by construction) and `origin == to` is allowed: the
+    /// respawn may land on the very host that rebuilds the state.
+    pub fn plan_respawn(&self, state: &OperatorState, origin: HostId, to: HostId) -> MovePlan {
+        MovePlan {
+            op: state.op,
+            from: origin,
+            to,
+            state_packet: state.encode(),
+            code_bytes: self.registry.code_bytes_for_move(to),
+        }
+    }
+
     /// Completes a move at the destination: decodes the state and records
     /// the code installation.
     ///
@@ -240,6 +259,21 @@ mod tests {
             ),
             Err(MoveError::GatherInProgress)
         );
+    }
+
+    #[test]
+    fn respawn_needs_no_witness_and_allows_same_host() {
+        let mut p = proto(MobilityMode::MobileObjects);
+        // plan_move would refuse from == to; a respawn may land exactly
+        // where its state was rebuilt.
+        let plan = p.plan_respawn(&state(), h(3), h(3));
+        assert_eq!(plan.from, h(3));
+        assert_eq!(plan.to, h(3));
+        assert_eq!(plan.code_bytes, 30_000, "first visit still ships code");
+        let restored = p.complete_move(&plan).unwrap();
+        assert_eq!(restored, state());
+        // Second respawn to the installed host is code-free.
+        assert_eq!(p.plan_respawn(&state(), h(0), h(3)).code_bytes, 0);
     }
 
     #[test]

@@ -47,6 +47,24 @@ pub struct HostBlackout {
     pub until: SimTime,
 }
 
+/// A permanent host death: from `at` onward the host never answers
+/// again.
+///
+/// Unlike a [`HostBlackout`] the window never closes. Transfers already
+/// in flight still traverse the wire (the bytes were committed) but the
+/// payload is discarded at delivery when either endpoint is dead; probes
+/// touching the host are black-holed; operator moves onto the host fail
+/// forever. The engine's failure detector notices the silence through
+/// retry exhaustion and fails the host's operators over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCrash {
+    /// The host that dies.
+    pub host: HostId,
+    /// The instant of death (inclusive: a delivery at exactly `at` is
+    /// already lost).
+    pub at: SimTime,
+}
+
 /// Generator parameters for stochastic outages, expanded deterministically
 /// from the run seed when the plan is compiled.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +134,8 @@ pub struct FaultPlan {
     pub outages: Vec<LinkOutage>,
     /// Scheduled host pauses.
     pub blackouts: Vec<HostBlackout>,
+    /// Permanent host deaths.
+    pub crashes: Vec<HostCrash>,
     /// Stochastic outages derived from the run seed.
     pub random_outages: Option<RandomOutages>,
     /// Probability in `[0, 1]` that any data/control message is lost in
@@ -140,6 +160,7 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.outages.is_empty()
             && self.blackouts.is_empty()
+            && self.crashes.is_empty()
             && self.random_outages.is_none()
             && self.loss == 0.0
             && self.probe_blackhole == 0.0
@@ -187,6 +208,12 @@ impl FaultPlan {
     /// Adds a host blackout window.
     pub fn blackout(mut self, host: HostId, from: SimTime, until: SimTime) -> Self {
         self.blackouts.push(HostBlackout { host, from, until });
+        self
+    }
+
+    /// Schedules a permanent crash of `host` at `at`.
+    pub fn crash(mut self, host: HostId, at: SimTime) -> Self {
+        self.crashes.push(HostCrash { host, at });
         self
     }
 
@@ -248,6 +275,51 @@ impl FaultPlan {
                 );
             }
         }
+        for c in &self.crashes {
+            if c.at == SimTime::MAX {
+                return Err(format!(
+                    "fault plan: crash of host {:?} at SimTime::MAX never happens; drop it",
+                    c.host
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`FaultPlan::validate`] plus host-range checks: every host index
+    /// named by an outage, blackout or crash must fall inside a world of
+    /// `n_hosts` hosts. The engine knows the world size only at build
+    /// time, so the range check is a separate, stricter entry point the
+    /// CLI calls eagerly — a typo'd `--crash-host 9` fails with a
+    /// readable message instead of silently injecting nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate_for_hosts(&self, n_hosts: usize) -> Result<(), String> {
+        self.validate()?;
+        let check = |what: &str, h: HostId| {
+            if h.index() >= n_hosts {
+                Err(format!(
+                    "fault plan: {what} names host {h} but the world has only {n_hosts} hosts \
+                     (valid indices 0..{n_hosts})"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        for o in &self.outages {
+            if let Some((a, b)) = o.link {
+                check("outage", a)?;
+                check("outage", b)?;
+            }
+        }
+        for b in &self.blackouts {
+            check("blackout", b.host)?;
+        }
+        for c in &self.crashes {
+            check("crash", c.host)?;
+        }
         Ok(())
     }
 }
@@ -279,6 +351,7 @@ pub struct FaultInjector {
     move_failure: f64,
     outages: Vec<LinkOutage>,
     blackouts: Vec<HostBlackout>,
+    crashes: Vec<HostCrash>,
     transitions: Vec<SimTime>,
 }
 
@@ -326,6 +399,7 @@ impl FaultInjector {
             .iter()
             .flat_map(|o| [o.from, o.until])
             .chain(plan.blackouts.iter().flat_map(|b| [b.from, b.until]))
+            .chain(plan.crashes.iter().map(|c| c.at))
             .filter(|t| *t != SimTime::MAX)
             .collect();
         transitions.sort();
@@ -337,6 +411,7 @@ impl FaultInjector {
             move_failure: plan.move_failure,
             outages,
             blackouts: plan.blackouts.clone(),
+            crashes: plan.crashes.clone(),
             transitions,
         }
     }
@@ -348,6 +423,24 @@ impl FaultInjector {
             || self.move_failure > 0.0
             || !self.outages.is_empty()
             || !self.blackouts.is_empty()
+            || !self.crashes.is_empty()
+    }
+
+    /// `true` if `host` has permanently crashed by `now`.
+    ///
+    /// Note that crashing does **not** block links the way an outage
+    /// does: transfers touching a dead host still start and pay their
+    /// wire time (the sender cannot know the peer is gone), and the
+    /// payload is discarded at delivery. That keeps retries pacing the
+    /// failure detector instead of stranding messages in the pending
+    /// queue forever.
+    pub fn host_crashed(&self, host: HostId, now: SimTime) -> bool {
+        self.crashes.iter().any(|c| c.host == host && c.at <= now)
+    }
+
+    /// The scheduled crashes, sorted as given in the plan.
+    pub fn crashes(&self) -> &[HostCrash] {
+        &self.crashes
     }
 
     /// `true` if no new transfer may start between `a` and `b` at `now`
@@ -390,6 +483,11 @@ impl FaultInjector {
     /// and apply the verdict consistently to both the wire traffic and
     /// the measurement.
     pub fn blackholes_probe(&self, a: HostId, b: HostId, now: SimTime) -> bool {
+        // A dead endpoint black-holes every probe, regardless of the
+        // stochastic black-hole probability.
+        if self.host_crashed(a, now) || self.host_crashed(b, now) {
+            return true;
+        }
         if self.probe_blackhole == 0.0 {
             return false;
         }
@@ -545,6 +643,63 @@ mod tests {
             .filter(|i| inj.blackholes_probe(h(0), h(1), SimTime::from_secs(*i)))
             .count();
         assert!((800..1200).contains(&hits), "got {hits} black-holes");
+    }
+
+    #[test]
+    fn crash_is_permanent_and_blackholes_probes() {
+        let plan = FaultPlan::none().crash(h(2), SimTime::from_secs(10));
+        assert!(!plan.is_empty());
+        assert!(plan.validate().is_ok());
+        let inj = FaultInjector::new(&plan, 1, 4);
+        assert!(inj.enabled());
+        assert!(!inj.host_crashed(h(2), SimTime::from_secs(9)));
+        assert!(inj.host_crashed(h(2), SimTime::from_secs(10)), "inclusive");
+        assert!(inj.host_crashed(h(2), SimTime::from_secs(1_000_000)));
+        assert!(!inj.host_crashed(h(1), SimTime::from_secs(1_000_000)));
+        // Crashes do not block links — the sender pays the wire time and
+        // the drop happens at delivery.
+        assert!(!inj.link_blocked(h(2), h(0), SimTime::from_secs(15)));
+        // But every probe touching the dead host is black-holed, even
+        // with probe_blackhole = 0.
+        assert!(inj.blackholes_probe(h(2), h(0), SimTime::from_secs(10)));
+        assert!(inj.blackholes_probe(h(0), h(2), SimTime::from_secs(99)));
+        assert!(!inj.blackholes_probe(h(0), h(2), SimTime::from_secs(9)));
+        assert!(!inj.blackholes_probe(h(0), h(1), SimTime::from_secs(99)));
+        // The instant of death is a fault transition (so the engine can
+        // wake and re-pump), and a crash never "ends".
+        assert_eq!(
+            inj.next_transition_after(SimTime::ZERO),
+            Some(SimTime::from_secs(10))
+        );
+        assert_eq!(inj.next_transition_after(SimTime::from_secs(10)), None);
+        assert_eq!(inj.crashes().len(), 1);
+    }
+
+    #[test]
+    fn validate_for_hosts_rejects_out_of_range_indices() {
+        let ok = FaultPlan::none()
+            .crash(h(3), SimTime::from_secs(1))
+            .blackout(h(0), SimTime::ZERO, SimTime::from_secs(1))
+            .outage(h(1), h(2), SimTime::ZERO, SimTime::from_secs(1));
+        assert!(ok.validate_for_hosts(4).is_ok());
+        let crash_oob = FaultPlan::none().crash(h(4), SimTime::from_secs(1));
+        assert!(crash_oob.validate().is_ok(), "plain validate can't know");
+        let err = crash_oob.validate_for_hosts(4).unwrap_err();
+        assert!(err.contains("crash") && err.contains("4 hosts"), "{err}");
+        let blackout_oob = FaultPlan::none().blackout(h(9), SimTime::ZERO, SimTime::from_secs(1));
+        assert!(blackout_oob.validate_for_hosts(4).is_err());
+        let outage_oob = FaultPlan::none().outage(h(0), h(7), SimTime::ZERO, SimTime::from_secs(1));
+        assert!(outage_oob.validate_for_hosts(4).is_err());
+        // Range checking is on top of plain validation.
+        assert!(FaultPlan::none()
+            .with_loss(2.0)
+            .validate_for_hosts(4)
+            .is_err());
+        // A crash at SimTime::MAX never happens — reject it eagerly.
+        assert!(FaultPlan::none()
+            .crash(h(0), SimTime::MAX)
+            .validate()
+            .is_err());
     }
 
     #[test]

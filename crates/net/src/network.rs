@@ -188,6 +188,9 @@ pub struct NetStats {
     pub dropped: u64,
     /// Bytes carried by dropped transfers (also in `bytes_delivered`).
     pub bytes_dropped: u64,
+    /// Transfers dropped because an endpoint had permanently crashed
+    /// (a subset of `dropped`).
+    pub crash_dropped: u64,
     /// Per-traffic-class breakdown, indexed by [`TrafficKind::tag`].
     /// Not folded into run digests — the aggregate counters above remain
     /// the digest surface.
@@ -257,6 +260,9 @@ impl fmt::Display for NetStats {
                 self.dropped,
                 fmt_bytes(self.bytes_dropped),
             )?;
+        }
+        if self.crash_dropped > 0 {
+            writeln!(f, "crashed-host drops: {}", self.crash_dropped)?;
         }
         if self.retransmits > 0 {
             writeln!(
@@ -449,6 +455,13 @@ impl<P> Network<P> {
         let k = self.stats.kind_mut(spec.kind);
         k.dropped += 1;
         k.bytes_dropped += spec.bytes;
+    }
+
+    /// [`Network::record_drop`] for a transfer lost to a crashed
+    /// endpoint, additionally tallied under [`NetStats::crash_dropped`].
+    pub fn record_crash_drop(&mut self, spec: &TransferSpec) {
+        self.record_drop(spec);
+        self.stats.crash_dropped += 1;
     }
 
     /// Starts every pending transfer whose endpoints are both free, in
@@ -870,6 +883,23 @@ mod tests {
         assert_eq!(st.dropped, 1);
         assert_eq!(st.bytes_dropped, 500);
         assert_eq!(st.kind(TrafficKind::Data).dropped, 1);
+    }
+
+    #[test]
+    fn crash_drop_accounting_is_a_subset_of_drops() {
+        let mut n = net(2, 1000.0);
+        n.submit(spec(0, 1, 300), 1);
+        let s = n.poll_start(SimTime::ZERO);
+        let d = n.complete(s[0].id, s[0].completes_at);
+        n.record_crash_drop(&d.spec);
+        let st = n.stats();
+        assert_eq!(st.dropped, 1, "crash drops are ordinary drops too");
+        assert_eq!(st.bytes_dropped, 300);
+        assert_eq!(st.crash_dropped, 1);
+        let text = st.to_string();
+        assert!(text.contains("crashed-host drops: 1"));
+        let clean = NetStats::default();
+        assert!(!clean.to_string().contains("crashed-host"));
     }
 
     #[test]

@@ -52,6 +52,9 @@ fn event_args(kind: EventKind, args: EventArgs) -> Json {
         EventKind::MessageLost | EventKind::Retransmit => Json::obj()
             .field("kind", kind_label(args.a))
             .field("dst", args.b),
+        EventKind::HostDeclaredDead => Json::obj().field("host", args.a).field("evidence", args.b),
+        EventKind::OperatorRespawned => Json::obj().field("op", args.a).field("to", args.b),
+        EventKind::RunAborted => Json::obj().field("reason_tag", args.a),
     }
 }
 

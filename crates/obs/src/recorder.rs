@@ -152,6 +152,14 @@ pub enum EventKind {
     MessageLost,
     /// A retransmission was submitted (`a` = traffic-kind tag).
     Retransmit,
+    /// The failure detector declared a host dead (`a` = host,
+    /// `b` = distinct abandoned messages as evidence).
+    HostDeclaredDead,
+    /// An orphaned operator was respawned after its host died
+    /// (`a` = operator, `b` = new host).
+    OperatorRespawned,
+    /// The run aborted early — client death or total tree collapse.
+    RunAborted,
 }
 
 impl EventKind {
@@ -163,6 +171,9 @@ impl EventKind {
             EventKind::ServerSuspended => "server_suspended",
             EventKind::MessageLost => "message_lost",
             EventKind::Retransmit => "retransmit",
+            EventKind::HostDeclaredDead => "host_declared_dead",
+            EventKind::OperatorRespawned => "operator_respawned",
+            EventKind::RunAborted => "run_aborted",
         }
     }
 }

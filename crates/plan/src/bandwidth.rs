@@ -166,6 +166,53 @@ impl BandwidthView for DenseView {
     }
 }
 
+/// A [`BandwidthView`] with a set of hosts masked out: every edge
+/// touching a masked host reads as unknown.
+///
+/// This is the planner's surviving-host subgraph after a crash: stale
+/// measurements *through* a dead host must not inform placement, even
+/// if the monitoring cache still remembers them. Masking alone does not
+/// exclude a dead host from the placement search — the cost model
+/// treats unknown bandwidth as "pessimistic but usable" — so the search
+/// additionally skips masked hosts at candidate-enumeration time; the
+/// view keeps the cost estimates honest for the hosts that remain.
+#[derive(Debug, Clone)]
+pub struct MaskedView<V> {
+    inner: V,
+    masked: Vec<bool>,
+}
+
+impl<V: BandwidthView> MaskedView<V> {
+    /// Wraps `inner`, masking every host whose index is in `masked`
+    /// (indices beyond `n_hosts` are ignored).
+    pub fn new(inner: V, n_hosts: usize, masked: impl IntoIterator<Item = HostId>) -> Self {
+        let mut mask = vec![false; n_hosts];
+        for h in masked {
+            if h.index() < n_hosts {
+                mask[h.index()] = true;
+            }
+        }
+        MaskedView {
+            inner,
+            masked: mask,
+        }
+    }
+
+    /// Whether `host` is masked out.
+    pub fn is_masked(&self, host: HostId) -> bool {
+        self.masked.get(host.index()).copied().unwrap_or(false)
+    }
+}
+
+impl<V: BandwidthView> BandwidthView for MaskedView<V> {
+    fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
+        if self.is_masked(a) || self.is_masked(b) {
+            return None;
+        }
+        self.inner.bandwidth(a, b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +290,27 @@ mod tests {
         let d = DenseView::snapshot(3, Asym);
         assert_eq!(d.bandwidth(HostId::new(1), HostId::new(2)), Some(12.0));
         assert_eq!(d.bandwidth(HostId::new(2), HostId::new(1)), Some(21.0));
+    }
+
+    #[test]
+    fn masked_view_hides_every_edge_of_a_dead_host() {
+        let m = BwMatrix::from_fn(4, |_, _| 100.0);
+        let masked = MaskedView::new(&m, 4, [HostId::new(2)]);
+        assert!(masked.is_masked(HostId::new(2)));
+        assert!(!masked.is_masked(HostId::new(1)));
+        assert_eq!(masked.bandwidth(HostId::new(0), HostId::new(2)), None);
+        assert_eq!(masked.bandwidth(HostId::new(2), HostId::new(3)), None);
+        assert_eq!(
+            masked.bandwidth(HostId::new(0), HostId::new(1)),
+            Some(100.0),
+            "surviving edges pass through untouched"
+        );
+        // An empty mask is transparent.
+        let clear = MaskedView::new(&m, 4, []);
+        assert_eq!(clear.bandwidth(HostId::new(0), HostId::new(2)), Some(100.0));
+        // Out-of-range mask entries are ignored, not a panic.
+        let oob = MaskedView::new(&m, 4, [HostId::new(99)]);
+        assert_eq!(oob.bandwidth(HostId::new(0), HostId::new(2)), Some(100.0));
     }
 
     #[test]

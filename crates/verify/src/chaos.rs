@@ -10,14 +10,17 @@
 //! plan)` must reproduce the same run bit for bit.
 //!
 //! [`run_chaos_suite`] drives a small scenario matrix — message loss, a
-//! finite link outage, a host blackout, failing operator moves, and all of
-//! them at once — across all four placement algorithms on the quick world,
-//! running each cell twice (determinism) and through the full invariant
-//! checker. A run need not *complete* under faults (a collapsed network
-//! ends at the safety cap), but it must never wedge, and whatever audit
+//! finite link outage, a host blackout, failing operator moves, permanent
+//! host crashes (a lone server, a cascading pair, and the client/planner
+//! itself), and the transient classes combined — across all four placement
+//! algorithms on the quick world, running each cell twice (determinism)
+//! and through the full invariant checker. A run need not *complete*
+//! under faults (a collapsed network ends at the safety cap, a crashed
+//! client aborts the run), but it must never wedge: every cell terminates
+//! with an explicit [`wadc_core::engine::RunOutcome`], and whatever audit
 //! trail it leaves must conform.
 
-use wadc_core::engine::{Algorithm, EngineConfig, RunResult};
+use wadc_core::engine::{Algorithm, EngineConfig, RunOutcome, RunResult};
 use wadc_core::experiment::Experiment;
 use wadc_core::sweep::SweepDriver;
 use wadc_net::faults::FaultPlan;
@@ -37,6 +40,10 @@ pub struct ChaosOutcome {
     pub algorithm: &'static str,
     /// Whether the workload finished before the safety cap.
     pub completed: bool,
+    /// The run's explicit liveness verdict.
+    pub outcome: RunOutcome,
+    /// Hosts the failure detector declared dead.
+    pub deaths: u32,
     /// Messages fault injection destroyed.
     pub dropped: u64,
     /// Messages the engine resent.
@@ -49,10 +56,11 @@ impl std::fmt::Display for ChaosOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<12} {:<12} completed={:<5} dropped={:<4} retransmits={:<4} {}",
+            "{:<14} {:<12} {:<9} deaths={:<2} dropped={:<4} retransmits={:<4} {}",
             self.scenario,
             self.algorithm,
-            self.completed,
+            self.outcome.name(),
+            self.deaths,
             self.dropped,
             self.retransmits,
             self.digests
@@ -60,8 +68,10 @@ impl std::fmt::Display for ChaosOutcome {
     }
 }
 
-/// The scenario matrix: every fault class alone, then combined.
-fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+/// The scenario matrix: every fault class alone, then combined. Host
+/// indices are `0..n_servers` for the servers and `n_servers` for the
+/// client, so crash rows can target the planner explicitly.
+fn scenarios(n_servers: usize) -> Vec<(&'static str, FaultPlan)> {
     vec![
         (
             "loss",
@@ -87,6 +97,27 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
             ),
         ),
         ("move-failure", FaultPlan::none().with_move_failure(1.0)),
+        (
+            // One server dies for good early in the run (t = 5 s is
+            // mid-iteration-2 of 8 on the quick world, so the host still
+            // owes data and the detector has traffic to observe).
+            "crash",
+            FaultPlan::none().crash(HostId::new(1), SimTime::from_secs(5)),
+        ),
+        (
+            // Cascading pair: a second host dies while failover from the
+            // first is (potentially) still in progress.
+            "double-crash",
+            FaultPlan::none()
+                .crash(HostId::new(1), SimTime::from_secs(5))
+                .crash(HostId::new(2), SimTime::from_secs(60)),
+        ),
+        (
+            // The client host — and with it the planner — dies. The run
+            // must abort explicitly rather than wedge.
+            "planner-crash",
+            FaultPlan::none().crash(HostId::new(n_servers), SimTime::from_secs(10)),
+        ),
         (
             "combined",
             FaultPlan::none()
@@ -151,6 +182,8 @@ fn check_cell(
         scenario,
         algorithm: algorithm.name(),
         completed: first.completed,
+        outcome: first.outcome,
+        deaths: first.hosts_declared_dead,
         dropped: first.net_stats.dropped,
         retransmits: first.net_stats.retransmits,
         digests,
@@ -188,7 +221,7 @@ pub fn run_chaos_suite(n_servers: usize, seed: u64) -> Result<Vec<ChaosOutcome>,
     run_chaos_suite_sweep(n_servers, seed, 1)
 }
 
-/// [`run_chaos_suite`] on a [`SweepDriver`]: the 20 scenario × algorithm
+/// [`run_chaos_suite`] on a [`SweepDriver`]: the 32 scenario × algorithm
 /// cells are sharded across `threads` OS threads and merged in cell
 /// order, so the outcome vector — including which failing cell is
 /// reported first — is identical to the sequential suite's.
@@ -202,7 +235,7 @@ pub fn run_chaos_suite_sweep(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<ChaosOutcome>, String> {
-    let cells: Vec<(&'static str, FaultPlan, Algorithm)> = scenarios()
+    let cells: Vec<(&'static str, FaultPlan, Algorithm)> = scenarios(n_servers)
         .into_iter()
         .flat_map(|(scenario, plan)| {
             algorithms()
@@ -230,7 +263,7 @@ mod tests {
     #[test]
     fn chaos_matrix_conforms_and_reproduces() {
         let outcomes = run_chaos_suite(4, 42).unwrap();
-        assert_eq!(outcomes.len(), scenarios().len() * algorithms().len());
+        assert_eq!(outcomes.len(), scenarios(4).len() * algorithms().len());
         // The loss scenario must actually exercise the machinery: with 10%
         // loss on every class something gets dropped, and every dropped
         // non-probe message gets resent.
@@ -239,6 +272,33 @@ mod tests {
         assert!(
             lossy.iter().any(|o| o.retransmits > 0),
             "loss never retransmitted"
+        );
+        // Crash rows never claim a clean completion: the dead host owed
+        // data, so the best possible end state is Degraded.
+        for o in outcomes.iter().filter(|o| o.scenario.contains("crash")) {
+            assert_ne!(
+                o.outcome,
+                RunOutcome::Completed,
+                "{}/{} completed cleanly despite a crash",
+                o.scenario,
+                o.algorithm
+            );
+        }
+        // The single-server crash is actually *detected* somewhere in the
+        // matrix (the global algorithm's periodic retry traffic gives the
+        // detector evidence even when the workload has gone quiet).
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| o.scenario == "crash" && o.deaths > 0),
+            "no algorithm ever declared the crashed host dead"
+        );
+        // Killing the planner's host aborts rather than wedges.
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| o.scenario == "planner-crash" && o.outcome == RunOutcome::Aborted),
+            "client crash never aborted a run"
         );
     }
 

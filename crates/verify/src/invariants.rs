@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 
 use wadc_app::workload::Workload;
 use wadc_core::engine::audit::AuditEvent;
-use wadc_core::engine::{Algorithm, EngineConfig, RunResult};
+use wadc_core::engine::{Algorithm, EngineConfig, RunOutcome, RunResult};
 use wadc_plan::ids::{HostId, OperatorId};
 use wadc_sim::rng::derive_seed;
 use wadc_sim::time::SimTime;
@@ -52,6 +52,7 @@ pub fn check_run(cfg: &EngineConfig, result: &RunResult) -> Vec<Violation> {
     check_residency(cfg, result, &mut v);
     check_byte_conservation(cfg, result, &mut v);
     check_loss_accounting(result, &mut v);
+    check_crash_faults(result, &mut v);
     v
 }
 
@@ -170,11 +171,22 @@ fn check_counters(result: &RunResult, v: &mut Vec<Violation>) {
 /// download-all run under injected loss still must not *adapt*, but it may
 /// well *lose messages*.
 fn check_algorithm_scope(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation>) {
+    // Failover re-placement after a declared host death runs the planner
+    // under *every* algorithm — those searches are fault handling, not
+    // adaptation, so they are scoped out along with the fault events.
+    let first_death = result.audit.events().iter().find_map(|e| match e {
+        AuditEvent::HostDeclaredDead { at, .. } => Some(*at),
+        _ => None,
+    });
     let events: Vec<&AuditEvent> = result
         .audit
         .events()
         .iter()
         .filter(|e| !e.is_fault_event())
+        .filter(|e| {
+            !matches!(e, AuditEvent::PlannerRan { at, .. }
+                if first_death.is_some_and(|d| *at >= d))
+        })
         .collect();
     let has = |pred: fn(&AuditEvent) -> bool| events.iter().any(|e| pred(e));
     let barrier = |e: &AuditEvent| {
@@ -249,8 +261,10 @@ fn check_barrier_protocol(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Vi
     let mut rounds: HashMap<u32, Round> = HashMap::new();
     let mut aborted: HashSet<u32> = HashSet::new();
     let mut last_committed = 0u32;
+    let mut deaths = 0usize;
     for e in result.audit.events() {
         match *e {
+            AuditEvent::HostDeclaredDead { .. } => deaths += 1,
             AuditEvent::ChangeoverProposed { at, version, .. } => {
                 let round = Round {
                     proposed_at: at,
@@ -328,11 +342,20 @@ fn check_barrier_protocol(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Vi
                         format!("version {version} committed without a proposal"),
                     )),
                     Some(round) => {
-                        if round.reports.len() != cfg.n_servers {
+                        // With hosts declared dead the barrier commits on
+                        // the live quorum: fewer reports are legal (the
+                        // missing servers died or were pruned), none is not.
+                        let quorum_ok = if deaths == 0 {
+                            round.reports.len() == cfg.n_servers
+                        } else {
+                            !round.reports.is_empty() && round.reports.len() <= cfg.n_servers
+                        };
+                        if !quorum_ok {
                             v.push(Violation::new(
                                 "barrier-ordering",
                                 format!(
-                                    "version {version} committed with {}/{} server reports",
+                                    "version {version} committed with {}/{} server reports \
+                                     ({deaths} hosts declared dead)",
                                     round.reports.len(),
                                     cfg.n_servers
                                 ),
@@ -479,6 +502,24 @@ fn check_residency(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<Violation
                 }
                 resident.insert(op, host);
             }
+            AuditEvent::OperatorRespawned { op, from, to, .. } => {
+                // The crash orphaned whatever the operator was doing: an
+                // in-flight relocation can neither finish nor roll back,
+                // so a respawn silently cancels it.
+                in_flight.remove(&op);
+                if let Some(&home) = resident.get(&op) {
+                    if home != from {
+                        v.push(Violation::new(
+                            "respawn-residency",
+                            format!(
+                                "operator {op:?} respawned from {from:?} but last resided on \
+                                 {home:?}"
+                            ),
+                        ));
+                    }
+                }
+                resident.insert(op, to);
+            }
             AuditEvent::RelocationAborted { op, host, .. } => {
                 match in_flight.remove(&op) {
                     None => v.push(Violation::new(
@@ -580,9 +621,11 @@ fn check_byte_conservation(cfg: &EngineConfig, result: &RunResult, v: &mut Vec<V
             ),
         ));
     }
-    if result.completed && cfg.algorithm == Algorithm::DownloadAll {
+    if result.outcome == RunOutcome::Completed && cfg.algorithm == Algorithm::DownloadAll {
         // With the canonical one-host-per-server roster every image byte
-        // crosses the network to reach the client.
+        // crosses the network to reach the client. A Degraded run is
+        // exempt: a crashed host's images legitimately never ship — the
+        // client composes around the pruned subtree.
         let workload = Workload::generate(&cfg.workload, cfg.n_servers, derive_seed(cfg.seed, 1));
         let payload: u64 = (0..cfg.n_servers)
             .map(|s| workload.server(s).total_bytes())
@@ -620,10 +663,91 @@ fn check_loss_accounting(result: &RunResult, v: &mut Vec<Violation>) {
     }
 }
 
+/// Crash-fault bookkeeping: the post-detection traffic ban holds (no
+/// message loss touching a host after it was declared dead — banned
+/// traffic is discarded silently, so any audited loss proves real
+/// traffic flowed), respawned operators land on surviving hosts, the
+/// result's crash counters agree with the audit log, and the explicit
+/// [`RunOutcome`] matches the evidence.
+fn check_crash_faults(result: &RunResult, v: &mut Vec<Violation>) {
+    let mut dead: HashSet<usize> = HashSet::new();
+    let mut deaths = 0u32;
+    let mut respawns = 0u32;
+    let mut aborts = 0u32;
+    for e in result.audit.events() {
+        match *e {
+            AuditEvent::HostDeclaredDead { host, .. } => {
+                deaths += 1;
+                if !dead.insert(host.index()) {
+                    v.push(Violation::new(
+                        "dead-host-traffic",
+                        format!("host {host} declared dead twice"),
+                    ));
+                }
+            }
+            AuditEvent::MessageLost { at, from, to, .. }
+                if dead.contains(&from.index()) || dead.contains(&to.index()) =>
+            {
+                v.push(Violation::new(
+                    "dead-host-traffic",
+                    format!(
+                        "message {from} -> {to} lost at {at:?}, after an endpoint was \
+                         declared dead"
+                    ),
+                ));
+            }
+            AuditEvent::OperatorRespawned { op, to, .. } => {
+                respawns += 1;
+                if dead.contains(&to.index()) {
+                    v.push(Violation::new(
+                        "respawn-residency",
+                        format!("operator {op:?} respawned onto dead host {to}"),
+                    ));
+                }
+            }
+            AuditEvent::RunAborted { .. } => aborts += 1,
+            _ => {}
+        }
+    }
+    for (name, counter, audited) in [
+        ("hosts_declared_dead", result.hosts_declared_dead, deaths),
+        ("operators_respawned", result.operators_respawned, respawns),
+    ] {
+        if counter != audited {
+            v.push(Violation::new(
+                "counter-audit-mismatch",
+                format!("{name} counter = {counter} but audit log has {audited}"),
+            ));
+        }
+    }
+    if aborts > 1 {
+        v.push(Violation::new(
+            "outcome",
+            format!("{aborts} RunAborted events; a run aborts at most once"),
+        ));
+    }
+    let outcome_ok = match result.outcome {
+        RunOutcome::Aborted => aborts == 1,
+        RunOutcome::Completed => aborts == 0 && deaths == 0 && result.completed,
+        RunOutcome::Degraded => aborts == 0 && (deaths > 0 || !result.completed),
+    };
+    if !outcome_ok {
+        v.push(Violation::new(
+            "outcome",
+            format!(
+                "outcome {} inconsistent with completed = {}, {deaths} deaths, {aborts} aborts",
+                result.outcome.name(),
+                result.completed
+            ),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use wadc_core::experiment::Experiment;
+    use wadc_net::faults::FaultPlan;
     use wadc_sim::time::SimDuration;
 
     #[test]
@@ -670,6 +794,98 @@ mod tests {
         result.net_stats.bytes_delivered = result.net_stats.bytes_submitted + 1;
         let violations = check_run(&cfg, &result);
         assert!(violations.iter().any(|v| v.rule == "byte-conservation"));
+    }
+
+    #[test]
+    fn crash_run_conforms_for_every_algorithm() {
+        let exp = Experiment::quick(4, 42);
+        for alg in [
+            Algorithm::DownloadAll,
+            Algorithm::OneShot,
+            Algorithm::Global {
+                period: SimDuration::from_secs(30),
+            },
+            Algorithm::Local {
+                period: SimDuration::from_secs(30),
+                extra_candidates: 0,
+            },
+        ] {
+            let mut exp = exp.clone();
+            // t = 5 s is mid-iteration-2 of 8: host 1 still owes most of
+            // its images, so no algorithm can finish unscathed.
+            exp.template_mut().faults =
+                FaultPlan::none().crash(HostId::new(1), SimTime::from_secs(5));
+            exp.template_mut().algorithm = alg;
+            let cfg = exp.template().clone();
+            let result = exp.run(alg);
+            assert_ne!(
+                result.outcome,
+                RunOutcome::Completed,
+                "{}: a run that lost host 1 cannot count as clean",
+                alg.name()
+            );
+            assert_clean(&cfg, &result);
+        }
+    }
+
+    #[test]
+    fn losing_every_server_host_aborts_instead_of_hanging() {
+        let mut exp = Experiment::quick(4, 42);
+        // Crash while iteration-2 demands are still being retried: every
+        // retry chain exhausts, every host is declared, every server is
+        // pruned, and the cascade reaches the root.
+        let mut plan = FaultPlan::none();
+        for h in 0..4 {
+            plan = plan.crash(HostId::new(h), SimTime::from_secs(5));
+        }
+        exp.template_mut().faults = plan;
+        let alg = Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        };
+        exp.template_mut().algorithm = alg;
+        let cfg = exp.template().clone();
+        let result = exp.run(alg);
+        assert_eq!(result.outcome, RunOutcome::Aborted, "total collapse");
+        assert!(!result.completed);
+        assert!(
+            result
+                .audit
+                .events()
+                .iter()
+                .any(|e| matches!(e, AuditEvent::RunAborted { .. })),
+            "the abort is audited"
+        );
+        assert_clean(&cfg, &result);
+    }
+
+    #[test]
+    fn losing_the_client_host_aborts_the_run() {
+        let mut exp = Experiment::quick(4, 42);
+        // Host 4 is the client in the canonical one-host-per-server roster.
+        exp.template_mut().faults = FaultPlan::none().crash(HostId::new(4), SimTime::from_secs(30));
+        let alg = Algorithm::Global {
+            period: SimDuration::from_secs(30),
+        };
+        exp.template_mut().algorithm = alg;
+        let cfg = exp.template().clone();
+        let result = exp.run(alg);
+        assert_eq!(
+            result.outcome,
+            RunOutcome::Aborted,
+            "planner death cannot degrade into a silent hang"
+        );
+        assert_clean(&cfg, &result);
+    }
+
+    #[test]
+    fn detects_forged_outcome() {
+        let exp = Experiment::quick(4, 42);
+        let mut cfg = exp.template().clone();
+        cfg.algorithm = Algorithm::OneShot;
+        let mut result = exp.run(Algorithm::OneShot);
+        result.outcome = RunOutcome::Degraded;
+        let violations = check_run(&cfg, &result);
+        assert!(violations.iter().any(|v| v.rule == "outcome"));
     }
 
     #[test]

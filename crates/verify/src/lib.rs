@@ -23,9 +23,14 @@
 //!   `k` speeds network-bound runs by about `k`.
 //! - [`chaos`] — the same invariants and determinism demands under
 //!   injected faults ([`wadc_net::faults`]): a matrix of message loss,
-//!   link outages, host blackouts and failing operator moves across all
-//!   four algorithms, each cell run twice and replayed through the
-//!   invariant checker.
+//!   link outages, host blackouts, permanent host crashes and failing
+//!   operator moves across all four algorithms, each cell run twice and
+//!   replayed through the invariant checker.
+//! - [`soak`] — the chaos matrix at scale: seed-derived *random* fault
+//!   plans by the hundreds on the sweep driver, every run demanded to
+//!   terminate with an explicit outcome, reproduce bit for bit, and pass
+//!   the invariant checker — plus a deterministic fault-plan shrinker
+//!   that reduces any failing plan to a minimal reproduction.
 //!
 //! The `wadc verify` subcommand drives all three layers from the command
 //! line; `--quick` runs the fixture comparison only (the CI gate).
@@ -38,8 +43,10 @@ pub mod determinism;
 pub mod differential;
 pub mod golden;
 pub mod invariants;
+pub mod soak;
 pub mod worlds;
 
 pub use chaos::{run_chaos_suite, ChaosOutcome};
 pub use determinism::{check_determinism, RunDigests};
 pub use invariants::{assert_clean, check_run, Violation};
+pub use soak::{run_soak, shrink_plan, SoakFailure, SoakReport};

@@ -9,7 +9,9 @@
 //! wadc trace [--pair A,B] [--seed S] [--window-hours H]
 //! wadc plan  [--servers N] [--seed S] [--objective critical-path|contended]
 //! wadc verify [--quick] [--seed S] [--print-golden]
-//! wadc chaos [--loss P] [--probe-blackhole P] [--move-failure P] [--outages N] [--seed S]
+//! wadc chaos [--loss P] [--probe-blackhole P] [--move-failure P] [--outages N]
+//!            [--crash-host H] [--crash-at-secs S] [--seed S]
+//! wadc chaos --soak N [--shrink] [--threads T] [--servers N] [--seed S]
 //! ```
 
 use std::collections::HashMap;
@@ -23,7 +25,7 @@ use wadc::net::faults::FaultPlan;
 use wadc::obs::{chrome_trace, render_report, write_jsonl, Json, Tracer};
 use wadc::plan::cost::CostModel;
 use wadc::plan::critical_path::{critical_path, nic_occupancy};
-use wadc::plan::ids::OperatorId;
+use wadc::plan::ids::{HostId, OperatorId};
 use wadc::plan::placement::{HostRoster, Placement};
 use wadc::plan::tree::{CombinationTree, TreeShape};
 use wadc::sim::time::{SimDuration, SimTime};
@@ -34,6 +36,7 @@ use wadc::verify::determinism::check_determinism;
 use wadc::verify::differential::run_suite;
 use wadc::verify::golden;
 use wadc::verify::invariants::check_run;
+use wadc::verify::soak::run_soak;
 
 fn usage() -> ! {
     eprintln!(
@@ -71,7 +74,17 @@ chaos  simulate one configuration under an injected fault plan and report
        recovery statistics against the clean run of the same world
          --loss P (0.05)  --probe-blackhole P (0)  --move-failure P (0)
          --outages N (0)  --outage-mins M (5)
-         plus every `run` flag (--servers, --algorithm, --seed, ...)"
+         --crash-host H (none): permanently kill host H (the client is
+           host <servers>)  --crash-at-secs S (30)
+         plus every `run` flag (--servers, --algorithm, --seed, ...)
+       or run a randomized chaos soak on the quick world instead:
+         --soak N: run N seed-derived random fault plans (crashes,
+           outages, blackouts, loss) across all four algorithms; every
+           run must validate, reproduce bit for bit, pass the invariant
+           checker and end with an explicit outcome
+         --shrink: on failure, reduce the plan to a minimal reproduction
+         --servers N (4)  --seed S (1998)  --threads T (2, not clamped:
+           the report is thread-count-invariant by construction)"
     );
     std::process::exit(2)
 }
@@ -85,7 +98,12 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument {key}");
             usage();
         }
-        if key == "--audit" || key == "--quick" || key == "--print-golden" || key == "--json" {
+        if key == "--audit"
+            || key == "--quick"
+            || key == "--print-golden"
+            || key == "--json"
+            || key == "--shrink"
+        {
             flags.insert(key, "true".to_string());
             i += 1;
         } else {
@@ -233,6 +251,9 @@ fn cmd_run(flags: HashMap<String, String>) {
             Json::obj()
                 .field("algorithm", algorithm.name())
                 .field("completed", r.completed)
+                .field("outcome", r.outcome.name())
+                .field("hosts_declared_dead", r.hosts_declared_dead)
+                .field("operators_respawned", r.operators_respawned)
                 .field("completion_secs", r.completion_time.as_secs_f64())
                 .field("images_delivered", r.images_delivered)
                 .field("mean_interarrival_secs", r.mean_interarrival_secs())
@@ -246,8 +267,8 @@ fn cmd_run(flags: HashMap<String, String>) {
         );
     } else {
         println!(
-            "completed: {} | total {:.0} s | {:.1} s/image | speedup over download-all {:.2}x",
-            r.completed,
+            "outcome: {} | total {:.0} s | {:.1} s/image | speedup over download-all {:.2}x",
+            r.outcome.name(),
             r.completion_time.as_secs_f64(),
             r.mean_interarrival_secs(),
             r.speedup_over(&baseline)
@@ -323,6 +344,17 @@ fn cmd_run(flags: HashMap<String, String>) {
                     "{:>8.0}s change-over v{version} timed out, aborted",
                     at.as_secs_f64()
                 ),
+                AuditEvent::HostDeclaredDead { at, host, evidence } => println!(
+                    "{:>8.0}s {host} declared dead ({evidence} messages abandoned)",
+                    at.as_secs_f64()
+                ),
+                AuditEvent::OperatorRespawned { at, op, from, to } => println!(
+                    "{:>8.0}s {op} respawned from origin image: {from} -> {to}",
+                    at.as_secs_f64()
+                ),
+                AuditEvent::RunAborted { at, reason } => {
+                    println!("{:>8.0}s run aborted: {reason}", at.as_secs_f64())
+                }
             }
         }
     }
@@ -568,7 +600,43 @@ fn cmd_verify(flags: HashMap<String, String>) {
     }
 }
 
+/// `wadc chaos --soak N`: randomized fault plans at scale on the sweep
+/// driver, with optional fault-plan shrinking on failure.
+fn cmd_chaos_soak(flags: &HashMap<String, String>, n_plans: usize) {
+    let servers = flag(flags, "--servers", 4usize);
+    let seed = flag(flags, "--seed", 1998u64);
+    // Not resolve_threads: like the verify gate, the soak's report is
+    // sworn to be thread-count-invariant, so oversubscription is a
+    // feature, not a mistake to clamp away.
+    let threads = flag(flags, "--threads", 2usize).max(1);
+    let shrink = flags.contains_key("--shrink");
+    println!(
+        "chaos soak: {n_plans} random fault plans on the {servers}-server quick world \
+         (seed {seed}, {threads} threads)..."
+    );
+    match run_soak(servers, seed, n_plans, threads, shrink) {
+        Ok(report) => println!("soak passed: {report}"),
+        Err(failure) => {
+            eprintln!("FAIL {failure}");
+            if shrink {
+                eprintln!("(plan shown is the shrunk minimal reproduction)");
+            } else {
+                eprintln!("(re-run with --shrink for a minimal reproduction)");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_chaos(flags: HashMap<String, String>) {
+    if let Some(n_plans) = flags.get("--soak") {
+        let n_plans = n_plans.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --soak: {n_plans}");
+            usage()
+        });
+        cmd_chaos_soak(&flags, n_plans);
+        return;
+    }
     let mut exp = build_experiment(&flags);
     let algorithm = algorithm_from(&flags);
     let loss = flag(&flags, "--loss", 0.05f64);
@@ -586,27 +654,41 @@ fn cmd_chaos(flags: HashMap<String, String>) {
             SimDuration::from_hours(1),
         );
     }
-    if let Err(e) = plan.validate() {
+    let n_servers = exp.template().n_servers;
+    if let Some(host) = flags.get("--crash-host") {
+        let host: usize = host.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --crash-host: {host}");
+            usage()
+        });
+        plan = plan.crash(
+            HostId::new(host),
+            SimTime::from_secs(flag(&flags, "--crash-at-secs", 30u64)),
+        );
+    }
+    // Eager validation: a plan naming a host outside the roster fails
+    // here, before any simulation runs, not as a mystery mid-run.
+    if let Err(e) = plan.validate_for_hosts(n_servers + 1) {
         eprintln!("invalid fault plan: {e}");
         usage();
     }
     println!(
         "chaos: {} servers x {} images under {} | loss {:.0}% probe-blackhole {:.0}% \
-         move-failure {:.0}% outages {}",
-        exp.template().n_servers,
+         move-failure {:.0}% outages {} crashes {}",
+        n_servers,
         exp.template().workload.images_per_server,
         algorithm.name(),
         loss * 100.0,
         probe_blackhole * 100.0,
         move_failure * 100.0,
-        outages
+        outages,
+        plan.crashes.len()
     );
     let clean = exp.run(algorithm);
     exp.template_mut().faults = plan;
     let r = exp.run(algorithm);
     println!(
-        "completed: {} | total {:.0} s | clean run {:.0} s ({:+.1}%)",
-        r.completed,
+        "outcome: {} | total {:.0} s | clean run {:.0} s ({:+.1}%)",
+        r.outcome.name(),
         r.completion_time.as_secs_f64(),
         clean.completion_time.as_secs_f64(),
         100.0 * (r.completion_time.as_secs_f64() / clean.completion_time.as_secs_f64() - 1.0)
@@ -621,7 +703,11 @@ fn cmd_chaos(flags: HashMap<String, String>) {
             _ => {}
         }
     }
-    println!("move rollbacks {rollbacks} | barrier aborts {aborts}");
+    println!(
+        "move rollbacks {rollbacks} | barrier aborts {aborts} | hosts declared dead {} | \
+         operators respawned {}",
+        r.hosts_declared_dead, r.operators_respawned
+    );
 }
 
 fn main() {
