@@ -46,6 +46,7 @@ use wadc_sim::event::EventQueue;
 use wadc_sim::rng::Rng64;
 use wadc_sim::stats::median;
 use wadc_sim::time::{SimDuration, SimTime};
+use wadc_topo::preset::TopoPreset;
 use wadc_trace::model::BandwidthTrace;
 
 #[global_allocator]
@@ -61,6 +62,14 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// matching analysis in DESIGN.md §6b.
 const MAX_ALLOCS_PER_RUN_STUDY_QUICK: f64 = 350.0;
 const MAX_ALLOCS_PER_RUN_STUDY_REDUCED: f64 = 500.0;
+/// The quick study over the paper-WAN shared-bottleneck topology. The
+/// fair-share model keeps per-flow state, reschedules completions on
+/// every recompute, and builds the topology graph per configuration, so
+/// its steady state is costlier than the flat per-pair table's
+/// (~146 allocs/run measured vs ~118); the budget is that measurement
+/// with ~2x headroom (see `results/BENCH_perf_baseline_pr9.json` for the
+/// pre-topology numbers).
+const MAX_ALLOCS_PER_RUN_STUDY_TOPO: f64 = 300.0;
 /// The sweep-driver study benches: per-worker pools mean each worker pays
 /// one cold warmup, so the budget is the sequential per-run budget plus
 /// amortized headroom for `threads` warmups. The thread-count-dependent
@@ -299,6 +308,19 @@ fn study_quick(seed: u64) -> u64 {
     p.n_configs as u64 * runs_per_config
 }
 
+/// The quick study over the paper-WAN topology: every configuration
+/// routes regional access links over two shared oceanic backbones, so
+/// each run pays the max-min fair-share machinery (flow management,
+/// completion rescheduling, trace-boundary recomputes) end to end.
+fn study_topo(seed: u64) -> u64 {
+    let mut p = StudyParams::quick(seed);
+    p.topology = Some(TopoPreset::PaperWan);
+    let runs_per_config = 1 + p.algorithms.len() as u64; // + download-all
+    let results = run_study(&p);
+    std::hint::black_box(results.outcomes.len());
+    p.n_configs as u64 * runs_per_config
+}
+
 /// The quick study through the sweep driver at `threads` workers — the
 /// configuration CI gates on (`--alloc-gate` at threads=2): per-worker
 /// pools must hold the same steady-state budget as the sequential run.
@@ -366,6 +388,7 @@ fn main() {
         run_bench("study_quick_t2", study_reps, || {
             study_quick_threaded(seed, 2)
         }),
+        run_bench("study_topo", study_reps, || study_topo(seed)),
         run_bench("study_full_t1", full_reps, || {
             study_full(full_cfgs, seed, 1)
         }),
@@ -405,6 +428,7 @@ fn main() {
         for b in &benches {
             let limit = match b.name {
                 "study_quick" | "study_quick_t2" => MAX_ALLOCS_PER_RUN_STUDY_QUICK,
+                "study_topo" => MAX_ALLOCS_PER_RUN_STUDY_TOPO,
                 "study_reduced" => MAX_ALLOCS_PER_RUN_STUDY_REDUCED,
                 "study_full_t1" | "study_full_t4" => MAX_ALLOCS_PER_RUN_STUDY_FULL,
                 _ => continue,

@@ -22,7 +22,7 @@ pub mod audit;
 pub mod config;
 pub mod message;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use wadc_app::compose::{compose_secs, PAPER_SECS_PER_PIXEL};
@@ -34,12 +34,14 @@ use wadc_mobile::state::OperatorState as MobileState;
 use wadc_monitor::cache::BandwidthCache;
 use wadc_monitor::daemon::ProbeScheduler;
 use wadc_monitor::forecast::Forecaster;
+use wadc_monitor::gauge::Gauge;
 use wadc_monitor::observe::EstimateGauges;
 use wadc_monitor::piggyback;
 use wadc_monitor::vector::LocationVector;
 use wadc_net::faults::{FaultInjector, TrafficKind};
 use wadc_net::link::LinkTable;
 use wadc_net::network::{Network, StartedTransfer, TransferId, TransferSpec};
+use wadc_net::topo::nominal_link_table;
 use wadc_obs::metrics::SeriesKind;
 use wadc_obs::recorder::{
     EventArgs, EventKind, Obs, SeriesId, SeriesName, SpanArgs, SpanId, SpanKind, TrackId, TrackName,
@@ -48,11 +50,12 @@ use wadc_plan::bandwidth::MaskedView;
 use wadc_plan::ids::{HostId, NodeId, OperatorId};
 use wadc_plan::placement::{HostRoster, Placement};
 use wadc_plan::tree::{CombinationTree, NodeKind};
-use wadc_sim::event::EventQueue;
+use wadc_sim::event::{EventId, EventQueue};
 use wadc_sim::resource::{Priority, Resource};
 use wadc_sim::rng::{derive_seed, Rng64};
 use wadc_sim::stats::Tally;
 use wadc_sim::time::{SimDuration, SimTime};
+use wadc_topo::graph::Topology;
 
 use crate::algorithms::local_step::{best_local_site, LocalContext};
 use crate::algorithms::one_shot::{improve_placement_by, improve_placement_masked};
@@ -83,6 +86,10 @@ enum Ev {
     /// network so transfers queued behind a dead link start the moment it
     /// revives.
     FaultTick,
+    /// Shared-bottleneck model only: a bandwidth-trace step boundary on a
+    /// link carrying fair-shared flows — recompute the shares and correct
+    /// the affected completion events.
+    TopoStep,
     /// A lost message's backoff expired: resend it.
     Retransmit(Box<Message>),
     /// The client's patience for barrier reports ran out; if the proposal
@@ -309,6 +316,26 @@ pub struct Engine {
     msg_pool: MsgPool,
     /// Reusable buffer for [`Engine::pump`]'s started-transfer batch.
     started_scratch: Vec<StartedTransfer>,
+    /// `true` when the network runs the shared-bottleneck topology model;
+    /// gates every piece of bookkeeping below so the default per-pair
+    /// model does no extra work at all.
+    topo_mode: bool,
+    /// Topology mode: the scheduled completion event of every in-flight
+    /// transfer, so fair-share corrections can cancel and reschedule it.
+    deliver_events: HashMap<TransferId, EventId>,
+    /// Topology mode: the armed trace-step recompute event, if any.
+    topo_step_event: Option<EventId>,
+    /// Reusable buffer for draining fair-share completion corrections.
+    resched_scratch: Vec<StartedTransfer>,
+    /// Reusable buffer for reading in-flight effective rates.
+    rate_scratch: Vec<(HostId, HostId, f64)>,
+    /// The client-side runtime bandwidth gauger (WANify-style), fed from
+    /// in-flight transfer rates while `gauging`.
+    gauge: Gauge,
+    /// Whether the planner reads the gauge ([`KnowledgeMode::Gauged`]).
+    /// When it does not, the gauge is never fed — same allocation
+    /// discipline as `forecasting`.
+    gauging: bool,
     /// Reusable buffer for [`Engine::emit_probe_traffic`]'s pair sweep.
     probe_pairs: Vec<(HostId, HostId)>,
     /// Observability sink; disabled unless [`Engine::attach_obs`] was
@@ -442,7 +469,35 @@ impl Engine {
         workload: Arc<Workload>,
     ) -> Self {
         let roster = HostRoster::one_host_per_server(cfg.n_servers);
-        Engine::build(cfg, links, tree, roster, Some(workload))
+        Engine::build(cfg, links, tree, roster, Some(workload), None)
+    }
+
+    /// [`Engine::new_shared`] over an explicit shared-bottleneck topology
+    /// (see [`wadc_net::topo`]): the link table becomes the topology's
+    /// nominal path-bottleneck traces — what the planner, probes and
+    /// uncontended transfers see — while concurrent transfers crossing a
+    /// shared link split its bandwidth max-min fairly.
+    pub fn new_shared_topo(
+        cfg: EngineConfig,
+        topology: Arc<Topology>,
+        workload: Arc<Workload>,
+    ) -> Self {
+        let tree = CombinationTree::build(cfg.tree_shape, cfg.n_servers)
+            .expect("engine shapes are buildable and n_servers >= 2");
+        Engine::new_with_tree_shared_topo(cfg, topology, tree, workload)
+    }
+
+    /// [`Engine::new_shared_topo`] with an explicitly constructed
+    /// combination tree; `cfg.tree_shape` is ignored.
+    pub fn new_with_tree_shared_topo(
+        cfg: EngineConfig,
+        topology: Arc<Topology>,
+        tree: CombinationTree,
+        workload: Arc<Workload>,
+    ) -> Self {
+        let roster = HostRoster::one_host_per_server(cfg.n_servers);
+        let links = nominal_link_table(&topology);
+        Engine::build(cfg, links, tree, roster, Some(workload), Some(topology))
     }
 
     /// The fully general constructor: explicit tree *and* roster. The
@@ -460,7 +515,7 @@ impl Engine {
         tree: CombinationTree,
         roster: HostRoster,
     ) -> Self {
-        Engine::build(cfg, links, tree, roster, None)
+        Engine::build(cfg, links, tree, roster, None, None)
     }
 
     fn build(
@@ -469,6 +524,7 @@ impl Engine {
         tree: CombinationTree,
         roster: HostRoster,
         shared_workload: Option<Arc<Workload>>,
+        topology: Option<Arc<Topology>>,
     ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("{e}");
@@ -517,6 +573,7 @@ impl Engine {
             .map(|_| BandwidthCache::new(cfg.monitor))
             .collect();
         let forecasters: Vec<Forecaster> = (0..n_hosts).map(|_| Forecaster::new(16)).collect();
+        let gauge = Gauge::new();
         let mut audit = AuditLog::new();
         let initial = match cfg.algorithm {
             Algorithm::DownloadAll => Placement::download_all(&tree, &roster),
@@ -526,6 +583,7 @@ impl Engine {
                     cfg.knowledge,
                     &caches[roster.client().index()],
                     &forecasters[roster.client().index()],
+                    &gauge,
                     &links,
                     SimTime::ZERO,
                 )
@@ -592,9 +650,13 @@ impl Engine {
 
         let rng = Rng64::seed_from_u64(derive_seed(cfg.seed, 2));
         let mut net = Network::new(cfg.net, links);
+        if let Some(t) = topology {
+            net.set_topology(t);
+        }
         if let Some(f) = &faults {
             net.set_faults(f.clone());
         }
+        let topo_mode = net.has_topology();
         Engine {
             net,
             cpus: (0..n_hosts).map(|_| Resource::new()).collect(),
@@ -630,6 +692,13 @@ impl Engine {
             local_scratch: LocalScratch::default(),
             msg_pool: MsgPool::new(),
             started_scratch: Vec::new(),
+            topo_mode,
+            deliver_events: HashMap::new(),
+            topo_step_event: None,
+            resched_scratch: Vec::new(),
+            rate_scratch: Vec::new(),
+            gauge,
+            gauging: cfg.knowledge == KnowledgeMode::Gauged,
             probe_pairs: Vec::new(),
             obs: Obs::disabled(),
             obs_state: None,
@@ -1060,6 +1129,7 @@ impl Engine {
             Ev::EpochTick => self.handle_epoch_tick(),
             Ev::MonitorTick => self.handle_monitor_tick(),
             Ev::FaultTick => self.handle_fault_tick(),
+            Ev::TopoStep => self.handle_topo_step(),
             Ev::Retransmit(msg) => self.handle_retransmit(msg),
             Ev::BarrierTimeout { version } => self.handle_barrier_timeout(version),
             Ev::MoveRollback {
@@ -1083,6 +1153,16 @@ impl Engine {
         {
             self.queue.schedule(t, Ev::FaultTick);
         }
+    }
+
+    /// Shared-bottleneck model: a capacity-step boundary was reached on a
+    /// link carrying fair-shared flows — recompute the shares and apply
+    /// the completion-time corrections.
+    fn handle_topo_step(&mut self) {
+        let now = self.now();
+        self.topo_step_event = None;
+        self.net.topo_step(now);
+        self.sync_topo(now);
     }
 
     /// Fires the active monitoring daemon's due probes and re-arms.
@@ -1120,6 +1200,9 @@ impl Engine {
 
     fn handle_delivery(&mut self, tid: TransferId) {
         let now = self.now();
+        if self.topo_mode {
+            self.deliver_events.remove(&tid);
+        }
         let delivery = self.net.complete(tid, now);
         self.pump();
         let spec = delivery.spec;
@@ -2080,6 +2163,7 @@ impl Engine {
                 self.cfg.knowledge,
                 &self.caches[client.index()],
                 &self.forecasters[client.index()],
+                &self.gauge,
                 self.net.links(),
                 now,
             )
@@ -2258,6 +2342,7 @@ impl Engine {
             self.cfg.knowledge,
             &self.caches[client.index()],
             &self.forecasters[client.index()],
+            &self.gauge,
             self.net.links(),
             now,
         )
@@ -2894,15 +2979,59 @@ impl Engine {
     }
 
     /// Starts every transfer that can start now and schedules their
-    /// completions.
+    /// completions. In topology mode the scheduled event ids are kept so
+    /// fair-share corrections can cancel and reschedule them, and the
+    /// model's bookkeeping runs after every poll.
     fn pump(&mut self) {
         let now = self.now();
         let mut started = std::mem::take(&mut self.started_scratch);
         self.net.poll_start_into(now, &mut started);
-        for s in &started {
-            self.queue.schedule(s.completes_at, Ev::Deliver(s.id));
+        if self.topo_mode {
+            for s in &started {
+                let eid = self.queue.schedule(s.completes_at, Ev::Deliver(s.id));
+                self.deliver_events.insert(s.id, eid);
+            }
+            self.started_scratch = started;
+            self.sync_topo(now);
+        } else {
+            for s in &started {
+                self.queue.schedule(s.completes_at, Ev::Deliver(s.id));
+            }
+            self.started_scratch = started;
         }
-        self.started_scratch = started;
+    }
+
+    /// Topology-mode bookkeeping after any event that may have changed
+    /// fair shares: apply completion-time corrections (cancel the stale
+    /// event, schedule the corrected one), re-arm the trace-step
+    /// recompute, and feed the runtime gauger.
+    fn sync_topo(&mut self, now: SimTime) {
+        let mut resched = std::mem::take(&mut self.resched_scratch);
+        self.net.take_topo_resched(&mut resched);
+        for r in &resched {
+            if let Some(old) = self.deliver_events.remove(&r.id) {
+                let cancelled = self.queue.cancel(old);
+                debug_assert!(cancelled, "a live flow's completion event is pending");
+            }
+            let eid = self.queue.schedule(r.completes_at, Ev::Deliver(r.id));
+            self.deliver_events.insert(r.id, eid);
+        }
+        self.resched_scratch = resched;
+        if let Some(old) = self.topo_step_event.take() {
+            self.queue.cancel(old);
+        }
+        if let Some(t) = self.net.topo_next_step() {
+            self.topo_step_event = Some(self.queue.schedule(t, Ev::TopoStep));
+        }
+        if self.gauging {
+            let mut rates = std::mem::take(&mut self.rate_scratch);
+            rates.clear();
+            self.net.topo_active_rates(now, &mut rates);
+            for &(a, b, rate) in &rates {
+                self.gauge.observe(a, b, rate, now);
+            }
+            self.rate_scratch = rates;
+        }
     }
 }
 

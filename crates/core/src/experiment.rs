@@ -11,9 +11,12 @@ use std::sync::{Arc, OnceLock};
 use wadc_app::image::SizeDistribution;
 use wadc_app::workload::{Workload, WorkloadParams};
 use wadc_net::link::LinkTable;
+use wadc_net::topo::nominal_link_table;
 use wadc_plan::tree::TreeShape;
 use wadc_sim::rng::{derive_seed, derive_seed2};
 use wadc_sim::time::SimDuration;
+use wadc_topo::graph::Topology;
+use wadc_topo::preset::{build_preset, TopoPreset};
 use wadc_trace::model::BandwidthTrace;
 use wadc_trace::study::BandwidthStudy;
 use wadc_trace::synth::{generate, SynthParams};
@@ -42,6 +45,11 @@ const STREAM_WORKLOAD: u64 = 11;
 pub struct Experiment {
     links: LinkTable,
     template: EngineConfig,
+    /// When set, runs use the shared-bottleneck topology model instead of
+    /// the per-pair link table: `links` holds the topology's nominal
+    /// path-bottleneck traces (planner/probe view) and concurrent
+    /// transfers over a shared link split its bandwidth max-min fairly.
+    topology: Option<Arc<Topology>>,
     /// Lazily synthesized once per experiment and shared (`Arc`) across
     /// every run of it: the workload depends only on the template's
     /// workload params, server count and seed — all fixed here — so the
@@ -58,6 +66,7 @@ impl Experiment {
         Experiment {
             links,
             template,
+            topology: None,
             workload: OnceLock::new(),
         }
     }
@@ -110,12 +119,53 @@ impl Experiment {
         Experiment::new(links, template)
     }
 
+    /// [`Experiment::from_study_pool`] over an explicit shared-bottleneck
+    /// topology: instead of assigning pool traces to the complete graph's
+    /// links independently, `preset` builds an access-link + backbone
+    /// graph from the pool and the link table becomes its nominal
+    /// path-bottleneck traces. The workload seed derivation is identical
+    /// to `from_study_pool`, so the two constructors compare the same
+    /// demand over different network models.
+    pub fn from_study_pool_topo(
+        n_servers: usize,
+        pool: &[Arc<BandwidthTrace>],
+        preset: TopoPreset,
+        index: u64,
+        master_seed: u64,
+    ) -> Self {
+        let topology = Arc::new(build_preset(
+            preset,
+            n_servers + 1,
+            pool,
+            derive_seed2(master_seed, STREAM_LINKS, index),
+        ));
+        let template = EngineConfig::new(n_servers, Algorithm::DownloadAll)
+            .with_seed(derive_seed2(master_seed, STREAM_WORKLOAD, index));
+        Experiment::new(nominal_link_table(&topology), template).with_topology(topology)
+    }
+
     /// A deliberately small world for unit tests and doctests: a handful
     /// of short synthetic traces, 8 images of ~16 KB per server.
     pub fn quick(n_servers: usize, seed: u64) -> Self {
-        // A deliberately heterogeneous pool (4 KB/s … 192 KB/s) so even a
-        // tiny configuration has slow links worth routing around.
-        let pool: Vec<Arc<BandwidthTrace>> = [4.0, 8.0, 16.0, 48.0, 96.0, 192.0]
+        Experiment::from_pool(n_servers, &Experiment::quick_pool(seed), seed)
+            .with_workload(Experiment::quick_workload())
+    }
+
+    /// [`Experiment::quick`] over the paper-WAN shared-bottleneck
+    /// topology: same trace pool and workload, but the pool feeds a
+    /// [`TopoPreset::PaperWan`] graph (regional access links behind two
+    /// oceanic backbones) instead of independent per-pair links.
+    pub fn quick_topo(n_servers: usize, seed: u64) -> Self {
+        let pool = Experiment::quick_pool(seed);
+        Experiment::from_study_pool_topo(n_servers, &pool, TopoPreset::PaperWan, 0, seed)
+            .with_workload(Experiment::quick_workload())
+    }
+
+    /// The quick constructors' trace pool: deliberately heterogeneous
+    /// (4 KB/s … 192 KB/s) so even a tiny configuration has slow links
+    /// worth routing around.
+    fn quick_pool(seed: u64) -> Vec<Arc<BandwidthTrace>> {
+        [4.0, 8.0, 16.0, 48.0, 96.0, 192.0]
             .iter()
             .enumerate()
             .map(|(i, &kb)| {
@@ -125,15 +175,43 @@ impl Experiment {
                     derive_seed2(seed, 99, i as u64),
                 ))
             })
-            .collect();
-        Experiment::from_pool(n_servers, &pool, seed).with_workload(WorkloadParams {
+            .collect()
+    }
+
+    fn quick_workload() -> WorkloadParams {
+        WorkloadParams {
             images_per_server: 8,
             sizes: SizeDistribution {
                 mean_bytes: 16.0 * 1024.0,
                 rel_std_dev: 0.25,
                 aspect: 4.0 / 3.0,
             },
-        })
+        }
+    }
+
+    /// Sets an explicit shared-bottleneck topology (builder-style). The
+    /// link table is replaced by the topology's nominal path-bottleneck
+    /// traces so planner, probes and solo transfers see a consistent
+    /// world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's host count is not `n_servers + 1`.
+    pub fn with_topology(mut self, topology: Arc<Topology>) -> Self {
+        assert_eq!(
+            topology.host_count(),
+            self.template.n_servers + 1,
+            "topology must cover the client and every server"
+        );
+        self.links = nominal_link_table(&topology);
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The experiment's topology, when it runs the shared-bottleneck
+    /// model.
+    pub fn topology(&self) -> Option<&Arc<Topology>> {
+        self.topology.as_ref()
     }
 
     /// Sets the tree shape (builder-style).
@@ -195,11 +273,20 @@ impl Experiment {
         self
     }
 
-    /// Runs `algorithm` against this world.
-    pub fn run(&self, algorithm: Algorithm) -> RunResult {
+    /// Builds the engine for one run of `algorithm`, routing through the
+    /// topology model when one is set.
+    fn engine_for(&self, algorithm: Algorithm) -> Engine {
         let mut cfg = self.template.clone();
         cfg.algorithm = algorithm;
-        Engine::new_shared(cfg, self.links.clone(), self.shared_workload()).run()
+        match &self.topology {
+            Some(t) => Engine::new_shared_topo(cfg, t.clone(), self.shared_workload()),
+            None => Engine::new_shared(cfg, self.links.clone(), self.shared_workload()),
+        }
+    }
+
+    /// Runs `algorithm` against this world.
+    pub fn run(&self, algorithm: Algorithm) -> RunResult {
+        self.engine_for(algorithm).run()
     }
 
     /// [`Experiment::run`] with a caller-owned message pool: the engine
@@ -208,9 +295,7 @@ impl Experiment {
     /// configuration) reaches a zero-allocation steady state on the send
     /// path. Results are bit-identical to [`Experiment::run`].
     pub fn run_pooled(&self, algorithm: Algorithm, pool: &mut MsgPool) -> RunResult {
-        let mut cfg = self.template.clone();
-        cfg.algorithm = algorithm;
-        let mut engine = Engine::new_shared(cfg, self.links.clone(), self.shared_workload());
+        let mut engine = self.engine_for(algorithm);
         engine.adopt_pool(std::mem::take(pool));
         let (result, reclaimed) = engine.run_reclaim();
         *pool = reclaimed;
@@ -221,9 +306,7 @@ impl Experiment {
     /// [`wadc_obs`]). Instrumentation is purely passive, so the result —
     /// including its digest — is identical to [`Experiment::run`].
     pub fn run_observed(&self, algorithm: Algorithm, obs: wadc_obs::recorder::Obs) -> RunResult {
-        let mut cfg = self.template.clone();
-        cfg.algorithm = algorithm;
-        let mut engine = Engine::new_shared(cfg, self.links.clone(), self.shared_workload());
+        let mut engine = self.engine_for(algorithm);
         engine.attach_obs(obs);
         engine.run()
     }
@@ -237,7 +320,16 @@ impl Experiment {
     ) -> RunResult {
         let mut cfg = self.template.clone();
         cfg.algorithm = algorithm;
-        Engine::new_with_tree_shared(cfg, self.links.clone(), tree, self.shared_workload()).run()
+        match &self.topology {
+            Some(t) => {
+                Engine::new_with_tree_shared_topo(cfg, t.clone(), tree, self.shared_workload())
+                    .run()
+            }
+            None => {
+                Engine::new_with_tree_shared(cfg, self.links.clone(), tree, self.shared_workload())
+                    .run()
+            }
+        }
     }
 }
 
@@ -358,6 +450,75 @@ mod tests {
     fn left_deep_shape_is_runnable() {
         let exp = Experiment::quick(4, 11).with_tree_shape(TreeShape::LeftDeep);
         let r = exp.run(Algorithm::OneShot);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn quick_topo_completes_under_all_algorithms() {
+        let exp = Experiment::quick_topo(4, 3);
+        assert!(exp.topology().is_some());
+        for alg in [
+            Algorithm::DownloadAll,
+            Algorithm::OneShot,
+            Algorithm::Global {
+                period: SimDuration::from_secs(30),
+            },
+            Algorithm::Local {
+                period: SimDuration::from_secs(30),
+                extra_candidates: 0,
+            },
+        ] {
+            let r = exp.run(alg);
+            assert!(r.completed, "{} did not complete", alg.name());
+            assert_eq!(r.images_delivered, 8, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn topo_runs_are_deterministic_and_pool_inert() {
+        let exp = Experiment::quick_topo(4, 5);
+        let a = exp.run(Algorithm::OneShot);
+        let b = exp.run(Algorithm::OneShot);
+        assert_eq!(a.digest(), b.digest());
+        let mut pool = MsgPool::new();
+        let pooled = exp.run_pooled(Algorithm::OneShot, &mut pool);
+        let warm = exp.run_pooled(Algorithm::OneShot, &mut pool);
+        assert_eq!(pooled.digest(), a.digest());
+        assert_eq!(warm.digest(), a.digest());
+    }
+
+    #[test]
+    fn star_topology_with_private_links_equals_link_table() {
+        // A topology where every pair's path is a single private link is
+        // observationally a per-pair link table: no link is shared, every
+        // flow stays solo, and the nominal traces are the same Arcs. The
+        // digests must match exactly — this is the model-equivalence
+        // anchor for the shared-bottleneck backend.
+        use wadc_topo::graph::Topology;
+        let exp = Experiment::quick(4, 17);
+        let n = exp.template().n_servers + 1;
+        let topo = Arc::new(Topology::star_private(n, |a, b| {
+            exp.links().trace(a, b).expect("complete table").clone()
+        }));
+        let topo_exp = Experiment::new(exp.links().clone(), exp.template().clone())
+            .with_topology(topo)
+            .with_workload(exp.template().workload);
+        for alg in [Algorithm::DownloadAll, Algorithm::OneShot] {
+            assert_eq!(
+                exp.run(alg).digest(),
+                topo_exp.run(alg).digest(),
+                "{} diverged on a shared-nothing topology",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gauged_knowledge_is_runnable_on_topology() {
+        let exp = Experiment::quick_topo(4, 13).with_knowledge(KnowledgeMode::Gauged);
+        let r = exp.run(Algorithm::Global {
+            period: SimDuration::from_secs(20),
+        });
         assert!(r.completed);
     }
 

@@ -8,6 +8,7 @@
 
 use wadc_monitor::cache::BandwidthCache;
 use wadc_monitor::forecast::Forecaster;
+use wadc_monitor::gauge::Gauge;
 use wadc_net::link::LinkTable;
 use wadc_plan::bandwidth::BandwidthView;
 use wadc_plan::ids::HostId;
@@ -28,6 +29,23 @@ pub enum KnowledgeMode {
     /// with no history. An extension: the paper's planners consume raw
     /// cached measurements.
     Forecast,
+    /// WANify-style runtime gauging (see [`wadc_monitor::gauge`]): the
+    /// effective rates of in-flight transfers, which under a
+    /// shared-bottleneck topology reflect contention no passive source
+    /// sees. Falls back to the cache, then to a probe.
+    Gauged,
+}
+
+impl KnowledgeMode {
+    /// The CLI name of the mode (`--knowledge` accepts these).
+    pub fn name(self) -> &'static str {
+        match self {
+            KnowledgeMode::Monitored => "monitored",
+            KnowledgeMode::Oracle => "oracle",
+            KnowledgeMode::Forecast => "forecast",
+            KnowledgeMode::Gauged => "gauged",
+        }
+    }
 }
 
 /// A [`BandwidthView`] for planning: cache first, on-demand probe on miss.
@@ -39,6 +57,7 @@ pub enum KnowledgeMode {
 pub struct PlannerView<'a> {
     cache: Option<&'a BandwidthCache>,
     forecaster: Option<&'a Forecaster>,
+    gauge: Option<&'a Gauge>,
     links: &'a LinkTable,
     now: SimTime,
     grace: SimDuration,
@@ -50,6 +69,7 @@ impl<'a> PlannerView<'a> {
         PlannerView {
             cache: Some(cache),
             forecaster: None,
+            gauge: None,
             links,
             now,
             grace: SimDuration::ZERO,
@@ -61,6 +81,7 @@ impl<'a> PlannerView<'a> {
         PlannerView {
             cache: None,
             forecaster: None,
+            gauge: None,
             links,
             now,
             grace: SimDuration::ZERO,
@@ -73,6 +94,25 @@ impl<'a> PlannerView<'a> {
         PlannerView {
             cache: None,
             forecaster: Some(forecaster),
+            gauge: None,
+            links,
+            now,
+            grace: SimDuration::ZERO,
+        }
+    }
+
+    /// The gauged view: live in-flight transfer rates first, then the
+    /// measurement cache, then a probe.
+    pub fn gauged(
+        gauge: &'a Gauge,
+        cache: &'a BandwidthCache,
+        links: &'a LinkTable,
+        now: SimTime,
+    ) -> Self {
+        PlannerView {
+            cache: Some(cache),
+            forecaster: None,
+            gauge: Some(gauge),
             links,
             now,
             grace: SimDuration::ZERO,
@@ -94,6 +134,7 @@ impl<'a> PlannerView<'a> {
         mode: KnowledgeMode,
         cache: &'a BandwidthCache,
         forecaster: &'a Forecaster,
+        gauge: &'a Gauge,
         links: &'a LinkTable,
         now: SimTime,
     ) -> Self {
@@ -101,6 +142,7 @@ impl<'a> PlannerView<'a> {
             KnowledgeMode::Monitored => PlannerView::monitored(cache, links, now),
             KnowledgeMode::Oracle => PlannerView::oracle(links, now),
             KnowledgeMode::Forecast => PlannerView::forecast(forecaster, links, now),
+            KnowledgeMode::Gauged => PlannerView::gauged(gauge, cache, links, now),
         }
     }
 }
@@ -109,6 +151,11 @@ impl BandwidthView for PlannerView<'_> {
     fn bandwidth(&self, a: HostId, b: HostId) -> Option<f64> {
         if a == b {
             return None;
+        }
+        if let Some(gauge) = self.gauge {
+            if let Some(bw) = gauge.estimate(a, b) {
+                return Some(bw);
+            }
         }
         if let Some(forecaster) = self.forecaster {
             if let Some(bw) = forecaster.forecast(a, b) {
@@ -198,13 +245,29 @@ mod tests {
         c.observe(h(0), h(1), 7.0, SimTime::ZERO);
         let mut f = Forecaster::new(8);
         f.observe(h(0), h(1), 55.0, SimTime::ZERO);
-        let m = PlannerView::for_mode(KnowledgeMode::Monitored, &c, &f, &l, SimTime::ZERO);
-        let o = PlannerView::for_mode(KnowledgeMode::Oracle, &c, &f, &l, SimTime::ZERO);
-        let fc = PlannerView::for_mode(KnowledgeMode::Forecast, &c, &f, &l, SimTime::ZERO);
+        let mut g = Gauge::new();
+        g.observe(h(0), h(1), 21.0, SimTime::ZERO);
+        let m = PlannerView::for_mode(KnowledgeMode::Monitored, &c, &f, &g, &l, SimTime::ZERO);
+        let o = PlannerView::for_mode(KnowledgeMode::Oracle, &c, &f, &g, &l, SimTime::ZERO);
+        let fc = PlannerView::for_mode(KnowledgeMode::Forecast, &c, &f, &g, &l, SimTime::ZERO);
+        let ga = PlannerView::for_mode(KnowledgeMode::Gauged, &c, &f, &g, &l, SimTime::ZERO);
         assert_eq!(m.bandwidth(h(0), h(1)), Some(7.0));
         assert_eq!(o.bandwidth(h(0), h(1)), Some(100.0));
         assert_eq!(fc.bandwidth(h(0), h(1)), Some(55.0));
+        assert_eq!(ga.bandwidth(h(0), h(1)), Some(21.0));
         // Forecast falls back to a probe for unseen pairs.
         assert_eq!(fc.bandwidth(h(1), h(2)), Some(300.0));
+    }
+
+    #[test]
+    fn gauged_falls_back_to_cache_then_probe() {
+        let l = links();
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        c.observe(h(0), h(2), 9.0, SimTime::ZERO);
+        let g = Gauge::new();
+        let v = PlannerView::gauged(&g, &c, &l, SimTime::ZERO);
+        // Nothing gauged: cache answers (0,2), the probe answers (1,2).
+        assert_eq!(v.bandwidth(h(0), h(2)), Some(9.0));
+        assert_eq!(v.bandwidth(h(1), h(2)), Some(300.0));
     }
 }

@@ -14,6 +14,8 @@
 //!   probes, or a perfect oracle),
 //! - [`analysis`] — post-run diagnostics over the adaptation audit log
 //!   (transit time, barrier latency, convergence),
+//! - [`gauging`] — the forecaster-vs-gauger instrument comparison on a
+//!   shared bottleneck (the committed contention analysis table),
 //! - [`experiment`] — single-run setup: network configurations built from
 //!   a trace study, paired baseline runs, speedups,
 //! - [`study`] — the paper's 300-configuration evaluation methodology and
@@ -44,6 +46,7 @@ pub mod algorithms;
 pub mod analysis;
 pub mod engine;
 pub mod experiment;
+pub mod gauging;
 pub mod knowledge;
 pub mod replication;
 pub mod study;

@@ -41,6 +41,7 @@
 pub mod cache;
 pub mod daemon;
 pub mod forecast;
+pub mod gauge;
 pub mod observe;
 pub mod piggyback;
 pub mod vector;
@@ -48,6 +49,7 @@ pub mod vector;
 pub use cache::{BandwidthCache, CacheView, Measurement, MonitorConfig};
 pub use daemon::ProbeScheduler;
 pub use forecast::{Forecaster, Predictor};
+pub use gauge::{Gauge, GaugeView};
 pub use observe::EstimateGauges;
 pub use piggyback::{Piggyback, PiggybackEntry};
 pub use vector::LocationVector;

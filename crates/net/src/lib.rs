@@ -12,7 +12,10 @@
 //! - [`disk::DiskModel`] — the 3 MB/s server disk,
 //! - [`faults::FaultPlan`] — deterministic, seed-derived fault injection:
 //!   link outages, host blackouts, message loss, probe black-holing and
-//!   operator-move failures.
+//!   operator-move failures,
+//! - [`topo::TopoModel`] — the optional shared-bottleneck model: a
+//!   [`wadc_topo`] topology plugged behind the same `Network` surface,
+//!   with flows over shared backbone links split max-min fairly.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@ pub mod disk;
 pub mod faults;
 pub mod link;
 pub mod network;
+pub mod topo;
 
 pub use disk::DiskModel;
 pub use faults::{FaultInjector, FaultPlan, HostBlackout, LinkOutage, TrafficKind};
@@ -41,3 +45,4 @@ pub use network::{
     Delivery, KindStats, NetStats, Network, NetworkParams, StartedTransfer, TransferId,
     TransferSpec,
 };
+pub use topo::{expand_backbone_outage, nominal_link_table, TopoModel};

@@ -29,8 +29,13 @@ use wadc_sim::time::{SimDuration, SimTime};
 
 use wadc_trace::model::TraceCursor;
 
+use std::sync::Arc;
+
+use wadc_topo::graph::Topology;
+
 use crate::faults::{FaultInjector, TrafficKind};
 use crate::link::LinkTable;
+use crate::topo::{nominal_link_table, TopoModel};
 
 /// Handle to a submitted transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +45,13 @@ impl TransferId {
     /// The raw id.
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Wraps a raw id; ids are otherwise only minted by
+    /// [`Network::submit`].
+    #[cfg(test)]
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        TransferId(raw)
     }
 }
 
@@ -319,6 +331,9 @@ pub struct Network<P> {
     next_id: u64,
     stats: NetStats,
     faults: Option<FaultInjector>,
+    /// Shared-bottleneck model; `None` (the default) keeps the per-pair
+    /// link-table model untouched.
+    topo: Option<TopoModel>,
     /// One trace-lookup cursor per unordered host pair (both directions of
     /// a link share a trace, so they share a cursor). Transfer start times
     /// on a link advance nearly monotonically, which the cursors turn into
@@ -350,6 +365,7 @@ impl<P> Network<P> {
             next_id: 0,
             stats: NetStats::default(),
             faults: None,
+            topo: None,
             link_cursors: vec![TraceCursor::new(); n * n],
             obs: Obs::disabled(),
             host_tracks: Vec::new(),
@@ -373,6 +389,78 @@ impl<P> Network<P> {
     /// admitting new transfers (in-flight transfers still complete).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = Some(faults);
+    }
+
+    /// Switches to the shared-bottleneck bandwidth model: the link table
+    /// is replaced by the topology's nominal (path-bottleneck) traces,
+    /// and transfers crossing a shared link split its bandwidth max-min
+    /// fairly. Call before any transfer is submitted.
+    ///
+    /// Flows that never share a link are untouched — their completion
+    /// times come from the same exact trace integral as the default
+    /// model, so an all-private topology is observationally identical to
+    /// a plain [`LinkTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's host count differs from the network's,
+    /// or if transfers are already pending or in flight.
+    pub fn set_topology(&mut self, topo: Arc<Topology>) {
+        assert_eq!(
+            topo.host_count(),
+            self.nic_busy.len(),
+            "topology host count must match the network"
+        );
+        assert!(
+            self.pending.is_empty() && self.in_flight.is_empty(),
+            "set_topology must precede traffic"
+        );
+        self.links = nominal_link_table(&topo);
+        self.topo = Some(TopoModel::new(topo));
+    }
+
+    /// `true` when the shared-bottleneck model is active.
+    pub fn has_topology(&self) -> bool {
+        self.topo.is_some()
+    }
+
+    /// The active topology, if any.
+    pub fn topology(&self) -> Option<&Arc<Topology>> {
+        self.topo.as_ref().map(|t| t.topology())
+    }
+
+    /// Fair-share recompute at a bandwidth-trace step boundary; a no-op
+    /// without a topology. Drain corrections with
+    /// [`Network::take_topo_resched`].
+    pub fn topo_step(&mut self, now: SimTime) {
+        if let Some(t) = self.topo.as_mut() {
+            t.step(now);
+        }
+    }
+
+    /// When the next trace-step recompute is due (`None` without a
+    /// topology or when no flow is currently fair-shared).
+    pub fn topo_next_step(&mut self) -> Option<SimTime> {
+        self.topo.as_mut().and_then(|t| t.next_step())
+    }
+
+    /// Drains pending completion-time corrections into `out` (cleared
+    /// first): the caller must cancel each transfer's old completion
+    /// event and schedule the corrected one.
+    pub fn take_topo_resched(&mut self, out: &mut Vec<StartedTransfer>) {
+        match self.topo.as_mut() {
+            Some(t) => t.take_resched(out),
+            None => out.clear(),
+        }
+    }
+
+    /// Appends every in-service flow's current effective `(src, dst,
+    /// rate)` — the signal a runtime bandwidth gauger reads. Empty
+    /// without a topology.
+    pub fn topo_active_rates(&self, now: SimTime, out: &mut Vec<(HostId, HostId, f64)>) {
+        if let Some(t) = self.topo.as_ref() {
+            t.active_rates(now, out);
+        }
     }
 
     /// Attaches an observation sink: transfers become spans on the source
@@ -522,6 +610,14 @@ impl<P> Network<P> {
                         spec.bytes,
                         data_start,
                     );
+                // Under the shared-bottleneck model the exact-integral
+                // time above only stands while the flow is uncontended;
+                // the model replaces it with a fair-share estimate when
+                // the path is shared.
+                let completes_at = match self.topo.as_mut() {
+                    Some(t) => t.on_start(p.id, &spec, now, data_start, completes_at),
+                    None => completes_at,
+                };
                 let span = if self.obs.recording() {
                     self.in_flight_bytes += spec.bytes;
                     self.obs
@@ -582,6 +678,9 @@ impl<P> Network<P> {
             .in_flight
             .remove(&id)
             .expect("completing a transfer that is not in flight");
+        if let Some(t) = self.topo.as_mut() {
+            t.on_complete(id, now);
+        }
         self.nic_busy[f.spec.src.index()] -= 1;
         self.nic_busy[f.spec.dst.index()] -= 1;
         self.touch_usage(f.spec, now);

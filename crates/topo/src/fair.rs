@@ -1,0 +1,207 @@
+//! Max-min fair sharing by progressive filling.
+//!
+//! Given the instantaneous capacity of every link and the link path of
+//! every concurrent flow, [`max_min_shares`] computes the unique max-min
+//! fair allocation: repeatedly find the most contended link (smallest
+//! remaining capacity per unfrozen flow), freeze its flows at that equal
+//! share, subtract what they consume from every link they cross, repeat
+//! until all flows are frozen. No flow can be given more without taking
+//! from a flow that already has less.
+
+use crate::graph::LinkId;
+
+/// Computes the max-min fair rate of every flow.
+///
+/// `capacities[l]` is the instantaneous capacity (bytes/sec) of link
+/// `LinkId(l)`; `flows[f]` is the link path of flow `f`. Rates are
+/// written into `rates` (cleared first), `rates[f]` belonging to
+/// `flows[f]`. Ties in the bottleneck search resolve to the lowest link
+/// index, so the result is deterministic.
+///
+/// # Panics
+///
+/// Panics if a flow's path is empty or references a link outside
+/// `capacities`.
+///
+/// # Examples
+///
+/// ```
+/// use wadc_topo::fair::max_min_shares;
+/// use wadc_topo::graph::LinkId;
+///
+/// // Two flows share link 0 (cap 100); flow 1 also crosses link 1 (cap 30).
+/// // Flow 1 is bottlenecked at 30, leaving 70 for flow 0.
+/// let caps = [100.0, 30.0];
+/// let flows: Vec<Vec<LinkId>> = vec![vec![LinkId::new(0)], vec![LinkId::new(0), LinkId::new(1)]];
+/// let paths: Vec<&[LinkId]> = flows.iter().map(|f| f.as_slice()).collect();
+/// let mut rates = Vec::new();
+/// max_min_shares(&caps, &paths, &mut rates);
+/// assert_eq!(rates, vec![70.0, 30.0]);
+/// ```
+pub fn max_min_shares(capacities: &[f64], flows: &[&[LinkId]], rates: &mut Vec<f64>) {
+    rates.clear();
+    rates.resize(flows.len(), 0.0);
+    if flows.is_empty() {
+        return;
+    }
+    for path in flows {
+        assert!(!path.is_empty(), "a flow crosses at least one link");
+        for l in *path {
+            assert!(l.index() < capacities.len(), "flow references unknown link");
+        }
+    }
+
+    // Remaining capacity and unfrozen-flow count per link.
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    let mut unfrozen_on: Vec<usize> = vec![0; capacities.len()];
+    for path in flows {
+        for l in *path {
+            unfrozen_on[l.index()] += 1;
+        }
+    }
+    let mut frozen: Vec<bool> = vec![false; flows.len()];
+    let mut n_frozen = 0usize;
+
+    while n_frozen < flows.len() {
+        // The bottleneck: the link whose equal split of remaining
+        // capacity among its unfrozen flows is smallest.
+        let mut best: Option<(usize, f64)> = None;
+        for (l, (&cap, &cnt)) in remaining.iter().zip(&unfrozen_on).enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let share = (cap / cnt as f64).max(0.0);
+            match best {
+                Some((_, s)) if s <= share => {}
+                _ => best = Some((l, share)),
+            }
+        }
+        let (bottleneck, share) = best.expect("unfrozen flows cross at least one link");
+
+        // Freeze every unfrozen flow crossing the bottleneck at `share`.
+        for (f, path) in flows.iter().enumerate() {
+            if frozen[f] || !path.contains(&LinkId::new(bottleneck)) {
+                continue;
+            }
+            frozen[f] = true;
+            n_frozen += 1;
+            rates[f] = share;
+            for l in *path {
+                remaining[l.index()] = (remaining[l.index()] - share).max(0.0);
+                unfrozen_on[l.index()] -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wadc_sim::rng::Rng64;
+
+    fn l(i: usize) -> LinkId {
+        LinkId::new(i)
+    }
+
+    fn shares(caps: &[f64], flows: &[Vec<LinkId>]) -> Vec<f64> {
+        let paths: Vec<&[LinkId]> = flows.iter().map(|f| f.as_slice()).collect();
+        let mut rates = Vec::new();
+        max_min_shares(caps, &paths, &mut rates);
+        rates
+    }
+
+    #[test]
+    fn single_flow_gets_full_bottleneck_bandwidth() {
+        let rates = shares(&[500.0, 80.0, 900.0], &[vec![l(0), l(1), l(2)]]);
+        assert_eq!(rates, vec![80.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_a_shared_link_evenly() {
+        let rates = shares(&[90.0], &[vec![l(0)], vec![l(0)], vec![l(0)]]);
+        assert_eq!(rates, vec![30.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn classic_two_bottleneck_example() {
+        // Flow 1 squeezed to 30 by link 1; flow 0 inherits the slack.
+        let rates = shares(&[100.0, 30.0], &[vec![l(0)], vec![l(0), l(1)]]);
+        assert_eq!(rates, vec![70.0, 30.0]);
+    }
+
+    #[test]
+    fn parking_lot_topology() {
+        // One long flow over links 0,1,2 (caps 10 each) against a short
+        // flow on each link: every link splits 5/5.
+        let rates = shares(
+            &[10.0, 10.0, 10.0],
+            &[vec![l(0), l(1), l(2)], vec![l(0)], vec![l(1)], vec![l(2)]],
+        );
+        assert_eq!(rates, vec![5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn no_flows_yields_no_rates() {
+        let rates = shares(&[10.0], &[]);
+        assert!(rates.is_empty());
+    }
+
+    /// Property sweep over random topologies: conservation (per-link sum
+    /// of allocations never exceeds capacity), positivity, and bottleneck
+    /// saturation (every flow crosses at least one link that is fully
+    /// used — the defining property of max-min fairness).
+    #[test]
+    fn random_allocations_conserve_and_saturate() {
+        let mut rng = Rng64::seed_from_u64(0x70_70_01);
+        for case in 0..200 {
+            let n_links = 1 + (rng.next_u64() % 6) as usize;
+            let caps: Vec<f64> = (0..n_links)
+                .map(|_| 10.0 + (rng.next_u64() % 1000) as f64)
+                .collect();
+            let n_flows = 1 + (rng.next_u64() % 8) as usize;
+            let flows: Vec<Vec<LinkId>> = (0..n_flows)
+                .map(|_| {
+                    let hops = 1 + (rng.next_u64() % n_links as u64) as usize;
+                    let mut path: Vec<usize> = (0..n_links).collect();
+                    // Deterministic partial shuffle for a duplicate-free path.
+                    for i in 0..hops {
+                        let j = i + (rng.next_u64() as usize) % (n_links - i);
+                        path.swap(i, j);
+                    }
+                    path[..hops].iter().map(|&i| l(i)).collect()
+                })
+                .collect();
+            let rates = shares(&caps, &flows);
+
+            for &r in &rates {
+                assert!(r >= 0.0 && r.is_finite(), "case {case}: rate {r}");
+            }
+            // Conservation: Σ allocations ≤ capacity on every link.
+            for (li, &cap) in caps.iter().enumerate() {
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(p, _)| p.contains(&l(li)))
+                    .map(|(_, &r)| r)
+                    .sum();
+                assert!(
+                    used <= cap * (1.0 + 1e-9),
+                    "case {case}: link {li} oversubscribed: {used} > {cap}"
+                );
+            }
+            // Bottleneck saturation: every flow is limited somewhere.
+            for (fi, path) in flows.iter().enumerate() {
+                let saturated = path.iter().any(|lk| {
+                    let used: f64 = flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(p, _)| p.contains(lk))
+                        .map(|(_, &r)| r)
+                        .sum();
+                    used >= caps[lk.index()] * (1.0 - 1e-9)
+                });
+                assert!(saturated, "case {case}: flow {fi} has no saturated link");
+            }
+        }
+    }
+}

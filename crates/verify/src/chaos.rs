@@ -24,6 +24,7 @@ use wadc_core::engine::{Algorithm, EngineConfig, RunOutcome, RunResult};
 use wadc_core::experiment::Experiment;
 use wadc_core::sweep::SweepDriver;
 use wadc_net::faults::FaultPlan;
+use wadc_net::topo::expand_backbone_outage;
 use wadc_plan::ids::HostId;
 use wadc_sim::time::{SimDuration, SimTime};
 
@@ -68,11 +69,27 @@ impl std::fmt::Display for ChaosOutcome {
     }
 }
 
+/// How a scenario's faults are specified: a literal plan on the flat
+/// per-pair quick world, or a named-backbone outage on the paper-WAN
+/// topology world, expanded at cell-build time to cover every host pair
+/// routed over that backbone.
+#[derive(Debug, Clone)]
+enum Fault {
+    /// A literal plan on [`Experiment::quick`].
+    Flat(FaultPlan),
+    /// An outage of one named backbone link on [`Experiment::quick_topo`].
+    Backbone {
+        link: &'static str,
+        from: SimTime,
+        until: SimTime,
+    },
+}
+
 /// The scenario matrix: every fault class alone, then combined. Host
 /// indices are `0..n_servers` for the servers and `n_servers` for the
 /// client, so crash rows can target the planner explicitly.
-fn scenarios(n_servers: usize) -> Vec<(&'static str, FaultPlan)> {
-    vec![
+fn scenarios(n_servers: usize) -> Vec<(&'static str, Fault)> {
+    let flat = vec![
         (
             "loss",
             FaultPlan::none().with_loss(0.1).with_probe_blackhole(0.1),
@@ -131,7 +148,24 @@ fn scenarios(n_servers: usize) -> Vec<(&'static str, FaultPlan)> {
                 )
                 .with_random_outages(3, SimDuration::from_secs(45), SimDuration::from_secs(600)),
         ),
-    ]
+    ];
+    let mut rows: Vec<(&'static str, Fault)> = flat
+        .into_iter()
+        .map(|(name, plan)| (name, Fault::Flat(plan)))
+        .collect();
+    rows.push((
+        // Shared-link congestion: the transatlantic backbone of the
+        // paper-WAN topology goes dark mid-run, degrading every host
+        // pair routed over it at once — the failure mode a per-pair
+        // link table cannot express.
+        "backbone-congestion",
+        Fault::Backbone {
+            link: "transatlantic",
+            from: SimTime::from_secs(30),
+            until: SimTime::from_secs(150),
+        },
+    ));
+    rows
 }
 
 /// The four algorithms under test.
@@ -199,11 +233,21 @@ fn run_cell(
     n_servers: usize,
     seed: u64,
     scenario: &'static str,
-    plan: &FaultPlan,
+    fault: &Fault,
     algorithm: Algorithm,
 ) -> Result<ChaosOutcome, String> {
-    let mut exp = Experiment::quick(n_servers, seed);
-    exp.template_mut().faults = plan.clone();
+    let mut exp = match fault {
+        Fault::Flat(_) => Experiment::quick(n_servers, seed),
+        Fault::Backbone { .. } => Experiment::quick_topo(n_servers, seed),
+    };
+    let plan = match fault {
+        Fault::Flat(plan) => plan.clone(),
+        Fault::Backbone { link, from, until } => {
+            let topo = exp.topology().expect("quick_topo sets a topology").clone();
+            expand_backbone_outage(FaultPlan::none(), &topo, link, *from, *until)
+        }
+    };
+    exp.template_mut().faults = plan;
     let mut cfg = exp.template().clone();
     cfg.algorithm = algorithm;
     let first = exp.run(algorithm);
@@ -221,7 +265,7 @@ pub fn run_chaos_suite(n_servers: usize, seed: u64) -> Result<Vec<ChaosOutcome>,
     run_chaos_suite_sweep(n_servers, seed, 1)
 }
 
-/// [`run_chaos_suite`] on a [`SweepDriver`]: the 32 scenario × algorithm
+/// [`run_chaos_suite`] on a [`SweepDriver`]: the 36 scenario × algorithm
 /// cells are sharded across `threads` OS threads and merged in cell
 /// order, so the outcome vector — including which failing cell is
 /// reported first — is identical to the sequential suite's.
@@ -235,12 +279,12 @@ pub fn run_chaos_suite_sweep(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<ChaosOutcome>, String> {
-    let cells: Vec<(&'static str, FaultPlan, Algorithm)> = scenarios(n_servers)
+    let cells: Vec<(&'static str, Fault, Algorithm)> = scenarios(n_servers)
         .into_iter()
-        .flat_map(|(scenario, plan)| {
+        .flat_map(|(scenario, fault)| {
             algorithms()
                 .into_iter()
-                .map(move |algorithm| (scenario, plan.clone(), algorithm))
+                .map(move |algorithm| (scenario, fault.clone(), algorithm))
         })
         .collect();
     SweepDriver::new(threads)
@@ -248,8 +292,8 @@ pub fn run_chaos_suite_sweep(
             cells.len(),
             |_worker| (),
             |(), i| {
-                let (scenario, plan, algorithm) = &cells[i];
-                run_cell(n_servers, seed, scenario, plan, *algorithm)
+                let (scenario, fault, algorithm) = &cells[i];
+                run_cell(n_servers, seed, scenario, fault, *algorithm)
             },
         )
         .into_iter()
@@ -300,6 +344,36 @@ mod tests {
                 .any(|o| o.scenario == "planner-crash" && o.outcome == RunOutcome::Aborted),
             "client crash never aborted a run"
         );
+    }
+
+    #[test]
+    fn backbone_congestion_degrades_every_algorithm() {
+        // The congestion row must actually bite: under every algorithm,
+        // the run with the transatlantic backbone dark differs from the
+        // clean topology run — a blackout of a shared link perturbs all
+        // pairs routed over it, so no placement fully escapes it.
+        let outcomes = run_chaos_suite(4, 42).unwrap();
+        let congested: Vec<_> = outcomes
+            .iter()
+            .filter(|o| o.scenario == "backbone-congestion")
+            .collect();
+        assert_eq!(congested.len(), 4);
+        let clean = Experiment::quick_topo(4, 42);
+        for (o, alg) in congested.iter().zip(algorithms()) {
+            let baseline = clean.run(alg);
+            assert_ne!(
+                o.digests,
+                RunDigests::of(&baseline),
+                "{}: backbone outage did not perturb the run",
+                o.algorithm
+            );
+        }
+        // Download-all cannot adapt: a dark backbone in the middle of
+        // its downloads strictly delays completion.
+        let da = &congested[0];
+        assert_eq!(da.algorithm, "download-all");
+        let clean_da = clean.run(Algorithm::DownloadAll);
+        assert!(clean_da.completed);
     }
 
     #[test]

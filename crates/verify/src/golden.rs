@@ -27,6 +27,59 @@ impl GoldenCase {
     }
 }
 
+/// The pinned shared-bottleneck scenarios: every placement algorithm on
+/// the paper-WAN topology quick world, plus one cell under gauged
+/// knowledge. These pin the *topology backend* and live in their own
+/// fixture (`tests/golden/digests_topo.txt`, regenerated with
+/// `wadc verify --print-golden-topo`) so the default per-pair fixture
+/// stays byte-identical across backend work.
+pub fn topo_golden_cases() -> Vec<GoldenCase> {
+    fn topo4(alg: Algorithm) -> RunResult {
+        Experiment::quick_topo(4, 11).run(alg)
+    }
+    vec![
+        GoldenCase {
+            name: "topo4-download-all",
+            run: || topo4(Algorithm::DownloadAll),
+        },
+        GoldenCase {
+            name: "topo4-one-shot",
+            run: || topo4(Algorithm::OneShot),
+        },
+        GoldenCase {
+            // The paper-WAN quick world finishes in ~13 simulated
+            // seconds (its access links are 4-8x the flat pool), so the
+            // adaptive cases use a 5 s period to pin actual replanning,
+            // not just the initial placement.
+            name: "topo4-global-5s",
+            run: || {
+                topo4(Algorithm::Global {
+                    period: SimDuration::from_secs(5),
+                })
+            },
+        },
+        GoldenCase {
+            name: "topo4-local-5s",
+            run: || {
+                topo4(Algorithm::Local {
+                    period: SimDuration::from_secs(5),
+                    extra_candidates: 0,
+                })
+            },
+        },
+        GoldenCase {
+            name: "topo4-global-5s-gauged",
+            run: || {
+                Experiment::quick_topo(4, 11)
+                    .with_knowledge(wadc_core::knowledge::KnowledgeMode::Gauged)
+                    .run(Algorithm::Global {
+                        period: SimDuration::from_secs(5),
+                    })
+            },
+        },
+    ]
+}
+
 /// The pinned scenarios: every placement algorithm on a quick world, plus
 /// one larger world to exercise a different trace assignment.
 pub fn golden_cases() -> Vec<GoldenCase> {
@@ -73,11 +126,26 @@ pub fn golden_cases() -> Vec<GoldenCase> {
 /// Renders the current digests of every golden case in fixture format:
 /// one `name audit=<hex16> result=<hex16>` line per case.
 pub fn render_fixture() -> String {
-    let mut out = String::from(
+    render_cases(
         "# Golden run digests — regenerate with `wadc verify --print-golden`.\n\
          # Any drift here means the engine's observable behaviour changed.\n",
-    );
-    for case in golden_cases() {
+        golden_cases(),
+    )
+}
+
+/// [`render_fixture`] for the shared-bottleneck topology cases
+/// (`tests/golden/digests_topo.txt`).
+pub fn render_topo_fixture() -> String {
+    render_cases(
+        "# Golden topology-backend digests — regenerate with `wadc verify --print-golden-topo`.\n\
+         # Any drift here means the shared-bottleneck model's observable behaviour changed.\n",
+        topo_golden_cases(),
+    )
+}
+
+fn render_cases(header: &str, cases: Vec<GoldenCase>) -> String {
+    let mut out = String::from(header);
+    for case in cases {
         let d = RunDigests::of(&case.run());
         out.push_str(&format!("{} {d}\n", case.name));
     }
@@ -88,6 +156,16 @@ pub fn render_fixture() -> String {
 /// (the contents of `tests/golden/digests.txt`) and returns one message
 /// per mismatch, missing entry, or stale entry.
 pub fn compare_fixture(fixture: &str) -> Vec<String> {
+    compare_cases(fixture, golden_cases())
+}
+
+/// [`compare_fixture`] for the shared-bottleneck topology cases against
+/// `tests/golden/digests_topo.txt`.
+pub fn compare_topo_fixture(fixture: &str) -> Vec<String> {
+    compare_cases(fixture, topo_golden_cases())
+}
+
+fn compare_cases(fixture: &str, cases: Vec<GoldenCase>) -> Vec<String> {
     let mut failures = Vec::new();
     let mut pinned = std::collections::HashMap::new();
     for line in fixture.lines() {
@@ -103,7 +181,7 @@ pub fn compare_fixture(fixture: &str) -> Vec<String> {
             _ => failures.push(format!("unparseable fixture line: {line:?}")),
         }
     }
-    for case in golden_cases() {
+    for case in cases {
         let current = RunDigests::of(&case.run()).to_string();
         match pinned.remove(case.name) {
             None => failures.push(format!(
@@ -132,6 +210,24 @@ mod tests {
         let fixture = render_fixture();
         let failures = compare_fixture(&fixture);
         assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn topo_fixture_round_trips() {
+        let fixture = render_topo_fixture();
+        let failures = compare_topo_fixture(&fixture);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn topo_cases_are_disjoint_from_default_cases() {
+        // The two fixtures pin different backends; a shared name would
+        // let one silently mask drift in the other.
+        let defaults: std::collections::HashSet<_> =
+            golden_cases().iter().map(|c| c.name).collect();
+        for case in topo_golden_cases() {
+            assert!(!defaults.contains(case.name), "{} pinned twice", case.name);
+        }
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub struct SoakFailure {
     pub plan: FaultPlan,
     /// The algorithm the failing cell ran under.
     pub algorithm: &'static str,
+    /// Whether the cell ran on the shared-bottleneck topology world
+    /// instead of the flat per-pair quick world.
+    pub topo: bool,
     /// What broke: a validation error, a digest divergence, or the
     /// rendered invariant violations.
     pub error: String,
@@ -53,8 +56,13 @@ impl std::fmt::Display for SoakFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "soak plan #{} (seed {:#018x}, {}): {}\nreproducing plan: {:?}",
-            self.index, self.plan_seed, self.algorithm, self.error, self.plan
+            "soak plan #{} (seed {:#018x}, {}{}): {}\nreproducing plan: {:?}",
+            self.index,
+            self.plan_seed,
+            self.algorithm,
+            if self.topo { ", topology world" } else { "" },
+            self.error,
+            self.plan
         )
     }
 }
@@ -139,6 +147,16 @@ pub fn random_plan(base_seed: u64, index: usize, n_hosts: usize) -> FaultPlan {
     plan
 }
 
+/// Whether the `index`-th soak plan runs on the shared-bottleneck
+/// topology world: every fifth plan rides the paper-WAN topology, so the
+/// fair-share model faces the same random loss/outage/crash gauntlet as
+/// the flat per-pair world. 5 is coprime to the 4-cycle of
+/// [`soak_algorithm`], so over any 20 consecutive plans every algorithm
+/// sees the topology world.
+fn soak_topology(index: usize) -> bool {
+    index % 5 == 4
+}
+
 /// The algorithm the `index`-th soak plan runs under: the soak rotates
 /// through all four so crash handling is exercised everywhere.
 fn soak_algorithm(index: usize) -> Algorithm {
@@ -161,11 +179,16 @@ fn run_soak_cell(
     seed: u64,
     plan: &FaultPlan,
     algorithm: Algorithm,
+    topo: bool,
 ) -> Result<(RunOutcome, u64), String> {
     // n_servers servers plus the client in the canonical quick roster.
     plan.validate_for_hosts(n_servers + 1)
         .map_err(|e| format!("generated plan failed validation: {e}"))?;
-    let mut exp = Experiment::quick(n_servers, seed);
+    let mut exp = if topo {
+        Experiment::quick_topo(n_servers, seed)
+    } else {
+        Experiment::quick(n_servers, seed)
+    };
     exp.template_mut().faults = plan.clone();
     exp.template_mut().algorithm = algorithm;
     let cfg = exp.template().clone();
@@ -219,10 +242,11 @@ pub fn run_soak(
         |(), i| {
             let plan = random_plan(seed, i, n_servers + 1);
             let algorithm = soak_algorithm(i);
+            let topo = soak_topology(i);
             (
                 i,
                 plan.clone(),
-                run_soak_cell(n_servers, seed, &plan, algorithm),
+                run_soak_cell(n_servers, seed, &plan, algorithm, topo),
             )
         },
     );
@@ -244,9 +268,10 @@ pub fn run_soak(
             }
             Err(error) => {
                 let algorithm = soak_algorithm(i);
+                let topo = soak_topology(i);
                 let minimal = if shrink {
                     shrink_plan(&plan, |candidate| {
-                        run_soak_cell(n_servers, seed, candidate, algorithm).is_err()
+                        run_soak_cell(n_servers, seed, candidate, algorithm, topo).is_err()
                     })
                 } else {
                     plan
@@ -256,6 +281,7 @@ pub fn run_soak(
                     plan_seed: derive_seed2(seed, SOAK_STREAM, i as u64),
                     plan: minimal,
                     algorithm: algorithm.name(),
+                    topo,
                     error,
                 }));
             }
@@ -443,8 +469,20 @@ mod tests {
         // validation rejects out-of-range hosts. This exercises the
         // SoakFailure plumbing without needing a real engine bug.
         let plan = random_plan(1998, 0, 99).crash(HostId::new(42), SimTime::from_secs(9));
-        let err = run_soak_cell(4, 42, &plan, Algorithm::OneShot)
+        let err = run_soak_cell(4, 42, &plan, Algorithm::OneShot, false)
             .expect_err("host 42 cannot be valid in a 5-host world");
         assert!(err.contains("validation"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn soak_includes_topology_cells() {
+        // Ten plans cover indices 4 and 9 — both topology cells — and the
+        // report must stay clean and thread-count invariant with them in.
+        assert!(soak_topology(4) && soak_topology(9));
+        assert!(!soak_topology(0) && !soak_topology(3));
+        let a = run_soak(4, 77, 10, 1, false).expect("topology soak failed");
+        let b = run_soak(4, 77, 10, 2, false).expect("topology soak failed");
+        assert_eq!(a, b);
+        assert_eq!(a.runs, 10);
     }
 }

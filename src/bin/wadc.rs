@@ -3,12 +3,14 @@
 //!
 //! ```sh
 //! wadc run   [--servers N] [--algorithm A] [--period-mins M] [--shape S] [--seed S] [--images N]
-//!            [--threads T] [--audit] [--json] [--trace-out t.json] [--jsonl-out t.jsonl]
+//!            [--threads T] [--audit] [--json] [--topology P] [--knowledge K]
+//!            [--trace-out t.json] [--jsonl-out t.jsonl]
 //! wadc report [--servers N] [--algorithm A] [--seed S] [--images N]
-//! wadc study [--configs N] [--servers N] [--seed S] [--threads T]
+//! wadc study [--configs N] [--servers N] [--seed S] [--threads T] [--topology P] [--knowledge K]
+//! wadc study --gauge-analysis [--seed S]
 //! wadc trace [--pair A,B] [--seed S] [--window-hours H]
 //! wadc plan  [--servers N] [--seed S] [--objective critical-path|contended]
-//! wadc verify [--quick] [--seed S] [--print-golden]
+//! wadc verify [--quick] [--seed S] [--print-golden] [--print-golden-topo]
 //! wadc chaos [--loss P] [--probe-blackhole P] [--move-failure P] [--outages N]
 //!            [--crash-host H] [--crash-at-secs S] [--seed S]
 //! wadc chaos --soak N [--shrink] [--threads T] [--servers N] [--seed S]
@@ -19,6 +21,8 @@ use std::collections::HashMap;
 use wadc::core::algorithms::one_shot::{one_shot_placement, Objective};
 use wadc::core::engine::{Algorithm, AuditEvent};
 use wadc::core::experiment::Experiment;
+use wadc::core::gauging;
+use wadc::core::knowledge::KnowledgeMode;
 use wadc::core::study::{run_study, run_study_parallel, StudyParams};
 use wadc::core::sweep::clamp_threads;
 use wadc::net::faults::FaultPlan;
@@ -29,6 +33,7 @@ use wadc::plan::ids::{HostId, OperatorId};
 use wadc::plan::placement::{HostRoster, Placement};
 use wadc::plan::tree::{CombinationTree, TreeShape};
 use wadc::sim::time::{SimDuration, SimTime};
+use wadc::topo::preset::TopoPreset;
 use wadc::trace::stats::summarize;
 use wadc::trace::study::BandwidthStudy;
 use wadc::verify::chaos::run_chaos_suite_sweep;
@@ -50,6 +55,10 @@ run    simulate one configuration under one algorithm
            algorithm concurrently (ignored when tracing); 0 or more
            than the machine's cores clamps with a warning
          --json (machine-readable result on stdout)
+         --topology paper-wan: run over the shared-bottleneck topology
+           (regional access links behind two oceanic backbones) instead
+           of independent per-pair links
+         --knowledge monitored|oracle|forecast|gauged (monitored)
          --trace-out PATH (Chrome trace JSON, load in Perfetto)
          --jsonl-out PATH (span/sample stream, one JSON object per line)
 report run one configuration with tracing and print a human-readable
@@ -58,6 +67,10 @@ report run one configuration with tracing and print a human-readable
 study  run a multi-configuration comparison of all four algorithms
          on the work-stealing sweep driver
          --configs N (50)  --servers N (8)  --seed S (1998)  --threads T (auto)
+         --topology paper-wan  --knowledge monitored|oracle|forecast|gauged
+         --gauge-analysis: instead of a study, print the forecaster-vs-
+           gauger contention table (markdown; see
+           results/ANALYSIS_gauge_vs_forecast.md)
 trace  characterise the synthetic bandwidth study
          --pair A,B (0,7)  --seed S (1998)  --window-hours H (12)
 plan   compute and print a one-shot placement for a random world
@@ -67,6 +80,7 @@ verify check engine conformance: golden digests, determinism, invariants,
        the threads=1 == threads=N sweep gate, and (without --quick) the
        differential and chaos suites
          --quick  --seed S (42)  --print-golden (regenerate the fixture)
+         --print-golden-topo (regenerate the topology-backend fixture)
          --threads T (2): sweep-gate and chaos-matrix thread count
            (deliberately not clamped to the core count — oversubscribed
            interleavings are exactly what the gate must survive)
@@ -101,6 +115,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         if key == "--audit"
             || key == "--quick"
             || key == "--print-golden"
+            || key == "--print-golden-topo"
+            || key == "--gauge-analysis"
             || key == "--json"
             || key == "--shrink"
         {
@@ -179,14 +195,46 @@ fn shape_from(flags: &HashMap<String, String>) -> TreeShape {
     }
 }
 
+fn topology_from(flags: &HashMap<String, String>) -> Option<TopoPreset> {
+    flags.get("--topology").map(|name| {
+        TopoPreset::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown topology preset {name} (try: paper-wan)");
+            usage()
+        })
+    })
+}
+
+fn knowledge_from(flags: &HashMap<String, String>) -> KnowledgeMode {
+    match flags
+        .get("--knowledge")
+        .map(String::as_str)
+        .unwrap_or("monitored")
+    {
+        "monitored" => KnowledgeMode::Monitored,
+        "oracle" => KnowledgeMode::Oracle,
+        "forecast" => KnowledgeMode::Forecast,
+        "gauged" => KnowledgeMode::Gauged,
+        other => {
+            eprintln!("unknown knowledge mode {other}");
+            usage()
+        }
+    }
+}
+
 fn build_experiment(flags: &HashMap<String, String>) -> Experiment {
     let servers = flag(flags, "--servers", 8usize);
     let seed = flag(flags, "--seed", 1998u64);
     let config = flag(flags, "--config", 0u64);
     let study = BandwidthStudy::default_study(seed);
-    let mut exp =
-        Experiment::from_study(servers, &study, SimDuration::from_hours(24), config, seed)
-            .with_tree_shape(shape_from(flags));
+    let mut exp = match topology_from(flags) {
+        Some(preset) => {
+            let pool = study.noon_trace_pool(SimDuration::from_hours(24));
+            Experiment::from_study_pool_topo(servers, &pool, preset, config, seed)
+        }
+        None => Experiment::from_study(servers, &study, SimDuration::from_hours(24), config, seed),
+    }
+    .with_tree_shape(shape_from(flags))
+    .with_knowledge(knowledge_from(flags));
     let images = flag(flags, "--images", 180usize);
     let mut workload = exp.template().workload;
     workload.images_per_server = images;
@@ -200,11 +248,16 @@ fn cmd_run(flags: HashMap<String, String>) {
     let json_out = flags.contains_key("--json");
     let tracing = flags.contains_key("--trace-out") || flags.contains_key("--jsonl-out");
     if !json_out {
+        let topo = match topology_from(&flags) {
+            Some(p) => format!(", topology {p}"),
+            None => String::new(),
+        };
         println!(
-            "running {} servers x {} images under {}...",
+            "running {} servers x {} images under {} (knowledge {}{topo})...",
             exp.template().n_servers,
             exp.template().workload.images_per_server,
-            algorithm.name()
+            algorithm.name(),
+            exp.template().knowledge.name(),
         );
     }
     let threads = resolve_threads(&flags);
@@ -372,13 +425,30 @@ fn cmd_report(flags: HashMap<String, String>) {
 }
 
 fn cmd_study(flags: HashMap<String, String>) {
+    if flags.contains_key("--gauge-analysis") {
+        let seed = flag(&flags, "--seed", 1998u64);
+        print!(
+            "{}",
+            gauging::render_markdown(&gauging::gauge_vs_forecast(3, seed), seed)
+        );
+        return;
+    }
     let mut params = StudyParams::paper_main(flag(&flags, "--seed", 1998u64));
     params.n_configs = flag(&flags, "--configs", 50usize);
     params.n_servers = flag(&flags, "--servers", 8usize);
+    params.topology = topology_from(&flags);
+    params.knowledge = knowledge_from(&flags);
     let threads = resolve_threads(&flags);
     println!(
-        "running {} configurations x 4 algorithms ({} servers, {} threads)...",
-        params.n_configs, params.n_servers, threads
+        "running {} configurations x 4 algorithms ({} servers, {} threads, knowledge {}{})...",
+        params.n_configs,
+        params.n_servers,
+        threads,
+        params.knowledge.name(),
+        match params.topology {
+            Some(p) => format!(", topology {p}"),
+            None => String::new(),
+        }
     );
     let results = run_study_parallel(&params, threads);
     println!("\nalgorithm   mean speedup  median  mean inter-arrival");
@@ -504,9 +574,17 @@ fn cmd_plan(flags: HashMap<String, String>) {
 /// `wadc verify --print-golden > tests/golden/digests.txt`.
 const GOLDEN_FIXTURE: &str = include_str!("../../tests/golden/digests.txt");
 
+/// The topology-backend digests pinned by the repository; regenerated
+/// with `wadc verify --print-golden-topo > tests/golden/digests_topo.txt`.
+const GOLDEN_FIXTURE_TOPO: &str = include_str!("../../tests/golden/digests_topo.txt");
+
 fn cmd_verify(flags: HashMap<String, String>) {
     if flags.contains_key("--print-golden") {
         print!("{}", golden::render_fixture());
+        return;
+    }
+    if flags.contains_key("--print-golden-topo") {
+        print!("{}", golden::render_topo_fixture());
         return;
     }
     let seed = flag(&flags, "--seed", 42u64);
@@ -524,10 +602,19 @@ fn cmd_verify(flags: HashMap<String, String>) {
             .map(|f| format!("golden: {f}")),
     );
 
-    println!("determinism + invariants: quick world, all four algorithms...");
-    let exp = Experiment::quick(4, seed);
+    let topo_cases = golden::topo_golden_cases();
+    println!(
+        "golden: comparing {} pinned topology-backend scenarios...",
+        topo_cases.len()
+    );
+    failures.extend(
+        golden::compare_topo_fixture(GOLDEN_FIXTURE_TOPO)
+            .into_iter()
+            .map(|f| format!("golden-topo: {f}")),
+    );
+
     let thirty = SimDuration::from_secs(30);
-    for algorithm in [
+    let all_algorithms = [
         Algorithm::DownloadAll,
         Algorithm::OneShot,
         Algorithm::Global { period: thirty },
@@ -535,7 +622,10 @@ fn cmd_verify(flags: HashMap<String, String>) {
             period: thirty,
             extra_candidates: 0,
         },
-    ] {
+    ];
+    println!("determinism + invariants: quick world, all four algorithms...");
+    let exp = Experiment::quick(4, seed);
+    for algorithm in all_algorithms {
         match check_determinism(&exp, algorithm) {
             Ok(digests) => println!("  {:<13} {digests}", algorithm.name()),
             Err(e) => failures.push(format!("determinism: {e}")),
@@ -547,6 +637,23 @@ fn cmd_verify(flags: HashMap<String, String>) {
             check_run(&cfg, &result)
                 .into_iter()
                 .map(|v| format!("invariant: {} {v}", algorithm.name())),
+        );
+    }
+
+    println!("determinism + invariants: paper-WAN topology world, all four algorithms...");
+    let topo_exp = Experiment::quick_topo(4, seed);
+    for algorithm in all_algorithms {
+        match check_determinism(&topo_exp, algorithm) {
+            Ok(digests) => println!("  {:<13} {digests}", algorithm.name()),
+            Err(e) => failures.push(format!("topo determinism: {e}")),
+        }
+        let mut cfg = topo_exp.template().clone();
+        cfg.algorithm = algorithm;
+        let result = topo_exp.run(algorithm);
+        failures.extend(
+            check_run(&cfg, &result)
+                .into_iter()
+                .map(|v| format!("topo invariant: {} {v}", algorithm.name())),
         );
     }
 
@@ -564,6 +671,25 @@ fn cmd_verify(flags: HashMap<String, String>) {
             "sweep: threads=1 study digest {:016x} != threads={threads} digest {:016x}",
             sequential.digest(),
             swept.digest()
+        ));
+    }
+
+    println!("sweep: quick topology study, threads=1 vs threads={threads}...");
+    let mut topo_params = StudyParams::quick(seed);
+    topo_params.n_configs = 2;
+    topo_params.topology = Some(TopoPreset::PaperWan);
+    let topo_sequential = run_study(&topo_params);
+    let topo_swept = run_study_parallel(&topo_params, threads);
+    if topo_sequential.digest() == topo_swept.digest() {
+        println!(
+            "  topology study digest {:016x} identical across thread counts",
+            topo_sequential.digest()
+        );
+    } else {
+        failures.push(format!(
+            "topo sweep: threads=1 study digest {:016x} != threads={threads} digest {:016x}",
+            topo_sequential.digest(),
+            topo_swept.digest()
         ));
     }
 

@@ -14,6 +14,7 @@
 //! | [`trace`] | calibrated synthetic wide-area bandwidth traces and the multi-day study |
 //! | [`plan`] | combination trees, placements, cost model, critical path |
 //! | [`net`] | simulated WAN: half-duplex NICs, priority transfers, disks |
+//! | [`topo`] | explicit topology graphs: shared backbones, max-min fair shares, presets |
 //! | [`monitor`] | passive monitoring, caches, piggybacking, timestamp vectors |
 //! | [`app`] | the satellite-image composition workload |
 //! | [`core`] | the placement algorithms and the adaptive execution engine |
@@ -49,6 +50,7 @@ pub use wadc_net as net;
 pub use wadc_obs as obs;
 pub use wadc_plan as plan;
 pub use wadc_sim as sim;
+pub use wadc_topo as topo;
 pub use wadc_trace as trace;
 pub use wadc_verify as verify;
 

@@ -122,14 +122,14 @@ fn observed_sweep_reproduces_unobserved_digests() {
     }
 }
 
-/// Chaos × parallel conformance: the 32-cell scenario × algorithm matrix
+/// Chaos × parallel conformance: the 36-cell scenario × algorithm matrix
 /// through the sweep driver at threads=4 must equal the sequential matrix
 /// cell for cell.
 #[test]
 fn chaos_matrix_swept_at_four_threads_matches_sequential() {
     let seq = run_chaos_suite(4, 42).expect("sequential chaos matrix conforms");
     let par = run_chaos_suite_sweep(4, 42, 4).expect("swept chaos matrix conforms");
-    assert_eq!(seq.len(), 32, "the matrix is 8 scenarios x 4 algorithms");
+    assert_eq!(seq.len(), 36, "the matrix is 9 scenarios x 4 algorithms");
     assert_eq!(seq, par, "swept chaos matrix diverged from sequential");
 }
 
