@@ -37,6 +37,8 @@ use std::time::Instant;
 use wadc_bench::alloc::{AllocScope, AllocStats, CountingAlloc};
 use wadc_bench::json::Json;
 use wadc_core::algorithms::one_shot_placement;
+use wadc_core::engine::{Algorithm, RunScratch};
+use wadc_core::experiment::Experiment;
 use wadc_core::study::{run_study, run_study_parallel, StudyParams};
 use wadc_plan::bandwidth::BwMatrix;
 use wadc_plan::cost::CostModel;
@@ -60,22 +62,39 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// reintroduction of per-message or per-poll allocation churn trips the
 /// gate long before it costs wall-clock time. Raise them only with a
 /// matching analysis in DESIGN.md §6b.
-const MAX_ALLOCS_PER_RUN_STUDY_QUICK: f64 = 350.0;
-const MAX_ALLOCS_PER_RUN_STUDY_REDUCED: f64 = 500.0;
+const MAX_ALLOCS_PER_RUN_STUDY_QUICK: f64 = 160.0;
+/// `study_reduced` amortizes its one cold warmup over a single
+/// configuration at quick scale (~270 allocs/run measured there, ~96 at
+/// full scale where four configurations share the arena), so its budget
+/// carries the quick-scale measurement.
+const MAX_ALLOCS_PER_RUN_STUDY_REDUCED: f64 = 450.0;
 /// The quick study over the paper-WAN shared-bottleneck topology. The
 /// fair-share model keeps per-flow state, reschedules completions on
 /// every recompute, and builds the topology graph per configuration, so
 /// its steady state is costlier than the flat per-pair table's
-/// (~146 allocs/run measured vs ~118); the budget is that measurement
-/// with ~2x headroom (see `results/BENCH_perf_baseline_pr9.json` for the
-/// pre-topology numbers).
-const MAX_ALLOCS_PER_RUN_STUDY_TOPO: f64 = 300.0;
+/// (~106 allocs/run measured vs ~79); the budget is that measurement
+/// with ~2x headroom (see `results/BENCH_perf_baseline_pr10.json` for
+/// the pre-arena numbers).
+const MAX_ALLOCS_PER_RUN_STUDY_TOPO: f64 = 220.0;
 /// The sweep-driver study benches: per-worker pools mean each worker pays
 /// one cold warmup, so the budget is the sequential per-run budget plus
-/// amortized headroom for `threads` warmups. The thread-count-dependent
-/// slack keeps the gate meaningful per worker without flaking on how the
-/// atomic work index happened to deal configurations to workers.
-const MAX_ALLOCS_PER_RUN_STUDY_FULL: f64 = 700.0;
+/// amortized headroom for `threads` warmups (at quick scale the t4
+/// variant spreads only 8 configurations over 4 cold arenas, ~151
+/// allocs/run measured; full scale sits near 89). The
+/// thread-count-dependent slack keeps the gate meaningful per worker
+/// without flaking on how the atomic work index happened to deal
+/// configurations to workers.
+const MAX_ALLOCS_PER_RUN_STUDY_FULL: f64 = 300.0;
+
+/// Peak-resident-byte budgets for the study benches, also checked by
+/// `--alloc-gate`. Peak footprint is what the arena refactor must *not*
+/// regress while chasing allocation counts: reset-don't-free recycling
+/// keeps capacity parked between runs, and these ceilings bound how much
+/// it may park. Measured peaks are ~6.7 MiB for the quick-shaped studies
+/// and ~24.5 MiB for the full study (per-worker arenas at the full
+/// workload); budgets are ~2x those.
+const MAX_PEAK_BYTES_STUDY: u64 = 16 << 20;
+const MAX_PEAK_BYTES_STUDY_FULL: u64 = 48 << 20;
 
 struct Args {
     quick: bool,
@@ -282,6 +301,51 @@ fn trace_transfers(queries: usize, segments: usize, seed: u64) -> u64 {
     queries as u64
 }
 
+/// A paper-main-scale single-configuration world, shared by the
+/// `world_setup` and `single_run` microbenches: the same trace pool,
+/// link assignment, and workload as configuration 0 of the full study.
+fn paper_world(seed: u64) -> Experiment {
+    let study = wadc_trace::study::BandwidthStudy::default_study(seed);
+    let pool = study.noon_trace_pool(SimDuration::from_hours(24));
+    Experiment::from_study_pool(8, &pool, 0, seed)
+}
+
+/// Pure world-construction cost on a warm arena: build the engine for a
+/// paper-main configuration (tree, roster, initial placement search,
+/// per-host monitors, network model) and tear it straight back down into
+/// the scratch, never dispatching an event. This is the fixed per-run
+/// overhead the [`RunScratch`] arena exists to amortize.
+fn world_setup(builds: usize, seed: u64) -> u64 {
+    let exp = paper_world(seed);
+    let mut scratch = RunScratch::new();
+    for _ in 0..builds {
+        let engine = exp.engine_scratch(Algorithm::OneShot, scratch);
+        scratch = engine.into_scratch();
+    }
+    std::hint::black_box(scratch.is_warm());
+    builds as u64
+}
+
+/// One full engine run, end to end, on a warm arena: the per-run unit of
+/// the study benches with the study driver and aggregation stripped away.
+/// Alternates the one-shot and download-all algorithms so the arena is
+/// exercised the way a study configuration exercises it.
+fn single_run(runs: usize, seed: u64) -> u64 {
+    let exp = paper_world(seed);
+    let mut scratch = RunScratch::new();
+    let mut delivered = 0usize;
+    for i in 0..runs {
+        let alg = if i % 2 == 0 {
+            Algorithm::OneShot
+        } else {
+            Algorithm::DownloadAll
+        };
+        delivered += exp.run_scratch(alg, &mut scratch).images_delivered;
+    }
+    std::hint::black_box(delivered);
+    runs as u64
+}
+
 /// A reduced paper-main study: the end-to-end number every other bench
 /// feeds into. Uses the sequential driver so the measurement is not
 /// scheduler-dependent.
@@ -355,10 +419,10 @@ fn main() {
 
     // Sizes chosen so the full run finishes in well under a minute per rep
     // even on the pre-optimization code paths.
-    let (ev_n, mix_n, ps_cfgs, tq_n, study_cfgs, full_cfgs) = if args.quick {
-        (20_000, 2_000, 2, 20_000, 1, 8)
+    let (ev_n, mix_n, ps_cfgs, tq_n, study_cfgs, full_cfgs, ws_n, sr_n) = if args.quick {
+        (20_000, 2_000, 2, 20_000, 1, 8, 50, 20)
     } else {
-        (200_000, 20_000, 8, 200_000, 4, 300)
+        (200_000, 20_000, 8, 200_000, 4, 300, 500, 100)
     };
     let seed = args.seed;
     let reps = args.reps;
@@ -381,6 +445,8 @@ fn main() {
         run_bench("trace_transfers", reps, || {
             trace_transfers(tq_n, 2_000, seed)
         }),
+        run_bench("world_setup", study_reps, || world_setup(ws_n, seed)),
+        run_bench("single_run", study_reps, || single_run(sr_n, seed)),
         run_bench("study_reduced", study_reps, || {
             study_reduced(study_cfgs, seed)
         }),
@@ -426,11 +492,15 @@ fn main() {
     if args.alloc_gate {
         let mut failed = false;
         for b in &benches {
-            let limit = match b.name {
-                "study_quick" | "study_quick_t2" => MAX_ALLOCS_PER_RUN_STUDY_QUICK,
-                "study_topo" => MAX_ALLOCS_PER_RUN_STUDY_TOPO,
-                "study_reduced" => MAX_ALLOCS_PER_RUN_STUDY_REDUCED,
-                "study_full_t1" | "study_full_t4" => MAX_ALLOCS_PER_RUN_STUDY_FULL,
+            let (limit, peak_limit) = match b.name {
+                "study_quick" | "study_quick_t2" => {
+                    (MAX_ALLOCS_PER_RUN_STUDY_QUICK, MAX_PEAK_BYTES_STUDY)
+                }
+                "study_topo" => (MAX_ALLOCS_PER_RUN_STUDY_TOPO, MAX_PEAK_BYTES_STUDY),
+                "study_reduced" => (MAX_ALLOCS_PER_RUN_STUDY_REDUCED, MAX_PEAK_BYTES_STUDY),
+                "study_full_t1" | "study_full_t4" => {
+                    (MAX_ALLOCS_PER_RUN_STUDY_FULL, MAX_PEAK_BYTES_STUDY_FULL)
+                }
                 _ => continue,
             };
             let got = b.allocs_per_unit();
@@ -444,6 +514,21 @@ fn main() {
                 println!(
                     "alloc gate ok:   {} at {:.1} allocs/run (budget {:.1})",
                     b.name, got, limit
+                );
+            }
+            let peak = b.alloc.peak_bytes;
+            if peak > peak_limit {
+                eprintln!(
+                    "alloc gate FAIL: {} peaked at {} bytes, budget {}",
+                    b.name, peak, peak_limit
+                );
+                failed = true;
+            } else {
+                println!(
+                    "alloc gate ok:   {} peak {:.1} MiB (budget {:.0} MiB)",
+                    b.name,
+                    peak as f64 / (1 << 20) as f64,
+                    peak_limit as f64 / (1 << 20) as f64
                 );
             }
         }

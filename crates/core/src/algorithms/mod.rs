@@ -14,5 +14,6 @@ pub mod one_shot;
 
 pub use local_step::{best_local_site, local_path_cost, LocalContext, LocalDecision};
 pub use one_shot::{
-    improve_placement, improve_placement_by, one_shot_placement, Objective, SearchResult,
+    improve_placement, improve_placement_by, improve_placement_scratch, one_shot_placement,
+    Objective, SearchResult, SearchScratch,
 };

@@ -62,6 +62,27 @@ pub struct SearchResult {
     pub iterations: usize,
 }
 
+/// Reusable buffers for [`improve_placement_scratch`]: the dense
+/// bandwidth snapshot, the incremental evaluator's two per-node caches,
+/// and the critical-operator list. A run that re-plans repeatedly (the
+/// global algorithm) or an arena that recycles run state across a study
+/// threads one of these through every search; contents are rebuilt from
+/// the inputs each time, so a warmed scratch changes no decision.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    dense: DenseView,
+    node_hosts: Vec<HostId>,
+    costs: Vec<f64>,
+    cp_ops: Vec<OperatorId>,
+}
+
+impl SearchScratch {
+    /// An empty (cold) scratch.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+}
+
 /// Improves `initial` by iteratively relocating operators on the critical
 /// path, until a local optimum. This is the paper's iterative step; with
 /// `initial = Placement::download_all(..)` it is the one-shot algorithm,
@@ -112,24 +133,58 @@ pub fn improve_placement_masked(
     objective: Objective,
     dead: &[HostId],
 ) -> SearchResult {
+    improve_placement_scratch(
+        tree,
+        roster,
+        initial,
+        view,
+        model,
+        objective,
+        dead,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`improve_placement_masked`] drawing its working buffers from a
+/// recycled [`SearchScratch`]. Bit-identical to a cold search.
+#[allow(clippy::too_many_arguments)]
+pub fn improve_placement_scratch(
+    tree: &CombinationTree,
+    roster: &HostRoster,
+    initial: Placement,
+    view: impl BandwidthView + Copy,
+    model: &CostModel,
+    objective: Objective,
+    dead: &[HostId],
+    scratch: &mut SearchScratch,
+) -> SearchResult {
     // Snapshot the (possibly layered, hash-backed) view into a dense
     // matrix once: the scan below queries the same few host pairs
     // thousands of times. The snapshot returns exactly the same values,
     // so the search's decisions are unchanged.
-    let dense = DenseView::snapshot(roster.host_count(), view);
+    let mut dense = std::mem::take(&mut scratch.dense);
+    dense.snapshot_into(roster.host_count(), view);
     let mut current = initial;
-    let mut eval = IncrementalCriticalPath::new(tree, roster, &current, &dense, model);
-    let nic_max = |placement: &Placement| {
-        nic_occupancy(tree, roster, placement, &dense, model)
+    let mut eval = IncrementalCriticalPath::new_in(
+        tree,
+        roster,
+        &current,
+        &dense,
+        model,
+        std::mem::take(&mut scratch.node_hosts),
+        std::mem::take(&mut scratch.costs),
+    );
+    let nic_max = |placement: &Placement, dense: &DenseView| {
+        nic_occupancy(tree, roster, placement, dense, model)
             .into_iter()
             .fold(0.0f64, f64::max)
     };
     let mut cost = match objective {
         Objective::CriticalPath => eval.root_cost(),
-        Objective::Contended => eval.root_cost().max(nic_max(&current)),
+        Objective::Contended => eval.root_cost().max(nic_max(&current, &dense)),
     };
     let mut iterations = 0;
-    let mut cp_ops: Vec<OperatorId> = Vec::new();
+    let mut cp_ops = std::mem::take(&mut scratch.cp_ops);
     loop {
         iterations += 1;
         eval.critical_operators(&mut cp_ops);
@@ -149,7 +204,7 @@ pub fn improve_placement_masked(
                     Objective::CriticalPath => eval.cost_if_moved(op, host),
                     Objective::Contended => {
                         current.set_site(op, host);
-                        let nic = nic_max(&current);
+                        let nic = nic_max(&current, &dense);
                         current.set_site(op, original);
                         eval.cost_if_moved(op, host).max(nic)
                     }
@@ -166,14 +221,18 @@ pub fn improve_placement_masked(
                 eval.apply_move(op, host);
                 cost = best_cost;
             }
-            None => {
-                return SearchResult {
-                    placement: current,
-                    cost,
-                    iterations,
-                };
-            }
+            None => break,
         }
+    }
+    let (node_hosts, costs) = eval.into_buffers();
+    scratch.dense = dense;
+    scratch.node_hosts = node_hosts;
+    scratch.costs = costs;
+    scratch.cp_ops = cp_ops;
+    SearchResult {
+        placement: current,
+        cost,
+        iterations,
     }
 }
 

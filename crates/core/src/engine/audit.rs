@@ -332,6 +332,17 @@ impl AuditLog {
         AuditLog::default()
     }
 
+    /// Creates an empty log pre-sized for `capacity` events. The log
+    /// itself moves into the [`super::RunResult`] at the end of a run, so
+    /// a run arena cannot recycle its buffer — but it *can* remember how
+    /// large past runs' logs grew and pay a single up-front allocation
+    /// instead of a doubling series.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AuditLog {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends an event.
     ///
     /// # Panics

@@ -22,7 +22,8 @@ pub mod audit;
 pub mod config;
 pub mod message;
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
 use std::sync::Arc;
 
 use wadc_app::compose::{compose_secs, PAPER_SECS_PER_PIXEL};
@@ -40,7 +41,7 @@ use wadc_monitor::piggyback;
 use wadc_monitor::vector::LocationVector;
 use wadc_net::faults::{FaultInjector, TrafficKind};
 use wadc_net::link::LinkTable;
-use wadc_net::network::{Network, StartedTransfer, TransferId, TransferSpec};
+use wadc_net::network::{NetScratch, Network, StartedTransfer, TransferId, TransferSpec};
 use wadc_net::topo::nominal_link_table;
 use wadc_obs::metrics::SeriesKind;
 use wadc_obs::recorder::{
@@ -58,7 +59,7 @@ use wadc_sim::time::{SimDuration, SimTime};
 use wadc_topo::graph::Topology;
 
 use crate::algorithms::local_step::{best_local_site, LocalContext};
-use crate::algorithms::one_shot::{improve_placement_by, improve_placement_masked};
+use crate::algorithms::one_shot::{improve_placement_scratch, SearchScratch};
 use crate::knowledge::{KnowledgeMode, PlannerView};
 
 pub use audit::{AuditEvent, AuditLog};
@@ -215,13 +216,87 @@ impl NodeRt {
             composed_iter: 0,
         }
     }
+
+    /// Restores this node to the state [`NodeRt::new`] would build,
+    /// reusing the `inputs` and `buffered` buffers. Any boxes still in
+    /// `buffered` must have been harvested by the caller first.
+    fn reset(&mut self, host: HostId, n_children: usize) {
+        debug_assert!(self.buffered.is_empty(), "buffered boxes not harvested");
+        self.host = host;
+        self.frozen = false;
+        self.buffered.clear();
+        self.output = None;
+        self.pending_demand = None;
+        self.gather_iter = 0;
+        self.inputs.clear();
+        self.inputs.resize(n_children, None);
+        self.last_dispatched = 0;
+        self.later_child = None;
+        self.later_marks = 0;
+        self.dispatches_this_epoch = 0;
+        self.consumer_on_cp = false;
+        self.on_cp = false;
+        self.pending_move = None;
+        self.next_placement = None;
+        self.seen_proposal_version = 0;
+        self.suspended = false;
+        self.disk_requested = 0;
+        self.pruned = false;
+        self.respawning = false;
+        self.last_output = None;
+        self.composed_iter = 0;
+    }
+}
+
+/// The barrier's per-server iteration reports: a flat slot per server
+/// plus a filled-slot count, replacing the old `BTreeMap<usize, u32>` on
+/// the hot path. The slot vector is recycled through the engine (and the
+/// [`RunScratch`] arena) across proposals, so steady-state barriers
+/// allocate nothing.
+#[derive(Debug, Default)]
+struct BarrierReports {
+    slots: Vec<Option<u32>>,
+    filled: usize,
+}
+
+impl BarrierReports {
+    /// Builds an empty report set for `n_servers` on recycled storage.
+    fn on_slots(mut slots: Vec<Option<u32>>, n_servers: usize) -> Self {
+        slots.clear();
+        slots.resize(n_servers, None);
+        BarrierReports { slots, filled: 0 }
+    }
+
+    fn insert(&mut self, server: usize, iteration: u32) {
+        if self.slots[server].is_none() {
+            self.filled += 1;
+        }
+        self.slots[server] = Some(iteration);
+    }
+
+    fn contains(&self, server: usize) -> bool {
+        self.slots[server].is_some()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    fn max_iteration(&self) -> Option<u32> {
+        self.slots.iter().flatten().copied().max()
+    }
+
+    /// Hands the slot storage back for reuse by the next proposal.
+    fn into_slots(self) -> Vec<Option<u32>> {
+        self.slots
+    }
 }
 
 #[derive(Debug)]
 struct Proposal {
     version: u32,
     placement: Placement,
-    reports: BTreeMap<usize, u32>,
+    reports: BarrierReports,
 }
 
 /// The simulation engine for one run.
@@ -322,7 +397,9 @@ pub struct Engine {
     topo_mode: bool,
     /// Topology mode: the scheduled completion event of every in-flight
     /// transfer, so fair-share corrections can cancel and reschedule it.
-    deliver_events: HashMap<TransferId, EventId>,
+    /// A flat slab indexed by [`TransferId::as_u64`] — ids are minted
+    /// sequentially from zero per run, so no hashing on the hot path.
+    deliver_events: Vec<Option<EventId>>,
     /// Topology mode: the armed trace-step recompute event, if any.
     topo_step_event: Option<EventId>,
     /// Reusable buffer for draining fair-share completion corrections.
@@ -338,6 +415,21 @@ pub struct Engine {
     gauging: bool,
     /// Reusable buffer for [`Engine::emit_probe_traffic`]'s pair sweep.
     probe_pairs: Vec<(HostId, HostId)>,
+    /// Reusable buffer for the batched main loop's current event cluster.
+    batch: Vec<EventId>,
+    /// Recycled storage for [`BarrierReports`]; empty while a proposal is
+    /// pending (the proposal holds it).
+    report_slots: Vec<Option<u32>>,
+    /// Location vectors parked here by non-local runs so the arena's
+    /// warmed vectors survive algorithm interleaving; never read.
+    spare_vectors: Vec<LocationVector>,
+    /// Recycled working buffers for the placement search (dense bandwidth
+    /// snapshot, critical-path evaluator arrays); also reused by the
+    /// periodic global re-plan and crash respawn.
+    search_scratch: SearchScratch,
+    /// High-water audit-log length across the runs this engine's arena
+    /// has served, used to pre-size the next run's log.
+    audit_cap: usize,
     /// Observability sink; disabled unless [`Engine::attach_obs`] was
     /// called. Purely passive — see `attach_obs` for the neutrality
     /// guarantee.
@@ -415,6 +507,72 @@ impl Default for LocalScratch {
     }
 }
 
+/// A reusable per-worker arena for everything growable a run allocates:
+/// the event queue's slab, per-node runtime state, per-host caches,
+/// forecasters, resources and flag vectors, the message pool, every
+/// reusable engine buffer, and capacity hints for the buffers that must
+/// move into the [`RunResult`] (the audit log).
+///
+/// Thread one through consecutive runs like a [`MsgPool`] — build the
+/// engine with a scratch-taking constructor (e.g.
+/// [`Engine::new_shared_scratch`]), run via
+/// [`Engine::run_reclaim_scratch`], and hand the reclaimed scratch to the
+/// next run. Steady-state runs then allocate near-zero: capacity is
+/// *reset*, never freed, between runs.
+///
+/// The contract mirrors [`MsgPool`]'s: reuse is **observationally
+/// inert**. Every recycled structure is reset to exactly the state a cold
+/// construction would produce (clocks, sequence counters and contents —
+/// only spare capacity survives), so a warm-arena run is bit-identical to
+/// a cold run of the same `(seed, config)`; `tests/pool_reuse.rs` and
+/// `tests/sweep_determinism.rs` prove it across algorithms, fault plans,
+/// topology backends and thread counts.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    msgs: MsgPool,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeRt>,
+    caches: Vec<BandwidthCache>,
+    forecasters: Vec<Forecaster>,
+    vectors: Vec<LocationVector>,
+    cpus: Vec<Resource<ComputeJob>>,
+    disks: Vec<Resource<DiskJob>>,
+    cpu_current: Vec<Option<ComputeJob>>,
+    disk_current: Vec<Option<DiskJob>>,
+    declared_dead: Vec<bool>,
+    abandoned: Vec<u32>,
+    local_scratch: LocalScratch,
+    started: Vec<StartedTransfer>,
+    resched: Vec<StartedTransfer>,
+    rates: Vec<(HostId, HostId, f64)>,
+    probe_pairs: Vec<(HostId, HostId)>,
+    deliver_slots: Vec<Option<EventId>>,
+    batch: Vec<EventId>,
+    report_slots: Vec<Option<u32>>,
+    net: NetScratch<Box<Message>>,
+    search: SearchScratch,
+    audit_cap: usize,
+}
+
+impl RunScratch {
+    /// Creates an empty (cold) arena; it warms up as runs recycle their
+    /// state through it.
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+
+    /// Returns `true` once at least one run has parked capacity here.
+    pub fn is_warm(&self) -> bool {
+        !self.msgs.is_empty() || !self.nodes.is_empty() || !self.caches.is_empty()
+    }
+
+    /// The arena's message pool (e.g. to pre-warm it or inspect it in
+    /// tests).
+    pub fn msgs_mut(&mut self) -> &mut MsgPool {
+        &mut self.msgs
+    }
+}
+
 impl Engine {
     /// Builds an engine for `cfg` over the given links. The roster is the
     /// paper's canonical one: one host per server plus a client host, so
@@ -469,7 +627,38 @@ impl Engine {
         workload: Arc<Workload>,
     ) -> Self {
         let roster = HostRoster::one_host_per_server(cfg.n_servers);
-        Engine::build(cfg, links, tree, roster, Some(workload), None)
+        Engine::build(cfg, links, tree, roster, Some(workload), None, RunScratch::new())
+    }
+
+    /// [`Engine::new_shared`] drawing all per-run growable state from a
+    /// [`RunScratch`] arena instead of the allocator. Results are
+    /// bit-identical to a cold build; reclaim the warmed arena with
+    /// [`Engine::run_reclaim_scratch`].
+    pub fn new_shared_scratch(
+        cfg: EngineConfig,
+        links: LinkTable,
+        workload: Arc<Workload>,
+        scratch: RunScratch,
+    ) -> Self {
+        let tree = CombinationTree::build(cfg.tree_shape, cfg.n_servers)
+            .expect("engine shapes are buildable and n_servers >= 2");
+        let roster = HostRoster::one_host_per_server(cfg.n_servers);
+        Engine::build(cfg, links, tree, roster, Some(workload), None, scratch)
+    }
+
+    /// [`Engine::new_shared_topo`] drawing all per-run growable state
+    /// from a [`RunScratch`] arena (see [`Engine::new_shared_scratch`]).
+    pub fn new_shared_topo_scratch(
+        cfg: EngineConfig,
+        topology: Arc<Topology>,
+        workload: Arc<Workload>,
+        scratch: RunScratch,
+    ) -> Self {
+        let tree = CombinationTree::build(cfg.tree_shape, cfg.n_servers)
+            .expect("engine shapes are buildable and n_servers >= 2");
+        let roster = HostRoster::one_host_per_server(cfg.n_servers);
+        let links = nominal_link_table(&topology);
+        Engine::build(cfg, links, tree, roster, Some(workload), Some(topology), scratch)
     }
 
     /// [`Engine::new_shared`] over an explicit shared-bottleneck topology
@@ -497,7 +686,15 @@ impl Engine {
     ) -> Self {
         let roster = HostRoster::one_host_per_server(cfg.n_servers);
         let links = nominal_link_table(&topology);
-        Engine::build(cfg, links, tree, roster, Some(workload), Some(topology))
+        Engine::build(
+            cfg,
+            links,
+            tree,
+            roster,
+            Some(workload),
+            Some(topology),
+            RunScratch::new(),
+        )
     }
 
     /// The fully general constructor: explicit tree *and* roster. The
@@ -515,7 +712,7 @@ impl Engine {
         tree: CombinationTree,
         roster: HostRoster,
     ) -> Self {
-        Engine::build(cfg, links, tree, roster, None, None)
+        Engine::build(cfg, links, tree, roster, None, None, RunScratch::new())
     }
 
     fn build(
@@ -525,6 +722,7 @@ impl Engine {
         roster: HostRoster,
         shared_workload: Option<Arc<Workload>>,
         topology: Option<Arc<Topology>>,
+        scratch: RunScratch,
     ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("{e}");
@@ -566,15 +764,79 @@ impl Engine {
             SimDuration::ZERO
         };
 
+        // Acquire all growable state from the arena. Every structure is
+        // reset to exactly what a cold construction would build — only
+        // spare capacity survives from earlier runs, so results are
+        // bit-identical either way (a cold `RunScratch::new()` makes this
+        // path the plain constructor).
+        let RunScratch {
+            msgs: msg_pool,
+            mut queue,
+            nodes: scratch_nodes,
+            mut caches,
+            mut forecasters,
+            vectors: scratch_vectors,
+            mut cpus,
+            mut disks,
+            mut cpu_current,
+            mut disk_current,
+            mut declared_dead,
+            mut abandoned,
+            local_scratch,
+            started: started_scratch,
+            resched: resched_scratch,
+            rates: rate_scratch,
+            probe_pairs,
+            deliver_slots: mut deliver_events,
+            batch,
+            report_slots,
+            net: net_scratch,
+            search: mut search_scratch,
+            audit_cap,
+        } = scratch;
+        queue.reset();
+        deliver_events.clear();
+        caches.truncate(n_hosts);
+        for c in &mut caches {
+            c.reset(cfg.monitor);
+        }
+        while caches.len() < n_hosts {
+            caches.push(BandwidthCache::new(cfg.monitor));
+        }
+        forecasters.truncate(n_hosts);
+        for f in &mut forecasters {
+            f.reset(16);
+        }
+        while forecasters.len() < n_hosts {
+            forecasters.push(Forecaster::new(16));
+        }
+        cpus.truncate(n_hosts);
+        disks.truncate(n_hosts);
+        for r in &mut cpus {
+            r.reset();
+        }
+        for r in &mut disks {
+            r.reset();
+        }
+        while cpus.len() < n_hosts {
+            cpus.push(Resource::new());
+        }
+        while disks.len() < n_hosts {
+            disks.push(Resource::new());
+        }
+        cpu_current.clear();
+        cpu_current.resize(n_hosts, None);
+        disk_current.clear();
+        disk_current.resize(n_hosts, None);
+        declared_dead.clear();
+        declared_dead.resize(n_hosts, false);
+        abandoned.clear();
+        abandoned.resize(n_hosts, 0);
+
         // Initial placement per algorithm.
-        let queue: EventQueue<Ev> = EventQueue::new();
         let mut planner_runs = 0;
-        let mut caches: Vec<BandwidthCache> = (0..n_hosts)
-            .map(|_| BandwidthCache::new(cfg.monitor))
-            .collect();
-        let forecasters: Vec<Forecaster> = (0..n_hosts).map(|_| Forecaster::new(16)).collect();
         let gauge = Gauge::new();
-        let mut audit = AuditLog::new();
+        let mut audit = AuditLog::with_capacity(audit_cap);
         let initial = match cfg.algorithm {
             Algorithm::DownloadAll => Placement::download_all(&tree, &roster),
             _ => {
@@ -595,13 +857,15 @@ impl Engine {
                     view,
                     &cfg.cost_model,
                 );
-                let result = improve_placement_by(
+                let result = improve_placement_scratch(
                     &tree,
                     &roster,
                     Placement::download_all(&tree, &roster),
                     view,
                     &cfg.cost_model,
                     cfg.objective,
+                    &[],
+                    &mut search_scratch,
                 );
                 audit.record(AuditEvent::PlannerRan {
                     at: SimTime::ZERO,
@@ -622,10 +886,15 @@ impl Engine {
             }
         };
 
-        let mut nodes = Vec::with_capacity(tree.nodes().len());
+        let mut nodes = scratch_nodes;
+        nodes.truncate(tree.nodes().len());
         for (i, node) in tree.nodes().iter().enumerate() {
             let host = initial.node_host(&tree, &roster, NodeId::new(i));
-            nodes.push(NodeRt::new(host, node.children.len()));
+            if i < nodes.len() {
+                nodes[i].reset(host, node.children.len());
+            } else {
+                nodes.push(NodeRt::new(host, node.children.len()));
+            }
         }
 
         let (local_mode, epoch_len, extra_candidates) = match cfg.algorithm {
@@ -642,14 +911,28 @@ impl Engine {
             }
             _ => (false, SimDuration::ZERO, 0),
         };
+        // Non-local runs park the arena's warmed vectors in
+        // `spare_vectors` (never read) so a later local run can reuse
+        // them; `vectors` itself must stay empty, as the cold build
+        // leaves it.
+        let mut spare_vectors = Vec::new();
         let vectors = if local_mode {
-            vec![LocationVector::new(initial.sites().to_vec()); n_hosts]
+            let mut vectors = scratch_vectors;
+            vectors.truncate(n_hosts);
+            for v in &mut vectors {
+                v.assign(initial.sites());
+            }
+            while vectors.len() < n_hosts {
+                vectors.push(LocationVector::new(initial.sites().to_vec()));
+            }
+            vectors
         } else {
+            spare_vectors = scratch_vectors;
             Vec::new()
         };
 
         let rng = Rng64::seed_from_u64(derive_seed(cfg.seed, 2));
-        let mut net = Network::new(cfg.net, links);
+        let mut net = Network::with_scratch(cfg.net, links, net_scratch);
         if let Some(t) = topology {
             net.set_topology(t);
         }
@@ -659,10 +942,10 @@ impl Engine {
         let topo_mode = net.has_topology();
         Engine {
             net,
-            cpus: (0..n_hosts).map(|_| Resource::new()).collect(),
-            cpu_current: vec![None; n_hosts],
-            disks: (0..n_hosts).map(|_| Resource::new()).collect(),
-            disk_current: vec![None; n_hosts],
+            cpus,
+            cpu_current,
+            disks,
+            disk_current,
             committed_placement: initial,
             committed_version: 0,
             proposal_counter: 0,
@@ -673,7 +956,7 @@ impl Engine {
             epoch_index: 0,
             extra_candidates,
             rng,
-            arrivals: Vec::new(),
+            arrivals: Vec::with_capacity(n_iterations as usize),
             relocations: 0,
             changeovers: 0,
             planner_runs,
@@ -683,23 +966,28 @@ impl Engine {
                 ProbeScheduler::all_pairs(n_hosts, interval, derive_seed(cfg.seed, 3))
             }),
             faults,
-            declared_dead: vec![false; n_hosts],
-            abandoned: vec![0; n_hosts],
+            declared_dead,
+            abandoned,
             hosts_declared_dead: 0,
             operators_respawned: 0,
             aborted: None,
             doomed_probes: BTreeSet::new(),
-            local_scratch: LocalScratch::default(),
-            msg_pool: MsgPool::new(),
-            started_scratch: Vec::new(),
+            local_scratch,
+            msg_pool,
+            started_scratch,
             topo_mode,
-            deliver_events: HashMap::new(),
+            deliver_events,
             topo_step_event: None,
-            resched_scratch: Vec::new(),
-            rate_scratch: Vec::new(),
+            resched_scratch,
+            rate_scratch,
             gauge,
             gauging: cfg.knowledge == KnowledgeMode::Gauged,
-            probe_pairs: Vec::new(),
+            probe_pairs,
+            batch,
+            report_slots,
+            spare_vectors,
+            search_scratch,
+            audit_cap,
             obs: Obs::disabled(),
             obs_state: None,
             cfg,
@@ -1009,6 +1297,102 @@ impl Engine {
     /// next run (via [`Engine::adopt_pool`]) starts warm instead of
     /// re-allocating its message boxes.
     pub fn run_reclaim(mut self) -> (RunResult, MsgPool) {
+        let result = self.execute();
+        let pool = std::mem::take(&mut self.msg_pool);
+        (result, pool)
+    }
+
+    /// [`Engine::run`], additionally reclaiming the full [`RunScratch`]
+    /// arena — message pool, event-queue slab, per-node and per-host
+    /// state, every reusable buffer — so the next run built with a
+    /// scratch-taking constructor starts with warmed capacity everywhere.
+    pub fn run_reclaim_scratch(mut self) -> (RunResult, RunScratch) {
+        let result = self.execute();
+        let scratch = self.reclaim(result.audit.len());
+        (result, scratch)
+    }
+
+    /// Tears the engine down into its [`RunScratch`] arena *without*
+    /// running — the world-setup microbench uses this to measure pure
+    /// construction cost on a warm arena, and callers that build an
+    /// engine speculatively can recover its capacity.
+    pub fn into_scratch(self) -> RunScratch {
+        let audit_len = self.audit.len();
+        self.reclaim(audit_len)
+    }
+
+    /// Returns retired message boxes to `pool` when an event payload
+    /// carries one (pending local deliveries and armed retransmissions).
+    fn harvest_ev(pool: &mut MsgPool, ev: Ev) {
+        match ev {
+            Ev::Local(m) | Ev::Retransmit(m) => pool.release(m),
+            _ => {}
+        }
+    }
+
+    /// Tears the finished engine down into a reusable [`RunScratch`]:
+    /// harvests every message box still held by the queue, the unhandled
+    /// batch remainder, or node replay buffers, resets the queue, and
+    /// parks all growable state for the next run.
+    fn reclaim(mut self, audit_len: usize) -> RunScratch {
+        let mut msgs = std::mem::take(&mut self.msg_pool);
+        let mut batch = std::mem::take(&mut self.batch);
+        for id in batch.drain(..) {
+            if let Some(ev) = self.queue.claim(id) {
+                Self::harvest_ev(&mut msgs, ev);
+            }
+        }
+        while let Some((_, _, ev)) = self.queue.pop() {
+            Self::harvest_ev(&mut msgs, ev);
+        }
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.reset();
+        let mut nodes = std::mem::take(&mut self.nodes);
+        for n in &mut nodes {
+            for m in n.buffered.drain(..) {
+                msgs.release(m);
+            }
+        }
+        let mut vectors = std::mem::take(&mut self.vectors);
+        vectors.append(&mut self.spare_vectors);
+        let mut deliver_slots = std::mem::take(&mut self.deliver_events);
+        deliver_slots.clear();
+        let report_slots = match self.proposal.take() {
+            Some(p) => p.reports.into_slots(),
+            None => std::mem::take(&mut self.report_slots),
+        };
+        let net = self.net.into_scratch(|m| msgs.release(m));
+        RunScratch {
+            msgs,
+            queue,
+            nodes,
+            caches: std::mem::take(&mut self.caches),
+            forecasters: std::mem::take(&mut self.forecasters),
+            vectors,
+            cpus: std::mem::take(&mut self.cpus),
+            disks: std::mem::take(&mut self.disks),
+            cpu_current: std::mem::take(&mut self.cpu_current),
+            disk_current: std::mem::take(&mut self.disk_current),
+            declared_dead: std::mem::take(&mut self.declared_dead),
+            abandoned: std::mem::take(&mut self.abandoned),
+            local_scratch: std::mem::take(&mut self.local_scratch),
+            started: std::mem::take(&mut self.started_scratch),
+            resched: std::mem::take(&mut self.resched_scratch),
+            rates: std::mem::take(&mut self.rate_scratch),
+            probe_pairs: std::mem::take(&mut self.probe_pairs),
+            deliver_slots,
+            batch,
+            report_slots,
+            net,
+            search: std::mem::take(&mut self.search_scratch),
+            audit_cap: self.audit_cap.max(audit_len),
+        }
+    }
+
+    /// Drives the simulation to completion (or the safety cap) and builds
+    /// the [`RunResult`], leaving recyclable state behind on `self` for
+    /// [`Engine::reclaim`].
+    fn execute(&mut self) -> RunResult {
         // Kick off: the client demands the first partition; on-line
         // algorithms arm their timers.
         match self.cfg.algorithm {
@@ -1035,20 +1419,32 @@ impl Engine {
 
         let cap = SimTime::ZERO + self.cfg.max_sim_time;
         let mut completed = false;
-        while let Some((t, _, ev)) = self.queue.pop() {
+        // Batched dispatch: drain every event sharing the minimum
+        // timestamp in one heap pass, then claim them in seq order —
+        // bit-identical to the one-at-a-time pop loop (handlers that
+        // cancel a same-timestamp neighbour see the claim return `None`,
+        // exactly as `pop` would never surface a cancelled entry).
+        let mut batch = std::mem::take(&mut self.batch);
+        'run: while let Some(t) = self.queue.pop_batch(&mut batch) {
             if t > cap {
                 break;
             }
-            self.handle(ev);
-            self.obs_sample_tick(t);
-            if self.aborted.is_some() {
-                break;
-            }
-            if self.arrivals.len() as u32 >= self.n_iterations {
-                completed = true;
-                break;
+            for i in 0..batch.len() {
+                let Some(ev) = self.queue.claim(batch[i]) else {
+                    continue;
+                };
+                self.handle(ev);
+                self.obs_sample_tick(t);
+                if self.aborted.is_some() {
+                    break 'run;
+                }
+                if self.arrivals.len() as u32 >= self.n_iterations {
+                    completed = true;
+                    break 'run;
+                }
             }
         }
+        self.batch = batch;
 
         if self.obs_state.is_some() {
             let end = self.now();
@@ -1075,7 +1471,6 @@ impl Engine {
             interarrival.record((a - prev).as_secs_f64());
             prev = a;
         }
-        let pool = std::mem::take(&mut self.msg_pool);
         // The liveness guarantee: every run ends in exactly one of three
         // explicit states. `Completed` is reserved for runs that delivered
         // everything over a fully live host set; anything the failure
@@ -1088,7 +1483,7 @@ impl Engine {
         } else {
             RunOutcome::Degraded
         };
-        let result = RunResult {
+        RunResult {
             completed,
             outcome,
             hosts_declared_dead: self.hosts_declared_dead,
@@ -1096,14 +1491,13 @@ impl Engine {
             completion_time,
             images_delivered: self.arrivals.len(),
             interarrival,
-            arrivals: self.arrivals,
+            arrivals: std::mem::take(&mut self.arrivals),
             relocations: self.relocations,
             changeovers: self.changeovers,
             planner_runs: self.planner_runs,
             net_stats: self.net.stats(),
-            audit: self.audit,
-        };
-        (result, pool)
+            audit: std::mem::take(&mut self.audit),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1201,7 +1595,10 @@ impl Engine {
     fn handle_delivery(&mut self, tid: TransferId) {
         let now = self.now();
         if self.topo_mode {
-            self.deliver_events.remove(&tid);
+            let i = tid.as_u64() as usize;
+            if let Some(slot) = self.deliver_events.get_mut(i) {
+                *slot = None;
+            }
         }
         let delivery = self.net.complete(tid, now);
         self.pump();
@@ -2176,7 +2573,7 @@ impl Engine {
                 &masked,
                 &self.cfg.cost_model,
             );
-            let result = improve_placement_masked(
+            let result = improve_placement_scratch(
                 &self.tree,
                 &self.roster,
                 self.committed_placement.clone(),
@@ -2184,6 +2581,7 @@ impl Engine {
                 &self.cfg.cost_model,
                 self.cfg.objective,
                 &dead,
+                &mut self.search_scratch,
             );
             (cost_before, result)
         };
@@ -2360,13 +2758,15 @@ impl Engine {
                 view,
                 &self.cfg.cost_model,
             );
-            let result = improve_placement_by(
+            let result = improve_placement_scratch(
                 &self.tree,
                 &self.roster,
                 self.committed_placement.clone(),
                 view,
                 &self.cfg.cost_model,
                 self.cfg.objective,
+                &[],
+                &mut self.search_scratch,
             );
             (cost_before, result)
         } else {
@@ -2378,7 +2778,7 @@ impl Engine {
                 &masked,
                 &self.cfg.cost_model,
             );
-            let result = improve_placement_masked(
+            let result = improve_placement_scratch(
                 &self.tree,
                 &self.roster,
                 self.committed_placement.clone(),
@@ -2386,6 +2786,7 @@ impl Engine {
                 &self.cfg.cost_model,
                 self.cfg.objective,
                 &dead,
+                &mut self.search_scratch,
             );
             (cost_before, result)
         };
@@ -2419,7 +2820,10 @@ impl Engine {
             self.proposal = Some(Proposal {
                 version,
                 placement: result.placement,
-                reports: BTreeMap::new(),
+                reports: BarrierReports::on_slots(
+                    std::mem::take(&mut self.report_slots),
+                    self.cfg.n_servers,
+                ),
             });
             // Under fault injection a report can be lost past its retry
             // budget; the timeout guarantees the barrier cannot wedge the
@@ -2474,6 +2878,7 @@ impl Engine {
                 );
             }
         }
+        self.report_slots = p.reports.into_slots();
     }
 
     /// A server learns a proposal was abandoned: resume if it suspended
@@ -2540,7 +2945,7 @@ impl Engine {
             let Some(p) = self.proposal.as_ref() else {
                 return;
             };
-            (0..self.cfg.n_servers).all(|s| p.reports.contains_key(&s) || self.server_is_down(s))
+            (0..self.cfg.n_servers).all(|s| p.reports.contains(s) || self.server_is_down(s))
         };
         if !all_in {
             return;
@@ -2551,7 +2956,7 @@ impl Engine {
             return;
         }
         let p = self.proposal.take().expect("checked above");
-        let switch_iteration = p.reports.values().copied().max().expect("non-empty") + 1;
+        let switch_iteration = p.reports.max_iteration().expect("non-empty") + 1;
         self.committed_placement = p.placement.clone();
         self.committed_version = p.version;
         self.changeovers += 1;
@@ -2579,6 +2984,7 @@ impl Engine {
                 None,
             );
         }
+        self.report_slots = p.reports.into_slots();
     }
 
     fn handle_barrier_commit(
@@ -2982,6 +3388,18 @@ impl Engine {
     /// completions. In topology mode the scheduled event ids are kept so
     /// fair-share corrections can cancel and reschedule them, and the
     /// model's bookkeeping runs after every poll.
+    /// Records `eid` as the pending completion event for transfer `tid`
+    /// in the flat slab (transfer ids are minted sequentially from zero,
+    /// so the index is dense; the slab grows once per run to the live
+    /// high-water mark and is then allocation-free).
+    fn set_deliver_slot(&mut self, tid: TransferId, eid: EventId) {
+        let i = tid.as_u64() as usize;
+        if i >= self.deliver_events.len() {
+            self.deliver_events.resize(i + 1, None);
+        }
+        self.deliver_events[i] = Some(eid);
+    }
+
     fn pump(&mut self) {
         let now = self.now();
         let mut started = std::mem::take(&mut self.started_scratch);
@@ -2989,7 +3407,7 @@ impl Engine {
         if self.topo_mode {
             for s in &started {
                 let eid = self.queue.schedule(s.completes_at, Ev::Deliver(s.id));
-                self.deliver_events.insert(s.id, eid);
+                self.set_deliver_slot(s.id, eid);
             }
             self.started_scratch = started;
             self.sync_topo(now);
@@ -3009,12 +3427,13 @@ impl Engine {
         let mut resched = std::mem::take(&mut self.resched_scratch);
         self.net.take_topo_resched(&mut resched);
         for r in &resched {
-            if let Some(old) = self.deliver_events.remove(&r.id) {
+            let i = r.id.as_u64() as usize;
+            if let Some(old) = self.deliver_events.get_mut(i).and_then(|s| s.take()) {
                 let cancelled = self.queue.cancel(old);
                 debug_assert!(cancelled, "a live flow's completion event is pending");
             }
             let eid = self.queue.schedule(r.completes_at, Ev::Deliver(r.id));
-            self.deliver_events.insert(r.id, eid);
+            self.set_deliver_slot(r.id, eid);
         }
         self.resched_scratch = resched;
         if let Some(old) = self.topo_step_event.take() {

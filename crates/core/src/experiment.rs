@@ -22,7 +22,7 @@ use wadc_trace::study::BandwidthStudy;
 use wadc_trace::synth::{generate, SynthParams};
 
 use crate::algorithms::one_shot::Objective;
-use crate::engine::{Algorithm, Engine, EngineConfig, MsgPool, RunResult};
+use crate::engine::{Algorithm, Engine, EngineConfig, MsgPool, RunResult, RunScratch};
 use crate::knowledge::KnowledgeMode;
 
 /// Stream labels for seed derivation (arbitrary, fixed constants).
@@ -300,6 +300,36 @@ impl Experiment {
         let (result, reclaimed) = engine.run_reclaim();
         *pool = reclaimed;
         result
+    }
+
+    /// [`Experiment::run`] with a caller-owned [`RunScratch`] arena: the
+    /// engine acquires *all* of its growable state — message pool, event
+    /// queue slab, per-node and per-host structures, every scratch buffer
+    /// — from `scratch` and hands it back when the run ends. A sequence
+    /// of runs reaches a steady state where world setup allocates nothing
+    /// beyond the handful of buffers that move into the [`RunResult`].
+    /// Results are bit-identical to [`Experiment::run`].
+    pub fn run_scratch(&self, algorithm: Algorithm, scratch: &mut RunScratch) -> RunResult {
+        let engine = self.engine_scratch(algorithm, std::mem::take(scratch));
+        let (result, reclaimed) = engine.run_reclaim_scratch();
+        *scratch = reclaimed;
+        result
+    }
+
+    /// Builds (without running) the engine for one run of `algorithm`,
+    /// drawing growable state from `scratch`. The world-setup microbench
+    /// measures this alone; normal callers want [`Experiment::run_scratch`].
+    pub fn engine_scratch(&self, algorithm: Algorithm, scratch: RunScratch) -> Engine {
+        let mut cfg = self.template.clone();
+        cfg.algorithm = algorithm;
+        match &self.topology {
+            Some(t) => {
+                Engine::new_shared_topo_scratch(cfg, t.clone(), self.shared_workload(), scratch)
+            }
+            None => {
+                Engine::new_shared_scratch(cfg, self.links.clone(), self.shared_workload(), scratch)
+            }
+        }
     }
 
     /// Runs `algorithm` with an observability recorder attached (see

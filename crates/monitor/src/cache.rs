@@ -6,8 +6,6 @@
 //! bandwidth measurement cache; entries are timed out after T_thres
 //! seconds". The experiments used `S_thres = 16 KB` and `T_thres = 40 s`.
 
-use std::collections::HashMap;
-
 use wadc_plan::bandwidth::BandwidthView;
 use wadc_plan::ids::HostId;
 use wadc_sim::time::{SimDuration, SimTime};
@@ -81,7 +79,17 @@ fn norm(a: HostId, b: HostId) -> (HostId, HostId) {
 #[derive(Debug, Clone)]
 pub struct BandwidthCache {
     config: MonitorConfig,
-    entries: HashMap<(HostId, HostId), Measurement>,
+    /// Hosts covered by the matrix: pairs with both ids `< n` have a slot.
+    n: usize,
+    /// Row-major `n × n` slots; the pair `(lo, hi)` (normalised `lo < hi`)
+    /// lives at `lo * n + hi`, the lower triangle and diagonal stay
+    /// `None`. A dense matrix instead of a hash map because `observe` and
+    /// `measurement` sit on the engine's hottest path (every piggyback
+    /// entry of every message) — host counts are small, so the whole
+    /// matrix is a few cache lines and every access is one index.
+    slots: Vec<Option<Measurement>>,
+    /// Occupied slot count.
+    len: usize,
 }
 
 impl BandwidthCache {
@@ -89,7 +97,9 @@ impl BandwidthCache {
     pub fn new(config: MonitorConfig) -> Self {
         BandwidthCache {
             config,
-            entries: HashMap::new(),
+            n: 0,
+            slots: Vec::new(),
+            len: 0,
         }
     }
 
@@ -98,15 +108,55 @@ impl BandwidthCache {
         &self.config
     }
 
+    /// Empties the cache and installs a (possibly different) monitoring
+    /// configuration, keeping the matrix's capacity so run arenas can
+    /// recycle caches without reallocating. Observationally identical to
+    /// `BandwidthCache::new(config)`.
+    pub fn reset(&mut self, config: MonitorConfig) {
+        self.config = config;
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.len = 0;
+    }
+
+    /// Grows the matrix to cover host index `hi` (rare: at most a handful
+    /// of times over a cache's life, then never again on the hot path).
+    fn ensure(&mut self, hi: usize) {
+        if hi < self.n {
+            return;
+        }
+        let n = hi + 1;
+        let mut slots = vec![None; n * n];
+        for lo in 0..self.n {
+            for h in (lo + 1)..self.n {
+                slots[lo * n + h] = self.slots[lo * self.n + h];
+            }
+        }
+        self.slots = slots;
+        self.n = n;
+    }
+
+    /// The slot index of the normalised pair, or `None` if the matrix
+    /// does not cover it (equivalently: the pair was never observed).
+    fn slot(&self, a: HostId, b: HostId) -> Option<usize> {
+        let (lo, hi) = norm(a, b);
+        (hi.index() < self.n).then(|| lo.index() * self.n + hi.index())
+    }
+
     /// Records a measurement for the pair `(a, b)`. Older measurements for
     /// the pair are replaced only by newer ones, so absorbing stale
     /// piggybacked values never regresses the cache.
     pub fn observe(&mut self, a: HostId, b: HostId, bytes_per_sec: f64, at: SimTime) {
         debug_assert_ne!(a, b, "no self-measurements");
-        let key = norm(a, b);
-        let newer = self.entries.get(&key).is_none_or(|m| at >= m.at);
-        if newer {
-            self.entries.insert(key, Measurement { bytes_per_sec, at });
+        let (lo, hi) = norm(a, b);
+        self.ensure(hi.index());
+        let slot = &mut self.slots[lo.index() * self.n + hi.index()];
+        match slot {
+            Some(m) if at < m.at => {}
+            Some(m) => *m = Measurement { bytes_per_sec, at },
+            None => {
+                *slot = Some(Measurement { bytes_per_sec, at });
+                self.len += 1;
+            }
         }
     }
 
@@ -148,13 +198,13 @@ impl BandwidthCache {
         now: SimTime,
         grace: SimDuration,
     ) -> Option<f64> {
-        let m = self.entries.get(&norm(a, b))?;
+        let m = self.slots[self.slot(a, b)?].as_ref()?;
         (now.saturating_since(m.at) <= self.config.t_thres + grace).then_some(m.bytes_per_sec)
     }
 
     /// The raw measurement for a pair regardless of expiry.
     pub fn measurement(&self, a: HostId, b: HostId) -> Option<Measurement> {
-        self.entries.get(&norm(a, b)).copied()
+        self.slots[self.slot(a, b)?]
     }
 
     /// All unexpired measurements at `now`, newest first.
@@ -164,36 +214,47 @@ impl BandwidthCache {
         v
     }
 
-    /// Unexpired measurements at `now` in arbitrary (map) order, without
-    /// allocating. Callers that need the newest-first order must sort;
-    /// `(at, pair)` keys are unique, so any comparison sort yields the
-    /// same sequence as [`BandwidthCache::fresh_entries`].
+    /// Unexpired measurements at `now` in pair order (`(lo, hi)`
+    /// ascending), without allocating. Callers that need the newest-first
+    /// order must sort; `(at, pair)` keys are unique, so any comparison
+    /// sort yields the same sequence as
+    /// [`BandwidthCache::fresh_entries`].
     pub fn iter_fresh(
         &self,
         now: SimTime,
     ) -> impl Iterator<Item = ((HostId, HostId), Measurement)> + '_ {
-        self.entries
+        let n = self.n;
+        self.slots
             .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| {
+                s.map(|m| ((HostId::new(i / n), HostId::new(i % n)), m))
+            })
             .filter(move |(_, m)| now.saturating_since(m.at) <= self.config.t_thres)
-            .map(|(&k, &m)| (k, m))
     }
 
     /// Drops entries expired at `now`; returns how many were dropped.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let t = self.config.t_thres;
-        let before = self.entries.len();
-        self.entries.retain(|_, m| now.saturating_since(m.at) <= t);
-        before - self.entries.len()
+        let mut dropped = 0;
+        for s in &mut self.slots {
+            if s.is_some_and(|m| now.saturating_since(m.at) > t) {
+                *s = None;
+                dropped += 1;
+            }
+        }
+        self.len -= dropped;
+        dropped
     }
 
     /// Number of entries, including expired ones not yet purged.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Returns `true` if the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// A [`BandwidthView`] of the cache frozen at `now`, for handing to the

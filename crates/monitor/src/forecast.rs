@@ -120,6 +120,19 @@ fn norm(a: HostId, b: HostId) -> (HostId, HostId) {
 }
 
 impl Forecaster {
+    /// Forgets every series (keeping the map's capacity) and installs a
+    /// new window length, so run arenas can recycle forecasters between
+    /// runs. Observationally identical to `Forecaster::new(window_len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn reset(&mut self, window_len: usize) {
+        assert!(window_len > 0, "window must hold at least one measurement");
+        self.window_len = window_len;
+        self.series.clear();
+    }
+
     /// Creates a forecaster keeping up to `window_len` measurements per
     /// host pair.
     ///

@@ -30,7 +30,9 @@ pub struct PiggybackEntry {
 /// The bandwidth values attached to one message.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Piggyback {
-    /// Entries, newest first.
+    /// Entries, at most one per host pair. Order carries no meaning:
+    /// absorption is per-pair newest-wins, so receivers treat the payload
+    /// as a set.
     pub entries: Vec<PiggybackEntry>,
 }
 
@@ -66,9 +68,13 @@ pub fn collect(cache: &BandwidthCache, now: SimTime) -> Piggyback {
 
 /// [`collect`] into a caller-owned payload, reusing its entry buffer.
 /// The engine's message pool keeps warm `Piggyback`s, so the per-message
-/// steady state performs no allocation here. The selected entries (and
-/// their order) are exactly [`collect`]'s: `(at, pair)` sort keys are
-/// unique per cache entry, so the unstable sort is deterministic.
+/// steady state performs no allocation here. When every fresh entry fits
+/// the byte budget, entries are left in the cache's pair-ascending
+/// iteration order — the payload is a set to receivers, so ranking it
+/// would be pure overhead on the hottest per-message path. Only when the
+/// payload must be truncated are entries ranked newest-first; `(at, pair)`
+/// sort keys are unique per cache entry, so the unstable sort is
+/// deterministic and truncation keeps exactly the newest values.
 pub fn collect_into(cache: &BandwidthCache, now: SimTime, out: &mut Piggyback) {
     let budget = cache.config().piggyback_budget_bytes;
     let max_entries = budget / ENTRY_WIRE_BYTES;
@@ -78,13 +84,15 @@ pub fn collect_into(cache: &BandwidthCache, now: SimTime, out: &mut Piggyback) {
             .iter_fresh(now)
             .map(|((a, b), measurement)| PiggybackEntry { a, b, measurement }),
     );
-    out.entries.sort_unstable_by(|x, y| {
-        y.measurement
-            .at
-            .cmp(&x.measurement.at)
-            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
-    });
-    out.entries.truncate(max_entries);
+    if out.entries.len() > max_entries {
+        out.entries.sort_unstable_by(|x, y| {
+            y.measurement
+                .at
+                .cmp(&x.measurement.at)
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        out.entries.truncate(max_entries);
+    }
 }
 
 /// Merges a received payload into `cache` (newest measurement per pair
@@ -132,10 +140,22 @@ mod tests {
     }
 
     #[test]
-    fn collect_prefers_newest() {
-        let c = cache_with(3); // observations at t = 0, 1, 2
-        let p = collect(&c, SimTime::from_secs(2));
-        assert_eq!(p.entries[0].measurement.at, SimTime::from_secs(2));
+    fn truncation_keeps_newest() {
+        // 60 fresh pairs at distinct times spread over 30 s; only the
+        // 42 newest (t >= 118.0) survive the 1 KB budget.
+        let mut c = BandwidthCache::new(MonitorConfig::paper_defaults());
+        for i in 0..60 {
+            c.observe(h(i), h(i + 1), 1.0, SimTime::from_secs_f64(100.0 + i as f64 * 0.5));
+        }
+        let p = collect(&c, SimTime::from_secs(130));
+        assert_eq!(p.len(), 42);
+        let oldest_kept = p
+            .entries
+            .iter()
+            .map(|e| e.measurement.at)
+            .min()
+            .unwrap();
+        assert_eq!(oldest_kept, SimTime::from_secs_f64(109.0));
     }
 
     #[test]

@@ -130,6 +130,16 @@ impl LocationVector {
         self.stamps.clone_from(&other.stamps);
     }
 
+    /// Reinitialises the vector to the given locations, all at timestamp
+    /// zero, reusing this vector's buffers. Observationally identical to
+    /// `LocationVector::new(initial.to_vec())` without the allocations.
+    pub fn assign(&mut self, initial: &[HostId]) {
+        self.locations.clear();
+        self.locations.extend_from_slice(initial);
+        self.stamps.clear();
+        self.stamps.resize(initial.len(), 0);
+    }
+
     /// The paper's dominance predicate: every entry of `self` is ≥ the
     /// corresponding entry of `other`, and at least one is strictly
     /// greater.

@@ -15,7 +15,6 @@
 //! asks what can start *now*, schedules the returned completion times on
 //! its event queue, and reports completions back.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use wadc_obs::metrics::SeriesKind;
@@ -126,6 +125,43 @@ struct InFlight<P> {
     /// Open trace span on the source host's track ([`SpanId::INVALID`]
     /// when observation is off).
     span: SpanId,
+}
+
+/// A [`Network`]'s growable buffers, detached for reuse by a later run.
+///
+/// A simulation run builds a fresh `Network`, pushes a few thousand
+/// transfers through it, and drops it; the buffers below are the only
+/// heap state whose *capacity* is worth carrying across runs. Obtain one
+/// from [`Network::into_scratch`], hand it to [`Network::with_scratch`];
+/// a `NetScratch::new()` makes `with_scratch` exactly [`Network::new`].
+#[derive(Debug)]
+pub struct NetScratch<P> {
+    nic_busy: Vec<usize>,
+    nic_usage: Vec<TimeWeighted>,
+    pending_high: Vec<Pending<P>>,
+    pending_norm: Vec<Pending<P>>,
+    in_flight: Vec<Option<InFlight<P>>>,
+    link_cursors: Vec<TraceCursor>,
+}
+
+impl<P> Default for NetScratch<P> {
+    fn default() -> Self {
+        NetScratch::new()
+    }
+}
+
+impl<P> NetScratch<P> {
+    /// An empty scratch (all capacities zero).
+    pub fn new() -> Self {
+        NetScratch {
+            nic_busy: Vec::new(),
+            nic_usage: Vec::new(),
+            pending_high: Vec::new(),
+            pending_norm: Vec::new(),
+            in_flight: Vec::new(),
+            link_cursors: Vec::new(),
+        }
+    }
 }
 
 /// A transfer that just entered service; the caller must schedule its
@@ -326,8 +362,17 @@ pub struct Network<P> {
     /// Number of transfers each host currently participates in.
     nic_busy: Vec<usize>,
     nic_usage: Vec<TimeWeighted>,
-    pending: Vec<Pending<P>>,
-    in_flight: HashMap<TransferId, InFlight<P>>,
+    /// Waiting transfers, one FIFO per priority class. Ids are monotonic,
+    /// so each queue is sorted by submission order by construction and
+    /// scanning high before normal reproduces a full
+    /// (priority desc, id asc) sort without sorting.
+    pending_high: Vec<Pending<P>>,
+    pending_norm: Vec<Pending<P>>,
+    /// In-service transfers, indexed by [`TransferId`] (ids are minted
+    /// densely from zero, so a slot vector replaces a hash map on the
+    /// start/complete path).
+    in_flight: Vec<Option<InFlight<P>>>,
+    in_flight_len: usize,
     next_id: u64,
     stats: NetStats,
     faults: Option<FaultInjector>,
@@ -351,27 +396,75 @@ pub struct Network<P> {
 impl<P> Network<P> {
     /// Creates a network over the given links.
     pub fn new(params: NetworkParams, links: LinkTable) -> Self {
+        Network::with_scratch(params, links, NetScratch::new())
+    }
+
+    /// [`Network::new`] drawing its buffers from a recycled scratch.
+    /// Every buffer is reset to exactly the cold-constructed state — only
+    /// spare capacity survives, so the two constructors are
+    /// observationally identical.
+    pub fn with_scratch(params: NetworkParams, links: LinkTable, scratch: NetScratch<P>) -> Self {
         assert!(params.nic_capacity > 0, "a host needs at least one channel");
         let n = links.host_count();
+        let NetScratch {
+            mut nic_busy,
+            mut nic_usage,
+            pending_high,
+            pending_norm,
+            in_flight,
+            mut link_cursors,
+        } = scratch;
+        debug_assert!(pending_high.is_empty() && pending_norm.is_empty());
+        debug_assert!(in_flight.is_empty());
+        nic_busy.clear();
+        nic_busy.resize(n, 0);
+        nic_usage.clear();
+        nic_usage.resize_with(n, || TimeWeighted::new(SimTime::ZERO, 0.0));
+        link_cursors.clear();
+        link_cursors.resize_with(n * n, TraceCursor::new);
         Network {
             params,
             links,
-            nic_busy: vec![0; n],
-            nic_usage: (0..n)
-                .map(|_| TimeWeighted::new(SimTime::ZERO, 0.0))
-                .collect(),
-            pending: Vec::new(),
-            in_flight: HashMap::new(),
+            nic_busy,
+            nic_usage,
+            pending_high,
+            pending_norm,
+            in_flight,
+            in_flight_len: 0,
             next_id: 0,
             stats: NetStats::default(),
             faults: None,
             topo: None,
-            link_cursors: vec![TraceCursor::new(); n * n],
+            link_cursors,
             obs: Obs::disabled(),
             host_tracks: Vec::new(),
             s_in_flight_bytes: SeriesId::INVALID,
             s_pending: SeriesId::INVALID,
             in_flight_bytes: 0,
+        }
+    }
+
+    /// Tears the network down into its reusable buffers, handing every
+    /// payload still queued or in flight to `salvage` (a finished run's
+    /// undelivered messages go back to the caller's pool rather than to
+    /// the allocator).
+    pub fn into_scratch(mut self, mut salvage: impl FnMut(P)) -> NetScratch<P> {
+        for p in self.pending_high.drain(..).chain(self.pending_norm.drain(..)) {
+            salvage(p.payload);
+        }
+        for slot in &mut self.in_flight {
+            if let Some(f) = slot.take() {
+                salvage(f.payload);
+            }
+        }
+        self.in_flight.clear();
+        NetScratch {
+            nic_busy: self.nic_busy,
+            nic_usage: self.nic_usage,
+            pending_high: self.pending_high,
+            pending_norm: self.pending_norm,
+            in_flight: self.in_flight,
+            link_cursors: self.link_cursors,
         }
     }
 
@@ -412,7 +505,7 @@ impl<P> Network<P> {
             "topology host count must match the network"
         );
         assert!(
-            self.pending.is_empty() && self.in_flight.is_empty(),
+            self.pending_count() == 0 && self.in_flight_len == 0,
             "set_topology must precede traffic"
         );
         self.links = nominal_link_table(&topo);
@@ -519,7 +612,11 @@ impl<P> Network<P> {
         let k = self.stats.kind_mut(spec.kind);
         k.submitted += 1;
         k.bytes_submitted += spec.bytes;
-        self.pending.push(Pending { id, spec, payload });
+        let queue = match spec.priority {
+            Priority::High => &mut self.pending_high,
+            Priority::Normal => &mut self.pending_norm,
+        };
+        queue.push(Pending { id, spec, payload });
         id
     }
 
@@ -572,14 +669,24 @@ impl<P> Network<P> {
     /// transfer unblocked — allocates nothing.
     pub fn poll_start_into(&mut self, now: SimTime, out: &mut Vec<StartedTransfer>) {
         out.clear();
-        // Sort stably by priority (High first); submission order is
-        // preserved within a class because ids are monotonic.
-        self.pending
-            .sort_by(|a, b| b.spec.priority.cmp(&a.spec.priority).then(a.id.cmp(&b.id)));
+        // High first, then normal: each queue is FIFO by construction, so
+        // this is the old stable (priority desc, id asc) scan order.
+        self.scan_queue(now, out, Priority::High);
+        self.scan_queue(now, out, Priority::Normal);
+    }
+
+    /// One [`Network::poll_start_into`] pass over a single priority class.
+    fn scan_queue(&mut self, now: SimTime, out: &mut Vec<StartedTransfer>, class: Priority) {
+        // The queue is detached during the scan so the start bookkeeping
+        // below can borrow `self` freely; blocked entries stay in place.
+        let mut queue = match class {
+            Priority::High => std::mem::take(&mut self.pending_high),
+            Priority::Normal => std::mem::take(&mut self.pending_norm),
+        };
         let mut i = 0;
         let capacity = self.params.nic_capacity;
-        while i < self.pending.len() {
-            let spec = self.pending[i].spec;
+        while i < queue.len() {
+            let spec = queue[i].spec;
             if self
                 .faults
                 .as_ref()
@@ -594,7 +701,7 @@ impl<P> Network<P> {
             if self.nic_busy[spec.src.index()] < capacity
                 && self.nic_busy[spec.dst.index()] < capacity
             {
-                let p = self.pending.remove(i);
+                let p = queue.remove(i);
                 self.nic_busy[spec.src.index()] += 1;
                 self.nic_busy[spec.dst.index()] += 1;
                 self.touch_usage(spec, now);
@@ -622,8 +729,12 @@ impl<P> Network<P> {
                     self.in_flight_bytes += spec.bytes;
                     self.obs
                         .sample(self.s_in_flight_bytes, now, self.in_flight_bytes as f64);
+                    let other = match class {
+                        Priority::High => self.pending_norm.len(),
+                        Priority::Normal => self.pending_high.len(),
+                    };
                     self.obs
-                        .sample(self.s_pending, now, self.pending.len() as f64);
+                        .sample(self.s_pending, now, (queue.len() + other) as f64);
                     if capacity == 1 {
                         let track = self
                             .host_tracks
@@ -647,15 +758,17 @@ impl<P> Network<P> {
                 } else {
                     SpanId::INVALID
                 };
-                self.in_flight.insert(
-                    p.id,
-                    InFlight {
-                        spec,
-                        started: now,
-                        payload: p.payload,
-                        span,
-                    },
-                );
+                let slot = p.id.0 as usize;
+                if slot >= self.in_flight.len() {
+                    self.in_flight.resize_with(slot + 1, || None);
+                }
+                self.in_flight[slot] = Some(InFlight {
+                    spec,
+                    started: now,
+                    payload: p.payload,
+                    span,
+                });
+                self.in_flight_len += 1;
                 out.push(StartedTransfer {
                     id: p.id,
                     completes_at,
@@ -663,6 +776,10 @@ impl<P> Network<P> {
             } else {
                 i += 1;
             }
+        }
+        match class {
+            Priority::High => self.pending_high = queue,
+            Priority::Normal => self.pending_norm = queue,
         }
     }
 
@@ -676,8 +793,10 @@ impl<P> Network<P> {
     pub fn complete(&mut self, id: TransferId, now: SimTime) -> Delivery<P> {
         let f = self
             .in_flight
-            .remove(&id)
+            .get_mut(id.0 as usize)
+            .and_then(|s| s.take())
             .expect("completing a transfer that is not in flight");
+        self.in_flight_len -= 1;
         if let Some(t) = self.topo.as_mut() {
             t.on_complete(id, now);
         }
@@ -709,12 +828,12 @@ impl<P> Network<P> {
 
     /// Number of transfers waiting to start.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.pending_high.len() + self.pending_norm.len()
     }
 
     /// Number of transfers in service.
     pub fn in_flight_count(&self) -> usize {
-        self.in_flight.len()
+        self.in_flight_len
     }
 
     /// Returns `true` if the host's NIC is at capacity.

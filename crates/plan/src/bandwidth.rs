@@ -137,18 +137,38 @@ pub struct DenseView {
     vals: Vec<Option<f64>>,
 }
 
+impl Default for DenseView {
+    /// An empty snapshot covering zero hosts; fill it with
+    /// [`DenseView::snapshot_into`].
+    fn default() -> Self {
+        DenseView {
+            n: 0,
+            vals: Vec::new(),
+        }
+    }
+}
+
 impl DenseView {
     /// Captures `view` over hosts `0..n`.
     pub fn snapshot(n: usize, view: impl BandwidthView) -> Self {
-        let mut vals = vec![None; n * n];
+        let mut dense = DenseView::default();
+        dense.snapshot_into(n, view);
+        dense
+    }
+
+    /// [`DenseView::snapshot`] in place, reusing the matrix's capacity.
+    /// The refilled view is identical to a fresh snapshot.
+    pub fn snapshot_into(&mut self, n: usize, view: impl BandwidthView) {
+        self.n = n;
+        self.vals.clear();
+        self.vals.resize(n * n, None);
         for a in 0..n {
             for b in 0..n {
                 if a != b {
-                    vals[a * n + b] = view.bandwidth(HostId::new(a), HostId::new(b));
+                    self.vals[a * n + b] = view.bandwidth(HostId::new(a), HostId::new(b));
                 }
             }
         }
-        DenseView { n, vals }
     }
 
     /// Number of hosts the snapshot covers.

@@ -332,21 +332,46 @@ impl<'a, V: BandwidthView> IncrementalCriticalPath<'a, V> {
         view: V,
         model: &'a CostModel,
     ) -> Self {
-        let node_hosts: Vec<HostId> = (0..tree.nodes().len())
-            .map(|i| placement.node_host(tree, roster, NodeId::new(i)))
-            .collect();
+        Self::new_in(tree, roster, placement, view, model, Vec::new(), Vec::new())
+    }
+
+    /// [`IncrementalCriticalPath::new`] reusing caller-provided buffers
+    /// for the two per-node caches (contents are discarded, capacity is
+    /// kept). Recover them with
+    /// [`IncrementalCriticalPath::into_buffers`] when the search is done.
+    pub fn new_in(
+        tree: &'a CombinationTree,
+        roster: &HostRoster,
+        placement: &Placement,
+        view: V,
+        model: &'a CostModel,
+        mut node_hosts: Vec<HostId>,
+        mut costs: Vec<f64>,
+    ) -> Self {
+        node_hosts.clear();
+        node_hosts.extend(
+            (0..tree.nodes().len()).map(|i| placement.node_host(tree, roster, NodeId::new(i))),
+        );
+        costs.clear();
+        costs.resize(tree.nodes().len(), 0.0);
         let mut eval = IncrementalCriticalPath {
             tree,
             view,
             model,
             node_hosts,
-            costs: vec![0.0f64; tree.nodes().len()],
+            costs,
         };
         for node_id in tree.postorder() {
             let here = eval.node_hosts[node_id.index()];
             eval.costs[node_id.index()] = eval.node_cost(node_id, here);
         }
         eval
+    }
+
+    /// Tears the evaluator down into its per-node cache buffers so a
+    /// later [`IncrementalCriticalPath::new_in`] can reuse their capacity.
+    pub fn into_buffers(self) -> (Vec<HostId>, Vec<f64>) {
+        (self.node_hosts, self.costs)
     }
 
     /// Recomputes one node's subtree cost from its (cached) children,

@@ -96,6 +96,16 @@ impl<T> Resource<T> {
         }
     }
 
+    /// Restores the resource to its freshly-constructed state (idle,
+    /// empty queue, counters at zero) while keeping the queue's heap
+    /// capacity, so run arenas can recycle resources between runs.
+    pub fn reset(&mut self) {
+        self.busy = false;
+        self.queue.clear();
+        self.next_seq = 0;
+        self.total_served = 0;
+    }
+
     /// Returns `true` if a request is currently in service.
     pub fn is_busy(&self) -> bool {
         self.busy

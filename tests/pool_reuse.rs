@@ -1,10 +1,14 @@
-//! Message-pool reuse is observationally inert: a run drawing its message
-//! boxes from a warm pool (recycled from earlier runs, even of *different*
-//! algorithms) must be bit-identical to a cold run of the same world.
+//! Message-pool and run-arena reuse are observationally inert: a run
+//! drawing its message boxes from a warm [`MsgPool`] — or its entire
+//! world (queue, monitors, network buffers, search scratch) from a warm
+//! [`RunScratch`] recycled from earlier runs, even of *different*
+//! algorithms — must be bit-identical to a cold run of the same world.
 
-use wadc::core::engine::{Algorithm, MsgPool};
+use wadc::core::engine::{Algorithm, MsgPool, RunScratch};
 use wadc::core::experiment::Experiment;
-use wadc::sim::time::SimDuration;
+use wadc::net::faults::FaultPlan;
+use wadc::plan::ids::HostId;
+use wadc::sim::time::{SimDuration, SimTime};
 
 fn all_algorithms() -> [Algorithm; 4] {
     [
@@ -76,4 +80,72 @@ fn pool_survives_lossy_runs_unchanged() {
     assert_eq!(warm_a.digest(), cold.digest());
     assert_eq!(warm_b.digest(), cold.digest());
     assert_eq!(warm_b.net_stats, cold.net_stats);
+}
+
+/// The arena analogue of `warm_pool_runs_are_bit_identical_to_cold_runs`:
+/// one [`RunScratch`] cycles through the full algorithm portfolio, on
+/// both network backends (independent per-pair links and the paper-WAN
+/// shared-bottleneck topology), and every warm run must equal its cold
+/// twin bit for bit. By the later iterations the arena holds capacity
+/// recycled from every earlier algorithm's world — including the global
+/// algorithm's search scratch and the local algorithm's location
+/// vectors — so this catches any reset that forgets state.
+#[test]
+fn warm_arena_runs_are_bit_identical_to_cold_runs() {
+    for seed in [7u64, 1998] {
+        for (backend, exp) in [
+            ("per-pair", Experiment::quick(4, seed)),
+            ("paper-wan", Experiment::quick_topo(4, seed)),
+        ] {
+            let mut scratch = RunScratch::new();
+            for alg in all_algorithms() {
+                let cold = exp.run(alg);
+                let warm_a = exp.run_scratch(alg, &mut scratch);
+                let warm_b = exp.run_scratch(alg, &mut scratch);
+                for (label, warm) in [("first", &warm_a), ("second", &warm_b)] {
+                    assert_eq!(
+                        warm.digest(),
+                        cold.digest(),
+                        "{label} warm-arena {} run diverged from cold \
+                         (seed {seed}, {backend} backend)",
+                        alg.name()
+                    );
+                    assert_eq!(warm.arrivals, cold.arrivals, "{}", alg.name());
+                    assert_eq!(warm.net_stats, cold.net_stats, "{}", alg.name());
+                    assert_eq!(warm.audit.events(), cold.audit.events(), "{}", alg.name());
+                }
+            }
+            assert!(
+                scratch.is_warm(),
+                "completed runs must park their world in the arena"
+            );
+        }
+    }
+}
+
+/// Faulty worlds churn the arena hardest — retransmissions cycle message
+/// boxes through retry timers, a host death tears transfers out of the
+/// network mid-flight and routes the planner through the masked
+/// (surviving-subgraph) search — and recycling all of it must still be
+/// invisible in the results.
+#[test]
+fn warm_arena_survives_loss_and_crash_faults_unchanged() {
+    let mut exp = Experiment::quick(4, 12);
+    exp.template_mut().faults = FaultPlan::none()
+        .with_loss(0.1)
+        .crash(HostId::new(2), SimTime::from_secs(40));
+    let mut scratch = RunScratch::new();
+    for alg in all_algorithms() {
+        let cold = exp.run(alg);
+        let warm_a = exp.run_scratch(alg, &mut scratch);
+        let warm_b = exp.run_scratch(alg, &mut scratch);
+        assert_eq!(
+            warm_a.digest(),
+            cold.digest(),
+            "faulty warm-arena {} run diverged from cold",
+            alg.name()
+        );
+        assert_eq!(warm_b.digest(), cold.digest(), "{}", alg.name());
+        assert_eq!(warm_b.net_stats, cold.net_stats, "{}", alg.name());
+    }
 }

@@ -89,6 +89,31 @@ fn faulty_study_digests_are_thread_count_invariant() {
     }
 }
 
+/// The heaviest arena churn the fabric can see: a lossy study over the
+/// paper-WAN shared-bottleneck topology, where each worker's [`RunScratch`]
+/// arena recycles fair-share flow state, retransmission timers, and the
+/// planner's search buffers across configurations. Threads {1, 4} must
+/// both reproduce the sequential study exactly — at threads=1 a single
+/// progressively warmer arena serves every configuration, at threads=4
+/// four arenas each see an unpredictable subset.
+///
+/// [`RunScratch`]: wadc::core::engine::RunScratch
+#[test]
+fn faulty_topology_sweep_arenas_are_thread_count_invariant() {
+    let mut params = StudyParams::quick(27);
+    params.topology = Some(wadc::topo::preset::TopoPreset::PaperWan);
+    params.faults = FaultPlan::none().with_loss(0.05);
+    let seq = run_study(&params);
+    for threads in [1, 4] {
+        let par = run_study_parallel(&params, threads);
+        assert_studies_identical(
+            &seq,
+            &par,
+            &format!("lossy paper-wan study, threads {threads}"),
+        );
+    }
+}
+
 /// Observability is passive even inside sweep workers: every swept
 /// config installs its own recorder on its worker's thread (recorders are
 /// `Rc`-based and scoped to one run — sim time restarts per run — so
